@@ -1,0 +1,78 @@
+//===- BenchCommon.h - Shared helpers for the benchmark harnesses -*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Utilities shared by the table/figure harnesses in bench/: wall-clock
+/// timing, harmonic means (the paper reports harmonic-mean speedups) and a
+/// --scale flag so the full suite can be shortened or lengthened.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_BENCH_BENCHCOMMON_H
+#define FACILE_BENCH_BENCHCOMMON_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace facile {
+namespace bench {
+
+inline double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times \p Fn, returning elapsed wall-clock seconds.
+template <typename Fn> double timeIt(Fn &&Fn2) {
+  double T0 = nowSeconds();
+  Fn2();
+  return nowSeconds() - T0;
+}
+
+inline double harmonicMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Denominator = 0.0;
+  for (double V : Values)
+    Denominator += 1.0 / V;
+  return static_cast<double>(Values.size()) / Denominator;
+}
+
+/// Parses "--scale=<f>" from argv (default 1.0): multiplies every
+/// instruction budget, so `--scale=0.1` smoke-runs a table and
+/// `--scale=10` approaches paper-length runs.
+inline double parseScale(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--scale=", 0) == 0)
+      return std::atof(Arg.c_str() + 8);
+  }
+  return 1.0;
+}
+
+inline uint64_t scaled(uint64_t Budget, double Scale) {
+  double V = static_cast<double>(Budget) * Scale;
+  return V < 1000 ? 1000 : static_cast<uint64_t>(V);
+}
+
+/// Prints the standard harness banner.
+inline void banner(const char *Id, const char *Paper, const char *Ours) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n  paper:    %s\n  measured: %s\n", Id, Paper, Ours);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+} // namespace bench
+} // namespace facile
+
+#endif // FACILE_BENCH_BENCHCOMMON_H

@@ -1,0 +1,50 @@
+//===- bench_ablation_recovery.cpp - §4.3/§6.3 miss-recovery ablation --------===//
+//
+// The paper's §6.3 item 2 observes that the slow simulator — which runs in
+// recovery mode after every action-cache miss — "still accounts for a
+// significant fraction of simulator execution time". This harness sweeps
+// the control entropy of a synthetic workload (the fraction of
+// data-dependent branches) to expose how dynamic-result-test divergence
+// drives misses, recoveries and end-to-end speed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "src/sims/SimHarness.h"
+#include "src/workload/Workloads.h"
+
+using namespace facile;
+using namespace facile::bench;
+using namespace facile::sims;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Ablation — dynamic-result-test divergence and miss recovery",
+         "misses force slow-path recovery (paper §4.3); recovery cost is a "
+         "bottleneck (§6.3 item 2)",
+         "Facile OOO simulator over a control-entropy sweep");
+
+  std::printf("%-12s %10s %12s %10s %10s %12s %14s\n", "dep-branch%",
+              "Kips", "ff %", "misses", "slowsteps", "entries",
+              "miss/Kinstr");
+
+  workload::WorkloadSpec Spec = *workload::findSpec("m88ksim");
+  for (unsigned Entropy : {0u, 10u, 30u, 50u, 80u}) {
+    Spec.DepBranchPct = Entropy;
+    isa::TargetImage Image = workload::generate(Spec, 1u << 30);
+    uint64_t Budget = scaled(1'000'000, Scale);
+
+    FacileSim Sim(SimKind::OutOfOrder, Image);
+    double T = timeIt([&] { Sim.run(Budget); });
+    const rt::Simulation::Stats &S = Sim.sim().stats();
+    std::printf("%-12u %10.0f %11.3f%% %10llu %10llu %12zu %14.2f\n",
+                Entropy, static_cast<double>(S.RetiredTotal) / T / 1e3,
+                S.fastForwardedPct(),
+                static_cast<unsigned long long>(S.Misses),
+                static_cast<unsigned long long>(S.Steps - S.FastSteps),
+                Sim.sim().cache().entryCount(),
+                static_cast<double>(S.Misses) * 1000.0 /
+                    static_cast<double>(S.RetiredTotal));
+  }
+  return 0;
+}

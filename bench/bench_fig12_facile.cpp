@@ -1,0 +1,111 @@
+//===- bench_fig12_facile.cpp - Reproduces Figure 12 -------------------------===//
+//
+// Paper Figure 12: performance of the out-of-order simulator *written in
+// Facile* and compiled by the Facile compiler, with and without
+// fast-forwarding, compared to SimpleScalar; plus the §6.2 comparisons to
+// the hand-coded simulator and line counts.
+//
+// Paper shape: fast-forwarding speeds the compiled simulator 2.8-23.8x
+// (harmonic mean 8.3, gcc lowest because its working set overflows the
+// 256 MB action cache); the compiled simulator runs at about 1/6 the speed
+// of hand-coded FastSim; with memoization it beats SimpleScalar by ~1.5x
+// (harmonic mean). Our compiled simulators run on an IR-interpreting
+// backend instead of emitted C, which shifts the absolute constant against
+// SimpleScalar (see EXPERIMENTS.md) while the memoization speedup and the
+// compiled-vs-hand-coded gap reproduce.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "src/fastsim/FastSim.h"
+#include "src/simscalar/SimScalar.h"
+#include "src/sims/SimHarness.h"
+#include "src/workload/Workloads.h"
+
+using namespace facile;
+using namespace facile::bench;
+using namespace facile::sims;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Figure 12 — Facile-compiled OOO simulator with/without "
+         "fast-forwarding vs. SimpleScalar",
+         "memo/no-memo 2.8-23.8x (hmean 8.3); ~1/6 of hand-coded FastSim",
+         "simulation speed in Ksim-instr/s per benchmark, plus ratios");
+
+  std::printf("%-14s %11s %12s %12s %9s %9s %9s %8s\n", "benchmark",
+              "memo Kips", "nomemo Kips", "sscalar Kips", "memo/nom",
+              "memo/sscal", "vs hand", "ff%");
+
+  std::vector<double> MemoSpeedups, VsScalar, VsHand;
+  for (const workload::WorkloadSpec &Spec : workload::spec95Suite()) {
+    isa::TargetImage Image = workload::generate(Spec, 1u << 30);
+
+    uint64_t MemoBudget = scaled(1'500'000, Scale);
+    uint64_t SlowBudget = scaled(80'000, Scale);
+    uint64_t ScalarBudget = scaled(1'000'000, Scale);
+
+    FacileSim Memo(SimKind::OutOfOrder, Image);
+    double TMemo = timeIt([&] { Memo.run(MemoBudget); });
+    double KipsMemo =
+        static_cast<double>(Memo.sim().stats().RetiredTotal) / TMemo / 1e3;
+
+    rt::Simulation::Options Off;
+    Off.Memoize = false;
+    FacileSim NoMemo(SimKind::OutOfOrder, Image, Off);
+    double TNo = timeIt([&] { NoMemo.run(SlowBudget); });
+    double KipsNo =
+        static_cast<double>(NoMemo.sim().stats().RetiredTotal) / TNo / 1e3;
+
+    simscalar::SimScalar Scalar(Image);
+    double TSs = timeIt([&] { Scalar.run(ScalarBudget); });
+    double KipsSs = static_cast<double>(Scalar.stats().Retired) / TSs / 1e3;
+
+    fastsim::FastSim Hand(Image);
+    double THand = timeIt([&] { Hand.run(MemoBudget); });
+    double KipsHand =
+        static_cast<double>(Hand.stats().Retired) / THand / 1e3;
+
+    double MemoSpeedup = KipsMemo / KipsNo;
+    MemoSpeedups.push_back(MemoSpeedup);
+    VsScalar.push_back(KipsMemo / KipsSs);
+    VsHand.push_back(KipsMemo / KipsHand);
+
+    std::printf("%-14s %11.0f %12.1f %12.0f %9.2f %9.3f %9.3f %7.3f%%\n",
+                Spec.Name.c_str(), KipsMemo, KipsNo, KipsSs, MemoSpeedup,
+                KipsMemo / KipsSs, KipsMemo / KipsHand,
+                Memo.sim().stats().fastForwardedPct());
+  }
+
+  std::printf("\nharmonic means: memo/no-memo %.2fx (paper 2.8-23.8x, hmean "
+              "8.3); memo vs SimpleScalar %.3fx (paper ~1.5x, see "
+              "EXPERIMENTS.md on the interpreted backend); compiled vs "
+              "hand-coded %.3fx (paper ~1/6)\n",
+              harmonicMean(MemoSpeedups), harmonicMean(VsScalar),
+              harmonicMean(VsHand));
+
+  // §6.2 line-count claims: simulator sizes in lines of Facile.
+  std::printf("\nsimulator sizes (paper: functional 703, in-order 965, "
+              "out-of-order 1959 lines of Facile):\n");
+  for (auto [Kind, Name] :
+       {std::pair{SimKind::Functional, "functional"},
+        std::pair{SimKind::InOrder, "in-order"},
+        std::pair{SimKind::OutOfOrder, "out-of-order"}}) {
+    std::string Src = simulatorSource(Kind);
+    size_t Lines = 0, Code = 0;
+    bool NonBlank = false;
+    for (size_t I = 0; I != Src.size(); ++I) {
+      if (Src[I] == '\n') {
+        ++Lines;
+        if (NonBlank)
+          ++Code;
+        NonBlank = false;
+      } else if (!isspace(static_cast<unsigned char>(Src[I]))) {
+        NonBlank = true;
+      }
+    }
+    std::printf("  %-13s %4zu lines of Facile (%zu non-blank)\n", Name,
+                Lines, Code);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench_table1_fastfwd_pct.cpp - Reproduces Table 1 ---------------------===//
+//
+// Paper Table 1 (§6.1): percentage of instructions simulated by the fast
+// simulator (fast-forwarded), per SPEC95 benchmark, for the *hand-coded*
+// memoizing out-of-order simulator (FastSim).
+//
+// Paper shape: every benchmark is >= 99.689% fast-forwarded; floating-
+// point loop codes highest (mgrid/applu/turb3d 99.999%), large irregular
+// integer codes (gcc, ijpeg, go) lowest. The fraction approaches its
+// asymptote as the run lengthens (the paper ran full SPEC95 inputs); pass
+// --scale=10 to get closer.
+//
+// The compiled Facile simulator's fraction is reported alongside with an
+// *unbounded* cache; with the default 256 MB budget the big integer codes
+// thrash (cleared repeatedly) — the paper observes exactly this for gcc in
+// §6.2, and bench_ablation_cachesize quantifies it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "src/fastsim/FastSim.h"
+#include "src/sims/SimHarness.h"
+#include "src/workload/Workloads.h"
+
+using namespace facile;
+using namespace facile::bench;
+using namespace facile::sims;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Table 1 — percentage of instructions fast-forwarded",
+         "99.689% (gcc) .. 99.999% (mgrid/applu/turb3d); all >= 99.6%",
+         "hand-coded FastSim (the paper's subject) and compiled Facile OOO "
+         "(unbounded cache)");
+
+  std::printf("%-14s %5s %12s %12s %12s %10s %10s\n", "benchmark", "set",
+              "fastsim ff%", "facile ff%", "insts", "misses", "entries");
+
+  rt::Simulation::Options Unbounded;
+  Unbounded.CacheBudgetBytes = static_cast<size_t>(1) << 40;
+  fastsim::FastSim::Options HandUnbounded;
+  HandUnbounded.CacheBudgetBytes = static_cast<size_t>(1) << 40;
+
+  for (const workload::WorkloadSpec &Spec : workload::spec95Suite()) {
+    isa::TargetImage Image = workload::generate(Spec, 1u << 30);
+    uint64_t Budget =
+        scaled(Spec.FloatingPoint ? 2'000'000 : 3'000'000, Scale);
+
+    fastsim::FastSim Hand(Image, HandUnbounded);
+    Hand.run(Budget);
+
+    FacileSim Sim(SimKind::OutOfOrder, Image, Unbounded);
+    Sim.run(Budget);
+    const rt::Simulation::Stats &S = Sim.sim().stats();
+    std::printf("%-14s %5s %11.3f%% %11.3f%% %12llu %10llu %10zu\n",
+                Spec.Name.c_str(), Spec.FloatingPoint ? "fp" : "int",
+                Hand.stats().fastForwardedPct(), S.fastForwardedPct(),
+                static_cast<unsigned long long>(S.RetiredTotal),
+                static_cast<unsigned long long>(S.Misses),
+                Sim.sim().cache().entryCount());
+  }
+  std::printf("\nnote: the paper's percentages come from full SPEC95 runs "
+              "(billions of instructions); at these budgets the first "
+              "recording pass is still a visible fraction for the "
+              "large-code integer benchmarks — the same ordering the paper "
+              "reports (gcc/go lowest).\n");
+  return 0;
+}

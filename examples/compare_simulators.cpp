@@ -1,0 +1,135 @@
+//===- compare_simulators.cpp - Every simulator in the repo, side by side -----===//
+//
+// Runs one workload through all the simulator technologies this project
+// reproduces and prints a comparison table:
+//
+//   golden      C++ functional execution (no timing)
+//   facile-fn   functional simulator written in Facile
+//   facile-io   in-order pipeline written in Facile
+//   facile-ooo  out-of-order pipeline written in Facile (+/- memoization)
+//   fastsim     hand-coded memoizing out-of-order simulator (+/- memo)
+//   simscalar   conventional out-of-order baseline
+//
+// The architectural results agree everywhere; timing models agree between
+// facile-ooo and fastsim (the cross-validation the test suite enforces).
+//
+// Usage: ./build/examples/compare_simulators [benchmark] [budget]
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/fastsim/FastSim.h"
+#include "src/simscalar/SimScalar.h"
+#include "src/sims/SimHarness.h"
+#include "src/uarch/FunctionalCore.h"
+#include "src/workload/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace facile;
+using namespace facile::sims;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void row(const char *Name, uint64_t Insts, uint64_t Cycles, double Sec,
+         const char *Note) {
+  std::printf("%-18s %12llu %12llu %10.0f %s\n", Name,
+              static_cast<unsigned long long>(Insts),
+              static_cast<unsigned long long>(Cycles), Insts / Sec / 1e3,
+              Note);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *Name = Argc > 1 ? Argv[1] : "compress";
+  uint64_t Budget = Argc > 2 ? std::strtoull(Argv[2], nullptr, 0) : 500'000;
+  const workload::WorkloadSpec *Spec = workload::findSpec(Name);
+  if (!Spec) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", Name);
+    return 1;
+  }
+  isa::TargetImage Image = workload::generate(*Spec, 1u << 30);
+
+  std::printf("%s, %llu-instruction budget\n\n", Spec->Name.c_str(),
+              static_cast<unsigned long long>(Budget));
+  std::printf("%-18s %12s %12s %10s %s\n", "simulator", "instructions",
+              "cycles", "Kips", "notes");
+
+  { // golden functional
+    TargetMemory Mem;
+    Mem.loadImage(Image);
+    ArchState St = makeInitialState(Image);
+    double T0 = now();
+    uint64_t N = runFunctional(St, Mem, Image, Budget);
+    row("golden (C++)", N, 0, now() - T0, "functional reference");
+  }
+  { // facile functional
+    FacileSim Sim(SimKind::Functional, Image);
+    double T0 = now();
+    Sim.run(Budget);
+    row("facile-fn", Sim.sim().stats().RetiredTotal, 0, now() - T0,
+        "compiled Facile, memoized");
+  }
+  { // facile in-order
+    FacileSim Sim(SimKind::InOrder, Image);
+    double T0 = now();
+    Sim.run(Budget);
+    row("facile-inorder", Sim.sim().stats().RetiredTotal,
+        Sim.sim().stats().Cycles, now() - T0, "scoreboard pipeline");
+  }
+  char FfNote[128];
+  { // facile OOO with memo
+    FacileSim Sim(SimKind::OutOfOrder, Image);
+    double T0 = now();
+    Sim.run(Budget);
+    std::snprintf(FfNote, sizeof(FfNote), "ff %.2f%%, %zu entries",
+                  Sim.sim().stats().fastForwardedPct(),
+                  Sim.sim().cache().entryCount());
+    row("facile-ooo", Sim.sim().stats().RetiredTotal,
+        Sim.sim().stats().Cycles, now() - T0, FfNote);
+  }
+  { // facile OOO without memo
+    rt::Simulation::Options Off;
+    Off.Memoize = false;
+    FacileSim Sim(SimKind::OutOfOrder, Image, Off);
+    double T0 = now();
+    Sim.run(Budget / 10);
+    row("facile-ooo (slow)", Sim.sim().stats().RetiredTotal,
+        Sim.sim().stats().Cycles, now() - T0, "no memoization");
+  }
+  { // hand-coded fastsim
+    fastsim::FastSim Sim(Image);
+    double T0 = now();
+    Sim.run(Budget);
+    std::snprintf(FfNote, sizeof(FfNote), "ff %.2f%% (matches facile-ooo "
+                                          "cycles)",
+                  Sim.stats().fastForwardedPct());
+    row("fastsim (hand)", Sim.stats().Retired, Sim.stats().Cycles,
+        now() - T0, FfNote);
+  }
+  { // fastsim no memo
+    fastsim::FastSim::Options Off;
+    Off.Memoize = false;
+    fastsim::FastSim Sim(Image, Off);
+    double T0 = now();
+    Sim.run(Budget);
+    row("fastsim (slow)", Sim.stats().Retired, Sim.stats().Cycles,
+        now() - T0, "no memoization");
+  }
+  { // simscalar
+    simscalar::SimScalar Sim(Image);
+    double T0 = now();
+    Sim.run(Budget);
+    row("simscalar", Sim.stats().Retired, Sim.stats().Cycles, now() - T0,
+        "conventional baseline");
+  }
+  return 0;
+}

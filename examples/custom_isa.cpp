@@ -1,0 +1,110 @@
+//===- custom_isa.cpp - Describing a different machine in Facile --------------===//
+//
+// Facile's architecture-description layer (tokens, fields, patterns — the
+// NJ Machine-Code Toolkit heritage, paper §3.1) is not tied to the ISA
+// shipped in src/isa. This example describes a *different* machine from
+// scratch — a tiny accumulator architecture — hand-assembles a program for
+// it into the text segment, and simulates it with fast-forwarding.
+//
+//   ACC machine, 32-bit words:
+//     opcode 28:31, operand 0:27
+//     0 LOADI  acc = operand            4 JNZ    if (acc != 0) pc = operand*4
+//     1 ADDM   acc += mem[operand]      5 HALT
+//     2 STORM  mem[operand] = acc
+//     3 SUBI   acc -= operand
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/facile/Compiler.h"
+#include "src/runtime/Simulation.h"
+
+#include <cstdio>
+
+using namespace facile;
+
+static const char *AccSimulator = R"(
+  token word[32]
+    fields opcode 28:31, operand 0:27;
+
+  pat loadi = opcode==0;
+  pat addm  = opcode==1;
+  pat storm = opcode==2;
+  pat subi  = opcode==3;
+  pat jnz   = opcode==4;
+  pat halt  = opcode==5;
+
+  val ACC = 0;        // the accumulator: dynamic data
+  init val PC = 0;    // the run-time static key
+
+  fun main() {
+    val npc = PC + 4;
+    switch (PC) {
+      pat loadi: ACC = operand;
+      pat addm:  ACC = (ACC + mem_ld(operand))?sext(32);
+      pat storm: mem_st(operand, ACC);
+      pat subi:  ACC = (ACC - operand)?sext(32);
+      pat jnz:   if (ACC != 0) npc = operand * 4;
+      pat halt:  sim_halt(); npc = PC;
+      default:   sim_halt(); npc = PC;
+    }
+    retire(1);
+    cycles(1);
+    PC = npc;
+  }
+)";
+
+namespace {
+
+uint32_t enc(uint32_t Opcode, uint32_t Operand) {
+  return (Opcode << 28) | (Operand & 0x0fffffff);
+}
+
+} // namespace
+
+int main() {
+  DiagnosticEngine Diag;
+  std::optional<CompiledProgram> Prog = compileFacile(AccSimulator, Diag);
+  if (!Prog) {
+    std::fprintf(stderr, "compile failed:\n%s", Diag.str().c_str());
+    return 1;
+  }
+
+  // Hand-assemble an ACC program: mem[DATA] starts at 0; add 7 to it 1000
+  // times by looping with the accumulator as counter.
+  //
+  //   word 0 (0x1000): LOADI 1000          counter = 1000
+  //   word 1: STORM CTR                    spill counter
+  //   word 2: LOADI 7
+  //   word 3: ADDM  SUM                    acc = 7 + sum
+  //   word 4: STORM SUM
+  //   word 5: LOADI 0
+  //   word 6: ADDM  CTR
+  //   word 7: SUBI  1                      counter--
+  //   word 8: STORM CTR
+  //   word 9: JNZ   word1                  loop while counter != 0
+  //   word 10: HALT
+  constexpr uint32_t Sum = 0x200000;
+  constexpr uint32_t Ctr = 0x200004;
+  isa::TargetImage Image;
+  uint32_t Base = Image.TextBase / 4;
+  Image.Text = {
+      enc(0, 1000),     enc(2, Ctr),     enc(0, 7),
+      enc(1, Sum),      enc(2, Sum),     enc(0, 0),
+      enc(1, Ctr),      enc(3, 1),       enc(2, Ctr),
+      enc(4, Base + 1), enc(5, 0),
+  };
+
+  rt::Simulation Sim(*Prog, Image);
+  Sim.setGlobal("PC", Image.Entry);
+  Sim.run(1'000'000);
+
+  const rt::Simulation::Stats &S = Sim.stats();
+  std::printf("ACC machine halted after %llu instructions\n",
+              static_cast<unsigned long long>(S.RetiredTotal));
+  std::printf("mem[SUM] = %u (expected 7000)\n",
+              Sim.memory().read32(Sum));
+  std::printf("fast-forwarded %.3f%% — a custom ISA gets the paper's "
+              "memoization for free\n",
+              S.fastForwardedPct());
+  return Sim.memory().read32(Sum) == 7000 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+//===- Actions.cpp - Dynamic basic block (action) extraction ----------------===//
+
+#include "src/facile/Actions.h"
+
+using namespace facile;
+using namespace facile::ir;
+
+ActionTable facile::extractActions(const StepFunction &F) {
+  ActionTable T;
+  T.Blocks.resize(F.Blocks.size());
+  for (uint32_t B = 0; B != F.Blocks.size(); ++B) {
+    ActionBlockInfo &Info = T.Blocks[B];
+    const Block &Blk = F.Blocks[B];
+    for (uint32_t I = 0; I != Blk.Insts.size(); ++I)
+      if (Blk.Insts[I].Dynamic)
+        Info.DynInsts.push_back(I);
+    const Inst &Term = Blk.terminator();
+    Info.EndsWithTest = Term.Opcode == Op::Branch && Term.Dynamic;
+    Info.EndsWithRet = Term.Opcode == Op::Ret;
+    // Ret blocks always get an action: the end-of-step INDEX node lives
+    // there even when the block has no other dynamic work.
+    if (!Info.DynInsts.empty() || Info.EndsWithRet) {
+      Info.ActionId = static_cast<int32_t>(T.ActionToBlock.size());
+      T.ActionToBlock.push_back(B);
+    }
+  }
+  return T;
+}

@@ -1,0 +1,51 @@
+//===- Actions.h - Dynamic basic block (action) extraction -----*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// After binding-time analysis, the dynamic instructions of each basic
+/// block form a *dynamic basic block* — the unit of replay stored in the
+/// specialized action cache (paper §4.2, Figure 8). Each block with dynamic
+/// content is assigned an action number; the fast simulator replays cached
+/// behaviour by reading an action number and executing the corresponding
+/// dynamic code, feeding rt-static placeholders from the cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_ACTIONS_H
+#define FACILE_FACILE_ACTIONS_H
+
+#include "src/facile/Ir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace facile {
+
+/// Per-basic-block action information.
+struct ActionBlockInfo {
+  static constexpr int32_t NoAction = -1;
+  int32_t ActionId = NoAction; ///< NoAction when the block is fully rt-static
+  std::vector<uint32_t> DynInsts; ///< indices of dynamic instructions
+  bool EndsWithTest = false; ///< terminator is a dynamic-result test (Branch)
+  bool EndsWithRet = false;  ///< block ends the step
+};
+
+/// Action numbering for one compiled step function.
+struct ActionTable {
+  std::vector<ActionBlockInfo> Blocks;   ///< indexed by block id
+  std::vector<uint32_t> ActionToBlock;   ///< action id -> block id
+
+  unsigned numActions() const {
+    return static_cast<unsigned>(ActionToBlock.size());
+  }
+};
+
+/// Builds the action table for an annotated step function.
+ActionTable extractActions(const ir::StepFunction &F);
+
+} // namespace facile
+
+#endif // FACILE_FACILE_ACTIONS_H

@@ -1,0 +1,238 @@
+//===- Ast.h - Abstract syntax tree of the Facile language -----*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for Facile programs (paper §3). The tree mirrors the
+/// language surface: architecture-description declarations (token/fields,
+/// pat, sem) and general simulation code (val, fun, statements,
+/// expressions). Nodes carry source locations for diagnostics. Kind tags
+/// replace RTTI, following the coding guide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_AST_H
+#define FACILE_FACILE_AST_H
+
+#include "src/support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace facile {
+namespace ast {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Facile's value types. `stream` is an address into the simulated text
+/// segment; it behaves like an integer but documents intent (and enables
+/// the ?fetch/?exec attributes conceptually). Arrays are fixed-size integer
+/// vectors with value semantics — the language has no pointers (paper §3.2).
+struct Type {
+  enum class Kind : uint8_t { Int, Stream, Array, Void } K = Kind::Int;
+  uint32_t ArraySize = 0; ///< valid when K == Array
+
+  static Type intTy() { return {Kind::Int, 0}; }
+  static Type streamTy() { return {Kind::Stream, 0}; }
+  static Type arrayTy(uint32_t N) { return {Kind::Array, N}; }
+  static Type voidTy() { return {Kind::Void, 0}; }
+
+  bool isArray() const { return K == Kind::Array; }
+  bool isVoid() const { return K == Kind::Void; }
+  /// Int and Stream are interchangeable scalars.
+  bool isScalar() const { return K == Kind::Int || K == Kind::Stream; }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  Name,      ///< local, global, parameter or instruction field
+  Unary,
+  Binary,
+  Call,      ///< function, extern or builtin call
+  Index,     ///< array element read
+  Attribute, ///< expr ? name (args): ?sext, ?zext, ?fetch, ?exec
+};
+
+enum class UnOp : uint8_t { Neg, Not, BitNot };
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogAnd, LogOr,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+
+  // IntLit
+  int64_t IntValue = 0;
+  // Name / Call / Index / Attribute
+  std::string Name;
+  // Unary / Binary
+  UnOp UOp = UnOp::Neg;
+  BinOp BOp = BinOp::Add;
+  // Operands: Unary/Attribute/Index use Lhs (base); Binary uses Lhs/Rhs.
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+  // Call and Attribute arguments.
+  std::vector<ExprPtr> Args;
+
+  explicit Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  ValDecl,    ///< local variable declaration
+  Assign,     ///< name = expr
+  AssignIndex,///< name[index] = expr
+  If,
+  While,
+  Switch,     ///< pattern switch over a stream expression
+  Return,
+  Break,
+  ExprStmt,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One `pat name:` or `default:` arm of a pattern switch.
+struct SwitchCase {
+  SourceLoc Loc;
+  std::string PatName; ///< empty for `default:`
+  std::vector<StmtPtr> Body;
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  // Block
+  std::vector<StmtPtr> Body;
+  // ValDecl / Assign / AssignIndex
+  std::string Name;
+  Type DeclType;        ///< ValDecl: declared (or inferred) type
+  ExprPtr Index;        ///< AssignIndex subscript
+  ExprPtr Value;        ///< initializer / RHS / condition / switch operand
+  // If / While
+  StmtPtr Then;
+  StmtPtr Else;
+  // Switch
+  std::vector<SwitchCase> Cases;
+
+  explicit Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// One named bit range within a token declaration. Bits are inclusive and
+/// numbered from 0 = LSB, as in the paper's `fields op 24:31` syntax.
+struct FieldDecl {
+  SourceLoc Loc;
+  std::string Name;
+  unsigned Lo = 0;
+  unsigned Hi = 0;
+};
+
+/// `token instruction[32] fields ...;`
+struct TokenDecl {
+  SourceLoc Loc;
+  std::string Name;
+  unsigned Width = 32;
+  std::vector<FieldDecl> Fields;
+};
+
+/// Pattern expressions constrain token fields: `op==0x00 && (i==1 || f==0)`.
+enum class PatExprKind : uint8_t { FieldCmp, PatRef, AndOp, OrOp, True };
+
+struct PatExpr;
+using PatExprPtr = std::unique_ptr<PatExpr>;
+
+struct PatExpr {
+  PatExprKind Kind;
+  SourceLoc Loc;
+  std::string Name;     ///< field name (FieldCmp) or pattern name (PatRef)
+  bool IsEqual = true;  ///< FieldCmp: == (true) or != (false)
+  int64_t Value = 0;    ///< FieldCmp comparison constant
+  PatExprPtr Lhs, Rhs;  ///< AndOp / OrOp operands
+
+  explicit PatExpr(PatExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+/// `pat add = op==0x00 && (i==1 || fill==0);`
+struct PatDecl {
+  SourceLoc Loc;
+  std::string Name;
+  PatExprPtr Pattern;
+};
+
+/// `sem add { ... }` — functional/timing semantics for a pattern.
+struct SemDecl {
+  SourceLoc Loc;
+  std::string PatName;
+  std::vector<StmtPtr> Body;
+};
+
+/// `val R = array(32){0};` or `init val PC = 0;` — a global. Globals marked
+/// `init` form the run-time static key of the simulator step function
+/// (paper §3.2: the arguments to main / the `init` variable).
+struct GlobalDecl {
+  SourceLoc Loc;
+  std::string Name;
+  Type DeclType;
+  bool IsInit = false;
+  ExprPtr Initializer;      ///< scalar initializer (constant expression)
+  ExprPtr ArrayFill;        ///< array(N){fill} fill value
+};
+
+/// `extern cache_access(int, int) : int;`
+struct ExternDecl {
+  SourceLoc Loc;
+  std::string Name;
+  unsigned Arity = 0;
+  bool HasResult = false;
+};
+
+/// `fun step(a, b) { ... }`
+struct FunDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+};
+
+/// A whole parsed Facile program.
+struct Program {
+  std::vector<TokenDecl> Tokens;
+  std::vector<PatDecl> Patterns;
+  std::vector<SemDecl> Semantics;
+  std::vector<GlobalDecl> Globals;
+  std::vector<ExternDecl> Externs;
+  std::vector<FunDecl> Functions;
+};
+
+} // namespace ast
+} // namespace facile
+
+#endif // FACILE_FACILE_AST_H

@@ -1,0 +1,42 @@
+//===- Builtins.cpp - Facile built-in functions ----------------------------===//
+
+#include "src/facile/Builtins.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace facile;
+
+namespace {
+
+constexpr BuiltinInfo Table[] = {
+    {Builtin::MemLd, "mem_ld", 1, true, true},
+    {Builtin::MemLd8, "mem_ld8", 1, true, true},
+    {Builtin::MemSt, "mem_st", 2, false, true},
+    {Builtin::MemSt8, "mem_st8", 2, false, true},
+    {Builtin::SimHalt, "sim_halt", 0, false, true},
+    {Builtin::Retire, "retire", 1, false, true},
+    {Builtin::Cycles, "cycles", 1, false, true},
+    {Builtin::TextStart, "text_start", 0, true, false},
+    {Builtin::TextEnd, "text_end", 0, true, false},
+    {Builtin::Print, "print", 1, false, true},
+};
+
+} // namespace
+
+const BuiltinInfo *facile::lookupBuiltin(const char *Name) {
+  for (const BuiltinInfo &I : Table)
+    if (std::strcmp(I.Name, Name) == 0)
+      return &I;
+  return nullptr;
+}
+
+unsigned facile::numBuiltins() { return sizeof(Table) / sizeof(Table[0]); }
+
+const BuiltinInfo &facile::builtinInfo(Builtin B) {
+  for (const BuiltinInfo &I : Table)
+    if (I.B == B)
+      return I;
+  assert(false && "unknown builtin");
+  return Table[0];
+}

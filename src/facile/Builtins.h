@@ -1,0 +1,59 @@
+//===- Builtins.h - Facile built-in functions -------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The built-in functions of the Facile language. The paper folds
+/// domain-specific data structures and functions into the language so that
+/// "their semantics are known [and] a compiler can analyze and transform
+/// code that uses them" (§3.2). Here that knowledge is each builtin's
+/// binding time: dynamic builtins touch simulator state that exists at
+/// replay time (target memory, the cycle counter, the halt flag), while
+/// pure builtins are constant given the loaded image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_BUILTINS_H
+#define FACILE_FACILE_BUILTINS_H
+
+#include <cstdint>
+
+namespace facile {
+
+enum class Builtin : uint8_t {
+  MemLd,     ///< mem_ld(addr) -> word: functional data-memory read
+  MemLd8,    ///< mem_ld8(addr) -> byte
+  MemSt,     ///< mem_st(addr, v): functional data-memory write
+  MemSt8,    ///< mem_st8(addr, v)
+  SimHalt,   ///< sim_halt(): stop the simulation after this step
+  Retire,    ///< retire(n): account n retired target instructions
+  Cycles,    ///< cycles(n): advance the simulated cycle counter by n
+  TextStart, ///< text_start() -> first text address (run-time static)
+  TextEnd,   ///< text_end() -> one past the last text address (rt-static)
+  Print,     ///< print(v): debug output
+};
+
+struct BuiltinInfo {
+  Builtin B;
+  const char *Name;
+  unsigned Arity;
+  bool HasResult;
+  /// Dynamic builtins read or write dynamic simulator state and must execute
+  /// during fast replay; pure builtins fold into run-time static code.
+  bool Dynamic;
+};
+
+/// Looks a builtin up by name; returns nullptr for unknown names.
+const BuiltinInfo *lookupBuiltin(const char *Name);
+
+/// Total number of builtins (for table-driven tests).
+unsigned numBuiltins();
+
+/// Returns the info record for \p B.
+const BuiltinInfo &builtinInfo(Builtin B);
+
+} // namespace facile
+
+#endif // FACILE_FACILE_BUILTINS_H

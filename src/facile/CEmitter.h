@@ -1,0 +1,39 @@
+//===- CEmitter.h - C source backend for compiled Facile -------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a compiled Facile program as the two C simulators the paper's
+/// compiler generates (§4.3, Figures 9 and 10): `fast_main`, a loop over a
+/// switch on action numbers executing only dynamic code with memoized
+/// placeholder reads, and `slow_main`, the complete simulator with
+/// `memoize_*` recording calls and `recover`-guarded dynamic statements.
+///
+/// The execution engines in src/runtime interpret the annotated IR
+/// directly (see DESIGN.md §2 for why that substitution is faithful);
+/// this backend exists so the generated-code structure the paper shows is
+/// inspectable and testable, and as the starting point for an
+/// ahead-of-time build mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_CEMITTER_H
+#define FACILE_FACILE_CEMITTER_H
+
+#include "src/facile/Compiler.h"
+
+#include <string>
+
+namespace facile {
+
+/// Emits the fast/residual simulator (paper Figure 9) as C source.
+std::string emitFastSimulatorC(const CompiledProgram &P);
+
+/// Emits the slow/complete simulator (paper Figure 10) as C source.
+std::string emitSlowSimulatorC(const CompiledProgram &P);
+
+} // namespace facile
+
+#endif // FACILE_FACILE_CEMITTER_H

@@ -1,0 +1,101 @@
+//===- FacileToken.h - Lexical tokens of the Facile language ---*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the Facile lexer. Naming note: "token" is
+/// overloaded in this project — the *lexer* tokens here are unrelated to
+/// Facile's `token` declarations, which describe machine-instruction
+/// encodings (paper §3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_FACILETOKEN_H
+#define FACILE_FACILE_FACILETOKEN_H
+
+#include "src/support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace facile {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwToken,
+  KwFields,
+  KwPat,
+  KwSem,
+  KwVal,
+  KwInit,
+  KwExtern,
+  KwFun,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwSwitch,
+  KwDefault,
+  KwReturn,
+  KwBreak,
+  KwTrue,
+  KwFalse,
+  KwArray,
+  KwInt,
+  KwStream,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Question,
+  Assign,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Shl,
+  Shr,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Tilde,
+};
+
+/// One lexed token with its source location and payload.
+struct FacileTok {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   ///< identifier spelling
+  int64_t IntValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Returns a human-readable name for diagnostics ("'&&'", "identifier", ...).
+const char *tokKindName(TokKind Kind);
+
+} // namespace facile
+
+#endif // FACILE_FACILE_FACILETOKEN_H

@@ -1,0 +1,157 @@
+//===- Ir.cpp - IR printing -------------------------------------------------===//
+
+#include "src/facile/Ir.h"
+
+#include "src/support/StringUtils.h"
+
+using namespace facile;
+using namespace facile::ir;
+
+namespace {
+
+const char *binOpName(ast::BinOp O) {
+  switch (O) {
+  case ast::BinOp::Add:
+    return "add";
+  case ast::BinOp::Sub:
+    return "sub";
+  case ast::BinOp::Mul:
+    return "mul";
+  case ast::BinOp::Div:
+    return "div";
+  case ast::BinOp::Rem:
+    return "rem";
+  case ast::BinOp::And:
+    return "and";
+  case ast::BinOp::Or:
+    return "or";
+  case ast::BinOp::Xor:
+    return "xor";
+  case ast::BinOp::Shl:
+    return "shl";
+  case ast::BinOp::Shr:
+    return "shr";
+  case ast::BinOp::Lt:
+    return "lt";
+  case ast::BinOp::Le:
+    return "le";
+  case ast::BinOp::Gt:
+    return "gt";
+  case ast::BinOp::Ge:
+    return "ge";
+  case ast::BinOp::Eq:
+    return "eq";
+  case ast::BinOp::Ne:
+    return "ne";
+  case ast::BinOp::LogAnd:
+    return "land";
+  case ast::BinOp::LogOr:
+    return "lor";
+  }
+  return "?";
+}
+
+const char *unKindName(UnKind K) {
+  switch (K) {
+  case UnKind::Neg:
+    return "neg";
+  case UnKind::Not:
+    return "not";
+  case UnKind::BitNot:
+    return "bitnot";
+  case UnKind::Sext:
+    return "sext";
+  case UnKind::Zext:
+    return "zext";
+  }
+  return "?";
+}
+
+std::string slotName(SlotId S) {
+  if (S == NoSlot)
+    return "_";
+  return strFormat("s%u", S);
+}
+
+std::string printInst(const Inst &I) {
+  switch (I.Opcode) {
+  case Op::Const:
+    return strFormat("%s = const %lld", slotName(I.Dst).c_str(),
+                     static_cast<long long>(I.Imm));
+  case Op::Copy:
+    return strFormat("%s = copy %s", slotName(I.Dst).c_str(),
+                     slotName(I.A).c_str());
+  case Op::Bin:
+    return strFormat("%s = %s %s, %s", slotName(I.Dst).c_str(),
+                     binOpName(I.BinKind), slotName(I.A).c_str(),
+                     slotName(I.B).c_str());
+  case Op::Un:
+    return strFormat("%s = %s %s, %lld", slotName(I.Dst).c_str(),
+                     unKindName(I.UnOp), slotName(I.A).c_str(),
+                     static_cast<long long>(I.Imm));
+  case Op::LoadGlobal:
+    return strFormat("%s = gload g%u", slotName(I.Dst).c_str(), I.Id);
+  case Op::StoreGlobal:
+    return strFormat("gstore g%u, %s", I.Id, slotName(I.A).c_str());
+  case Op::LoadElem:
+    return strFormat("%s = aload g%u[%s]", slotName(I.Dst).c_str(), I.Id,
+                     slotName(I.A).c_str());
+  case Op::StoreElem:
+    return strFormat("astore g%u[%s], %s", I.Id, slotName(I.A).c_str(),
+                     slotName(I.B).c_str());
+  case Op::LoadLocElem:
+    return strFormat("%s = lload l%u[%s]", slotName(I.Dst).c_str(), I.Id,
+                     slotName(I.A).c_str());
+  case Op::StoreLocElem:
+    return strFormat("lstore l%u[%s], %s", I.Id, slotName(I.A).c_str(),
+                     slotName(I.B).c_str());
+  case Op::InitLocArray:
+    return strFormat("linit l%u, %s", I.Id, slotName(I.A).c_str());
+  case Op::Fetch:
+    return strFormat("%s = fetch %s", slotName(I.Dst).c_str(),
+                     slotName(I.A).c_str());
+  case Op::CallExtern: {
+    std::string Args;
+    for (SlotId A : I.Args)
+      Args += (Args.empty() ? "" : ", ") + slotName(A);
+    return strFormat("%s = extern e%u(%s)", slotName(I.Dst).c_str(), I.Id,
+                     Args.c_str());
+  }
+  case Op::CallBuiltin: {
+    std::string Args;
+    for (SlotId A : I.Args)
+      Args += (Args.empty() ? "" : ", ") + slotName(A);
+    return strFormat("%s = builtin %s(%s)", slotName(I.Dst).c_str(),
+                     builtinInfo(static_cast<Builtin>(I.Imm)).Name,
+                     Args.c_str());
+  }
+  case Op::Jump:
+    return strFormat("jump b%u", I.Target);
+  case Op::Branch:
+    return strFormat("branch %s, b%u, b%u", slotName(I.A).c_str(), I.Target,
+                     I.Target2);
+  case Op::Ret:
+    return "ret";
+  case Op::SyncSlot:
+    return strFormat("sync %s", slotName(I.Dst).c_str());
+  case Op::SyncGlobal:
+    return strFormat("gsync g%u", I.Id);
+  case Op::SyncArray:
+    return strFormat("async g%u", I.Id);
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string ir::printStepFunction(const StepFunction &F) {
+  std::string Out =
+      strFormat("step: %u slots, %zu blocks, %zu local arrays\n", F.NumSlots,
+                F.Blocks.size(), F.LocalArrays.size());
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    Out += strFormat("b%zu:\n", B);
+    for (const Inst &I : F.Blocks[B].Insts)
+      Out += "  " + printInst(I) + "\n";
+  }
+  return Out;
+}

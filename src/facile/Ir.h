@@ -1,0 +1,154 @@
+//===- Ir.h - Flat register-machine IR for compiled Facile -----*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate representation the Facile compiler lowers programs
+/// into. The whole simulator step function (`main` plus everything it
+/// calls, fully inlined — legal because recursion is forbidden) becomes one
+/// flat control-flow graph of basic blocks over numbered value slots.
+///
+/// The binding-time analysis (Bta.h) labels each instruction run-time
+/// static or dynamic; the action extractor (Actions.h) then groups dynamic
+/// instructions into the dynamic basic blocks that the specialized action
+/// cache replays (paper §4.2). Where the paper's compiler emits two C
+/// programs, this reproduction executes the same annotated IR with two
+/// engines (see DESIGN.md §2 for why that substitution is faithful).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_IR_H
+#define FACILE_FACILE_IR_H
+
+#include "src/facile/Ast.h"
+#include "src/facile/Builtins.h"
+#include "src/support/SourceLoc.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace facile {
+namespace ir {
+
+using SlotId = uint32_t;
+inline constexpr SlotId NoSlot = std::numeric_limits<SlotId>::max();
+
+enum class Op : uint8_t {
+  Const,       ///< Dst = Imm
+  Copy,        ///< Dst = slot A
+  Bin,         ///< Dst = A <BinKind> B
+  Un,          ///< Dst = <UnKind> A   (Imm = bit width for Sext/Zext)
+  LoadGlobal,  ///< Dst = global[Id]
+  StoreGlobal, ///< global[Id] = A
+  LoadElem,    ///< Dst = globalArray[Id][A]
+  StoreElem,   ///< globalArray[Id][A] = B
+  LoadLocElem, ///< Dst = localArray[Id][A]
+  StoreLocElem,///< localArray[Id][A] = B
+  InitLocArray,///< fill localArray[Id] with A
+  Fetch,       ///< Dst = text word at address A
+  CallExtern,  ///< Dst? = extern[Id](Args...)
+  CallBuiltin, ///< Dst? = builtin Imm (Args...)
+  // Terminators.
+  Jump,        ///< goto block Target
+  Branch,      ///< if A goto Target else Target2
+  Ret,         ///< end of step
+  // Compiler-inserted synchronisation (always dynamic): materialise a
+  // run-time static value into dynamic state so the fast simulator's view
+  // stays consistent (paper §6.3 item 3 — the rt-static -> dynamic flush).
+  SyncSlot,    ///< slot Dst = memoized value of slot Dst
+  SyncGlobal,  ///< global[Id] = memoized value of global[Id]
+  SyncArray,   ///< globalArray[Id][*] = memoized contents
+};
+
+enum class UnKind : uint8_t { Neg, Not, BitNot, Sext, Zext };
+
+/// One IR instruction. Field use depends on Op (see the comments above).
+struct Inst {
+  Op Opcode = Op::Const;
+  SlotId Dst = NoSlot;
+  SlotId A = NoSlot;
+  SlotId B = NoSlot;
+  std::vector<SlotId> Args; ///< CallExtern / CallBuiltin arguments
+  int64_t Imm = 0;          ///< Const value, Un width, CallBuiltin id
+  uint32_t Id = 0;          ///< global / array / extern index
+  uint32_t Target = 0;      ///< Jump / Branch-true successor
+  uint32_t Target2 = 0;     ///< Branch-false successor
+  ast::BinOp BinKind = ast::BinOp::Add;
+  UnKind UnOp = UnKind::Neg;
+  SourceLoc Loc;
+
+  /// \name Binding-time analysis results (filled by annotateStepFunction).
+  /// @{
+  /// True when the instruction depends on dynamic data and must execute
+  /// during fast replay; rt-static instructions run in the slow simulator
+  /// only (paper §4.1).
+  bool Dynamic = false;
+  /// For dynamic instructions: bitmask of operand positions whose value is
+  /// run-time static and therefore memoized as placeholder data (paper
+  /// §4.2's `s` placeholders). Bit 0 = A, bit 1 = B, bit 2+i = Args[i].
+  uint32_t StaticOperands = 0;
+  /// @}
+
+  bool isTerminator() const {
+    return Opcode == Op::Jump || Opcode == Op::Branch || Opcode == Op::Ret;
+  }
+};
+
+struct Block {
+  std::vector<Inst> Insts; ///< non-empty; last instruction is the terminator
+
+  const Inst &terminator() const { return Insts.back(); }
+};
+
+/// Metadata for one local (per-step) array.
+struct LocalArray {
+  uint32_t Size = 0;
+};
+
+/// The lowered step function: one CFG, entry at block 0.
+struct StepFunction {
+  std::vector<Block> Blocks;
+  uint32_t NumSlots = 0;
+  std::vector<LocalArray> LocalArrays;
+
+  /// Successor block ids of \p B.
+  void successors(uint32_t B, uint32_t Out[2], unsigned *Count) const {
+    const Inst &T = Blocks[B].terminator();
+    *Count = 0;
+    if (T.Opcode == Op::Jump) {
+      Out[(*Count)++] = T.Target;
+    } else if (T.Opcode == Op::Branch) {
+      Out[(*Count)++] = T.Target;
+      Out[(*Count)++] = T.Target2;
+    }
+  }
+};
+
+/// Global-variable metadata carried alongside the IR so the runtime is
+/// independent of the AST.
+struct GlobalVar {
+  std::string Name;
+  bool IsArray = false;
+  uint32_t Size = 1;      ///< element count (1 for scalars)
+  bool IsInit = false;    ///< part of the action-cache key
+  int64_t InitValue = 0;  ///< initial scalar value / array fill
+};
+
+struct ExternFn {
+  std::string Name;
+  unsigned Arity = 0;
+  bool HasResult = false;
+};
+
+/// Renders the step function as text ("slot5 = bin Add slot3, slot4") for
+/// tests and debugging.
+std::string printStepFunction(const StepFunction &F);
+
+} // namespace ir
+} // namespace facile
+
+#endif // FACILE_FACILE_IR_H

@@ -1,0 +1,363 @@
+//===- Lexer.cpp - Facile lexical analyser ---------------------------------===//
+
+#include "src/facile/Lexer.h"
+
+#include "src/support/StringUtils.h"
+
+#include <cctype>
+#include <map>
+
+using namespace facile;
+
+const char *facile::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::KwToken:
+    return "'token'";
+  case TokKind::KwFields:
+    return "'fields'";
+  case TokKind::KwPat:
+    return "'pat'";
+  case TokKind::KwSem:
+    return "'sem'";
+  case TokKind::KwVal:
+    return "'val'";
+  case TokKind::KwInit:
+    return "'init'";
+  case TokKind::KwExtern:
+    return "'extern'";
+  case TokKind::KwFun:
+    return "'fun'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwSwitch:
+    return "'switch'";
+  case TokKind::KwDefault:
+    return "'default'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwArray:
+    return "'array'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwStream:
+    return "'stream'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Tilde:
+    return "'~'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokKind> &keywordTable() {
+  static const std::map<std::string, TokKind> Table = {
+      {"token", TokKind::KwToken},     {"fields", TokKind::KwFields},
+      {"pat", TokKind::KwPat},         {"sem", TokKind::KwSem},
+      {"val", TokKind::KwVal},         {"init", TokKind::KwInit},
+      {"extern", TokKind::KwExtern},   {"fun", TokKind::KwFun},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"switch", TokKind::KwSwitch},
+      {"default", TokKind::KwDefault}, {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},     {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},     {"array", TokKind::KwArray},
+      {"int", TokKind::KwInt},         {"stream", TokKind::KwStream},
+  };
+  return Table;
+}
+
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diag)
+      : Source(Source), Diag(Diag) {}
+
+  std::vector<FacileTok> run() {
+    std::vector<FacileTok> Toks;
+    for (;;) {
+      FacileTok Tok = next();
+      bool IsEof = Tok.is(TokKind::Eof);
+      Toks.push_back(std::move(Tok));
+      if (IsEof)
+        return Toks;
+    }
+  }
+
+private:
+  std::string_view Source;
+  DiagnosticEngine &Diag;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    for (;;) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start(Line, Col);
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (peek() == '\0') {
+            Diag.error(Start, "unterminated block comment");
+            return;
+          }
+          advance();
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  FacileTok make(TokKind Kind, SourceLoc Loc) {
+    FacileTok Tok;
+    Tok.Kind = Kind;
+    Tok.Loc = Loc;
+    return Tok;
+  }
+
+  FacileTok next() {
+    skipTrivia();
+    SourceLoc Loc(Line, Col);
+    if (Pos >= Source.size())
+      return make(TokKind::Eof, Loc);
+
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifier(Loc);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(Loc);
+    advance();
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen, Loc);
+    case ')':
+      return make(TokKind::RParen, Loc);
+    case '{':
+      return make(TokKind::LBrace, Loc);
+    case '}':
+      return make(TokKind::RBrace, Loc);
+    case '[':
+      return make(TokKind::LBracket, Loc);
+    case ']':
+      return make(TokKind::RBracket, Loc);
+    case ',':
+      return make(TokKind::Comma, Loc);
+    case ';':
+      return make(TokKind::Semi, Loc);
+    case ':':
+      return make(TokKind::Colon, Loc);
+    case '?':
+      return make(TokKind::Question, Loc);
+    case '+':
+      return make(TokKind::Plus, Loc);
+    case '-':
+      return make(TokKind::Minus, Loc);
+    case '*':
+      return make(TokKind::Star, Loc);
+    case '/':
+      return make(TokKind::Slash, Loc);
+    case '%':
+      return make(TokKind::Percent, Loc);
+    case '^':
+      return make(TokKind::Caret, Loc);
+    case '~':
+      return make(TokKind::Tilde, Loc);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq, Loc);
+      }
+      return make(TokKind::Assign, Loc);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::NotEq, Loc);
+      }
+      return make(TokKind::Bang, Loc);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::LessEq, Loc);
+      }
+      if (peek() == '<') {
+        advance();
+        return make(TokKind::Shl, Loc);
+      }
+      return make(TokKind::Less, Loc);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::GreaterEq, Loc);
+      }
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::Shr, Loc);
+      }
+      return make(TokKind::Greater, Loc);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AmpAmp, Loc);
+      }
+      return make(TokKind::Amp, Loc);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::PipePipe, Loc);
+      }
+      return make(TokKind::Pipe, Loc);
+    default:
+      Diag.error(Loc, strFormat("unexpected character '%c'", C));
+      return next();
+    }
+  }
+
+  FacileTok lexIdentifier(SourceLoc Loc) {
+    size_t Start = Pos;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      advance();
+    std::string Text(Source.substr(Start, Pos - Start));
+    auto It = keywordTable().find(Text);
+    if (It != keywordTable().end())
+      return make(It->second, Loc);
+    FacileTok Tok = make(TokKind::Identifier, Loc);
+    Tok.Text = std::move(Text);
+    return Tok;
+  }
+
+  FacileTok lexNumber(SourceLoc Loc) {
+    FacileTok Tok = make(TokKind::IntLiteral, Loc);
+    uint64_t Value = 0;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      advance();
+      advance();
+      bool Any = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char D = advance();
+        unsigned Digit = std::isdigit(static_cast<unsigned char>(D))
+                             ? static_cast<unsigned>(D - '0')
+                             : static_cast<unsigned>(
+                                   std::tolower(static_cast<unsigned char>(D)) -
+                                   'a' + 10);
+        Value = Value * 16 + Digit;
+        Any = true;
+      }
+      if (!Any)
+        Diag.error(Loc, "expected hexadecimal digits after '0x'");
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Value = Value * 10 + static_cast<uint64_t>(advance() - '0');
+    }
+    Tok.IntValue = static_cast<int64_t>(Value);
+    return Tok;
+  }
+};
+
+} // namespace
+
+std::vector<FacileTok> facile::lexFacile(std::string_view Source,
+                                         DiagnosticEngine &Diag) {
+  return Lexer(Source, Diag).run();
+}

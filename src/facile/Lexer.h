@@ -1,0 +1,26 @@
+//===- Lexer.h - Facile lexical analyser ------------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_LEXER_H
+#define FACILE_FACILE_LEXER_H
+
+#include "src/facile/FacileToken.h"
+#include "src/support/Diagnostic.h"
+
+#include <string_view>
+#include <vector>
+
+namespace facile {
+
+/// Lexes a whole Facile source buffer into a token vector (terminated by an
+/// Eof token). Lexical errors are reported to \p Diag; lexing continues so
+/// that multiple errors surface in one pass.
+std::vector<FacileTok> lexFacile(std::string_view Source,
+                                 DiagnosticEngine &Diag);
+
+} // namespace facile
+
+#endif // FACILE_FACILE_LEXER_H

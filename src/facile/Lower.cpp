@@ -1,0 +1,648 @@
+//===- Lower.cpp - AST to IR lowering with full inlining -------------------===//
+
+#include "src/facile/Lower.h"
+
+#include "src/support/StringUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace facile;
+using namespace facile::ast;
+using namespace facile::ir;
+
+namespace {
+
+/// Hard limits that turn inline explosion into a diagnostic instead of an
+/// out-of-memory condition.
+constexpr size_t MaxInstructions = 4u << 20;
+constexpr unsigned MaxInlineDepth = 64;
+
+class Lowerer {
+public:
+  Lowerer(const Program &P, const SemaResult &S, DiagnosticEngine &Diag)
+      : P(P), S(S), Diag(Diag) {}
+
+  std::optional<LoweredProgram> run() {
+    buildGlobalTables();
+
+    // Block 0 is the entry; a dedicated single exit block holds Ret so the
+    // flush pass has exactly one place to synchronise globals.
+    CurBlock = newBlock();
+    ExitBlock = newBlock();
+    F.Blocks[ExitBlock].Insts.push_back(makeInst(Op::Ret));
+
+    ScopeGuard Root(this);
+    lowerBody(S.Main->Body);
+    if (Failed)
+      return std::nullopt;
+    terminate(jumpTo(ExitBlock));
+
+    LoweredProgram Out;
+    Out.Step = std::move(F);
+    Out.Globals = std::move(Globals);
+    Out.Externs = std::move(Externs);
+    return std::optional<LoweredProgram>(std::move(Out));
+  }
+
+private:
+  const Program &P;
+  const SemaResult &S;
+  DiagnosticEngine &Diag;
+
+  StepFunction F;
+  std::vector<GlobalVar> Globals;
+  std::vector<ExternFn> Externs;
+
+  uint32_t CurBlock = 0;
+  uint32_t ExitBlock = 0;
+  bool Failed = false;
+  size_t TotalInsts = 0;
+  unsigned InlineDepth = 0;
+
+  /// What a name currently denotes.
+  struct Binding {
+    enum class Kind { Scalar, LocalArray } K = Kind::Scalar;
+    SlotId Slot = NoSlot;
+    uint32_t ArrayId = 0;
+  };
+  std::vector<std::map<std::string, Binding>> Scopes;
+
+  struct ScopeGuard {
+    Lowerer *L;
+    explicit ScopeGuard(Lowerer *L) : L(L) { L->Scopes.emplace_back(); }
+    ~ScopeGuard() { L->Scopes.pop_back(); }
+  };
+
+  /// Inline-expansion context: where `return` in the current function goes.
+  struct InlineCtx {
+    SlotId RetSlot = NoSlot;
+    uint32_t JoinBlock = 0;
+  };
+  std::vector<InlineCtx> InlineStack;
+
+  /// Decode context for the innermost pattern switch / ?exec: the fetched
+  /// instruction word and pre-extracted field slots.
+  struct DecodeCtx {
+    std::map<std::string, SlotId> FieldSlots;
+  };
+  std::vector<DecodeCtx> DecodeStack;
+
+  std::vector<uint32_t> BreakTargets;
+
+  //===-- table setup --------------------------------------------------------
+  void buildGlobalTables() {
+    for (const SemaResult::GlobalInfo &G : S.Globals) {
+      GlobalVar V;
+      V.Name = G.Decl->Name;
+      V.IsArray = G.Ty.isArray();
+      V.Size = V.IsArray ? G.Ty.ArraySize : 1;
+      V.IsInit = G.IsInit;
+      V.InitValue = G.InitValue;
+      Globals.push_back(std::move(V));
+    }
+    for (const ExternDecl *E : S.Externs)
+      Externs.push_back({E->Name, E->Arity, E->HasResult});
+  }
+
+  //===-- emission helpers ----------------------------------------------------
+  SlotId newSlot() { return F.NumSlots++; }
+
+  uint32_t newBlock() {
+    F.Blocks.emplace_back();
+    return static_cast<uint32_t>(F.Blocks.size() - 1);
+  }
+
+  Inst makeInst(Op O) {
+    Inst I;
+    I.Opcode = O;
+    return I;
+  }
+
+  void overflowCheck(SourceLoc Loc) {
+    if (++TotalInsts > MaxInstructions && !Failed) {
+      Failed = true;
+      Diag.error(Loc, "inlined step function exceeds the instruction limit; "
+                      "reduce function duplication");
+    }
+  }
+
+  Inst &emit(Inst I) {
+    overflowCheck(I.Loc);
+    Block &B = F.Blocks[CurBlock];
+    assert((B.Insts.empty() || !B.Insts.back().isTerminator()) &&
+           "emitting into a terminated block");
+    B.Insts.push_back(std::move(I));
+    return B.Insts.back();
+  }
+
+  /// Terminates the current block with \p I and leaves CurBlock dangling
+  /// until the caller repoints it.
+  void terminate(Inst I) {
+    Block &B = F.Blocks[CurBlock];
+    if (!B.Insts.empty() && B.Insts.back().isTerminator())
+      return; // already terminated (e.g. after a return)
+    overflowCheck(I.Loc);
+    B.Insts.push_back(std::move(I));
+  }
+
+  Inst jumpTo(uint32_t Target) {
+    Inst I = makeInst(Op::Jump);
+    I.Target = Target;
+    return I;
+  }
+
+  Inst branchTo(SlotId Cond, uint32_t T, uint32_t E, SourceLoc Loc) {
+    Inst I = makeInst(Op::Branch);
+    I.A = Cond;
+    I.Target = T;
+    I.Target2 = E;
+    I.Loc = Loc;
+    return I;
+  }
+
+  SlotId emitConst(int64_t V, SourceLoc Loc) {
+    Inst I = makeInst(Op::Const);
+    I.Dst = newSlot();
+    I.Imm = V;
+    I.Loc = Loc;
+    return emit(std::move(I)).Dst;
+  }
+
+  SlotId emitBin(BinOp O, SlotId A, SlotId B, SourceLoc Loc) {
+    Inst I = makeInst(Op::Bin);
+    I.Dst = newSlot();
+    I.BinKind = O;
+    I.A = A;
+    I.B = B;
+    I.Loc = Loc;
+    return emit(std::move(I)).Dst;
+  }
+
+  SlotId emitUn(UnKind K, SlotId A, int64_t Width, SourceLoc Loc) {
+    Inst I = makeInst(Op::Un);
+    I.Dst = newSlot();
+    I.UnOp = K;
+    I.A = A;
+    I.Imm = Width;
+    I.Loc = Loc;
+    return emit(std::move(I)).Dst;
+  }
+
+  void emitCopy(SlotId Dst, SlotId Src, SourceLoc Loc) {
+    Inst I = makeInst(Op::Copy);
+    I.Dst = Dst;
+    I.A = Src;
+    I.Loc = Loc;
+    emit(std::move(I));
+  }
+
+  //===-- name resolution ------------------------------------------------------
+  Binding *findBinding(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F2 = It->find(Name);
+      if (F2 != It->end())
+        return &F2->second;
+    }
+    return nullptr;
+  }
+
+  /// Field lookup within the innermost decode context.
+  SlotId findField(const std::string &Name) {
+    if (DecodeStack.empty())
+      return NoSlot;
+    auto It = DecodeStack.back().FieldSlots.find(Name);
+    return It == DecodeStack.back().FieldSlots.end() ? NoSlot : It->second;
+  }
+
+  //===-- expressions ----------------------------------------------------------
+  SlotId toBool(SlotId V, SourceLoc Loc) {
+    SlotId Zero = emitConst(0, Loc);
+    return emitBin(BinOp::Ne, V, Zero, Loc);
+  }
+
+  SlotId lowerExpr(const Expr &E) {
+    if (Failed)
+      return 0;
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return emitConst(E.IntValue, E.Loc);
+    case ExprKind::Name: {
+      if (Binding *B = findBinding(E.Name)) {
+        assert(B->K == Binding::Kind::Scalar && "sema admits scalars only");
+        return B->Slot;
+      }
+      if (SlotId Field = findField(E.Name); Field != NoSlot)
+        return Field;
+      auto It = S.GlobalIndex.find(E.Name);
+      assert(It != S.GlobalIndex.end() && "sema missed an undefined name");
+      const SemaResult::GlobalInfo &G = S.Globals[It->second];
+      // Never-assigned non-init scalars are compile-time constants. (Init
+      // globals are excluded: the host may seed them between steps.)
+      if (!G.Ty.isArray() && !G.IsInit && G.NeverAssigned)
+        return emitConst(G.InitValue, E.Loc);
+      Inst I = makeInst(Op::LoadGlobal);
+      I.Dst = newSlot();
+      I.Id = It->second;
+      I.Loc = E.Loc;
+      return emit(std::move(I)).Dst;
+    }
+    case ExprKind::Unary: {
+      SlotId A = lowerExpr(*E.Lhs);
+      UnKind K = E.UOp == UnOp::Neg   ? UnKind::Neg
+                 : E.UOp == UnOp::Not ? UnKind::Not
+                                      : UnKind::BitNot;
+      return emitUn(K, A, 0, E.Loc);
+    }
+    case ExprKind::Binary: {
+      SlotId A = lowerExpr(*E.Lhs);
+      SlotId B = lowerExpr(*E.Rhs);
+      // Logical operators are eager in Facile (documented deviation from C):
+      // normalise both sides to 0/1 and combine bitwise.
+      if (E.BOp == BinOp::LogAnd)
+        return emitBin(BinOp::And, toBool(A, E.Loc), toBool(B, E.Loc), E.Loc);
+      if (E.BOp == BinOp::LogOr)
+        return emitBin(BinOp::Or, toBool(A, E.Loc), toBool(B, E.Loc), E.Loc);
+      return emitBin(E.BOp, A, B, E.Loc);
+    }
+    case ExprKind::Call:
+      return lowerCall(E);
+    case ExprKind::Index: {
+      SlotId Index = lowerExpr(*E.Lhs);
+      if (Binding *B = findBinding(E.Name)) {
+        assert(B->K == Binding::Kind::LocalArray && "sema checked arrayness");
+        Inst I = makeInst(Op::LoadLocElem);
+        I.Dst = newSlot();
+        I.Id = B->ArrayId;
+        I.A = Index;
+        I.Loc = E.Loc;
+        return emit(std::move(I)).Dst;
+      }
+      auto It = S.GlobalIndex.find(E.Name);
+      assert(It != S.GlobalIndex.end() && "sema missed an undefined array");
+      Inst I = makeInst(Op::LoadElem);
+      I.Dst = newSlot();
+      I.Id = It->second;
+      I.A = Index;
+      I.Loc = E.Loc;
+      return emit(std::move(I)).Dst;
+    }
+    case ExprKind::Attribute:
+      return lowerAttribute(E);
+    }
+    return 0;
+  }
+
+  SlotId lowerCall(const Expr &E) {
+    std::vector<SlotId> Args;
+    Args.reserve(E.Args.size());
+    for (const ExprPtr &A : E.Args)
+      Args.push_back(lowerExpr(*A));
+
+    if (auto It = S.Functions.find(E.Name); It != S.Functions.end())
+      return inlineFunction(*It->second, Args, E.Loc);
+
+    if (auto It = S.ExternIndex.find(E.Name); It != S.ExternIndex.end()) {
+      const ExternDecl &D = *S.Externs[It->second];
+      Inst I = makeInst(Op::CallExtern);
+      I.Id = It->second;
+      I.Args = std::move(Args);
+      I.Loc = E.Loc;
+      if (D.HasResult)
+        I.Dst = newSlot();
+      SlotId Dst = I.Dst;
+      emit(std::move(I));
+      return Dst == NoSlot ? emitConst(0, E.Loc) : Dst;
+    }
+
+    const BuiltinInfo *B = lookupBuiltin(E.Name.c_str());
+    assert(B && "sema missed an undefined call");
+    Inst I = makeInst(Op::CallBuiltin);
+    I.Imm = static_cast<int64_t>(B->B);
+    I.Args = std::move(Args);
+    I.Loc = E.Loc;
+    if (B->HasResult)
+      I.Dst = newSlot();
+    SlotId Dst = I.Dst;
+    emit(std::move(I));
+    return Dst == NoSlot ? emitConst(0, E.Loc) : Dst;
+  }
+
+  SlotId inlineFunction(const FunDecl &D, const std::vector<SlotId> &Args,
+                        SourceLoc Loc) {
+    if (InlineDepth >= MaxInlineDepth) {
+      if (!Failed) {
+        Failed = true;
+        Diag.error(Loc, "call nesting exceeds the inline depth limit");
+      }
+      return 0;
+    }
+    ++InlineDepth;
+    ScopeGuard Scope(this);
+
+    InlineCtx Ctx;
+    Ctx.RetSlot = newSlot();
+    Ctx.JoinBlock = newBlock();
+    // Default return value and by-value parameter copies.
+    {
+      Inst I = makeInst(Op::Const);
+      I.Dst = Ctx.RetSlot;
+      I.Imm = 0;
+      I.Loc = Loc;
+      emit(std::move(I));
+    }
+    assert(Args.size() == D.Params.size() && "sema checked arity");
+    for (size_t I = 0; I != Args.size(); ++I) {
+      SlotId Param = newSlot();
+      emitCopy(Param, Args[I], Loc);
+      Scopes.back().emplace(D.Params[I], Binding{Binding::Kind::Scalar,
+                                                 Param, 0});
+    }
+
+    InlineStack.push_back(Ctx);
+    lowerBody(D.Body);
+    InlineStack.pop_back();
+    terminate(jumpTo(Ctx.JoinBlock));
+    CurBlock = Ctx.JoinBlock;
+    --InlineDepth;
+    return Ctx.RetSlot;
+  }
+
+  SlotId lowerAttribute(const Expr &E) {
+    if (E.Name == "sext" || E.Name == "zext") {
+      SlotId A = lowerExpr(*E.Lhs);
+      return emitUn(E.Name == "sext" ? UnKind::Sext : UnKind::Zext, A,
+                    E.Args[0]->IntValue, E.Loc);
+    }
+    if (E.Name == "fetch") {
+      SlotId A = lowerExpr(*E.Lhs);
+      Inst I = makeInst(Op::Fetch);
+      I.Dst = newSlot();
+      I.A = A;
+      I.Loc = E.Loc;
+      return emit(std::move(I)).Dst;
+    }
+    assert(E.Name == "exec" && "sema rejected unknown attributes");
+    SlotId Addr = lowerExpr(*E.Lhs);
+    lowerDispatch(Addr, /*Switch=*/nullptr, E.Loc);
+    return emitConst(0, E.Loc);
+  }
+
+  //===-- decode / dispatch -----------------------------------------------------
+  /// Lowers a pattern predicate over pre-extracted field slots.
+  SlotId lowerPatExpr(const PatExpr &PE, SourceLoc Loc) {
+    switch (PE.Kind) {
+    case PatExprKind::True:
+      return emitConst(1, Loc);
+    case PatExprKind::FieldCmp: {
+      SlotId Field = findField(PE.Name);
+      assert(Field != NoSlot && "fields are pre-extracted per decode");
+      SlotId C = emitConst(PE.Value, Loc);
+      return emitBin(PE.IsEqual ? BinOp::Eq : BinOp::Ne, Field, C, Loc);
+    }
+    case PatExprKind::PatRef:
+      return lowerPatExpr(*S.Patterns.at(PE.Name)->Pattern, Loc);
+    case PatExprKind::AndOp: {
+      SlotId A = lowerPatExpr(*PE.Lhs, Loc);
+      SlotId B = lowerPatExpr(*PE.Rhs, Loc);
+      return emitBin(BinOp::And, A, B, Loc);
+    }
+    case PatExprKind::OrOp: {
+      SlotId A = lowerPatExpr(*PE.Lhs, Loc);
+      SlotId B = lowerPatExpr(*PE.Rhs, Loc);
+      return emitBin(BinOp::Or, A, B, Loc);
+    }
+    }
+    return 0;
+  }
+
+  /// Lowers either an explicit pattern switch (\p Switch != null) or a
+  /// ?exec dispatch over every pattern with declared semantics.
+  void lowerDispatch(SlotId Addr, const Stmt *Switch, SourceLoc Loc) {
+    // Fetch the word once and pre-extract every declared field in this
+    // block, which dominates all case tests and bodies.
+    Inst FetchI = makeInst(Op::Fetch);
+    FetchI.Dst = newSlot();
+    FetchI.A = Addr;
+    FetchI.Loc = Loc;
+    SlotId Word = emit(std::move(FetchI)).Dst;
+
+    DecodeStack.emplace_back();
+    assert(S.Token && "sema requires a token declaration for dispatch");
+    for (const FieldDecl &Fld : S.Token->Fields) {
+      SlotId Sh = emitConst(Fld.Lo, Loc);
+      SlotId Shifted = emitBin(BinOp::Shr, Word, Sh, Loc);
+      uint64_t MaskV = (Fld.Hi - Fld.Lo + 1) >= 64
+                           ? ~0ull
+                           : ((1ull << (Fld.Hi - Fld.Lo + 1)) - 1);
+      SlotId Mask = emitConst(static_cast<int64_t>(MaskV), Loc);
+      SlotId Val = emitBin(BinOp::And, Shifted, Mask, Loc);
+      DecodeStack.back().FieldSlots.emplace(Fld.Name, Val);
+    }
+
+    uint32_t EndBlock = newBlock();
+
+    // Assemble the case list: (pattern, body) in source / declaration order.
+    struct Arm {
+      const PatDecl *Pat;                    ///< null for default
+      const std::vector<StmtPtr> *Body;      ///< null for empty default
+    };
+    std::vector<Arm> Arms;
+    const std::vector<StmtPtr> *DefaultBody = nullptr;
+    bool ExecDefaultHalt = false;
+    if (Switch) {
+      for (const SwitchCase &C : Switch->Cases) {
+        if (C.PatName.empty())
+          DefaultBody = &C.Body;
+        else
+          Arms.push_back({S.Patterns.at(C.PatName), &C.Body});
+      }
+    } else {
+      for (const PatDecl *Pat : S.PatternOrder) {
+        auto It = S.Semantics.find(Pat->Name);
+        if (It != S.Semantics.end())
+          Arms.push_back({Pat, &It->second->Body});
+      }
+      // An undecodable word halts the simulated machine, matching the
+      // C++ functional core's treatment of invalid encodings.
+      ExecDefaultHalt = true;
+    }
+
+    for (const Arm &A : Arms) {
+      SlotId Match = lowerPatExpr(*A.Pat->Pattern, Loc);
+      uint32_t CaseBlock = newBlock();
+      uint32_t NextTest = newBlock();
+      terminate(branchTo(Match, CaseBlock, NextTest, Loc));
+      CurBlock = CaseBlock;
+      {
+        ScopeGuard Scope(this);
+        lowerBody(*A.Body);
+      }
+      terminate(jumpTo(EndBlock));
+      CurBlock = NextTest;
+    }
+    // Default arm.
+    if (DefaultBody) {
+      ScopeGuard Scope(this);
+      lowerBody(*DefaultBody);
+    } else if (ExecDefaultHalt) {
+      Inst I = makeInst(Op::CallBuiltin);
+      I.Imm = static_cast<int64_t>(Builtin::SimHalt);
+      I.Loc = Loc;
+      emit(std::move(I));
+    }
+    terminate(jumpTo(EndBlock));
+    CurBlock = EndBlock;
+    DecodeStack.pop_back();
+  }
+
+  //===-- statements -------------------------------------------------------------
+  void lowerBody(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &St : Body) {
+      if (Failed)
+        return;
+      lowerStmt(*St);
+    }
+  }
+
+  void lowerStmt(const Stmt &St) {
+    switch (St.Kind) {
+    case StmtKind::Block: {
+      ScopeGuard Scope(this);
+      lowerBody(St.Body);
+      return;
+    }
+    case StmtKind::ValDecl: {
+      if (St.DeclType.isArray()) {
+        uint32_t Id = static_cast<uint32_t>(F.LocalArrays.size());
+        F.LocalArrays.push_back({St.DeclType.ArraySize});
+        SlotId Fill =
+            St.Value ? lowerExpr(*St.Value) : emitConst(0, St.Loc);
+        Inst I = makeInst(Op::InitLocArray);
+        I.Id = Id;
+        I.A = Fill;
+        I.Loc = St.Loc;
+        emit(std::move(I));
+        Scopes.back().emplace(St.Name,
+                              Binding{Binding::Kind::LocalArray, NoSlot, Id});
+        return;
+      }
+      SlotId Slot = newSlot();
+      SlotId V = St.Value ? lowerExpr(*St.Value) : emitConst(0, St.Loc);
+      emitCopy(Slot, V, St.Loc);
+      Scopes.back().emplace(St.Name, Binding{Binding::Kind::Scalar, Slot, 0});
+      return;
+    }
+    case StmtKind::Assign: {
+      SlotId V = lowerExpr(*St.Value);
+      if (Binding *B = findBinding(St.Name)) {
+        emitCopy(B->Slot, V, St.Loc);
+        return;
+      }
+      auto It = S.GlobalIndex.find(St.Name);
+      assert(It != S.GlobalIndex.end() && "sema missed assignment target");
+      Inst I = makeInst(Op::StoreGlobal);
+      I.Id = It->second;
+      I.A = V;
+      I.Loc = St.Loc;
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::AssignIndex: {
+      SlotId Index = lowerExpr(*St.Index);
+      SlotId V = lowerExpr(*St.Value);
+      if (Binding *B = findBinding(St.Name)) {
+        Inst I = makeInst(Op::StoreLocElem);
+        I.Id = B->ArrayId;
+        I.A = Index;
+        I.B = V;
+        I.Loc = St.Loc;
+        emit(std::move(I));
+        return;
+      }
+      auto It = S.GlobalIndex.find(St.Name);
+      assert(It != S.GlobalIndex.end() && "sema missed array target");
+      Inst I = makeInst(Op::StoreElem);
+      I.Id = It->second;
+      I.A = Index;
+      I.B = V;
+      I.Loc = St.Loc;
+      emit(std::move(I));
+      return;
+    }
+    case StmtKind::If: {
+      SlotId Cond = lowerExpr(*St.Value);
+      uint32_t ThenB = newBlock();
+      uint32_t ElseB = St.Else ? newBlock() : 0;
+      uint32_t EndB = newBlock();
+      terminate(branchTo(Cond, ThenB, St.Else ? ElseB : EndB, St.Loc));
+      CurBlock = ThenB;
+      lowerStmt(*St.Then);
+      terminate(jumpTo(EndB));
+      if (St.Else) {
+        CurBlock = ElseB;
+        lowerStmt(*St.Else);
+        terminate(jumpTo(EndB));
+      }
+      CurBlock = EndB;
+      return;
+    }
+    case StmtKind::While: {
+      uint32_t CondB = newBlock();
+      uint32_t BodyB = newBlock();
+      uint32_t EndB = newBlock();
+      terminate(jumpTo(CondB));
+      CurBlock = CondB;
+      SlotId Cond = lowerExpr(*St.Value);
+      terminate(branchTo(Cond, BodyB, EndB, St.Loc));
+      CurBlock = BodyB;
+      BreakTargets.push_back(EndB);
+      lowerStmt(*St.Then);
+      BreakTargets.pop_back();
+      terminate(jumpTo(CondB));
+      CurBlock = EndB;
+      return;
+    }
+    case StmtKind::Switch: {
+      SlotId Addr = lowerExpr(*St.Value);
+      lowerDispatch(Addr, &St, St.Loc);
+      return;
+    }
+    case StmtKind::Return: {
+      if (InlineStack.empty()) {
+        // Returning from main ends the step; the value (if any) is ignored.
+        if (St.Value)
+          lowerExpr(*St.Value);
+        terminate(jumpTo(ExitBlock));
+      } else {
+        if (St.Value) {
+          SlotId V = lowerExpr(*St.Value);
+          emitCopy(InlineStack.back().RetSlot, V, St.Loc);
+        }
+        terminate(jumpTo(InlineStack.back().JoinBlock));
+      }
+      // Code after a return in the same block is unreachable; give it a
+      // fresh block so emission stays well-formed (it will be dead).
+      CurBlock = newBlock();
+      return;
+    }
+    case StmtKind::Break:
+      assert(!BreakTargets.empty() && "sema checked break placement");
+      terminate(jumpTo(BreakTargets.back()));
+      CurBlock = newBlock();
+      return;
+    case StmtKind::ExprStmt:
+      lowerExpr(*St.Value);
+      return;
+    }
+  }
+};
+
+} // namespace
+
+std::optional<LoweredProgram> facile::lowerFacile(const Program &P,
+                                                  const SemaResult &S,
+                                                  DiagnosticEngine &Diag) {
+  Lowerer L(P, S, Diag);
+  return L.run();
+}

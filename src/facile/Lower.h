@@ -1,0 +1,45 @@
+//===- Lower.h - AST to IR lowering with full inlining ----------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a checked Facile program into one flat StepFunction CFG. Every
+/// call to a Facile function is inlined at its call site (recursion is
+/// rejected by Sema, so this terminates); this realises the paper's
+/// maximally polyvariant division — each call site gets its own copy of the
+/// callee, so the binding-time analysis never merges divisions across call
+/// sites (paper §4.1), and dynamic temporaries live in one flat slot file
+/// rather than a stack (paper §3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_LOWER_H
+#define FACILE_FACILE_LOWER_H
+
+#include "src/facile/Ir.h"
+#include "src/facile/Sema.h"
+#include "src/support/Diagnostic.h"
+
+#include <optional>
+
+namespace facile {
+
+/// Everything the runtime needs: the lowered CFG plus global/extern tables.
+struct LoweredProgram {
+  ir::StepFunction Step;
+  std::vector<ir::GlobalVar> Globals;
+  std::vector<ir::ExternFn> Externs;
+};
+
+/// Lowers \p P (already analyzed as \p S). Returns std::nullopt if an
+/// implementation limit is exceeded (inline explosion); those are reported
+/// to \p Diag.
+std::optional<LoweredProgram> lowerFacile(const ast::Program &P,
+                                          const SemaResult &S,
+                                          DiagnosticEngine &Diag);
+
+} // namespace facile
+
+#endif // FACILE_FACILE_LOWER_H

@@ -1,0 +1,818 @@
+//===- Parser.cpp - Facile parser ------------------------------------------===//
+
+#include "src/facile/Parser.h"
+
+#include "src/facile/Lexer.h"
+#include "src/support/StringUtils.h"
+
+#include <cassert>
+
+using namespace facile;
+using namespace facile::ast;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<FacileTok> Toks, DiagnosticEngine &Diag)
+      : Toks(std::move(Toks)), Diag(Diag) {}
+
+  std::optional<Program> run() {
+    Program P;
+    while (!at(TokKind::Eof)) {
+      if (!parseDecl(P))
+        recoverToDecl();
+    }
+    if (Diag.hasErrors())
+      return std::nullopt;
+    return std::optional<Program>(std::move(P));
+  }
+
+private:
+  std::vector<FacileTok> Toks;
+  DiagnosticEngine &Diag;
+  size_t Pos = 0;
+
+  //===-- token plumbing ---------------------------------------------------
+  const FacileTok &tok(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  bool at(TokKind K) const { return tok().is(K); }
+  SourceLoc loc() const { return tok().Loc; }
+
+  FacileTok consume() {
+    FacileTok T = tok();
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+    return T;
+  }
+
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    consume();
+    return true;
+  }
+
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return true;
+    Diag.error(loc(), strFormat("expected %s %s, got %s", tokKindName(K),
+                                Context, tokKindName(tok().Kind)));
+    return false;
+  }
+
+  /// Skips ahead to the start of the next top-level declaration.
+  void recoverToDecl() {
+    int Depth = 0;
+    while (!at(TokKind::Eof)) {
+      TokKind K = tok().Kind;
+      if (Depth == 0 &&
+          (K == TokKind::KwToken || K == TokKind::KwPat ||
+           K == TokKind::KwSem || K == TokKind::KwVal ||
+           K == TokKind::KwInit || K == TokKind::KwExtern ||
+           K == TokKind::KwFun))
+        return;
+      if (K == TokKind::LBrace)
+        ++Depth;
+      else if (K == TokKind::RBrace && Depth > 0)
+        --Depth;
+      consume();
+    }
+  }
+
+  bool expectIdent(std::string *Name, const char *Context) {
+    if (!at(TokKind::Identifier)) {
+      Diag.error(loc(), strFormat("expected identifier %s, got %s", Context,
+                                  tokKindName(tok().Kind)));
+      return false;
+    }
+    *Name = consume().Text;
+    return true;
+  }
+
+  bool expectInt(int64_t *Value, const char *Context) {
+    if (!at(TokKind::IntLiteral)) {
+      Diag.error(loc(), strFormat("expected integer %s, got %s", Context,
+                                  tokKindName(tok().Kind)));
+      return false;
+    }
+    *Value = consume().IntValue;
+    return true;
+  }
+
+  //===-- declarations -----------------------------------------------------
+  bool parseDecl(Program &P) {
+    switch (tok().Kind) {
+    case TokKind::KwToken:
+      return parseTokenDecl(P);
+    case TokKind::KwPat:
+      return parsePatDecl(P);
+    case TokKind::KwSem:
+      return parseSemDecl(P);
+    case TokKind::KwVal:
+    case TokKind::KwInit:
+      return parseGlobalDecl(P);
+    case TokKind::KwExtern:
+      return parseExternDecl(P);
+    case TokKind::KwFun:
+      return parseFunDecl(P);
+    default:
+      Diag.error(loc(), strFormat("expected a declaration, got %s",
+                                  tokKindName(tok().Kind)));
+      consume();
+      return false;
+    }
+  }
+
+  bool parseTokenDecl(Program &P) {
+    TokenDecl D;
+    D.Loc = loc();
+    consume(); // 'token'
+    if (!expectIdent(&D.Name, "after 'token'") ||
+        !expect(TokKind::LBracket, "after token name"))
+      return false;
+    int64_t Width = 0;
+    if (!expectInt(&Width, "token width") ||
+        !expect(TokKind::RBracket, "after token width"))
+      return false;
+    D.Width = static_cast<unsigned>(Width);
+    if (!expect(TokKind::KwFields, "in token declaration"))
+      return false;
+    do {
+      FieldDecl F;
+      F.Loc = loc();
+      int64_t Lo = 0, Hi = 0;
+      if (!expectIdent(&F.Name, "field name") ||
+          !expectInt(&Lo, "field low bit") ||
+          !expect(TokKind::Colon, "between field bit numbers") ||
+          !expectInt(&Hi, "field high bit"))
+        return false;
+      // Accept either bit order (the paper writes low:high).
+      F.Lo = static_cast<unsigned>(Lo < Hi ? Lo : Hi);
+      F.Hi = static_cast<unsigned>(Lo < Hi ? Hi : Lo);
+      D.Fields.push_back(std::move(F));
+    } while (accept(TokKind::Comma));
+    if (!expect(TokKind::Semi, "after token declaration"))
+      return false;
+    P.Tokens.push_back(std::move(D));
+    return true;
+  }
+
+  PatExprPtr parsePatOr() {
+    PatExprPtr L = parsePatAnd();
+    while (L && at(TokKind::PipePipe)) {
+      SourceLoc L2 = loc();
+      consume();
+      PatExprPtr R = parsePatAnd();
+      if (!R)
+        return nullptr;
+      auto N = std::make_unique<PatExpr>(PatExprKind::OrOp, L2);
+      N->Lhs = std::move(L);
+      N->Rhs = std::move(R);
+      L = std::move(N);
+    }
+    return L;
+  }
+
+  PatExprPtr parsePatAnd() {
+    PatExprPtr L = parsePatAtom();
+    while (L && at(TokKind::AmpAmp)) {
+      SourceLoc L2 = loc();
+      consume();
+      PatExprPtr R = parsePatAtom();
+      if (!R)
+        return nullptr;
+      auto N = std::make_unique<PatExpr>(PatExprKind::AndOp, L2);
+      N->Lhs = std::move(L);
+      N->Rhs = std::move(R);
+      L = std::move(N);
+    }
+    return L;
+  }
+
+  PatExprPtr parsePatAtom() {
+    SourceLoc L = loc();
+    if (accept(TokKind::LParen)) {
+      PatExprPtr E = parsePatOr();
+      if (!E || !expect(TokKind::RParen, "in pattern expression"))
+        return nullptr;
+      return E;
+    }
+    if (accept(TokKind::KwTrue))
+      return std::make_unique<PatExpr>(PatExprKind::True, L);
+    std::string Name;
+    if (!expectIdent(&Name, "in pattern expression"))
+      return nullptr;
+    if (at(TokKind::EqEq) || at(TokKind::NotEq)) {
+      bool IsEqual = at(TokKind::EqEq);
+      consume();
+      int64_t Value = 0;
+      if (!expectInt(&Value, "in field comparison"))
+        return nullptr;
+      auto N = std::make_unique<PatExpr>(PatExprKind::FieldCmp, L);
+      N->Name = std::move(Name);
+      N->IsEqual = IsEqual;
+      N->Value = Value;
+      return N;
+    }
+    auto N = std::make_unique<PatExpr>(PatExprKind::PatRef, L);
+    N->Name = std::move(Name);
+    return N;
+  }
+
+  bool parsePatDecl(Program &P) {
+    PatDecl D;
+    D.Loc = loc();
+    consume(); // 'pat'
+    if (!expectIdent(&D.Name, "after 'pat'") ||
+        !expect(TokKind::Assign, "in pattern declaration"))
+      return false;
+    D.Pattern = parsePatOr();
+    if (!D.Pattern || !expect(TokKind::Semi, "after pattern declaration"))
+      return false;
+    P.Patterns.push_back(std::move(D));
+    return true;
+  }
+
+  bool parseSemDecl(Program &P) {
+    SemDecl D;
+    D.Loc = loc();
+    consume(); // 'sem'
+    if (!expectIdent(&D.PatName, "after 'sem'") ||
+        !expect(TokKind::LBrace, "to open semantic body"))
+      return false;
+    if (!parseStmtListUntilRBrace(&D.Body))
+      return false;
+    accept(TokKind::Semi); // optional trailing ';' as in the paper
+    P.Semantics.push_back(std::move(D));
+    return true;
+  }
+
+  std::optional<Type> parseType() {
+    SourceLoc L = loc();
+    if (accept(TokKind::KwInt))
+      return Type::intTy();
+    if (accept(TokKind::KwStream))
+      return Type::streamTy();
+    if (accept(TokKind::KwArray)) {
+      int64_t N = 0;
+      if (!expect(TokKind::LParen, "after 'array'") ||
+          !expectInt(&N, "array size") ||
+          !expect(TokKind::RParen, "after array size"))
+        return std::nullopt;
+      if (N <= 0 || N > (1 << 20)) {
+        Diag.error(L, "array size must be between 1 and 2^20");
+        return std::nullopt;
+      }
+      return Type::arrayTy(static_cast<uint32_t>(N));
+    }
+    Diag.error(L, strFormat("expected a type, got %s", tokKindName(tok().Kind)));
+    return std::nullopt;
+  }
+
+  bool parseGlobalDecl(Program &P) {
+    GlobalDecl D;
+    D.Loc = loc();
+    if (accept(TokKind::KwInit))
+      D.IsInit = true;
+    if (!expect(TokKind::KwVal, "in global declaration") ||
+        !expectIdent(&D.Name, "global name"))
+      return false;
+    bool HasType = false;
+    if (accept(TokKind::Colon)) {
+      auto T = parseType();
+      if (!T)
+        return false;
+      D.DeclType = *T;
+      HasType = true;
+    }
+    if (accept(TokKind::Assign)) {
+      // `= array(N){fill}` declares an array global.
+      if (at(TokKind::KwArray)) {
+        auto T = parseType();
+        if (!T)
+          return false;
+        D.DeclType = *T;
+        HasType = true;
+        if (!expect(TokKind::LBrace, "array fill value"))
+          return false;
+        D.ArrayFill = parseExpr();
+        if (!D.ArrayFill || !expect(TokKind::RBrace, "after array fill value"))
+          return false;
+      } else {
+        D.Initializer = parseExpr();
+        if (!D.Initializer)
+          return false;
+      }
+    }
+    if (!HasType && !D.DeclType.isArray())
+      D.DeclType = Type::intTy();
+    if (!expect(TokKind::Semi, "after global declaration"))
+      return false;
+    P.Globals.push_back(std::move(D));
+    return true;
+  }
+
+  bool parseExternDecl(Program &P) {
+    ExternDecl D;
+    D.Loc = loc();
+    consume(); // 'extern'
+    if (!expectIdent(&D.Name, "after 'extern'") ||
+        !expect(TokKind::LParen, "in extern declaration"))
+      return false;
+    if (!at(TokKind::RParen)) {
+      do {
+        auto T = parseType();
+        if (!T)
+          return false;
+        if (!T->isScalar()) {
+          Diag.error(D.Loc, "extern parameters must be scalar");
+          return false;
+        }
+        ++D.Arity;
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen, "in extern declaration"))
+      return false;
+    if (accept(TokKind::Colon)) {
+      auto T = parseType();
+      if (!T)
+        return false;
+      if (!T->isScalar()) {
+        Diag.error(D.Loc, "extern result must be scalar");
+        return false;
+      }
+      D.HasResult = true;
+    }
+    if (!expect(TokKind::Semi, "after extern declaration"))
+      return false;
+    P.Externs.push_back(std::move(D));
+    return true;
+  }
+
+  bool parseFunDecl(Program &P) {
+    FunDecl D;
+    D.Loc = loc();
+    consume(); // 'fun'
+    if (!expectIdent(&D.Name, "after 'fun'") ||
+        !expect(TokKind::LParen, "in function declaration"))
+      return false;
+    if (!at(TokKind::RParen)) {
+      do {
+        std::string Param;
+        if (!expectIdent(&Param, "parameter name"))
+          return false;
+        // Optional `: type` annotation (scalars only).
+        if (accept(TokKind::Colon)) {
+          auto T = parseType();
+          if (!T)
+            return false;
+          if (!T->isScalar()) {
+            Diag.error(D.Loc, "function parameters must be scalar");
+            return false;
+          }
+        }
+        D.Params.push_back(std::move(Param));
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen, "in function declaration") ||
+        !expect(TokKind::LBrace, "to open function body"))
+      return false;
+    if (!parseStmtListUntilRBrace(&D.Body))
+      return false;
+    P.Functions.push_back(std::move(D));
+    return true;
+  }
+
+  //===-- statements --------------------------------------------------------
+  bool parseStmtListUntilRBrace(std::vector<StmtPtr> *Out) {
+    while (!at(TokKind::RBrace)) {
+      if (at(TokKind::Eof)) {
+        Diag.error(loc(), "unexpected end of input inside block");
+        return false;
+      }
+      StmtPtr S = parseStmt();
+      if (!S)
+        return false;
+      Out->push_back(std::move(S));
+    }
+    consume(); // '}'
+    return true;
+  }
+
+  StmtPtr parseStmt() {
+    SourceLoc L = loc();
+    switch (tok().Kind) {
+    case TokKind::LBrace: {
+      consume();
+      auto S = std::make_unique<Stmt>(StmtKind::Block, L);
+      if (!parseStmtListUntilRBrace(&S->Body))
+        return nullptr;
+      return S;
+    }
+    case TokKind::KwVal: {
+      consume();
+      auto S = std::make_unique<Stmt>(StmtKind::ValDecl, L);
+      if (!expectIdent(&S->Name, "local name"))
+        return nullptr;
+      S->DeclType = Type::intTy();
+      if (accept(TokKind::Colon)) {
+        auto T = parseType();
+        if (!T)
+          return nullptr;
+        S->DeclType = *T;
+      }
+      if (accept(TokKind::Assign)) {
+        if (at(TokKind::KwArray)) {
+          auto T = parseType();
+          if (!T)
+            return nullptr;
+          S->DeclType = *T;
+          if (!expect(TokKind::LBrace, "array fill value"))
+            return nullptr;
+          S->Value = parseExpr();
+          if (!S->Value || !expect(TokKind::RBrace, "after array fill value"))
+            return nullptr;
+        } else {
+          S->Value = parseExpr();
+          if (!S->Value)
+            return nullptr;
+        }
+      }
+      if (!expect(TokKind::Semi, "after local declaration"))
+        return nullptr;
+      return S;
+    }
+    case TokKind::KwIf: {
+      consume();
+      auto S = std::make_unique<Stmt>(StmtKind::If, L);
+      if (!expect(TokKind::LParen, "after 'if'"))
+        return nullptr;
+      S->Value = parseExpr();
+      if (!S->Value || !expect(TokKind::RParen, "after if condition"))
+        return nullptr;
+      S->Then = parseStmt();
+      if (!S->Then)
+        return nullptr;
+      if (accept(TokKind::KwElse)) {
+        S->Else = parseStmt();
+        if (!S->Else)
+          return nullptr;
+      }
+      return S;
+    }
+    case TokKind::KwWhile: {
+      consume();
+      auto S = std::make_unique<Stmt>(StmtKind::While, L);
+      if (!expect(TokKind::LParen, "after 'while'"))
+        return nullptr;
+      S->Value = parseExpr();
+      if (!S->Value || !expect(TokKind::RParen, "after while condition"))
+        return nullptr;
+      S->Then = parseStmt();
+      if (!S->Then)
+        return nullptr;
+      return S;
+    }
+    case TokKind::KwSwitch:
+      return parseSwitch();
+    case TokKind::KwReturn: {
+      consume();
+      auto S = std::make_unique<Stmt>(StmtKind::Return, L);
+      if (!at(TokKind::Semi)) {
+        S->Value = parseExpr();
+        if (!S->Value)
+          return nullptr;
+      }
+      if (!expect(TokKind::Semi, "after return"))
+        return nullptr;
+      return S;
+    }
+    case TokKind::KwBreak: {
+      consume();
+      auto S = std::make_unique<Stmt>(StmtKind::Break, L);
+      if (!expect(TokKind::Semi, "after 'break'"))
+        return nullptr;
+      return S;
+    }
+    default:
+      return parseExprOrAssign();
+    }
+  }
+
+  StmtPtr parseSwitch() {
+    SourceLoc L = loc();
+    consume(); // 'switch'
+    auto S = std::make_unique<Stmt>(StmtKind::Switch, L);
+    if (!expect(TokKind::LParen, "after 'switch'"))
+      return nullptr;
+    S->Value = parseExpr();
+    if (!S->Value || !expect(TokKind::RParen, "after switch operand") ||
+        !expect(TokKind::LBrace, "to open switch body"))
+      return nullptr;
+    while (!at(TokKind::RBrace)) {
+      SwitchCase Case;
+      Case.Loc = loc();
+      if (accept(TokKind::KwPat)) {
+        if (!expectIdent(&Case.PatName, "pattern name in case"))
+          return nullptr;
+      } else if (accept(TokKind::KwDefault)) {
+        // PatName stays empty.
+      } else {
+        Diag.error(loc(), strFormat("expected 'pat' or 'default' case, got %s",
+                                    tokKindName(tok().Kind)));
+        return nullptr;
+      }
+      if (!expect(TokKind::Colon, "after case label"))
+        return nullptr;
+      while (!at(TokKind::RBrace) && !at(TokKind::KwPat) &&
+             !at(TokKind::KwDefault)) {
+        if (at(TokKind::Eof)) {
+          Diag.error(loc(), "unexpected end of input inside switch");
+          return nullptr;
+        }
+        StmtPtr Body = parseStmt();
+        if (!Body)
+          return nullptr;
+        Case.Body.push_back(std::move(Body));
+      }
+      S->Cases.push_back(std::move(Case));
+    }
+    consume(); // '}'
+    return S;
+  }
+
+  StmtPtr parseExprOrAssign() {
+    SourceLoc L = loc();
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (accept(TokKind::Assign)) {
+      ExprPtr Rhs = parseExpr();
+      if (!Rhs || !expect(TokKind::Semi, "after assignment"))
+        return nullptr;
+      if (E->Kind == ExprKind::Name) {
+        auto S = std::make_unique<Stmt>(StmtKind::Assign, L);
+        S->Name = E->Name;
+        S->Value = std::move(Rhs);
+        return S;
+      }
+      if (E->Kind == ExprKind::Index) {
+        auto S = std::make_unique<Stmt>(StmtKind::AssignIndex, L);
+        S->Name = E->Name;
+        S->Index = std::move(E->Lhs);
+        S->Value = std::move(Rhs);
+        return S;
+      }
+      Diag.error(L, "assignment target must be a variable or array element");
+      return nullptr;
+    }
+    if (!expect(TokKind::Semi, "after expression statement"))
+      return nullptr;
+    auto S = std::make_unique<Stmt>(StmtKind::ExprStmt, L);
+    S->Value = std::move(E);
+    return S;
+  }
+
+  //===-- expressions -------------------------------------------------------
+  /// Binding powers for precedence climbing; higher binds tighter.
+  static int precedence(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe:
+      return 1;
+    case TokKind::AmpAmp:
+      return 2;
+    case TokKind::Pipe:
+      return 3;
+    case TokKind::Caret:
+      return 4;
+    case TokKind::Amp:
+      return 5;
+    case TokKind::EqEq:
+    case TokKind::NotEq:
+      return 6;
+    case TokKind::Less:
+    case TokKind::LessEq:
+    case TokKind::Greater:
+    case TokKind::GreaterEq:
+      return 7;
+    case TokKind::Shl:
+    case TokKind::Shr:
+      return 8;
+    case TokKind::Plus:
+    case TokKind::Minus:
+      return 9;
+    case TokKind::Star:
+    case TokKind::Slash:
+    case TokKind::Percent:
+      return 10;
+    default:
+      return 0;
+    }
+  }
+
+  static BinOp binOpFor(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe:
+      return BinOp::LogOr;
+    case TokKind::AmpAmp:
+      return BinOp::LogAnd;
+    case TokKind::Pipe:
+      return BinOp::Or;
+    case TokKind::Caret:
+      return BinOp::Xor;
+    case TokKind::Amp:
+      return BinOp::And;
+    case TokKind::EqEq:
+      return BinOp::Eq;
+    case TokKind::NotEq:
+      return BinOp::Ne;
+    case TokKind::Less:
+      return BinOp::Lt;
+    case TokKind::LessEq:
+      return BinOp::Le;
+    case TokKind::Greater:
+      return BinOp::Gt;
+    case TokKind::GreaterEq:
+      return BinOp::Ge;
+    case TokKind::Shl:
+      return BinOp::Shl;
+    case TokKind::Shr:
+      return BinOp::Shr;
+    case TokKind::Plus:
+      return BinOp::Add;
+    case TokKind::Minus:
+      return BinOp::Sub;
+    case TokKind::Star:
+      return BinOp::Mul;
+    case TokKind::Slash:
+      return BinOp::Div;
+    case TokKind::Percent:
+      return BinOp::Rem;
+    default:
+      assert(false && "not a binary operator token");
+      return BinOp::Add;
+    }
+  }
+
+  ExprPtr parseExpr() { return parseBinary(1); }
+
+  ExprPtr parseBinary(int MinPrec) {
+    ExprPtr L = parseUnary();
+    if (!L)
+      return nullptr;
+    for (;;) {
+      int Prec = precedence(tok().Kind);
+      if (Prec < MinPrec || Prec == 0)
+        return L;
+      TokKind OpTok = tok().Kind;
+      SourceLoc OpLoc = loc();
+      consume();
+      ExprPtr R = parseBinary(Prec + 1);
+      if (!R)
+        return nullptr;
+      auto N = std::make_unique<Expr>(ExprKind::Binary, OpLoc);
+      N->BOp = binOpFor(OpTok);
+      N->Lhs = std::move(L);
+      N->Rhs = std::move(R);
+      L = std::move(N);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    SourceLoc L = loc();
+    if (accept(TokKind::Minus)) {
+      ExprPtr E = parseUnary();
+      if (!E)
+        return nullptr;
+      auto N = std::make_unique<Expr>(ExprKind::Unary, L);
+      N->UOp = UnOp::Neg;
+      N->Lhs = std::move(E);
+      return N;
+    }
+    if (accept(TokKind::Bang)) {
+      ExprPtr E = parseUnary();
+      if (!E)
+        return nullptr;
+      auto N = std::make_unique<Expr>(ExprKind::Unary, L);
+      N->UOp = UnOp::Not;
+      N->Lhs = std::move(E);
+      return N;
+    }
+    if (accept(TokKind::Tilde)) {
+      ExprPtr E = parseUnary();
+      if (!E)
+        return nullptr;
+      auto N = std::make_unique<Expr>(ExprKind::Unary, L);
+      N->UOp = UnOp::BitNot;
+      N->Lhs = std::move(E);
+      return N;
+    }
+    return parsePostfix();
+  }
+
+  bool parseArgs(std::vector<ExprPtr> *Args) {
+    if (!expect(TokKind::LParen, "to open argument list"))
+      return false;
+    if (!at(TokKind::RParen)) {
+      do {
+        ExprPtr A = parseExpr();
+        if (!A)
+          return false;
+        Args->push_back(std::move(A));
+      } while (accept(TokKind::Comma));
+    }
+    return expect(TokKind::RParen, "to close argument list");
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    if (!E)
+      return nullptr;
+    for (;;) {
+      SourceLoc L = loc();
+      if (at(TokKind::LParen)) {
+        if (E->Kind != ExprKind::Name) {
+          Diag.error(L, "only named functions can be called");
+          return nullptr;
+        }
+        auto N = std::make_unique<Expr>(ExprKind::Call, E->Loc);
+        N->Name = E->Name;
+        if (!parseArgs(&N->Args))
+          return nullptr;
+        E = std::move(N);
+        continue;
+      }
+      if (accept(TokKind::LBracket)) {
+        if (E->Kind != ExprKind::Name) {
+          Diag.error(L, "only named arrays can be indexed");
+          return nullptr;
+        }
+        auto N = std::make_unique<Expr>(ExprKind::Index, E->Loc);
+        N->Name = E->Name;
+        N->Lhs = parseExpr();
+        if (!N->Lhs || !expect(TokKind::RBracket, "after array index"))
+          return nullptr;
+        E = std::move(N);
+        continue;
+      }
+      if (accept(TokKind::Question)) {
+        auto N = std::make_unique<Expr>(ExprKind::Attribute, L);
+        if (!expectIdent(&N->Name, "attribute name after '?'"))
+          return nullptr;
+        N->Lhs = std::move(E);
+        if (!parseArgs(&N->Args))
+          return nullptr;
+        E = std::move(N);
+        continue;
+      }
+      return E;
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc L = loc();
+    if (at(TokKind::IntLiteral)) {
+      auto N = std::make_unique<Expr>(ExprKind::IntLit, L);
+      N->IntValue = consume().IntValue;
+      return N;
+    }
+    if (accept(TokKind::KwTrue)) {
+      auto N = std::make_unique<Expr>(ExprKind::IntLit, L);
+      N->IntValue = 1;
+      return N;
+    }
+    if (accept(TokKind::KwFalse)) {
+      auto N = std::make_unique<Expr>(ExprKind::IntLit, L);
+      N->IntValue = 0;
+      return N;
+    }
+    if (at(TokKind::Identifier)) {
+      auto N = std::make_unique<Expr>(ExprKind::Name, L);
+      N->Name = consume().Text;
+      return N;
+    }
+    if (accept(TokKind::LParen)) {
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokKind::RParen, "to close parenthesised expression"))
+        return nullptr;
+      return E;
+    }
+    Diag.error(L, strFormat("expected an expression, got %s",
+                            tokKindName(tok().Kind)));
+    return nullptr;
+  }
+};
+
+} // namespace
+
+std::optional<Program> facile::parseFacile(std::string_view Source,
+                                           DiagnosticEngine &Diag) {
+  std::vector<FacileTok> Toks = lexFacile(Source, Diag);
+  if (Diag.hasErrors())
+    return std::nullopt;
+  Parser P(std::move(Toks), Diag);
+  return P.run();
+}

@@ -1,0 +1,26 @@
+//===- Parser.h - Facile parser ---------------------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_PARSER_H
+#define FACILE_FACILE_PARSER_H
+
+#include "src/facile/Ast.h"
+#include "src/support/Diagnostic.h"
+
+#include <optional>
+#include <string_view>
+
+namespace facile {
+
+/// Parses a Facile source buffer into an AST. Returns std::nullopt when any
+/// syntax error was reported to \p Diag. The parser recovers at declaration
+/// boundaries so several errors can be reported in one pass.
+std::optional<ast::Program> parseFacile(std::string_view Source,
+                                        DiagnosticEngine &Diag);
+
+} // namespace facile
+
+#endif // FACILE_FACILE_PARSER_H

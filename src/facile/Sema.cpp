@@ -1,0 +1,736 @@
+//===- Sema.cpp - Facile semantic analysis ----------------------------------===//
+
+#include "src/facile/Sema.h"
+
+#include "src/facile/Builtins.h"
+#include "src/support/StringUtils.h"
+
+#include <cassert>
+#include <functional>
+#include <set>
+
+using namespace facile;
+using namespace facile::ast;
+
+namespace {
+
+class Sema {
+public:
+  Sema(const Program &P, DiagnosticEngine &Diag) : P(P), Diag(Diag) {}
+
+  std::optional<SemaResult> run() {
+    collectToken();
+    collectPatterns();
+    collectSemantics();
+    collectGlobals();
+    collectExterns();
+    collectFunctions();
+    if (Diag.hasErrors())
+      return std::nullopt;
+    checkNoRecursion();
+    checkBodies();
+    if (Diag.hasErrors())
+      return std::nullopt;
+    return std::optional<SemaResult>(std::move(R));
+  }
+
+private:
+  const Program &P;
+  DiagnosticEngine &Diag;
+  SemaResult R;
+
+  //===-- declaration collection --------------------------------------------
+  void collectToken() {
+    for (const TokenDecl &T : P.Tokens) {
+      if (R.Token) {
+        Diag.error(T.Loc, "only one token declaration is supported (fixed "
+                          "32-bit instruction words)");
+        continue;
+      }
+      if (T.Width != 32) {
+        Diag.error(T.Loc, strFormat("token width must be 32, got %u",
+                                    T.Width));
+        continue;
+      }
+      R.Token = &T;
+      for (const FieldDecl &F : T.Fields) {
+        if (F.Hi >= T.Width) {
+          Diag.error(F.Loc, strFormat("field '%s' exceeds token width",
+                                      F.Name.c_str()));
+          continue;
+        }
+        if (!R.Fields.emplace(F.Name, &F).second)
+          Diag.error(F.Loc,
+                     strFormat("duplicate field '%s'", F.Name.c_str()));
+      }
+    }
+  }
+
+  void checkPatExpr(const PatExpr &E) {
+    switch (E.Kind) {
+    case PatExprKind::FieldCmp: {
+      auto It = R.Fields.find(E.Name);
+      if (It == R.Fields.end()) {
+        Diag.error(E.Loc, strFormat("unknown field '%s' in pattern",
+                                    E.Name.c_str()));
+        return;
+      }
+      const FieldDecl &F = *It->second;
+      uint64_t Max = (F.Hi - F.Lo + 1) >= 64
+                         ? ~0ull
+                         : (1ull << (F.Hi - F.Lo + 1)) - 1;
+      if (static_cast<uint64_t>(E.Value) > Max)
+        Diag.error(E.Loc, strFormat("constant does not fit field '%s'",
+                                    E.Name.c_str()));
+      return;
+    }
+    case PatExprKind::PatRef:
+      // Patterns may reference earlier patterns; forward references would
+      // allow cycles, so require definition before use.
+      if (R.Patterns.find(E.Name) == R.Patterns.end())
+        Diag.error(E.Loc, strFormat("pattern '%s' referenced before its "
+                                    "definition",
+                                    E.Name.c_str()));
+      return;
+    case PatExprKind::AndOp:
+    case PatExprKind::OrOp:
+      checkPatExpr(*E.Lhs);
+      checkPatExpr(*E.Rhs);
+      return;
+    case PatExprKind::True:
+      return;
+    }
+  }
+
+  void collectPatterns() {
+    for (const PatDecl &D : P.Patterns) {
+      checkPatExpr(*D.Pattern);
+      if (!R.Patterns.emplace(D.Name, &D).second) {
+        Diag.error(D.Loc, strFormat("duplicate pattern '%s'", D.Name.c_str()));
+        continue;
+      }
+      R.PatternOrder.push_back(&D);
+    }
+  }
+
+  void collectSemantics() {
+    for (const SemDecl &D : P.Semantics) {
+      if (R.Patterns.find(D.PatName) == R.Patterns.end()) {
+        Diag.error(D.Loc, strFormat("semantics for undeclared pattern '%s'",
+                                    D.PatName.c_str()));
+        continue;
+      }
+      if (!R.Semantics.emplace(D.PatName, &D).second)
+        Diag.error(D.Loc, strFormat("duplicate semantics for pattern '%s'",
+                                    D.PatName.c_str()));
+    }
+  }
+
+  /// Evaluates a constant expression (global initializers). Earlier scalar
+  /// globals may be referenced.
+  std::optional<int64_t> constEval(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return E.IntValue;
+    case ExprKind::Name: {
+      auto It = R.GlobalIndex.find(E.Name);
+      if (It == R.GlobalIndex.end() || R.Globals[It->second].Ty.isArray()) {
+        Diag.error(E.Loc, strFormat("'%s' is not a constant", E.Name.c_str()));
+        return std::nullopt;
+      }
+      return R.Globals[It->second].InitValue;
+    }
+    case ExprKind::Unary: {
+      auto V = constEval(*E.Lhs);
+      if (!V)
+        return std::nullopt;
+      switch (E.UOp) {
+      case UnOp::Neg:
+        return -*V;
+      case UnOp::Not:
+        return *V == 0 ? 1 : 0;
+      case UnOp::BitNot:
+        return ~*V;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Binary: {
+      auto A = constEval(*E.Lhs);
+      auto B = constEval(*E.Rhs);
+      if (!A || !B)
+        return std::nullopt;
+      switch (E.BOp) {
+      case BinOp::Add:
+        return *A + *B;
+      case BinOp::Sub:
+        return *A - *B;
+      case BinOp::Mul:
+        return *A * *B;
+      case BinOp::Div:
+        return *B == 0 ? 0 : *A / *B;
+      case BinOp::Rem:
+        return *B == 0 ? *A : *A % *B;
+      case BinOp::And:
+        return *A & *B;
+      case BinOp::Or:
+        return *A | *B;
+      case BinOp::Xor:
+        return *A ^ *B;
+      case BinOp::Shl:
+        return *A << (*B & 63);
+      case BinOp::Shr:
+        return static_cast<int64_t>(static_cast<uint64_t>(*A) >> (*B & 63));
+      default:
+        break;
+      }
+      Diag.error(E.Loc, "operator not allowed in constant expression");
+      return std::nullopt;
+    }
+    default:
+      Diag.error(E.Loc, "global initializers must be constant expressions");
+      return std::nullopt;
+    }
+  }
+
+  void collectGlobals() {
+    for (const GlobalDecl &D : P.Globals) {
+      if (R.GlobalIndex.count(D.Name)) {
+        Diag.error(D.Loc, strFormat("duplicate global '%s'", D.Name.c_str()));
+        continue;
+      }
+      SemaResult::GlobalInfo Info;
+      Info.Decl = &D;
+      Info.Ty = D.DeclType;
+      Info.IsInit = D.IsInit;
+      if (Info.Ty.isArray() && D.Initializer) {
+        Diag.error(D.Loc, "array globals take an array(N){fill} initializer");
+        continue;
+      }
+      const Expr *Init =
+          Info.Ty.isArray() ? D.ArrayFill.get() : D.Initializer.get();
+      if (Init) {
+        auto V = constEval(*Init);
+        if (!V)
+          continue;
+        Info.InitValue = *V;
+      }
+      unsigned Index = static_cast<unsigned>(R.Globals.size());
+      R.GlobalIndex.emplace(D.Name, Index);
+      if (D.IsInit)
+        R.InitGlobals.push_back(Index);
+      R.Globals.push_back(Info);
+    }
+  }
+
+  void collectExterns() {
+    for (const ExternDecl &D : P.Externs) {
+      if (R.ExternIndex.count(D.Name) || R.GlobalIndex.count(D.Name)) {
+        Diag.error(D.Loc, strFormat("duplicate declaration '%s'",
+                                    D.Name.c_str()));
+        continue;
+      }
+      if (lookupBuiltin(D.Name.c_str())) {
+        Diag.error(D.Loc, strFormat("'%s' is a builtin and cannot be an "
+                                    "extern",
+                                    D.Name.c_str()));
+        continue;
+      }
+      R.ExternIndex.emplace(D.Name, static_cast<unsigned>(R.Externs.size()));
+      R.Externs.push_back(&D);
+    }
+  }
+
+  void collectFunctions() {
+    for (const FunDecl &D : P.Functions) {
+      if (R.Functions.count(D.Name) || R.ExternIndex.count(D.Name) ||
+          R.GlobalIndex.count(D.Name) || lookupBuiltin(D.Name.c_str())) {
+        Diag.error(D.Loc, strFormat("duplicate declaration '%s'",
+                                    D.Name.c_str()));
+        continue;
+      }
+      R.Functions.emplace(D.Name, &D);
+      if (D.Name == "main")
+        R.Main = &D;
+    }
+    if (!R.Main) {
+      Diag.error(SourceLoc(), "a simulator must define 'fun main()' — the "
+                              "memoized step function (paper §3.2)");
+      return;
+    }
+    if (!R.Main->Params.empty())
+      Diag.error(R.Main->Loc,
+                 "main takes no parameters; its run-time static inputs are "
+                 "the 'init' globals");
+    if (R.InitGlobals.empty())
+      Diag.warning(R.Main->Loc,
+                   "no 'init' globals declared: every step shares one action "
+                   "cache key");
+  }
+
+  //===-- recursion check ----------------------------------------------------
+  void calleesOfExpr(const Expr &E, std::set<std::string> *Out) {
+    if (E.Kind == ExprKind::Call && R.Functions.count(E.Name))
+      Out->insert(E.Name);
+    if (E.Lhs)
+      calleesOfExpr(*E.Lhs, Out);
+    if (E.Rhs)
+      calleesOfExpr(*E.Rhs, Out);
+    for (const ExprPtr &A : E.Args)
+      calleesOfExpr(*A, Out);
+  }
+
+  void calleesOfStmt(const Stmt &S, std::set<std::string> *Out) {
+    if (S.Index)
+      calleesOfExpr(*S.Index, Out);
+    if (S.Value)
+      calleesOfExpr(*S.Value, Out);
+    if (S.Then)
+      calleesOfStmt(*S.Then, Out);
+    if (S.Else)
+      calleesOfStmt(*S.Else, Out);
+    for (const StmtPtr &B : S.Body)
+      calleesOfStmt(*B, Out);
+    for (const SwitchCase &C : S.Cases)
+      for (const StmtPtr &B : C.Body)
+        calleesOfStmt(*B, Out);
+  }
+
+  std::set<std::string> calleesOf(const FunDecl &F) {
+    std::set<std::string> Out;
+    for (const StmtPtr &S : F.Body)
+      calleesOfStmt(*S, &Out);
+    return Out;
+  }
+
+  /// ?exec() dispatches into sem bodies, so sem bodies participate in the
+  /// call graph through every function that uses ?exec. For the recursion
+  /// check we conservatively treat sem bodies as reachable from any
+  /// function and forbid sem bodies from using ?exec or calling functions
+  /// that (transitively) use ?exec.
+  bool usesExec(const Expr &E) {
+    if (E.Kind == ExprKind::Attribute && E.Name == "exec")
+      return true;
+    if (E.Lhs && usesExec(*E.Lhs))
+      return true;
+    if (E.Rhs && usesExec(*E.Rhs))
+      return true;
+    for (const ExprPtr &A : E.Args)
+      if (usesExec(*A))
+        return true;
+    return false;
+  }
+
+  bool usesExecStmt(const Stmt &S) {
+    if (S.Index && usesExec(*S.Index))
+      return true;
+    if (S.Value && usesExec(*S.Value))
+      return true;
+    if (S.Kind == StmtKind::Switch)
+      return true; // pattern switch also dispatches into decode logic
+    if (S.Then && usesExecStmt(*S.Then))
+      return true;
+    if (S.Else && usesExecStmt(*S.Else))
+      return true;
+    for (const StmtPtr &B : S.Body)
+      if (usesExecStmt(*B))
+        return true;
+    for (const SwitchCase &C : S.Cases)
+      for (const StmtPtr &B : C.Body)
+        if (usesExecStmt(*B))
+          return true;
+    return false;
+  }
+
+  void checkNoRecursion() {
+    // DFS over the function call graph with an explicit colour map.
+    enum Colour { White, Grey, Black };
+    std::map<std::string, Colour> Colours;
+    std::vector<std::string> Stack;
+
+    // Recursive lambda via explicit worklist-free recursion.
+    std::function<bool(const std::string &)> Visit =
+        [&](const std::string &Name) -> bool {
+      Colour &C = Colours[Name];
+      if (C == Black)
+        return true;
+      if (C == Grey) {
+        std::string Cycle = Name;
+        for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
+          Cycle = *It + " -> " + Cycle;
+          if (*It == Name)
+            break;
+        }
+        Diag.error(R.Functions.at(Name)->Loc,
+                   strFormat("recursion is not allowed in Facile (paper "
+                             "§3.2): %s",
+                             Cycle.c_str()));
+        return false;
+      }
+      C = Grey;
+      Stack.push_back(Name);
+      for (const std::string &Callee : calleesOf(*R.Functions.at(Name)))
+        if (!Visit(Callee))
+          return false;
+      Stack.pop_back();
+      Colours[Name] = Black;
+      return true;
+    };
+
+    for (const auto &[Name, Decl] : R.Functions)
+      if (!Visit(Name))
+        return;
+
+    // Sem bodies must not re-enter instruction dispatch (?exec / pattern
+    // switch), directly or through calls, or decoding could recurse
+    // unboundedly.
+    std::set<std::string> ExecUsers;
+    for (const auto &[Name, Decl] : R.Functions) {
+      for (const StmtPtr &S : Decl->Body)
+        if (usesExecStmt(*S)) {
+          ExecUsers.insert(Name);
+          break;
+        }
+    }
+    // Transitive closure over callers -> callees.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &[Name, Decl] : R.Functions) {
+        if (ExecUsers.count(Name))
+          continue;
+        for (const std::string &Callee : calleesOf(*Decl))
+          if (ExecUsers.count(Callee)) {
+            ExecUsers.insert(Name);
+            Changed = true;
+            break;
+          }
+      }
+    }
+    for (const SemDecl &D : P.Semantics) {
+      std::set<std::string> Callees;
+      bool Direct = false;
+      for (const StmtPtr &S : D.Body) {
+        calleesOfStmt(*S, &Callees);
+        if (usesExecStmt(*S))
+          Direct = true;
+      }
+      bool Indirect = false;
+      for (const std::string &Callee : Callees)
+        if (ExecUsers.count(Callee))
+          Indirect = true;
+      if (Direct || Indirect)
+        Diag.error(D.Loc, strFormat("sem '%s' re-enters instruction dispatch "
+                                    "(?exec or pattern switch), which would "
+                                    "recurse",
+                                    D.PatName.c_str()));
+    }
+  }
+
+  //===-- body checking -------------------------------------------------------
+  struct Scope {
+    Scope *Parent = nullptr;
+    std::map<std::string, Type> Locals;
+    bool FieldsVisible = false; ///< inside a pattern case or sem body
+    bool InLoop = false;
+
+    const Type *lookup(const std::string &Name) const {
+      for (const Scope *S = this; S; S = S->Parent) {
+        auto It = S->Locals.find(Name);
+        if (It != S->Locals.end())
+          return &It->second;
+      }
+      return nullptr;
+    }
+    bool fieldsVisible() const {
+      for (const Scope *S = this; S; S = S->Parent)
+        if (S->FieldsVisible)
+          return true;
+      return false;
+    }
+    bool inLoop() const {
+      for (const Scope *S = this; S; S = S->Parent)
+        if (S->InLoop)
+          return true;
+      return false;
+    }
+  };
+
+  Type checkExpr(const Expr &E, Scope &Sc) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return Type::intTy();
+    case ExprKind::Name: {
+      if (const Type *T = Sc.lookup(E.Name)) {
+        if (T->isArray())
+          Diag.error(E.Loc, strFormat("array '%s' must be indexed",
+                                      E.Name.c_str()));
+        return *T;
+      }
+      if (Sc.fieldsVisible() && R.Fields.count(E.Name))
+        return Type::intTy();
+      if (const SemaResult::GlobalInfo *G = R.findGlobal(E.Name)) {
+        if (G->Ty.isArray())
+          Diag.error(E.Loc, strFormat("array '%s' must be indexed",
+                                      E.Name.c_str()));
+        return G->Ty;
+      }
+      Diag.error(E.Loc, strFormat("undefined name '%s'", E.Name.c_str()));
+      return Type::intTy();
+    }
+    case ExprKind::Unary:
+      requireScalar(checkExpr(*E.Lhs, Sc), E.Loc);
+      return Type::intTy();
+    case ExprKind::Binary:
+      requireScalar(checkExpr(*E.Lhs, Sc), E.Loc);
+      requireScalar(checkExpr(*E.Rhs, Sc), E.Loc);
+      return Type::intTy();
+    case ExprKind::Call:
+      return checkCall(E, Sc);
+    case ExprKind::Index: {
+      Type Base = lookupArray(E.Name, E.Loc, Sc);
+      requireScalar(checkExpr(*E.Lhs, Sc), E.Loc);
+      (void)Base;
+      return Type::intTy();
+    }
+    case ExprKind::Attribute:
+      return checkAttribute(E, Sc);
+    }
+    return Type::intTy();
+  }
+
+  void requireScalar(Type T, SourceLoc Loc) {
+    if (!T.isScalar())
+      Diag.error(Loc, "expected a scalar value");
+  }
+
+  Type lookupArray(const std::string &Name, SourceLoc Loc, Scope &Sc) {
+    if (const Type *T = Sc.lookup(Name)) {
+      if (!T->isArray())
+        Diag.error(Loc, strFormat("'%s' is not an array", Name.c_str()));
+      return *T;
+    }
+    if (const SemaResult::GlobalInfo *G = R.findGlobal(Name)) {
+      if (!G->Ty.isArray())
+        Diag.error(Loc, strFormat("'%s' is not an array", Name.c_str()));
+      return G->Ty;
+    }
+    Diag.error(Loc, strFormat("undefined name '%s'", Name.c_str()));
+    return Type::arrayTy(1);
+  }
+
+  Type checkCall(const Expr &E, Scope &Sc) {
+    for (const ExprPtr &A : E.Args)
+      requireScalar(checkExpr(*A, Sc), A->Loc);
+    if (auto It = R.Functions.find(E.Name); It != R.Functions.end()) {
+      if (It->second->Params.size() != E.Args.size())
+        Diag.error(E.Loc,
+                   strFormat("'%s' expects %zu arguments, got %zu",
+                             E.Name.c_str(), It->second->Params.size(),
+                             E.Args.size()));
+      if (E.Name == "main")
+        Diag.error(E.Loc, "main cannot be called; the runtime invokes it");
+      // Functions that end without `return e` yield 0; all are int-typed.
+      return Type::intTy();
+    }
+    if (auto It = R.ExternIndex.find(E.Name); It != R.ExternIndex.end()) {
+      const ExternDecl &D = *R.Externs[It->second];
+      if (D.Arity != E.Args.size())
+        Diag.error(E.Loc, strFormat("extern '%s' expects %u arguments, got "
+                                    "%zu",
+                                    E.Name.c_str(), D.Arity, E.Args.size()));
+      return D.HasResult ? Type::intTy() : Type::voidTy();
+    }
+    if (const BuiltinInfo *B = lookupBuiltin(E.Name.c_str())) {
+      if (B->Arity != E.Args.size())
+        Diag.error(E.Loc, strFormat("builtin '%s' expects %u arguments, got "
+                                    "%zu",
+                                    E.Name.c_str(), B->Arity, E.Args.size()));
+      return B->HasResult ? Type::intTy() : Type::voidTy();
+    }
+    Diag.error(E.Loc, strFormat("call to undefined function '%s'",
+                                E.Name.c_str()));
+    return Type::intTy();
+  }
+
+  Type checkAttribute(const Expr &E, Scope &Sc) {
+    requireScalar(checkExpr(*E.Lhs, Sc), E.Loc);
+    if (E.Name == "sext" || E.Name == "zext") {
+      if (E.Args.size() != 1 || E.Args[0]->Kind != ExprKind::IntLit) {
+        Diag.error(E.Loc, strFormat("?%s takes one literal bit-width",
+                                    E.Name.c_str()));
+        return Type::intTy();
+      }
+      int64_t W = E.Args[0]->IntValue;
+      if (W < 1 || W > 64)
+        Diag.error(E.Loc, "bit-width must be between 1 and 64");
+      return Type::intTy();
+    }
+    if (E.Name == "fetch") {
+      if (!E.Args.empty())
+        Diag.error(E.Loc, "?fetch takes no arguments");
+      return Type::intTy();
+    }
+    if (E.Name == "exec") {
+      if (!E.Args.empty())
+        Diag.error(E.Loc, "?exec takes no arguments");
+      if (!R.Token)
+        Diag.error(E.Loc, "?exec requires a token declaration");
+      return Type::voidTy();
+    }
+    Diag.error(E.Loc, strFormat("unknown attribute '?%s'", E.Name.c_str()));
+    return Type::intTy();
+  }
+
+  void checkStmt(const Stmt &S, Scope &Sc) {
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      Scope Inner;
+      Inner.Parent = &Sc;
+      for (const StmtPtr &B : S.Body)
+        checkStmt(*B, Inner);
+      return;
+    }
+    case StmtKind::ValDecl: {
+      if (Sc.Locals.count(S.Name))
+        Diag.error(S.Loc, strFormat("redefinition of '%s'", S.Name.c_str()));
+      else if (R.findGlobal(S.Name))
+        Diag.warning(S.Loc, strFormat("local '%s' shadows a global",
+                                      S.Name.c_str()));
+      if (S.Value)
+        requireScalar(checkExpr(*S.Value, Sc), S.Loc);
+      else if (!S.DeclType.isArray())
+        Diag.error(S.Loc, strFormat("local '%s' needs an initializer",
+                                    S.Name.c_str()));
+      Sc.Locals.emplace(S.Name, S.DeclType);
+      return;
+    }
+    case StmtKind::Assign: {
+      requireScalar(checkExpr(*S.Value, Sc), S.Loc);
+      if (const Type *T = Sc.lookup(S.Name)) {
+        if (T->isArray())
+          Diag.error(S.Loc, "cannot assign whole arrays");
+        return;
+      }
+      if (const SemaResult::GlobalInfo *G = R.findGlobal(S.Name)) {
+        if (G->Ty.isArray())
+          Diag.error(S.Loc, "cannot assign whole arrays");
+        return;
+      }
+      if (Sc.fieldsVisible() && R.Fields.count(S.Name)) {
+        Diag.error(S.Loc, "instruction fields are read-only");
+        return;
+      }
+      Diag.error(S.Loc, strFormat("assignment to undefined variable '%s'",
+                                  S.Name.c_str()));
+      return;
+    }
+    case StmtKind::AssignIndex:
+      lookupArray(S.Name, S.Loc, Sc);
+      requireScalar(checkExpr(*S.Index, Sc), S.Loc);
+      requireScalar(checkExpr(*S.Value, Sc), S.Loc);
+      return;
+    case StmtKind::If:
+      requireScalar(checkExpr(*S.Value, Sc), S.Loc);
+      checkStmt(*S.Then, Sc);
+      if (S.Else)
+        checkStmt(*S.Else, Sc);
+      return;
+    case StmtKind::While: {
+      requireScalar(checkExpr(*S.Value, Sc), S.Loc);
+      Scope Inner;
+      Inner.Parent = &Sc;
+      Inner.InLoop = true;
+      checkStmt(*S.Then, Inner);
+      return;
+    }
+    case StmtKind::Switch: {
+      requireScalar(checkExpr(*S.Value, Sc), S.Loc);
+      if (!R.Token)
+        Diag.error(S.Loc, "pattern switch requires a token declaration");
+      bool SawDefault = false;
+      for (const SwitchCase &C : S.Cases) {
+        if (C.PatName.empty()) {
+          if (SawDefault)
+            Diag.error(C.Loc, "duplicate default case");
+          SawDefault = true;
+        } else if (!R.Patterns.count(C.PatName)) {
+          Diag.error(C.Loc, strFormat("unknown pattern '%s' in case",
+                                      C.PatName.c_str()));
+        }
+        Scope Inner;
+        Inner.Parent = &Sc;
+        Inner.FieldsVisible = true;
+        for (const StmtPtr &B : C.Body)
+          checkStmt(*B, Inner);
+      }
+      return;
+    }
+    case StmtKind::Return:
+      if (S.Value)
+        requireScalar(checkExpr(*S.Value, Sc), S.Loc);
+      return;
+    case StmtKind::Break:
+      if (!Sc.inLoop())
+        Diag.error(S.Loc, "'break' outside of a loop");
+      return;
+    case StmtKind::ExprStmt:
+      checkExpr(*S.Value, Sc);
+      return;
+    }
+  }
+
+  /// Records direct assignments to globals so never-assigned scalar
+  /// globals can be constant-folded during lowering. A local of the same
+  /// name shadows the global, but treating the global as assigned anyway
+  /// is merely conservative.
+  void noteAssignments(const Stmt &S) {
+    if (S.Kind == StmtKind::Assign || S.Kind == StmtKind::AssignIndex) {
+      auto It = R.GlobalIndex.find(S.Name);
+      if (It != R.GlobalIndex.end())
+        R.Globals[It->second].NeverAssigned = false;
+    }
+    if (S.Then)
+      noteAssignments(*S.Then);
+    if (S.Else)
+      noteAssignments(*S.Else);
+    for (const StmtPtr &B : S.Body)
+      noteAssignments(*B);
+    for (const SwitchCase &C : S.Cases)
+      for (const StmtPtr &B : C.Body)
+        noteAssignments(*B);
+  }
+
+  void checkBodies() {
+    for (const auto &[Name, Decl] : R.Functions)
+      for (const StmtPtr &S : Decl->Body)
+        noteAssignments(*S);
+    for (const SemDecl &D : P.Semantics)
+      for (const StmtPtr &S : D.Body)
+        noteAssignments(*S);
+
+    for (const auto &[Name, Decl] : R.Functions) {
+      Scope Sc;
+      for (const std::string &Param : Decl->Params) {
+        if (!Sc.Locals.emplace(Param, Type::intTy()).second)
+          Diag.error(Decl->Loc, strFormat("duplicate parameter '%s'",
+                                          Param.c_str()));
+      }
+      for (const StmtPtr &S : Decl->Body)
+        checkStmt(*S, Sc);
+    }
+    for (const SemDecl &D : P.Semantics) {
+      Scope Sc;
+      Sc.FieldsVisible = true;
+      for (const StmtPtr &S : D.Body)
+        checkStmt(*S, Sc);
+    }
+  }
+};
+
+} // namespace
+
+std::optional<SemaResult> facile::analyzeFacile(const Program &P,
+                                                DiagnosticEngine &Diag) {
+  Sema S(P, Diag);
+  return S.run();
+}

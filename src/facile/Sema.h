@@ -1,0 +1,75 @@
+//===- Sema.h - Facile semantic analysis ------------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for Facile: symbol tables, type checking and the
+/// language restrictions that make the binding-time analysis tractable
+/// (paper §3.2) — no pointers by construction, and **no recursion**, which
+/// both simplifies the interprocedural analysis and lets the compiler fully
+/// inline the step function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_FACILE_SEMA_H
+#define FACILE_FACILE_SEMA_H
+
+#include "src/facile/Ast.h"
+#include "src/support/Diagnostic.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace facile {
+
+/// Resolved, checked view of a Facile program. The lowering phase consumes
+/// this instead of re-deriving symbol information.
+struct SemaResult {
+  /// One global variable (paper: globals are dynamic at step entry except
+  /// the `init` globals, which form the action-cache key).
+  struct GlobalInfo {
+    const ast::GlobalDecl *Decl = nullptr;
+    ast::Type Ty;
+    bool IsInit = false;
+    int64_t InitValue = 0; ///< scalar initial value / array fill value
+    /// True when no statement in the program assigns this global. Scalar
+    /// never-assigned globals fold to compile-time constants during
+    /// lowering (a slice of the paper's §6.3 constant-folding suggestion).
+    bool NeverAssigned = true;
+  };
+
+  const ast::TokenDecl *Token = nullptr; ///< at most one token declaration
+  std::map<std::string, const ast::FieldDecl *> Fields;
+  std::map<std::string, const ast::PatDecl *> Patterns;
+  std::vector<const ast::PatDecl *> PatternOrder;
+  std::map<std::string, const ast::SemDecl *> Semantics;
+
+  std::vector<GlobalInfo> Globals; ///< declaration order
+  std::map<std::string, unsigned> GlobalIndex;
+  std::vector<unsigned> InitGlobals; ///< indices of init globals, in order
+
+  std::vector<const ast::ExternDecl *> Externs;
+  std::map<std::string, unsigned> ExternIndex;
+
+  std::map<std::string, const ast::FunDecl *> Functions;
+  const ast::FunDecl *Main = nullptr;
+
+  const GlobalInfo *findGlobal(const std::string &Name) const {
+    auto It = GlobalIndex.find(Name);
+    return It == GlobalIndex.end() ? nullptr : &Globals[It->second];
+  }
+};
+
+/// Runs all semantic checks over \p P. Returns std::nullopt (with
+/// diagnostics in \p Diag) if the program is ill-formed. \p P must outlive
+/// the result, which holds pointers into it.
+std::optional<SemaResult> analyzeFacile(const ast::Program &P,
+                                        DiagnosticEngine &Diag);
+
+} // namespace facile
+
+#endif // FACILE_FACILE_SEMA_H

@@ -1,0 +1,432 @@
+//===- FastSim.cpp - Hand-coded memoizing out-of-order simulator -----------===//
+
+#include "src/fastsim/FastSim.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace facile;
+using namespace facile::fastsim;
+using namespace facile::isa;
+
+//===----------------------------------------------------------------------===//
+// Pipeline state key
+//===----------------------------------------------------------------------===//
+
+bool PipelineState::operator==(const PipelineState &O) const {
+  return std::memcmp(this, &O, sizeof(PipelineState)) == 0;
+}
+
+uint64_t PipelineState::hash() const {
+  return hashBytes(this, sizeof(PipelineState));
+}
+
+//===----------------------------------------------------------------------===//
+// Decode helpers (mirror isa.fac's classify / dest_reg / src*_reg)
+//===----------------------------------------------------------------------===//
+
+PipeCls fastsim::classifyInst(const DecodedInst &Inst) {
+  switch (Inst.Cls) {
+  case InstClass::IntAlu:
+    return PipeCls::Alu;
+  case InstClass::IntMul:
+    return PipeCls::Mul;
+  case InstClass::IntDiv:
+    return PipeCls::Div;
+  case InstClass::Load:
+    return PipeCls::Load;
+  case InstClass::Store:
+    return PipeCls::Store;
+  case InstClass::Branch:
+    return PipeCls::Branch;
+  case InstClass::Jump:
+    return Inst.Op == Opcode::Jalr ? PipeCls::Jalr : PipeCls::Jump;
+  case InstClass::Halt:
+  case InstClass::Invalid:
+    return PipeCls::Halt;
+  }
+  return PipeCls::Halt;
+}
+
+int fastsim::destRegOf(const DecodedInst &Inst) {
+  if (!Inst.writesRd())
+    return -1;
+  return Inst.Rd == 0 ? -1 : Inst.Rd;
+}
+
+int fastsim::src1RegOf(const DecodedInst &Inst) {
+  if (!Inst.readsRs1() || Inst.Rs1 == 0)
+    return -1;
+  return Inst.Rs1;
+}
+
+int fastsim::src2RegOf(const DecodedInst &Inst) {
+  // Stores read their data from the rd slot (see the ISA encoding).
+  if (Inst.isStore())
+    return Inst.Rd == 0 ? -1 : Inst.Rd;
+  if (!Inst.readsRs2() || Inst.Rs2 == 0)
+    return -1;
+  return Inst.Rs2;
+}
+
+//===----------------------------------------------------------------------===//
+// FastSim
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint8_t OutICacheMiss = 1u << 0;
+constexpr uint8_t OutDCacheMiss = 1u << 1;
+constexpr uint8_t OutBrTaken = 1u << 2;
+constexpr uint8_t OutMispredict = 1u << 3;
+
+} // namespace
+
+FastSim::FastSim(const TargetImage &Image, Options Opts)
+    : Image(Image), Opts(Opts) {
+  Mem.loadImage(Image);
+  Arch = makeInitialState(Image);
+  State.Pc = Image.Entry;
+}
+
+unsigned FastSim::latencyFor(PipeCls Cls, bool DCacheHit) const {
+  switch (Cls) {
+  case PipeCls::Mul:
+    return PipeConfig::LatMul;
+  case PipeCls::Div:
+    return PipeConfig::LatDiv;
+  case PipeCls::Load:
+    return DCacheHit ? PipeConfig::LatLoadHit : PipeConfig::LatLoadMiss;
+  default:
+    return 1;
+  }
+}
+
+uint8_t FastSim::execDynamic(uint32_t Pc, PipeCls Cls,
+                             const DecodedInst &Inst, uint32_t *NextPc) {
+  uint8_t Out = 0;
+  // Instruction cache: a miss stalls the front end (mirrors ooo.fac).
+  if (MH.accessInst(Pc) > 1) {
+    Out |= OutICacheMiss;
+    S.Cycles += PipeConfig::IMissPenalty;
+  }
+  if (Cls == PipeCls::Halt) {
+    *NextPc = Pc;
+    return Out;
+  }
+  // Functional execution (program order at fetch, as in FastSim's
+  // direct-execution structure).
+  Arch.Pc = Pc;
+  ExecInfo Info = executeInst(Inst, Arch, Mem);
+  *NextPc = Info.NextPc;
+  // Data cache.
+  if (Cls == PipeCls::Load) {
+    if (MH.accessData(Info.MemAddr, /*IsWrite=*/false) > 1)
+      Out |= OutDCacheMiss;
+  } else if (Cls == PipeCls::Store) {
+    // The store's hit/miss outcome is dead in the timing model (as in
+    // ooo.fac); the access still updates cache state.
+    MH.accessData(Info.MemAddr, /*IsWrite=*/true);
+  }
+  // Branch predictor.
+  if (Cls == PipeCls::Branch) {
+    bool Pred = BU.predictDirection(Pc);
+    BU.resolveDirection(Pc, Info.Taken);
+    if (Info.Taken)
+      Out |= OutBrTaken;
+    if (Pred != Info.Taken)
+      Out |= OutMispredict;
+  }
+  return Out;
+}
+
+bool FastSim::slowCycle(CycleTrace *Rec, const FetchRec *Replayed,
+                        size_t ReplayedFetches) {
+  const bool Recovering = Replayed != nullptr;
+
+  // --- retire -------------------------------------------------------------
+  unsigned Retired = 0;
+  for (unsigned R = 0; R != PipeConfig::RetireW; ++R) {
+    if (State.Cnt == 0)
+      break;
+    PipelineState::Slot &Slot = State.Slots[State.Head];
+    if (Slot.Stage != 3)
+      break;
+    Slot = PipelineState::Slot();
+    State.Head = static_cast<uint8_t>((State.Head + 1) % PipeConfig::W);
+    --State.Cnt;
+    ++Retired;
+  }
+  S.Retired += Retired;
+  if (Rec)
+    Rec->RetireN = static_cast<uint8_t>(Rec->RetireN + Retired);
+
+  // --- wakeup / select -------------------------------------------------------
+  // Wakeup computes readiness for every waiting entry (mirrors ooo.fac);
+  // select issues the oldest IssueW ready ones.
+  unsigned Issued = 0;
+  for (unsigned K = 0; K != State.Cnt; ++K) {
+    unsigned Idx = (State.Head + K) % PipeConfig::W;
+    PipelineState::Slot &Slot = State.Slots[Idx];
+    if (Slot.Stage != 1)
+      continue;
+    bool Ready = true;
+    for (unsigned J = 0; J != K && Ready; ++J) {
+      const PipelineState::Slot &Older =
+          State.Slots[(State.Head + J) % PipeConfig::W];
+      if (Older.Stage != 3 && Older.Dst >= 0 &&
+          (Older.Dst == Slot.S1 || Older.Dst == Slot.S2))
+        Ready = false;
+    }
+    if (Ready && Issued < PipeConfig::IssueW) {
+      Slot.Stage = 2;
+      ++Issued;
+    }
+  }
+
+  // --- execute ---------------------------------------------------------------
+  for (unsigned K = 0; K != State.Cnt; ++K) {
+    PipelineState::Slot &Slot = State.Slots[(State.Head + K) % PipeConfig::W];
+    if (Slot.Stage == 2) {
+      --Slot.Lat;
+      if (Slot.Lat <= 0)
+        Slot.Stage = 3;
+    }
+  }
+
+  // --- fetch -------------------------------------------------------------------
+  bool NextPcDynamic = false;
+  size_t FetchIdx = 0;
+  if (State.Redirect > 0) {
+    --State.Redirect;
+  } else {
+    for (unsigned F = 0; F != PipeConfig::FetchW;) {
+      if (State.FetchHalt || State.Cnt >= PipeConfig::W)
+        break;
+      uint32_t Pc = State.Pc;
+      if (!Image.isTextAddr(Pc)) {
+        State.FetchHalt = 1;
+        break;
+      }
+      DecodedInst Inst = decode(Image.fetch(Pc));
+      PipeCls Cls = classifyInst(Inst);
+
+      uint32_t NextPc = Pc + 4;
+      uint8_t Out;
+      if (Recovering && FetchIdx < ReplayedFetches) {
+        // Dynamic work already performed by the fast simulator before the
+        // miss: take the recorded outcomes, perform no side effects.
+        Out = Replayed[FetchIdx].Outcome;
+        NextPc = Replayed[FetchIdx].NextPc;
+      } else {
+        Out = execDynamic(Pc, Cls, Inst, &NextPc);
+      }
+      if (Rec)
+        Rec->Fetches.push_back({Pc, Out, NextPc, Inst, Cls});
+      ++FetchIdx;
+
+      if (Cls == PipeCls::Halt) {
+        State.FetchHalt = 1;
+        break;
+      }
+
+      // Enqueue into the window.
+      unsigned Tail = (State.Head + State.Cnt) % PipeConfig::W;
+      PipelineState::Slot &Slot = State.Slots[Tail];
+      Slot.Stage = 1;
+      Slot.Cls = static_cast<uint8_t>(Cls);
+      Slot.Dst = static_cast<int8_t>(destRegOf(Inst));
+      Slot.S1 = static_cast<int8_t>(src1RegOf(Inst));
+      Slot.S2 = static_cast<int8_t>(src2RegOf(Inst));
+      Slot.Lat = static_cast<int8_t>(
+          latencyFor(Cls, !(Out & OutDCacheMiss)));
+      ++State.Cnt;
+
+      // Control flow (mirrors ooo.fac: the fetch pc is re-derived from
+      // decode except for the indirect jump).
+      if (Cls == PipeCls::Branch) {
+        State.Pc = (Out & OutBrTaken) ? relativeTarget(Inst, Pc) : Pc + 4;
+        if (Out & OutMispredict) {
+          State.Redirect = PipeConfig::BrPenalty;
+          break;
+        }
+      } else if (Cls == PipeCls::Jump) {
+        State.Pc = relativeTarget(Inst, Pc);
+      } else if (Cls == PipeCls::Jalr) {
+        State.Redirect = 2;
+        State.Pc = NextPc;
+        NextPcDynamic = true;
+        break;
+      } else {
+        State.Pc = Pc + 4;
+      }
+      ++F;
+    }
+  }
+
+  // --- drain / end of simulation -----------------------------------------------
+  bool HaltNow = State.FetchHalt && State.Cnt == 0;
+  if (HaltNow)
+    Halted = true;
+
+  S.Cycles += 1;
+
+  if (Rec) {
+    if (NextPcDynamic)
+      Rec->NextPcDynamic = true;
+    if (HaltNow)
+      Rec->SimHalted = true;
+  }
+  return FetchIdx != 0;
+}
+
+void FastSim::slowQuantum(CycleTrace *Rec, const FetchRec *Replayed,
+                          size_t ReplayedFetches) {
+  // One step simulates until the end of a cycle that performs dynamic
+  // behaviour (paper §2.2); the cap bounds trace size on long stalls.
+  for (;;) {
+    bool Dyn = slowCycle(Rec, Replayed, ReplayedFetches);
+    if (Rec)
+      ++Rec->CyclesN;
+    if (Dyn || Halted)
+      break;
+    if (Rec && Rec->CyclesN >= 32)
+      break;
+    if (!Rec)
+      break; // unrecorded runs step one cycle at a time
+  }
+  if (Rec)
+    Rec->Next = State;
+}
+
+bool FastSim::fastCycle(Entry &E) {
+  assert(!E.Traces.empty() && "entries always hold at least one trace");
+  size_t TIdx = 0;
+  const CycleTrace *T = &E.Traces[0];
+
+  // Working record of the dynamic outcomes actually observed, used to
+  // switch traces or to hand the prefix to miss recovery. At most FetchW
+  // instructions fetch per cycle, so a stack array keeps the replay hot
+  // path allocation-free.
+  FetchRec Actual[PipeConfig::FetchW];
+  size_t ActualN = 0;
+  uint32_t LastNextPc = 0;
+  for (size_t I = 0; I != T->Fetches.size(); ++I) {
+    const FetchRec &F = T->Fetches[I];
+    uint32_t NextPc = F.Pc + 4;
+    uint8_t Out = execDynamic(F.Pc, F.Cls, F.Inst, &NextPc);
+    assert(ActualN < PipeConfig::FetchW && "over-long trace");
+    Actual[ActualN++] = {F.Pc, Out, NextPc, F.Inst, F.Cls};
+    LastNextPc = NextPc;
+    if (Out == F.Outcome)
+      continue;
+
+    // Dynamic result test failed on this trace; look for a sibling trace
+    // sharing the observed prefix (the action cache's per-path successors).
+    const CycleTrace *Switched = nullptr;
+    for (size_t UIdx = 0; UIdx != E.Traces.size(); ++UIdx) {
+      const CycleTrace &U = E.Traces[UIdx];
+      if (U.Fetches.size() <= I)
+        continue;
+      bool PrefixOk = true;
+      for (size_t K = 0; K <= I && PrefixOk; ++K)
+        PrefixOk = U.Fetches[K].Pc == Actual[K].Pc &&
+                   U.Fetches[K].Outcome == Actual[K].Outcome;
+      if (PrefixOk) {
+        Switched = &U;
+        TIdx = UIdx;
+        break;
+      }
+    }
+    if (Switched) {
+      T = Switched;
+      continue;
+    }
+
+    // Action cache miss: recover with the slow simulator. Retire and
+    // cycle counters for the quantum are accounted by the recovery run
+    // (the replay attempt had not yet credited them).
+    ++S.Misses;
+    CycleTrace NewTrace;
+    slowQuantum(&NewTrace, Actual, ActualN);
+    CacheBytes += sizeof(CycleTrace) +
+                  NewTrace.Fetches.size() * sizeof(FetchRec);
+    E.Traces.push_back(std::move(NewTrace));
+    return false;
+  }
+
+  // Full replay: install the successor pipeline state and credit the
+  // whole quantum (several bookkeeping cycles may be skipped at once —
+  // the paper's "increment the simulated cycles by 6").
+  State = T->Next;
+  if (T->NextPcDynamic)
+    State.Pc = LastNextPc;
+  if (T->SimHalted)
+    Halted = true;
+  S.Cycles += T->CyclesN;
+  S.Retired += T->RetireN;
+  S.RetiredFast += T->RetireN;
+
+  // INDEX chaining: when the successor state is the trace's recorded Next
+  // (i.e. no dynamic pc patch), follow the resolved entry pointer next
+  // cycle and skip the hash lookup entirely (paper Figure 9's
+  // INDEX_ACTION: "it is faster to follow the link to the next entry").
+  if (!T->NextPcDynamic && !T->SimHalted) {
+    CycleTrace &MutT = E.Traces[TIdx];
+    if (!MutT.NextEntry) {
+      auto It = Cache.find(State);
+      if (It != Cache.end())
+        MutT.NextEntry = It->second.get();
+    }
+    ChainNext = MutT.NextEntry;
+  }
+  return true;
+}
+
+void FastSim::stepCycle() {
+  ++S.Steps;
+  if (!Opts.Memoize) {
+    slowCycle(nullptr, nullptr, 0);
+    return;
+  }
+  Entry *E;
+  if (ChainNext) {
+    E = ChainNext;
+    ChainNext = nullptr;
+  } else {
+    std::unique_ptr<Entry> &Slot = Cache[State];
+    if (!Slot) {
+      Slot = std::make_unique<Entry>();
+      CacheBytes += sizeof(PipelineState) + sizeof(Entry) + 64;
+      CycleTrace Rec;
+      slowQuantum(&Rec, nullptr, 0);
+      CacheBytes +=
+          sizeof(CycleTrace) + Rec.Fetches.size() * sizeof(FetchRec);
+      Slot->Traces.push_back(std::move(Rec));
+      S.CacheBytes = CacheBytes;
+      if (CacheBytes > Opts.CacheBudgetBytes) {
+        Cache.clear();
+        CacheBytes = 0;
+        ChainNext = nullptr;
+        ++S.Clears;
+      }
+      return;
+    }
+    E = Slot.get();
+  }
+  if (fastCycle(*E))
+    ++S.FastSteps;
+  S.CacheBytes = CacheBytes;
+  if (CacheBytes > Opts.CacheBudgetBytes) {
+    Cache.clear();
+    CacheBytes = 0;
+    ChainNext = nullptr;
+    ++S.Clears;
+  }
+}
+
+uint64_t FastSim::run(uint64_t MaxInstrs) {
+  while (!Halted && S.Retired < MaxInstrs)
+    stepCycle();
+  return S.Retired;
+}

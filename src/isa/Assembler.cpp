@@ -1,0 +1,468 @@
+//===- Assembler.cpp - Two-pass assembler for the target ISA -------------===//
+
+#include "src/isa/Assembler.h"
+
+#include "src/isa/Isa.h"
+#include "src/support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace facile;
+using namespace facile::isa;
+
+namespace {
+
+/// One tokenized source statement.
+struct Stmt {
+  unsigned Line = 0;
+  std::string Label;               ///< label defined on this line, if any
+  std::string Mnemonic;            ///< directive or instruction, lowercased
+  std::vector<std::string> Operands;
+};
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+std::string lower(std::string_view S) {
+  std::string Out(S);
+  for (char &C : Out)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+/// Splits an operand list on commas, trimming whitespace.
+std::vector<std::string> splitOperands(std::string_view S) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == ',') {
+      std::string_view Piece = trim(S.substr(Start, I - Start));
+      if (!Piece.empty())
+        Out.emplace_back(Piece);
+      Start = I + 1;
+    }
+  }
+  return Out;
+}
+
+class Assembler {
+public:
+  explicit Assembler(std::string_view Source) : Source(Source) {}
+
+  std::optional<TargetImage> run(std::string *Error) {
+    if (!tokenize() || !layout() || !emit()) {
+      if (Error)
+        *Error = Err;
+      return std::nullopt;
+    }
+    if (auto It = Image.Symbols.find("main"); It != Image.Symbols.end())
+      Image.Entry = It->second;
+    else
+      Image.Entry = Image.TextBase;
+    return std::move(Image);
+  }
+
+private:
+  std::string_view Source;
+  std::vector<Stmt> Stmts;
+  TargetImage Image;
+  std::string Err;
+
+  bool fail(unsigned Line, std::string Message) {
+    Err = strFormat("line %u: %s", Line, Message.c_str());
+    return false;
+  }
+
+  // --- Pass 0: split into statements -------------------------------------
+  bool tokenize() {
+    unsigned LineNo = 0;
+    size_t Pos = 0;
+    while (Pos <= Source.size()) {
+      size_t End = Source.find('\n', Pos);
+      if (End == std::string_view::npos)
+        End = Source.size();
+      std::string_view Line = Source.substr(Pos, End - Pos);
+      Pos = End + 1;
+      ++LineNo;
+      if (size_t Hash = Line.find_first_of("#;"); Hash != std::string_view::npos)
+        Line = Line.substr(0, Hash);
+      Line = trim(Line);
+      if (Line.empty())
+        continue;
+
+      Stmt S;
+      S.Line = LineNo;
+      // Optional leading label.
+      if (size_t Colon = Line.find(':'); Colon != std::string_view::npos) {
+        std::string_view Name = trim(Line.substr(0, Colon));
+        bool AllIdent = !Name.empty();
+        for (char C : Name)
+          AllIdent &= isIdentChar(C);
+        if (AllIdent) {
+          S.Label = std::string(Name);
+          Line = trim(Line.substr(Colon + 1));
+        }
+      }
+      if (!Line.empty()) {
+        size_t Sp = Line.find_first_of(" \t");
+        if (Sp == std::string_view::npos) {
+          S.Mnemonic = lower(Line);
+        } else {
+          S.Mnemonic = lower(Line.substr(0, Sp));
+          S.Operands = splitOperands(Line.substr(Sp + 1));
+        }
+      }
+      if (!S.Label.empty() || !S.Mnemonic.empty())
+        Stmts.push_back(std::move(S));
+    }
+    return true;
+  }
+
+  // --- Pass 1: assign addresses to labels ---------------------------------
+  /// Returns the number of instruction words a mnemonic expands to.
+  static unsigned instWords(const std::string &M) {
+    if (M == "li" || M == "la")
+      return 2; // lui + ori, always two words for deterministic layout
+    return 1;
+  }
+
+  bool layout() {
+    bool InText = true;
+    uint32_t TextOff = 0, DataOff = 0;
+    for (const Stmt &S : Stmts) {
+      if (!S.Label.empty()) {
+        uint32_t Addr = InText ? Image.TextBase + TextOff
+                               : Image.DataBase + DataOff;
+        if (!Image.Symbols.emplace(S.Label, Addr).second)
+          return fail(S.Line, strFormat("duplicate label '%s'",
+                                        S.Label.c_str()));
+      }
+      if (S.Mnemonic.empty())
+        continue;
+      if (S.Mnemonic == ".text") {
+        InText = true;
+      } else if (S.Mnemonic == ".data") {
+        InText = false;
+      } else if (S.Mnemonic == ".word") {
+        if (InText)
+          return fail(S.Line, ".word is only valid in the data section");
+        DataOff += 4 * static_cast<uint32_t>(S.Operands.size());
+      } else if (S.Mnemonic == ".space") {
+        if (InText || S.Operands.size() != 1)
+          return fail(S.Line, "bad .space directive");
+        DataOff += static_cast<uint32_t>(std::strtoul(
+            S.Operands[0].c_str(), nullptr, 0));
+      } else {
+        if (!InText)
+          return fail(S.Line, "instructions are only valid in .text");
+        TextOff += 4 * instWords(S.Mnemonic);
+      }
+    }
+    return true;
+  }
+
+  // --- Operand parsing -----------------------------------------------------
+  bool parseReg(const std::string &Op, unsigned Line, unsigned *Reg) {
+    if (Op.size() < 2 || (Op[0] != 'r' && Op[0] != 'R'))
+      return fail(Line, strFormat("expected register, got '%s'", Op.c_str()));
+    char *End = nullptr;
+    unsigned long N = std::strtoul(Op.c_str() + 1, &End, 10);
+    if (*End != '\0' || N >= NumRegs)
+      return fail(Line, strFormat("bad register '%s'", Op.c_str()));
+    *Reg = static_cast<unsigned>(N);
+    return true;
+  }
+
+  /// Parses an immediate: a number, or a label name (resolved to its
+  /// address).
+  bool parseImm(const std::string &Op, unsigned Line, int64_t *Value) {
+    if (!Op.empty() &&
+        (std::isdigit(static_cast<unsigned char>(Op[0])) || Op[0] == '-' ||
+         Op[0] == '+')) {
+      char *End = nullptr;
+      *Value = std::strtoll(Op.c_str(), &End, 0);
+      if (*End != '\0')
+        return fail(Line, strFormat("bad immediate '%s'", Op.c_str()));
+      return true;
+    }
+    auto It = Image.Symbols.find(Op);
+    if (It == Image.Symbols.end())
+      return fail(Line, strFormat("undefined symbol '%s'", Op.c_str()));
+    *Value = It->second;
+    return true;
+  }
+
+  /// Parses "off(rN)" or "(rN)" memory operands.
+  bool parseMem(const std::string &Op, unsigned Line, unsigned *Reg,
+                int64_t *Off) {
+    size_t L = Op.find('(');
+    size_t R = Op.rfind(')');
+    if (L == std::string::npos || R == std::string::npos || R < L)
+      return fail(Line, strFormat("expected off(rN), got '%s'", Op.c_str()));
+    std::string OffStr(trim(std::string_view(Op).substr(0, L)));
+    std::string RegStr(trim(std::string_view(Op).substr(L + 1, R - L - 1)));
+    *Off = 0;
+    if (!OffStr.empty() && !parseImm(OffStr, Line, Off))
+      return false;
+    return parseReg(RegStr, Line, Reg);
+  }
+
+  bool checkOperands(const Stmt &S, size_t N) {
+    if (S.Operands.size() == N)
+      return true;
+    return fail(S.Line, strFormat("'%s' expects %zu operands, got %zu",
+                                  S.Mnemonic.c_str(), N, S.Operands.size()));
+  }
+
+  // --- Pass 2: emit --------------------------------------------------------
+  bool emit() {
+    bool InText = true;
+    for (const Stmt &S : Stmts) {
+      if (S.Mnemonic.empty())
+        continue;
+      if (S.Mnemonic == ".text") {
+        InText = true;
+        continue;
+      }
+      if (S.Mnemonic == ".data") {
+        InText = false;
+        continue;
+      }
+      if (!InText) {
+        if (!emitData(S))
+          return false;
+        continue;
+      }
+      if (!emitInst(S))
+        return false;
+    }
+    return true;
+  }
+
+  bool emitData(const Stmt &S) {
+    if (S.Mnemonic == ".word") {
+      for (const std::string &Op : S.Operands) {
+        int64_t V = 0;
+        if (!parseImm(Op, S.Line, &V))
+          return false;
+        uint32_t U = static_cast<uint32_t>(V);
+        for (int B = 0; B != 4; ++B)
+          Image.Data.push_back(static_cast<uint8_t>(U >> (8 * B)));
+      }
+      return true;
+    }
+    if (S.Mnemonic == ".space") {
+      int64_t N = 0;
+      if (!parseImm(S.Operands[0], S.Line, &N))
+        return false;
+      Image.Data.insert(Image.Data.end(), static_cast<size_t>(N), 0);
+      return true;
+    }
+    return fail(S.Line, strFormat("unknown directive '%s'",
+                                  S.Mnemonic.c_str()));
+  }
+
+  uint32_t here() const {
+    return Image.TextBase + static_cast<uint32_t>(Image.Text.size()) * 4;
+  }
+
+  bool branchOffset(const std::string &Op, unsigned Line, int64_t *WordOff) {
+    int64_t Target = 0;
+    if (!parseImm(Op, Line, &Target))
+      return false;
+    int64_t Delta = Target - (static_cast<int64_t>(here()) + 4);
+    if (Delta & 3)
+      return fail(Line, "branch target not word aligned");
+    *WordOff = Delta >> 2;
+    return true;
+  }
+
+  static std::optional<AluFunct> aluFunct(const std::string &M) {
+    static const std::map<std::string, AluFunct> Table = {
+        {"add", AluFunct::Add},   {"sub", AluFunct::Sub},
+        {"and", AluFunct::And},   {"or", AluFunct::Or},
+        {"xor", AluFunct::Xor},   {"sll", AluFunct::Sll},
+        {"srl", AluFunct::Srl},   {"sra", AluFunct::Sra},
+        {"slt", AluFunct::Slt},   {"sltu", AluFunct::Sltu},
+        {"mul", AluFunct::Mul},   {"div", AluFunct::Div},
+        {"rem", AluFunct::Rem}};
+    auto It = Table.find(M);
+    if (It == Table.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  static std::optional<Opcode> immOpcode(const std::string &M) {
+    static const std::map<std::string, Opcode> Table = {
+        {"addi", Opcode::Addi}, {"andi", Opcode::Andi},
+        {"ori", Opcode::Ori},   {"xori", Opcode::Xori},
+        {"slti", Opcode::Slti}, {"slli", Opcode::Slli},
+        {"srli", Opcode::Srli}, {"srai", Opcode::Srai}};
+    auto It = Table.find(M);
+    if (It == Table.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  static std::optional<Opcode> branchOpcode(const std::string &M) {
+    static const std::map<std::string, Opcode> Table = {
+        {"beq", Opcode::Beq},
+        {"bne", Opcode::Bne},
+        {"blt", Opcode::Blt},
+        {"bge", Opcode::Bge}};
+    auto It = Table.find(M);
+    if (It == Table.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  static std::optional<Opcode> memOpcode(const std::string &M) {
+    static const std::map<std::string, Opcode> Table = {
+        {"ld", Opcode::Ld},
+        {"st", Opcode::St},
+        {"ldb", Opcode::Ldb},
+        {"stb", Opcode::Stb}};
+    auto It = Table.find(M);
+    if (It == Table.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  bool emitInst(const Stmt &S) {
+    const std::string &M = S.Mnemonic;
+
+    if (auto Funct = aluFunct(M)) {
+      unsigned Rd, Rs1, Rs2;
+      if (!checkOperands(S, 3) || !parseReg(S.Operands[0], S.Line, &Rd) ||
+          !parseReg(S.Operands[1], S.Line, &Rs1) ||
+          !parseReg(S.Operands[2], S.Line, &Rs2))
+        return false;
+      Image.Text.push_back(encodeR(*Funct, Rd, Rs1, Rs2));
+      return true;
+    }
+    if (auto Op = immOpcode(M)) {
+      unsigned Rd, Rs1;
+      int64_t Imm;
+      if (!checkOperands(S, 3) || !parseReg(S.Operands[0], S.Line, &Rd) ||
+          !parseReg(S.Operands[1], S.Line, &Rs1) ||
+          !parseImm(S.Operands[2], S.Line, &Imm))
+        return false;
+      // Logical immediates are zero-extended by the ISA, so unsigned 16-bit
+      // values are representable; arithmetic immediates sign-extend.
+      bool Logical =
+          *Op == Opcode::Andi || *Op == Opcode::Ori || *Op == Opcode::Xori;
+      int64_t Hi = Logical ? 65535 : 32767;
+      if (Imm < -32768 || Imm > Hi)
+        return fail(S.Line, "immediate out of 16-bit range");
+      Image.Text.push_back(encodeI(*Op, Rd, Rs1, static_cast<int32_t>(Imm)));
+      return true;
+    }
+    if (auto Op = branchOpcode(M)) {
+      unsigned Rs1, Rs2;
+      int64_t Off;
+      if (!checkOperands(S, 3) || !parseReg(S.Operands[0], S.Line, &Rs1) ||
+          !parseReg(S.Operands[1], S.Line, &Rs2) ||
+          !branchOffset(S.Operands[2], S.Line, &Off))
+        return false;
+      Image.Text.push_back(
+          encodeB(*Op, Rs1, Rs2, static_cast<int32_t>(Off)));
+      return true;
+    }
+    if (auto Op = memOpcode(M)) {
+      unsigned Rd, Rs1;
+      int64_t Off;
+      if (!checkOperands(S, 2) || !parseReg(S.Operands[0], S.Line, &Rd) ||
+          !parseMem(S.Operands[1], S.Line, &Rs1, &Off))
+        return false;
+      if (Off < -32768 || Off > 32767)
+        return fail(S.Line, "memory offset out of 16-bit range");
+      Image.Text.push_back(encodeI(*Op, Rd, Rs1, static_cast<int32_t>(Off)));
+      return true;
+    }
+    if (M == "lui") {
+      unsigned Rd;
+      int64_t Imm;
+      if (!checkOperands(S, 2) || !parseReg(S.Operands[0], S.Line, &Rd) ||
+          !parseImm(S.Operands[1], S.Line, &Imm))
+        return false;
+      Image.Text.push_back(
+          encodeI(Opcode::Lui, Rd, 0, static_cast<int32_t>(Imm & 0xffff)));
+      return true;
+    }
+    if (M == "jal" || M == "call" || M == "j") {
+      int64_t Off;
+      if (!checkOperands(S, 1) || !branchOffset(S.Operands[0], S.Line, &Off))
+        return false;
+      Opcode Op = (M == "j") ? Opcode::Jmp : Opcode::Jal;
+      Image.Text.push_back(encodeJ(Op, static_cast<int32_t>(Off)));
+      return true;
+    }
+    if (M == "jalr") {
+      unsigned Rd, Rs1;
+      int64_t Imm;
+      if (!checkOperands(S, 3) || !parseReg(S.Operands[0], S.Line, &Rd) ||
+          !parseReg(S.Operands[1], S.Line, &Rs1) ||
+          !parseImm(S.Operands[2], S.Line, &Imm))
+        return false;
+      Image.Text.push_back(
+          encodeI(Opcode::Jalr, Rd, Rs1, static_cast<int32_t>(Imm)));
+      return true;
+    }
+    if (M == "halt") {
+      Image.Text.push_back(encodeHalt());
+      return true;
+    }
+    // Pseudo-instructions.
+    if (M == "nop") {
+      Image.Text.push_back(encodeI(Opcode::Addi, 0, 0, 0));
+      return true;
+    }
+    if (M == "mv") {
+      unsigned Rd, Rs;
+      if (!checkOperands(S, 2) || !parseReg(S.Operands[0], S.Line, &Rd) ||
+          !parseReg(S.Operands[1], S.Line, &Rs))
+        return false;
+      Image.Text.push_back(encodeI(Opcode::Addi, Rd, Rs, 0));
+      return true;
+    }
+    if (M == "li" || M == "la") {
+      unsigned Rd;
+      int64_t Imm;
+      if (!checkOperands(S, 2) || !parseReg(S.Operands[0], S.Line, &Rd) ||
+          !parseImm(S.Operands[1], S.Line, &Imm))
+        return false;
+      uint32_t U = static_cast<uint32_t>(Imm);
+      Image.Text.push_back(
+          encodeI(Opcode::Lui, Rd, 0, static_cast<int32_t>(U >> 16)));
+      Image.Text.push_back(
+          encodeI(Opcode::Ori, Rd, Rd, static_cast<int32_t>(U & 0xffff)));
+      return true;
+    }
+    if (M == "ret") {
+      Image.Text.push_back(encodeI(Opcode::Jalr, 0, LinkReg, 0));
+      return true;
+    }
+    return fail(S.Line, strFormat("unknown mnemonic '%s'", M.c_str()));
+  }
+};
+
+} // namespace
+
+std::optional<TargetImage> isa::assemble(std::string_view Source,
+                                         std::string *Error) {
+  Assembler A(Source);
+  return A.run(Error);
+}

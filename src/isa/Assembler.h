@@ -1,0 +1,49 @@
+//===- Assembler.h - Two-pass assembler for the target ISA -----*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small two-pass assembler so that tests, examples and hand-written
+/// kernels can express target programs symbolically.
+///
+/// Syntax:
+///   .text / .data           switch sections (text is default)
+///   label:                  define a label in the current section
+///   .word v, v, ...         emit initialised data words (data section)
+///   .space N                reserve N zeroed bytes (data section)
+///   add rD, rS, rT          R-type ALU ops (add/sub/and/or/xor/sll/srl/
+///                           sra/slt/sltu/mul/div/rem)
+///   addi rD, rS, imm        I-type ALU ops (+ andi/ori/xori/slti/slli/...)
+///   lui rD, imm
+///   ld/st/ldb/stb rD, off(rS)
+///   beq/bne/blt/bge rA, rB, label
+///   jal label | j label | jalr rD, rS, imm | halt
+/// Pseudo-ops: nop, mv rD,rS, li rD,imm32, la rD,label, call label, ret
+/// Comments start with '#' or ';'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_ISA_ASSEMBLER_H
+#define FACILE_ISA_ASSEMBLER_H
+
+#include "src/isa/TargetImage.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace facile {
+namespace isa {
+
+/// Assembles \p Source into an executable image. Returns std::nullopt and
+/// fills \p Error (as "line N: message") on failure. The image entry point is
+/// the `main` label if defined, otherwise the first text word.
+std::optional<TargetImage> assemble(std::string_view Source,
+                                    std::string *Error = nullptr);
+
+} // namespace isa
+} // namespace facile
+
+#endif // FACILE_ISA_ASSEMBLER_H

@@ -1,0 +1,200 @@
+//===- Decode.cpp - Instruction decoding and encoding --------------------===//
+
+#include "src/isa/Isa.h"
+
+#include <cassert>
+
+using namespace facile;
+using namespace facile::isa;
+
+namespace {
+
+constexpr uint32_t bits(uint32_t Word, unsigned Hi, unsigned Lo) {
+  return (Word >> Lo) & ((1u << (Hi - Lo + 1)) - 1u);
+}
+
+constexpr int32_t signExtend(uint32_t Value, unsigned Width) {
+  uint32_t Sign = 1u << (Width - 1);
+  return static_cast<int32_t>((Value ^ Sign) - Sign);
+}
+
+InstClass classify(Opcode Op, AluFunct Funct) {
+  switch (Op) {
+  case Opcode::RAlu:
+    if (Funct == AluFunct::Mul)
+      return InstClass::IntMul;
+    if (Funct == AluFunct::Div || Funct == AluFunct::Rem)
+      return InstClass::IntDiv;
+    return InstClass::IntAlu;
+  case Opcode::Addi:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slti:
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Srai:
+  case Opcode::Lui:
+    return InstClass::IntAlu;
+  case Opcode::Ld:
+  case Opcode::Ldb:
+    return InstClass::Load;
+  case Opcode::St:
+  case Opcode::Stb:
+    return InstClass::Store;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    return InstClass::Branch;
+  case Opcode::Jal:
+  case Opcode::Jmp:
+  case Opcode::Jalr:
+    return InstClass::Jump;
+  case Opcode::Halt:
+    return InstClass::Halt;
+  }
+  return InstClass::Invalid;
+}
+
+bool isKnownOpcode(uint32_t Op) {
+  switch (static_cast<Opcode>(Op)) {
+  case Opcode::RAlu:
+  case Opcode::Addi:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slti:
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Srai:
+  case Opcode::Lui:
+  case Opcode::Ld:
+  case Opcode::St:
+  case Opcode::Ldb:
+  case Opcode::Stb:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Jal:
+  case Opcode::Jmp:
+  case Opcode::Jalr:
+  case Opcode::Halt:
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+DecodedInst isa::decode(uint32_t Word) {
+  DecodedInst Inst;
+  Inst.Raw = Word;
+  uint32_t Op = bits(Word, 31, 26);
+  if (!isKnownOpcode(Op)) {
+    Inst.Cls = InstClass::Invalid;
+    return Inst;
+  }
+  Inst.Op = static_cast<Opcode>(Op);
+  switch (Inst.Op) {
+  case Opcode::RAlu: {
+    uint32_t Funct = bits(Word, 10, 0);
+    if (Funct > static_cast<uint32_t>(AluFunct::Rem)) {
+      Inst.Cls = InstClass::Invalid;
+      return Inst;
+    }
+    Inst.Funct = static_cast<AluFunct>(Funct);
+    Inst.Rd = static_cast<uint8_t>(bits(Word, 25, 21));
+    Inst.Rs1 = static_cast<uint8_t>(bits(Word, 20, 16));
+    Inst.Rs2 = static_cast<uint8_t>(bits(Word, 15, 11));
+    break;
+  }
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    // Branches reuse the rd slot for rs1 and the rs1 slot for rs2.
+    Inst.Rs1 = static_cast<uint8_t>(bits(Word, 25, 21));
+    Inst.Rs2 = static_cast<uint8_t>(bits(Word, 20, 16));
+    Inst.Imm = signExtend(bits(Word, 15, 0), 16);
+    break;
+  case Opcode::Jal:
+  case Opcode::Jmp:
+    Inst.Imm = signExtend(bits(Word, 25, 0), 26);
+    Inst.Rd = Inst.Op == Opcode::Jal ? LinkReg : 0;
+    break;
+  case Opcode::Halt:
+    break;
+  default: // I-type (ALU immediates, loads/stores, jalr).
+    Inst.Rd = static_cast<uint8_t>(bits(Word, 25, 21));
+    Inst.Rs1 = static_cast<uint8_t>(bits(Word, 20, 16));
+    Inst.Imm = signExtend(bits(Word, 15, 0), 16);
+    break;
+  }
+  Inst.Cls = classify(Inst.Op, Inst.Funct);
+  return Inst;
+}
+
+bool DecodedInst::writesRd() const {
+  if (Rd == 0)
+    return false;
+  switch (Cls) {
+  case InstClass::IntAlu:
+  case InstClass::IntMul:
+  case InstClass::IntDiv:
+  case InstClass::Load:
+    return true;
+  case InstClass::Jump:
+    return Op == Opcode::Jal || Op == Opcode::Jalr;
+  default:
+    return false;
+  }
+}
+
+bool DecodedInst::readsRs1() const {
+  switch (Op) {
+  case Opcode::Lui:
+  case Opcode::Jal:
+  case Opcode::Jmp:
+  case Opcode::Halt:
+    return false;
+  default:
+    return Cls != InstClass::Invalid;
+  }
+}
+
+bool DecodedInst::readsRs2() const {
+  return Op == Opcode::RAlu || Cls == InstClass::Branch;
+}
+
+uint32_t isa::encodeR(AluFunct Funct, unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  assert(Rd < NumRegs && Rs1 < NumRegs && Rs2 < NumRegs && "bad register");
+  return (static_cast<uint32_t>(Opcode::RAlu) << 26) | (Rd << 21) |
+         (Rs1 << 16) | (Rs2 << 11) | static_cast<uint32_t>(Funct);
+}
+
+uint32_t isa::encodeI(Opcode Op, unsigned Rd, unsigned Rs1, int32_t Imm) {
+  assert(Rd < NumRegs && Rs1 < NumRegs && "bad register");
+  assert(Imm >= -32768 && Imm <= 65535 && "immediate out of range");
+  return (static_cast<uint32_t>(Op) << 26) | (Rd << 21) | (Rs1 << 16) |
+         (static_cast<uint32_t>(Imm) & 0xffffu);
+}
+
+uint32_t isa::encodeB(Opcode Op, unsigned Rs1, unsigned Rs2, int32_t WordOff) {
+  assert(Rs1 < NumRegs && Rs2 < NumRegs && "bad register");
+  assert(WordOff >= -32768 && WordOff <= 32767 && "branch offset out of range");
+  return (static_cast<uint32_t>(Op) << 26) | (Rs1 << 21) | (Rs2 << 16) |
+         (static_cast<uint32_t>(WordOff) & 0xffffu);
+}
+
+uint32_t isa::encodeJ(Opcode Op, int32_t WordOff) {
+  assert(WordOff >= -(1 << 25) && WordOff < (1 << 25) &&
+         "jump offset out of range");
+  return (static_cast<uint32_t>(Op) << 26) |
+         (static_cast<uint32_t>(WordOff) & 0x3ffffffu);
+}
+
+uint32_t isa::encodeHalt() {
+  return static_cast<uint32_t>(Opcode::Halt) << 26;
+}

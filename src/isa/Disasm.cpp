@@ -1,0 +1,124 @@
+//===- Disasm.cpp - Instruction disassembly -------------------------------===//
+
+#include "src/isa/Isa.h"
+#include "src/support/StringUtils.h"
+
+using namespace facile;
+using namespace facile::isa;
+
+namespace {
+
+const char *alumName(AluFunct F) {
+  switch (F) {
+  case AluFunct::Add:
+    return "add";
+  case AluFunct::Sub:
+    return "sub";
+  case AluFunct::And:
+    return "and";
+  case AluFunct::Or:
+    return "or";
+  case AluFunct::Xor:
+    return "xor";
+  case AluFunct::Sll:
+    return "sll";
+  case AluFunct::Srl:
+    return "srl";
+  case AluFunct::Sra:
+    return "sra";
+  case AluFunct::Slt:
+    return "slt";
+  case AluFunct::Sltu:
+    return "sltu";
+  case AluFunct::Mul:
+    return "mul";
+  case AluFunct::Div:
+    return "div";
+  case AluFunct::Rem:
+    return "rem";
+  }
+  return "?";
+}
+
+const char *immName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Addi:
+    return "addi";
+  case Opcode::Andi:
+    return "andi";
+  case Opcode::Ori:
+    return "ori";
+  case Opcode::Xori:
+    return "xori";
+  case Opcode::Slti:
+    return "slti";
+  case Opcode::Slli:
+    return "slli";
+  case Opcode::Srli:
+    return "srli";
+  case Opcode::Srai:
+    return "srai";
+  default:
+    return "?";
+  }
+}
+
+const char *branchName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+    return "beq";
+  case Opcode::Bne:
+    return "bne";
+  case Opcode::Blt:
+    return "blt";
+  case Opcode::Bge:
+    return "bge";
+  default:
+    return "?";
+  }
+}
+
+} // namespace
+
+std::string isa::disassemble(const DecodedInst &Inst, uint32_t Pc) {
+  switch (Inst.Op) {
+  case Opcode::RAlu:
+    return strFormat("%s r%u, r%u, r%u", alumName(Inst.Funct), Inst.Rd,
+                     Inst.Rs1, Inst.Rs2);
+  case Opcode::Addi:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slti:
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Srai:
+    return strFormat("%s r%u, r%u, %d", immName(Inst.Op), Inst.Rd, Inst.Rs1,
+                     Inst.Imm);
+  case Opcode::Lui:
+    return strFormat("lui r%u, %d", Inst.Rd, Inst.Imm);
+  case Opcode::Ld:
+    return strFormat("ld r%u, %d(r%u)", Inst.Rd, Inst.Imm, Inst.Rs1);
+  case Opcode::Ldb:
+    return strFormat("ldb r%u, %d(r%u)", Inst.Rd, Inst.Imm, Inst.Rs1);
+  case Opcode::St:
+    return strFormat("st r%u, %d(r%u)", Inst.Rd, Inst.Imm, Inst.Rs1);
+  case Opcode::Stb:
+    return strFormat("stb r%u, %d(r%u)", Inst.Rd, Inst.Imm, Inst.Rs1);
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    return strFormat("%s r%u, r%u, 0x%x", branchName(Inst.Op), Inst.Rs1,
+                     Inst.Rs2, relativeTarget(Inst, Pc));
+  case Opcode::Jal:
+    return strFormat("jal 0x%x", relativeTarget(Inst, Pc));
+  case Opcode::Jmp:
+    return strFormat("j 0x%x", relativeTarget(Inst, Pc));
+  case Opcode::Jalr:
+    return strFormat("jalr r%u, r%u, %d", Inst.Rd, Inst.Rs1, Inst.Imm);
+  case Opcode::Halt:
+    return "halt";
+  }
+  return strFormat(".word 0x%08x", Inst.Raw);
+}

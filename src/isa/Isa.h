@@ -1,0 +1,154 @@
+//===- Isa.h - The target RISC instruction set ------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 32-bit fixed-width RISC target ISA simulated throughout this project.
+/// It plays the role of SPARC-V8/V9 in the paper: simple enough to describe
+/// with Facile token/field/pattern declarations, rich enough (ALU ops,
+/// loads/stores, conditional branches, calls, multiply/divide) to carry
+/// SPEC95-shaped synthetic workloads.
+///
+/// Encoding (one 32-bit token; field ranges are inclusive bit numbers,
+/// bit 0 = LSB):
+///
+///   op    31:26   primary opcode
+///   rd    25:21   destination register
+///   rs1   20:16   first source register
+///   rs2   15:11   second source register
+///   funct 10:0    ALU sub-opcode (R-type)
+///   imm   15:0    16-bit immediate (I-type / branch offset in words)
+///   off26 25:0    26-bit jump offset in words (J-type)
+///
+/// Branches put rs1 in the rd slot and rs2 in the rs1 slot, mirroring how
+/// SPARC reuses instruction fields per format. Register r0 reads as zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_ISA_ISA_H
+#define FACILE_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace facile {
+namespace isa {
+
+/// Number of architectural integer registers. r0 is hard-wired to zero.
+inline constexpr unsigned NumRegs = 32;
+/// Link register written by jal/call.
+inline constexpr unsigned LinkReg = 31;
+/// Stack pointer register initialised by the loader.
+inline constexpr unsigned StackReg = 29;
+
+/// Primary opcode field values.
+enum class Opcode : uint8_t {
+  RAlu = 0, ///< R-type ALU operation; funct selects the operator.
+  Addi = 1,
+  Andi = 2,
+  Ori = 3,
+  Xori = 4,
+  Slti = 5,
+  Slli = 6,
+  Srli = 7,
+  Srai = 8,
+  Lui = 9, ///< rd = imm << 16
+  Ld = 16, ///< rd = mem32[rs1 + imm]
+  St = 17, ///< mem32[rs1 + imm] = rd
+  Ldb = 18,
+  Stb = 19,
+  Beq = 24,
+  Bne = 25,
+  Blt = 26,
+  Bge = 27,
+  Jal = 32,  ///< r31 = pc + 4; pc += off26 * 4
+  Jmp = 33,  ///< pc += off26 * 4 (no link)
+  Jalr = 34, ///< rd = pc + 4; pc = rs1 + imm
+  Halt = 40,
+};
+
+/// R-type ALU sub-opcodes held in the funct field.
+enum class AluFunct : uint16_t {
+  Add = 0,
+  Sub = 1,
+  And = 2,
+  Or = 3,
+  Xor = 4,
+  Sll = 5,
+  Srl = 6,
+  Sra = 7,
+  Slt = 8,
+  Sltu = 9,
+  Mul = 10,
+  Div = 11,
+  Rem = 12,
+};
+
+/// Coarse classification used by the timing models.
+enum class InstClass : uint8_t {
+  IntAlu,  ///< single-cycle integer op
+  IntMul,  ///< multiply (multi-cycle functional unit)
+  IntDiv,  ///< divide/remainder (long latency, unpipelined)
+  Load,
+  Store,
+  Branch,  ///< conditional branch
+  Jump,    ///< unconditional jump / call / indirect jump
+  Halt,
+  Invalid,
+};
+
+/// A fully decoded instruction. Produced once per fetched word; every
+/// simulator in the project consumes this form.
+struct DecodedInst {
+  Opcode Op = Opcode::Halt;
+  AluFunct Funct = AluFunct::Add;
+  InstClass Cls = InstClass::Invalid;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  int32_t Imm = 0; ///< sign-extended immediate / branch or jump word offset
+  uint32_t Raw = 0;
+
+  bool isBranch() const { return Cls == InstClass::Branch; }
+  bool isJump() const { return Cls == InstClass::Jump; }
+  bool isControl() const { return isBranch() || isJump(); }
+  bool isLoad() const { return Cls == InstClass::Load; }
+  bool isStore() const { return Cls == InstClass::Store; }
+  bool isMemory() const { return isLoad() || isStore(); }
+  bool isHalt() const { return Cls == InstClass::Halt; }
+
+  /// Returns true if the instruction writes Rd (r0 writes are discarded).
+  bool writesRd() const;
+  /// Returns true if the instruction reads Rs1 / Rs2 respectively.
+  bool readsRs1() const;
+  bool readsRs2() const;
+};
+
+/// Decodes one instruction word. Unknown encodings decode to
+/// InstClass::Invalid, never trap.
+DecodedInst decode(uint32_t Word);
+
+/// Renders \p Inst at \p Pc as assembler text (e.g. "beq r1, r2, 0x1040").
+std::string disassemble(const DecodedInst &Inst, uint32_t Pc);
+
+/// \name Encoders (used by the assembler, workload generator and tests).
+/// @{
+uint32_t encodeR(AluFunct Funct, unsigned Rd, unsigned Rs1, unsigned Rs2);
+uint32_t encodeI(Opcode Op, unsigned Rd, unsigned Rs1, int32_t Imm);
+uint32_t encodeB(Opcode Op, unsigned Rs1, unsigned Rs2, int32_t WordOff);
+uint32_t encodeJ(Opcode Op, int32_t WordOff);
+uint32_t encodeHalt();
+/// @}
+
+/// Branch/jump target helper: target pc for a control instruction at \p Pc.
+/// Only valid for Beq..Jmp (pc-relative forms).
+inline uint32_t relativeTarget(const DecodedInst &Inst, uint32_t Pc) {
+  return Pc + 4 + static_cast<uint32_t>(Inst.Imm << 2);
+}
+
+} // namespace isa
+} // namespace facile
+
+#endif // FACILE_ISA_ISA_H

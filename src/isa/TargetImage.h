@@ -1,0 +1,64 @@
+//===- TargetImage.h - Executable image for the target ISA -----*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable format consumed by every simulator. It stands in for the
+/// SPARC/ELF binaries of the paper: a text segment of instruction words, a
+/// data segment of bytes, an entry point and a symbol table for debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_ISA_TARGETIMAGE_H
+#define FACILE_ISA_TARGETIMAGE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace facile {
+namespace isa {
+
+/// Default virtual address of the first text word.
+inline constexpr uint32_t DefaultTextBase = 0x1000;
+/// Default virtual address of the data segment.
+inline constexpr uint32_t DefaultDataBase = 0x100000;
+/// Initial stack pointer installed by the loader (grows down).
+inline constexpr uint32_t DefaultStackTop = 0x7ff000;
+
+/// A loaded/loadable target executable.
+struct TargetImage {
+  uint32_t TextBase = DefaultTextBase;
+  uint32_t DataBase = DefaultDataBase;
+  uint32_t Entry = DefaultTextBase;
+  std::vector<uint32_t> Text; ///< instruction words, in address order
+  std::vector<uint8_t> Data;  ///< initialised data bytes
+  std::map<std::string, uint32_t> Symbols;
+
+  /// Returns the address one past the last text word.
+  uint32_t textEnd() const {
+    return TextBase + static_cast<uint32_t>(Text.size()) * 4;
+  }
+
+  /// Returns true if \p Addr falls inside the text segment.
+  bool isTextAddr(uint32_t Addr) const {
+    return Addr >= TextBase && Addr < textEnd();
+  }
+
+  /// Reads the instruction word at \p Addr; returns 0 (an `add r0` no-op
+  /// pattern that decodes to RAlu) outside the segment. Callers are expected
+  /// to stay in bounds; see isTextAddr().
+  uint32_t fetch(uint32_t Addr) const {
+    if (!isTextAddr(Addr))
+      return 0;
+    return Text[(Addr - TextBase) / 4];
+  }
+};
+
+} // namespace isa
+} // namespace facile
+
+#endif // FACILE_ISA_TARGETIMAGE_H

@@ -1,0 +1,68 @@
+//===- TargetMemory.cpp - Sparse simulated memory -------------------------===//
+
+#include "src/loader/TargetMemory.h"
+
+#include <cstring>
+
+using namespace facile;
+
+const uint8_t *TargetMemory::pageFor(uint32_t Addr) const {
+  auto It = Pages.find(Addr >> PageBits);
+  if (It == Pages.end())
+    return nullptr;
+  return It->second.get();
+}
+
+uint8_t *TargetMemory::pageForWrite(uint32_t Addr) {
+  std::unique_ptr<uint8_t[]> &Page = Pages[Addr >> PageBits];
+  if (!Page) {
+    Page = std::make_unique<uint8_t[]>(PageSize);
+    std::memset(Page.get(), 0, PageSize);
+  }
+  return Page.get();
+}
+
+void TargetMemory::loadImage(const isa::TargetImage &Image) {
+  for (size_t I = 0; I != Image.Text.size(); ++I)
+    write32(Image.TextBase + static_cast<uint32_t>(I) * 4, Image.Text[I]);
+  for (size_t I = 0; I != Image.Data.size(); ++I)
+    write8(Image.DataBase + static_cast<uint32_t>(I), Image.Data[I]);
+}
+
+uint8_t TargetMemory::read8(uint32_t Addr) const {
+  const uint8_t *Page = pageFor(Addr);
+  if (!Page)
+    return 0;
+  return Page[Addr & (PageSize - 1)];
+}
+
+void TargetMemory::write8(uint32_t Addr, uint8_t Value) {
+  pageForWrite(Addr)[Addr & (PageSize - 1)] = Value;
+}
+
+uint32_t TargetMemory::read32(uint32_t Addr) const {
+  // Fast path: the whole word sits inside one page.
+  uint32_t Off = Addr & (PageSize - 1);
+  if (Off <= PageSize - 4) {
+    const uint8_t *Page = pageFor(Addr);
+    if (!Page)
+      return 0;
+    uint32_t V;
+    std::memcpy(&V, Page + Off, 4);
+    return V;
+  }
+  uint32_t V = 0;
+  for (int B = 0; B != 4; ++B)
+    V |= static_cast<uint32_t>(read8(Addr + B)) << (8 * B);
+  return V;
+}
+
+void TargetMemory::write32(uint32_t Addr, uint32_t Value) {
+  uint32_t Off = Addr & (PageSize - 1);
+  if (Off <= PageSize - 4) {
+    std::memcpy(pageForWrite(Addr) + Off, &Value, 4);
+    return;
+  }
+  for (int B = 0; B != 4; ++B)
+    write8(Addr + B, static_cast<uint8_t>(Value >> (8 * B)));
+}

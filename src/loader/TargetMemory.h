@@ -1,0 +1,60 @@
+//===- TargetMemory.h - Sparse simulated memory -----------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse, paged memory for the simulated target. One instance holds the
+/// functional (architectural) memory state of a running program. All
+/// simulators — the Facile-generated ones, the hand-coded FastSim analogue
+/// and the SimpleScalar-like baseline — share this implementation so their
+/// architectural results are directly comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_LOADER_TARGETMEMORY_H
+#define FACILE_LOADER_TARGETMEMORY_H
+
+#include "src/isa/TargetImage.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace facile {
+
+/// Byte-addressable sparse memory. Pages are allocated on first touch and
+/// zero-initialised; reads of untouched memory return zero, matching a
+/// freshly mmapped BSS.
+class TargetMemory {
+public:
+  static constexpr uint32_t PageBits = 12;
+  static constexpr uint32_t PageSize = 1u << PageBits;
+
+  TargetMemory() = default;
+
+  /// Copies the image's text and data segments into memory. Text is also
+  /// kept readable so that self-inspecting code and the fetch path agree.
+  void loadImage(const isa::TargetImage &Image);
+
+  uint8_t read8(uint32_t Addr) const;
+  void write8(uint32_t Addr, uint8_t Value);
+
+  /// 32-bit accesses are little-endian and need not be aligned.
+  uint32_t read32(uint32_t Addr) const;
+  void write32(uint32_t Addr, uint32_t Value);
+
+  /// Number of resident pages (for footprint reporting).
+  size_t residentPages() const { return Pages.size(); }
+
+private:
+  const uint8_t *pageFor(uint32_t Addr) const;
+  uint8_t *pageForWrite(uint32_t Addr);
+
+  mutable std::unordered_map<uint32_t, std::unique_ptr<uint8_t[]>> Pages;
+};
+
+} // namespace facile
+
+#endif // FACILE_LOADER_TARGETMEMORY_H

@@ -1,0 +1,138 @@
+//===- ActionCache.h - The specialized action cache -------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specialized action cache of a fast-forwarding simulator (paper §2,
+/// Figure 2). Entries are indexed by the serialized run-time static input
+/// (the `init` globals — the step function's key). Each entry holds a graph
+/// of action nodes: plain dynamic basic blocks, dynamic-result tests with
+/// one successor per observed predicate value, and an end-of-step INDEX
+/// node carrying the next step's key. Placeholder data (memoized rt-static
+/// operand values) lives in a per-entry pool addressed by [DataOfs,
+/// DataOfs+DataLen) spans.
+///
+/// Memory is budgeted: when the cache exceeds its byte budget it is cleared
+/// wholesale and re-filled by the slow simulator, the policy the paper
+/// reports costs little performance at 1/10 the footprint (§6.1-§6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_RUNTIME_ACTIONCACHE_H
+#define FACILE_RUNTIME_ACTIONCACHE_H
+
+#include "src/support/Hashing.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace facile {
+namespace rt {
+
+struct CacheEntry;
+
+/// One recorded action. Kind determines which link fields are meaningful.
+struct ActionNode {
+  static constexpr uint32_t NoNode = ~0u;
+
+  enum class Kind : uint8_t {
+    Plain, ///< dynamic basic block; control continues at Next
+    Test,  ///< dynamic-result test; control continues at OnValue[result]
+    End,   ///< end of step (INDEX): NextKey identifies the next entry
+  };
+
+  int32_t ActionId = -1;
+  Kind K = Kind::Plain;
+  uint32_t DataOfs = 0; ///< placeholder span in the entry's pool
+  uint32_t DataLen = 0;
+  uint32_t Next = NoNode;          ///< Plain
+  uint32_t OnValue[2] = {NoNode, NoNode}; ///< Test: successor per 0/1 result
+  std::string NextKey;             ///< End: serialized next key
+  CacheEntry *NextEntry = nullptr; ///< End: lazily resolved chain pointer
+};
+
+/// One cache entry: the recorded behaviour of the step function for one
+/// run-time static input.
+struct CacheEntry {
+  std::vector<ActionNode> Nodes;
+  std::vector<int64_t> Data; ///< placeholder pool
+  uint32_t Head = ActionNode::NoNode;
+};
+
+/// The key-indexed store of specialized actions.
+class ActionCache {
+public:
+  struct Stats {
+    uint64_t Lookups = 0;
+    uint64_t Hits = 0;
+    uint64_t EntriesCreated = 0;
+    uint64_t Clears = 0;
+    uint64_t PeakBytes = 0;
+  };
+
+  explicit ActionCache(size_t BudgetBytes) : Budget(BudgetBytes) {}
+
+  /// Finds the entry for \p Key, or nullptr.
+  CacheEntry *lookup(const std::string &Key) {
+    ++S.Lookups;
+    auto It = Map.find(Key);
+    if (It == Map.end())
+      return nullptr;
+    ++S.Hits;
+    return It->second.get();
+  }
+
+  /// Creates an (empty) entry for \p Key. The caller records into it.
+  CacheEntry *create(const std::string &Key) {
+    ++S.EntriesCreated;
+    auto Entry = std::make_unique<CacheEntry>();
+    CacheEntry *Ptr = Entry.get();
+    noteBytes(Key.size() + 64);
+    Map.emplace(Key, std::move(Entry));
+    return Ptr;
+  }
+
+  /// Accounts \p N additional bytes of memoized data.
+  void noteBytes(size_t N) {
+    Bytes += N;
+    if (Bytes > S.PeakBytes)
+      S.PeakBytes = Bytes;
+  }
+
+  /// True when the budget is exhausted; the owner should clear().
+  bool overBudget() const { return Bytes > Budget; }
+
+  /// Drops every entry (the paper's clear-on-full policy). Any outstanding
+  /// CacheEntry pointers become invalid.
+  void clear() {
+    Map.clear();
+    Bytes = 0;
+    ++S.Clears;
+  }
+
+  size_t bytes() const { return Bytes; }
+  size_t entryCount() const { return Map.size(); }
+  const Stats &stats() const { return S; }
+
+private:
+  struct KeyHash {
+    size_t operator()(const std::string &K) const {
+      return static_cast<size_t>(hashBytes(K.data(), K.size()));
+    }
+  };
+
+  std::unordered_map<std::string, std::unique_ptr<CacheEntry>, KeyHash> Map;
+  size_t Budget;
+  size_t Bytes = 0;
+  Stats S;
+};
+
+} // namespace rt
+} // namespace facile
+
+#endif // FACILE_RUNTIME_ACTIONCACHE_H

@@ -1,0 +1,157 @@
+//===- Simulation.h - Fast-forwarding simulation runtime --------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution runtime for compiled Facile simulators: the paper's
+/// coupled slow/complete and fast/residual simulators (Figure 1) sharing a
+/// specialized action cache.
+///
+/// Storage is split by binding time, exactly as in the paper's generated C
+/// code: *dynamic* state (slots, globals, arrays, target memory, the cycle
+/// counter) is shared between the two simulators, while *run-time static*
+/// state exists only on the slow side. The slow simulator executes the full
+/// step function, recording action numbers, placeholder data and
+/// dynamic-result values; the fast simulator replays only dynamic basic
+/// blocks. An action-cache miss rolls the slow simulator forward in
+/// recovery mode — re-executing rt-static code only, taking recorded
+/// dynamic results from the replayed prefix — until it reaches the miss
+/// point and resumes normal recording (paper §4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_RUNTIME_SIMULATION_H
+#define FACILE_RUNTIME_SIMULATION_H
+
+#include "src/facile/Compiler.h"
+#include "src/isa/TargetImage.h"
+#include "src/loader/TargetMemory.h"
+#include "src/runtime/ActionCache.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace facile {
+namespace rt {
+
+/// Host-provided implementation of an `extern` function.
+using ExternHandler = std::function<int64_t(const int64_t *Args, size_t N)>;
+
+/// Which engine produced a step.
+enum class StepEngine : uint8_t {
+  Slow,         ///< recorded by the slow simulator (cold key)
+  Fast,         ///< fully replayed from the action cache
+  FastThenSlow, ///< replay missed; recovered and re-recorded
+};
+
+/// A running simulation of one compiled Facile program over one target
+/// image.
+class Simulation {
+public:
+  struct Options {
+    bool Memoize = true; ///< false: slow simulator only, no cache (baseline)
+    size_t CacheBudgetBytes = 256u << 20; ///< paper §6.2's 256 MB default
+  };
+
+  struct Stats {
+    uint64_t Steps = 0;
+    uint64_t FastSteps = 0;
+    uint64_t Misses = 0;          ///< action-cache misses (recoveries)
+    uint64_t RetiredTotal = 0;    ///< via the retire() builtin
+    uint64_t RetiredFast = 0;     ///< retired during fast replay
+    uint64_t Cycles = 0;          ///< via the cycles() builtin
+    uint64_t PlaceholderWords = 0;
+
+    /// Table 1's metric: fraction of instructions simulated by the fast
+    /// simulator.
+    double fastForwardedPct() const {
+      return RetiredTotal == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(RetiredFast) /
+                       static_cast<double>(RetiredTotal);
+    }
+  };
+
+  /// \p Prog and \p Image must outlive the simulation.
+  Simulation(const CompiledProgram &Prog, const isa::TargetImage &Image,
+             Options Opts);
+  Simulation(const CompiledProgram &Prog, const isa::TargetImage &Image)
+      : Simulation(Prog, Image, Options()) {}
+
+  /// Installs the handler for extern \p Name. Aborts the program if the
+  /// name was not declared extern (host wiring bug, not user input).
+  void registerExtern(const std::string &Name, ExternHandler Handler);
+
+  /// Reads / writes a scalar global in the dynamic store (e.g. to seed the
+  /// initial pc). Aborts on unknown names or arrays.
+  int64_t getGlobal(const std::string &Name) const;
+  void setGlobal(const std::string &Name, int64_t Value);
+  /// Array-global element access for harnesses and tests.
+  int64_t getGlobalElem(const std::string &Name, uint32_t Index) const;
+  void setGlobalElem(const std::string &Name, uint32_t Index, int64_t Value);
+
+  /// Executes one call of the step function. Returns which engine ran it.
+  StepEngine step();
+
+  /// Runs until sim_halt() or \p MaxSteps steps. Returns steps executed.
+  uint64_t run(uint64_t MaxSteps);
+
+  bool halted() const { return HaltFlag; }
+  const Stats &stats() const { return S; }
+  const ActionCache &cache() const { return Cache; }
+  TargetMemory &memory() { return Mem; }
+  const TargetMemory &memory() const { return Mem; }
+
+private:
+  //===-- shared evaluation helpers (Simulation.cpp) -----------------------
+  struct RecordCtx;
+  struct ReplayedStep;
+
+  void runSlow(CacheEntry *Rec, const ReplayedStep *Recovery);
+  bool runFast(CacheEntry *Entry, const std::string &Key);
+  std::string serializeKey() const;
+  void serializeKeyInto(std::string &Out) const;
+  void seedStaticFromKey(const std::string &Key);
+  void copyInitDynToStatic();
+  int64_t builtinCall(const ir::Inst &I, const int64_t *Args, bool FastSide);
+  int64_t externCall(const ir::Inst &I, const int64_t *Args);
+
+  const CompiledProgram &Prog;
+  const isa::TargetImage &Image;
+  Options Opts;
+  TargetMemory Mem;
+
+  // Dynamic state: shared between the two simulators (and with the host).
+  std::vector<int64_t> DynSlots;
+  std::vector<int64_t> DynGlobals;
+  std::vector<std::vector<int64_t>> DynArrays; ///< per global id (arrays)
+  std::vector<std::vector<int64_t>> DynLocalArrays;
+
+  // Run-time static state: the slow simulator's private view.
+  std::vector<int64_t> StatSlots;
+  std::vector<int64_t> StatGlobals;
+  std::vector<std::vector<int64_t>> StatArrays;
+  std::vector<std::vector<int64_t>> StatLocalArrays;
+
+  std::vector<ExternHandler> Externs;
+  ActionCache Cache;
+  bool HaltFlag = false;
+  bool InFastEngine = false; ///< attribution for retire()/cycles()
+  Stats S;
+
+  /// INDEX chaining (paper Figure 9): the End node reached by the previous
+  /// step. When its recorded NextKey matches the current key, the next
+  /// entry is reached through a cached pointer instead of a hash lookup.
+  CacheEntry *PendingEndEntry = nullptr;
+  uint32_t PendingEndNode = 0;
+  std::string KeyBuf; ///< reused per-step key buffer
+};
+
+} // namespace rt
+} // namespace facile
+
+#endif // FACILE_RUNTIME_SIMULATION_H

@@ -1,0 +1,109 @@
+//===- SimHarness.cpp - Host harness for the Facile simulators -------------===//
+
+#include "src/sims/SimHarness.h"
+
+#include "src/isa/Isa.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace facile;
+using namespace facile::sims;
+
+#ifndef FACILE_SIMS_DIR
+#error "FACILE_SIMS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::string readFileOrDie(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    std::fprintf(stderr, "cannot open simulator source '%s'\n", Path.c_str());
+    std::abort();
+  }
+  std::string Out;
+  char Buffer[4096];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), File)) != 0)
+    Out.append(Buffer, N);
+  std::fclose(File);
+  return Out;
+}
+
+const char *sourceFileFor(SimKind Kind) {
+  switch (Kind) {
+  case SimKind::Functional:
+    return "functional.fac";
+  case SimKind::InOrder:
+    return "inorder.fac";
+  case SimKind::OutOfOrder:
+    return "ooo.fac";
+  }
+  return "functional.fac";
+}
+
+} // namespace
+
+std::string sims::simulatorSource(SimKind Kind) {
+  std::string Dir = FACILE_SIMS_DIR;
+  return readFileOrDie(Dir + "/isa.fac") + "\n" +
+         readFileOrDie(Dir + "/" + sourceFileFor(Kind));
+}
+
+const CompiledProgram &sims::simulatorProgram(SimKind Kind) {
+  static std::map<SimKind, std::unique_ptr<CompiledProgram>> Cache;
+  std::unique_ptr<CompiledProgram> &Slot = Cache[Kind];
+  if (!Slot) {
+    DiagnosticEngine Diag;
+    auto P = compileFacile(simulatorSource(Kind), Diag);
+    if (!P) {
+      std::fprintf(stderr, "failed to compile %s:\n%s",
+                   sourceFileFor(Kind), Diag.str().c_str());
+      std::abort();
+    }
+    Slot = std::make_unique<CompiledProgram>(std::move(*P));
+  }
+  return *Slot;
+}
+
+FacileSim::FacileSim(SimKind Kind, const isa::TargetImage &Image,
+                     rt::Simulation::Options Opts)
+    : Sim(simulatorProgram(Kind), Image, Opts) {
+  Sim.setGlobal("PC", Image.Entry);
+  Sim.setGlobalElem("R", isa::StackReg, isa::DefaultStackTop);
+  wireExterns(Kind);
+}
+
+void FacileSim::wireExterns(SimKind Kind) {
+  if (Kind == SimKind::Functional)
+    return;
+  // The timing simulators call the branch predictor and cache hierarchy as
+  // external, unmemoized functions — the paper's §3.2 structure.
+  Sim.registerExtern("bp_predict", [this](const int64_t *Args, size_t) {
+    return static_cast<int64_t>(
+        BU.predictDirection(static_cast<uint32_t>(Args[0])) ? 1 : 0);
+  });
+  Sim.registerExtern("bp_train", [this](const int64_t *Args, size_t) {
+    BU.resolveDirection(static_cast<uint32_t>(Args[0]), Args[1] != 0);
+    return static_cast<int64_t>(0);
+  });
+  Sim.registerExtern("dcache_access", [this](const int64_t *Args, size_t) {
+    unsigned Latency = MH.accessData(static_cast<uint32_t>(Args[0]),
+                                     /*IsWrite=*/Args[1] != 0);
+    return static_cast<int64_t>(Latency <= 1 ? 1 : 0);
+  });
+  Sim.registerExtern("icache_access", [this](const int64_t *Args, size_t) {
+    unsigned Latency = MH.accessInst(static_cast<uint32_t>(Args[0]));
+    return static_cast<int64_t>(Latency <= 1 ? 1 : 0);
+  });
+}
+
+uint64_t FacileSim::run(uint64_t MaxInstrs) {
+  // Steps and instructions differ (the OOO simulator retires several
+  // instructions per cycle-step); poll the retire counter in batches.
+  while (!Sim.halted() && Sim.stats().RetiredTotal < MaxInstrs)
+    Sim.run(256);
+  return Sim.stats().RetiredTotal;
+}

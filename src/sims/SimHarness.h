@@ -1,0 +1,73 @@
+//===- SimHarness.h - Host harness for the Facile simulators ----*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wires the Facile-written simulators (src/sims/*.fac) to the C++
+/// substrate, playing the role of the paper's ~1000 lines of support C
+/// code (§6.2): it compiles the .fac sources, registers the external
+/// (unmemoized) branch predictor and cache simulator, seeds the program
+/// counter and stack pointer, and runs to an instruction budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SIMS_SIMHARNESS_H
+#define FACILE_SIMS_SIMHARNESS_H
+
+#include "src/facile/Compiler.h"
+#include "src/runtime/Simulation.h"
+#include "src/uarch/Caches.h"
+#include "src/uarch/Predictors.h"
+
+#include <memory>
+
+namespace facile {
+namespace sims {
+
+/// Which Facile simulator source to run.
+enum class SimKind {
+  Functional, ///< functional.fac — 1 instruction/step, no timing
+  InOrder,    ///< inorder.fac — scoreboarded in-order pipeline
+  OutOfOrder, ///< ooo.fac — instruction-window out-of-order pipeline
+};
+
+/// Returns the compiled program for \p Kind. Sources are read from the
+/// FACILE_SIMS_DIR the build configures; compilation happens once per
+/// process and the result is cached. Aborts on compile errors (the .fac
+/// sources ship with the repo, so failures are build breakage).
+const CompiledProgram &simulatorProgram(SimKind Kind);
+
+/// Returns the concatenated Facile source text for \p Kind (prelude +
+/// simulator), for tests that want to inspect or recompile it.
+std::string simulatorSource(SimKind Kind);
+
+/// One runnable Facile simulator instance bound to a target image.
+class FacileSim {
+public:
+  /// \p Image must outlive this object.
+  FacileSim(SimKind Kind, const isa::TargetImage &Image,
+            rt::Simulation::Options Opts = {});
+
+  /// Runs until sim_halt() or at least \p MaxInstrs instructions retired.
+  /// Returns the number of instructions retired.
+  uint64_t run(uint64_t MaxInstrs);
+
+  rt::Simulation &sim() { return Sim; }
+  const rt::Simulation &sim() const { return Sim; }
+  const BranchUnit &branchUnit() const { return BU; }
+  const MemoryHierarchy &memHierarchy() const { return MH; }
+
+private:
+  void wireExterns(SimKind Kind);
+
+  rt::Simulation Sim;
+  BranchUnit BU;
+  MemoryHierarchy MH;
+};
+
+} // namespace sims
+} // namespace facile
+
+#endif // FACILE_SIMS_SIMHARNESS_H

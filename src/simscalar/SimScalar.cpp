@@ -1,0 +1,240 @@
+//===- SimScalar.cpp - Conventional out-of-order simulator ------------------===//
+
+#include "src/simscalar/SimScalar.h"
+
+#include <cassert>
+
+using namespace facile;
+using namespace facile::simscalar;
+using namespace facile::isa;
+
+SimScalar::SimScalar(const TargetImage &Image, Config Cfg)
+    : Image(Image), Cfg(Cfg) {
+  Mem.loadImage(Image);
+  Arch = makeInitialState(Image);
+  Ruu.resize(Cfg.RuuSize);
+  Ifq.resize(Cfg.FetchQueue);
+  for (int16_t &C : CreateVec)
+    C = -1;
+  FetchPc = Image.Entry;
+}
+
+/// Dependence helpers shared with the hand-coded model's conventions:
+/// stores read their data operand from the rd slot; r0 never depends.
+namespace {
+
+int srcReg1(const DecodedInst &Inst) {
+  if (!Inst.readsRs1() || Inst.Rs1 == 0)
+    return -1;
+  return Inst.Rs1;
+}
+
+int srcReg2(const DecodedInst &Inst) {
+  if (Inst.isStore())
+    return Inst.Rd == 0 ? -1 : Inst.Rd;
+  if (!Inst.readsRs2() || Inst.Rs2 == 0)
+    return -1;
+  return Inst.Rs2;
+}
+
+int destReg(const DecodedInst &Inst) {
+  if (!Inst.writesRd() || Inst.Rd == 0)
+    return -1;
+  return Inst.Rd;
+}
+
+} // namespace
+
+void SimScalar::commitPhase() {
+  for (unsigned C = 0; C != Cfg.CommitW; ++C) {
+    if (RuuCount == 0)
+      return;
+    RuuEntry &Head = Ruu[RuuHead];
+    if (!Head.Completed)
+      return;
+    // Retire: free the entry and clear the create vector if this entry is
+    // still the architectural producer.
+    int Dst = destReg(Head.Inst);
+    if (Dst >= 0 && CreateVec[Dst] == static_cast<int16_t>(RuuHead))
+      CreateVec[Dst] = -1;
+    // Unlink consumers: the committed value now lives in the register
+    // file, and this RUU slot may be reused by a younger instruction.
+    for (unsigned K = 1; K < RuuCount; ++K) {
+      RuuEntry &E = Ruu[ruuIndex(K)];
+      if (E.Src1Producer == static_cast<int16_t>(RuuHead))
+        E.Src1Producer = -1;
+      if (E.Src2Producer == static_cast<int16_t>(RuuHead))
+        E.Src2Producer = -1;
+    }
+    RuuHead = (RuuHead + 1) % Cfg.RuuSize;
+    --RuuCount;
+    ++S.Retired;
+  }
+}
+
+void SimScalar::writebackPhase() {
+  // Count down functional units; completion wakes dependents implicitly
+  // (issue re-scans producers each cycle, as sim-outorder's RUU does with
+  // its event queue drained each cycle).
+  for (unsigned K = 0; K != RuuCount; ++K) {
+    RuuEntry &E = Ruu[ruuIndex(K)];
+    if (E.Issued && !E.Completed) {
+      --E.LatRemaining;
+      if (E.LatRemaining <= 0)
+        E.Completed = true;
+    }
+  }
+}
+
+void SimScalar::issuePhase() {
+  unsigned Issued = 0;
+  for (unsigned K = 0; K != RuuCount && Issued < Cfg.IssueW; ++K) {
+    RuuEntry &E = Ruu[ruuIndex(K)];
+    if (E.Issued)
+      continue;
+    // Operands ready when their producers completed.
+    bool Ready = true;
+    if (E.Src1Producer >= 0 && !Ruu[E.Src1Producer].Completed)
+      Ready = false;
+    if (E.Src2Producer >= 0 && !Ruu[E.Src2Producer].Completed)
+      Ready = false;
+    // Loads additionally wait for older stores to the same address
+    // (a simple LSQ disambiguation scan).
+    if (Ready && E.Inst.isLoad()) {
+      for (unsigned J = 0; J != K && Ready; ++J) {
+        const RuuEntry &Older = Ruu[ruuIndex(J)];
+        if (Older.Inst.isStore() && !Older.Completed &&
+            (Older.MemAddr & ~3u) == (E.MemAddr & ~3u))
+          Ready = false;
+      }
+    }
+    if (!Ready)
+      continue;
+    E.Issued = true;
+    unsigned Lat = 1;
+    switch (E.Inst.Cls) {
+    case InstClass::IntMul:
+      Lat = Cfg.LatMul;
+      break;
+    case InstClass::IntDiv:
+      Lat = Cfg.LatDiv;
+      break;
+    case InstClass::Load:
+      Lat = MH.accessData(E.MemAddr, false) <= 1 ? Cfg.LatLoadHit
+                                                 : Cfg.LatLoadMiss;
+      break;
+    case InstClass::Store:
+      MH.accessData(E.MemAddr, true);
+      Lat = 1;
+      break;
+    default:
+      break;
+    }
+    E.LatRemaining = static_cast<int16_t>(Lat);
+    ++Issued;
+  }
+}
+
+void SimScalar::dispatchPhase() {
+  while (IfqCount != 0 && RuuCount < Cfg.RuuSize) {
+    IfqEntry &F = Ifq[IfqHead];
+    unsigned Tail = ruuIndex(RuuCount);
+    RuuEntry &E = Ruu[Tail];
+    E = RuuEntry();
+    E.Pc = F.Pc;
+    E.Inst = F.Inst;
+    E.IsMemOp = F.IsMemOp;
+    E.MemAddr = F.MemAddr;
+    // Rename: look up producers in the create vector, then claim the
+    // destination.
+    int S1 = srcReg1(F.Inst);
+    int S2 = srcReg2(F.Inst);
+    E.Src1Producer = S1 >= 0 ? CreateVec[S1] : -1;
+    E.Src2Producer = S2 >= 0 ? CreateVec[S2] : -1;
+    int Dst = destReg(F.Inst);
+    if (Dst >= 0)
+      CreateVec[Dst] = static_cast<int16_t>(Tail);
+    ++RuuCount;
+    IfqHead = (IfqHead + 1) % Cfg.FetchQueue;
+    --IfqCount;
+  }
+}
+
+void SimScalar::fetchPhase() {
+  if (RedirectStall > 0) {
+    --RedirectStall;
+    return;
+  }
+  for (unsigned F = 0; F != Cfg.FetchW; ++F) {
+    if (FetchHalt || IfqCount >= Cfg.FetchQueue)
+      return;
+    if (!Image.isTextAddr(FetchPc)) {
+      FetchHalt = true;
+      return;
+    }
+    if (MH.accessInst(FetchPc) > 1)
+      S.Cycles += Cfg.IMissPenalty;
+
+    DecodedInst Inst = decode(Image.fetch(FetchPc));
+    if (Inst.isHalt() || Inst.Cls == InstClass::Invalid) {
+      FetchHalt = true;
+      return;
+    }
+
+    // Oracle functional execution at fetch (sim-outorder structure).
+    Arch.Pc = FetchPc;
+    ExecInfo Info = executeInst(Inst, Arch, Mem);
+
+    IfqEntry &Q = Ifq[(IfqHead + IfqCount) % Cfg.FetchQueue];
+    Q = IfqEntry();
+    Q.Pc = FetchPc;
+    Q.Inst = Inst;
+    Q.NextPc = Info.NextPc;
+    Q.Taken = Info.Taken;
+    Q.IsMemOp = Info.IsMem;
+    Q.MemAddr = Info.MemAddr;
+    ++IfqCount;
+    ++S.Fetched;
+
+    // Branch prediction and fetch redirection.
+    if (Inst.isBranch()) {
+      bool Pred = BU.predictDirection(FetchPc);
+      BU.resolveDirection(FetchPc, Info.Taken);
+      FetchPc = Info.NextPc;
+      if (Pred != Info.Taken) {
+        ++S.BranchMispredicts;
+        RedirectStall = Cfg.BrPenalty;
+        return;
+      }
+      continue;
+    }
+    if (Inst.Op == Opcode::Jalr) {
+      // Indirect target: consult the BTB, charge a bubble on a miss.
+      bool Correct = BU.resolveIndirect(FetchPc, Info.NextPc);
+      FetchPc = Info.NextPc;
+      if (!Correct) {
+        RedirectStall = 2;
+        return;
+      }
+      continue;
+    }
+    FetchPc = Info.NextPc;
+  }
+}
+
+void SimScalar::stepCycle() {
+  commitPhase();
+  writebackPhase();
+  issuePhase();
+  dispatchPhase();
+  fetchPhase();
+  if (FetchHalt && RuuCount == 0 && IfqCount == 0)
+    Halted = true;
+  ++S.Cycles;
+}
+
+uint64_t SimScalar::run(uint64_t MaxInstrs) {
+  while (!Halted && S.Retired < MaxInstrs)
+    stepCycle();
+  return S.Retired;
+}

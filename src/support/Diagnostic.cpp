@@ -1,0 +1,19 @@
+//===- Diagnostic.cpp - Error reporting for the Facile compiler ----------===//
+
+#include "src/support/Diagnostic.h"
+
+#include "src/support/StringUtils.h"
+
+using namespace facile;
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    const char *Kind = D.Kind == DiagKind::Error     ? "error"
+                       : D.Kind == DiagKind::Warning ? "warning"
+                                                     : "note";
+    Out += strFormat("%u:%u: %s: %s\n", D.Loc.Line, D.Loc.Column, Kind,
+                     D.Message.c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- Diagnostic.h - Error reporting for the Facile compiler --*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. The Facile compiler never throws; every
+/// front-end failure is reported here and callers test hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SUPPORT_DIAGNOSTIC_H
+#define FACILE_SUPPORT_DIAGNOSTIC_H
+
+#include "src/support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace facile {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic: severity, location, and rendered message.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while compiling one Facile program.
+///
+/// Messages follow the LLVM style: start lowercase, no trailing period.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines,
+  /// suitable for tests and tool output.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace facile
+
+#endif // FACILE_SUPPORT_DIAGNOSTIC_H

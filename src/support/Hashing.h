@@ -1,0 +1,44 @@
+//===- Hashing.h - FNV-1a hashing utilities ---------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic FNV-1a hashing used for action-cache keys and workload
+/// generation. Kept independent of std::hash so that cache statistics are
+/// reproducible across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SUPPORT_HASHING_H
+#define FACILE_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace facile {
+
+inline constexpr uint64_t FNVOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t FNVPrime = 0x100000001b3ULL;
+
+/// Hashes \p Size bytes starting at \p Data, continuing from \p Seed.
+inline uint64_t hashBytes(const void *Data, size_t Size,
+                          uint64_t Seed = FNVOffset) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= P[I];
+    H *= FNVPrime;
+  }
+  return H;
+}
+
+/// Mixes one 64-bit value into a running hash.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return hashBytes(&Value, sizeof(Value), Seed);
+}
+
+} // namespace facile
+
+#endif // FACILE_SUPPORT_HASHING_H

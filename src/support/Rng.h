@@ -1,0 +1,56 @@
+//===- Rng.h - Deterministic pseudo-random numbers --------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 generator. Workload generation must be bit-reproducible across
+/// platforms, so we avoid std::mt19937's distribution-dependent behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SUPPORT_RNG_H
+#define FACILE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace facile {
+
+/// Deterministic SplitMix64 PRNG.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below() requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() bounds out of order");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace facile
+
+#endif // FACILE_SUPPORT_RNG_H

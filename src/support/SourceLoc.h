@@ -1,0 +1,38 @@
+//===- SourceLoc.h - Source locations for Facile diagnostics ---*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight (line, column) source location used by the lexer, parser and
+/// diagnostic engine. Offsets are 1-based; a zero line denotes "unknown".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SUPPORT_SOURCELOC_H
+#define FACILE_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace facile {
+
+/// A position in a Facile source buffer. Line/column are 1-based; the
+/// default-constructed location is the "unknown" location (line 0).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace facile
+
+#endif // FACILE_SUPPORT_SOURCELOC_H

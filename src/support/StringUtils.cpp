@@ -1,0 +1,24 @@
+//===- StringUtils.cpp - printf-style formatting helpers -----------------===//
+
+#include "src/support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace facile;
+
+std::string facile::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed));
+    std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  }
+  va_end(Args);
+  return Out;
+}

@@ -1,0 +1,20 @@
+//===- StringUtils.h - printf-style formatting helpers ---------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SUPPORT_STRINGUTILS_H
+#define FACILE_SUPPORT_STRINGUTILS_H
+
+#include <string>
+
+namespace facile {
+
+/// printf-style formatting into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace facile
+
+#endif // FACILE_SUPPORT_STRINGUTILS_H

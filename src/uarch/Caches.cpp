@@ -1,0 +1,81 @@
+//===- Caches.cpp - Cache hierarchy timing model ---------------------------===//
+
+#include "src/uarch/Caches.h"
+
+#include <cassert>
+
+using namespace facile;
+
+Cache::Cache(const CacheConfig &Config) : Config(Config) {
+  assert(Config.Sets != 0 && Config.Ways != 0 && "degenerate cache geometry");
+  Lines.resize(static_cast<size_t>(Config.Sets) * Config.Ways);
+}
+
+bool Cache::access(uint32_t Addr, bool IsWrite) {
+  (void)IsWrite; // write-allocate: reads and writes fill identically
+  ++S.Accesses;
+  ++Tick;
+  uint32_t Set = setIndex(Addr);
+  uint32_t Tag = tagOf(Addr);
+  Line *Base = &Lines[static_cast<size_t>(Set) * Config.Ways];
+  for (unsigned W = 0; W != Config.Ways; ++W) {
+    Line &L = Base[W];
+    if (L.Valid && L.Tag == Tag) {
+      L.Lru = Tick;
+      return true;
+    }
+  }
+  // Miss: evict an invalid way if one exists, otherwise the LRU way.
+  Line *Victim = Base;
+  for (unsigned W = 0; W != Config.Ways && Victim->Valid; ++W) {
+    Line &L = Base[W];
+    if (!L.Valid || L.Lru < Victim->Lru)
+      Victim = &L;
+  }
+  ++S.Misses;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->Lru = Tick;
+  return false;
+}
+
+bool Cache::probe(uint32_t Addr) const {
+  uint32_t Set = setIndex(Addr);
+  uint32_t Tag = tagOf(Addr);
+  const Line *Base = &Lines[static_cast<size_t>(Set) * Config.Ways];
+  for (unsigned W = 0; W != Config.Ways; ++W)
+    if (Base[W].Valid && Base[W].Tag == Tag)
+      return true;
+  return false;
+}
+
+void Cache::clear() {
+  for (Line &L : Lines)
+    L = Line();
+  Tick = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const Config &C)
+    : Conf(C), L1I(C.L1I), L1D(C.L1D), L2(C.L2) {}
+
+unsigned MemoryHierarchy::accessInst(uint32_t Addr) {
+  if (L1I.access(Addr, /*IsWrite=*/false))
+    return Conf.L1I.HitLatency;
+  if (L2.access(Addr, /*IsWrite=*/false))
+    return Conf.L1I.HitLatency + Conf.L2.HitLatency;
+  return Conf.L1I.HitLatency + Conf.L2.HitLatency + Conf.MemLatency;
+}
+
+unsigned MemoryHierarchy::accessData(uint32_t Addr, bool IsWrite) {
+  if (L1D.access(Addr, IsWrite))
+    return Conf.L1D.HitLatency;
+  if (L2.access(Addr, IsWrite))
+    return Conf.L1D.HitLatency + Conf.L2.HitLatency;
+  return Conf.L1D.HitLatency + Conf.L2.HitLatency + Conf.MemLatency;
+}
+
+void MemoryHierarchy::clear() {
+  L1I.clear();
+  L1D.clear();
+  L2.clear();
+}

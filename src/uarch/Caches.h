@@ -1,0 +1,110 @@
+//===- Caches.h - Cache hierarchy timing model ------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Set-associative cache timing model with an L1I/L1D + unified L2
+/// hierarchy. The paper's Facile OOO simulator calls a cache simulator as an
+/// unmemoized external function whose hit/miss outcome is guarded by a
+/// dynamic-result test; this library provides that external function for
+/// the Facile programs and the same timing model for the hand-coded
+/// simulators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_UARCH_CACHES_H
+#define FACILE_UARCH_CACHES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace facile {
+
+/// Geometry and latency of one cache level.
+struct CacheConfig {
+  unsigned Sets = 128;
+  unsigned Ways = 4;
+  unsigned LineBits = 5;  ///< log2(line size in bytes)
+  unsigned HitLatency = 1;
+
+  unsigned lineSize() const { return 1u << LineBits; }
+};
+
+/// One set-associative, write-allocate, LRU cache level (tag store only —
+/// data is held architecturally in TargetMemory).
+class Cache {
+public:
+  struct Stats {
+    uint64_t Accesses = 0;
+    uint64_t Misses = 0;
+  };
+
+  explicit Cache(const CacheConfig &Config);
+
+  /// Probes and updates the cache for \p Addr. Returns true on hit.
+  bool access(uint32_t Addr, bool IsWrite);
+
+  /// Probes without updating (used by tests).
+  bool probe(uint32_t Addr) const;
+
+  void clear();
+  const Stats &stats() const { return S; }
+  const CacheConfig &config() const { return Config; }
+
+private:
+  struct Line {
+    uint32_t Tag = 0;
+    bool Valid = false;
+    uint64_t Lru = 0;
+  };
+
+  uint32_t setIndex(uint32_t Addr) const {
+    return (Addr >> Config.LineBits) % Config.Sets;
+  }
+  uint32_t tagOf(uint32_t Addr) const {
+    return Addr >> Config.LineBits;
+  }
+
+  CacheConfig Config;
+  std::vector<Line> Lines; ///< Sets * Ways, set-major
+  uint64_t Tick = 0;
+  Stats S;
+};
+
+/// The memory-hierarchy timing model: L1I, L1D and a unified L2.
+/// access*() returns the total latency in cycles of the access.
+class MemoryHierarchy {
+public:
+  struct Config {
+    CacheConfig L1I{128, 2, 5, 1};
+    CacheConfig L1D{128, 4, 5, 1};
+    CacheConfig L2{1024, 8, 6, 8};
+    unsigned MemLatency = 40;
+  };
+
+  MemoryHierarchy() : MemoryHierarchy(Config()) {}
+  explicit MemoryHierarchy(const Config &C);
+
+  /// Instruction-fetch access at \p Addr; returns latency in cycles.
+  unsigned accessInst(uint32_t Addr);
+  /// Data access at \p Addr; returns latency in cycles.
+  unsigned accessData(uint32_t Addr, bool IsWrite);
+
+  const Cache &l1i() const { return L1I; }
+  const Cache &l1d() const { return L1D; }
+  const Cache &l2() const { return L2; }
+  unsigned memLatency() const { return Conf.MemLatency; }
+
+  void clear();
+
+private:
+  Config Conf;
+  Cache L1I, L1D, L2;
+};
+
+} // namespace facile
+
+#endif // FACILE_UARCH_CACHES_H

@@ -1,0 +1,187 @@
+//===- FunctionalCore.cpp - Architectural state + semantics ---------------===//
+
+#include "src/uarch/FunctionalCore.h"
+
+#include <cassert>
+
+using namespace facile;
+using namespace facile::isa;
+
+namespace {
+
+uint32_t aluOp(AluFunct F, uint32_t A, uint32_t B) {
+  switch (F) {
+  case AluFunct::Add:
+    return A + B;
+  case AluFunct::Sub:
+    return A - B;
+  case AluFunct::And:
+    return A & B;
+  case AluFunct::Or:
+    return A | B;
+  case AluFunct::Xor:
+    return A ^ B;
+  case AluFunct::Sll:
+    return A << (B & 31);
+  case AluFunct::Srl:
+    return A >> (B & 31);
+  case AluFunct::Sra:
+    return static_cast<uint32_t>(static_cast<int32_t>(A) >>
+                                 static_cast<int32_t>(B & 31));
+  case AluFunct::Slt:
+    return static_cast<int32_t>(A) < static_cast<int32_t>(B) ? 1 : 0;
+  case AluFunct::Sltu:
+    return A < B ? 1 : 0;
+  case AluFunct::Mul:
+    return A * B;
+  case AluFunct::Div:
+    // Division by zero yields 0 on this target (no traps); evaluate in
+    // 64 bits so INT32_MIN / -1 is well-defined and truncates.
+    return B == 0 ? 0
+                  : static_cast<uint32_t>(
+                        static_cast<int64_t>(static_cast<int32_t>(A)) /
+                        static_cast<int64_t>(static_cast<int32_t>(B)));
+  case AluFunct::Rem:
+    return B == 0 ? A
+                  : static_cast<uint32_t>(
+                        static_cast<int64_t>(static_cast<int32_t>(A)) %
+                        static_cast<int64_t>(static_cast<int32_t>(B)));
+  }
+  return 0;
+}
+
+bool branchTaken(Opcode Op, uint32_t A, uint32_t B) {
+  switch (Op) {
+  case Opcode::Beq:
+    return A == B;
+  case Opcode::Bne:
+    return A != B;
+  case Opcode::Blt:
+    return static_cast<int32_t>(A) < static_cast<int32_t>(B);
+  case Opcode::Bge:
+    return static_cast<int32_t>(A) >= static_cast<int32_t>(B);
+  default:
+    assert(false && "not a branch opcode");
+    return false;
+  }
+}
+
+} // namespace
+
+ExecInfo facile::executeInst(const DecodedInst &Inst, ArchState &State,
+                             TargetMemory &Mem) {
+  ExecInfo Info;
+  uint32_t Pc = State.Pc;
+  uint32_t Next = Pc + 4;
+  uint32_t A = State.reg(Inst.Rs1);
+  uint32_t B = State.reg(Inst.Rs2);
+  uint32_t ImmS = static_cast<uint32_t>(Inst.Imm);          // sign-extended
+  uint32_t ImmZ = static_cast<uint32_t>(Inst.Imm) & 0xffff; // zero-extended
+
+  switch (Inst.Op) {
+  case Opcode::RAlu:
+    State.setReg(Inst.Rd, aluOp(Inst.Funct, A, B));
+    break;
+  case Opcode::Addi:
+    State.setReg(Inst.Rd, A + ImmS);
+    break;
+  case Opcode::Andi:
+    State.setReg(Inst.Rd, A & ImmZ);
+    break;
+  case Opcode::Ori:
+    State.setReg(Inst.Rd, A | ImmZ);
+    break;
+  case Opcode::Xori:
+    State.setReg(Inst.Rd, A ^ ImmZ);
+    break;
+  case Opcode::Slti:
+    State.setReg(Inst.Rd,
+                 static_cast<int32_t>(A) < Inst.Imm ? 1u : 0u);
+    break;
+  case Opcode::Slli:
+    State.setReg(Inst.Rd, A << (Inst.Imm & 31));
+    break;
+  case Opcode::Srli:
+    State.setReg(Inst.Rd, A >> (Inst.Imm & 31));
+    break;
+  case Opcode::Srai:
+    State.setReg(Inst.Rd, static_cast<uint32_t>(static_cast<int32_t>(A) >>
+                                                (Inst.Imm & 31)));
+    break;
+  case Opcode::Lui:
+    State.setReg(Inst.Rd, ImmZ << 16);
+    break;
+  case Opcode::Ld:
+    Info.IsMem = true;
+    Info.MemAddr = A + ImmS;
+    State.setReg(Inst.Rd, Mem.read32(Info.MemAddr));
+    break;
+  case Opcode::Ldb:
+    Info.IsMem = true;
+    Info.MemAddr = A + ImmS;
+    State.setReg(Inst.Rd, Mem.read8(Info.MemAddr));
+    break;
+  case Opcode::St:
+    Info.IsMem = true;
+    Info.MemAddr = A + ImmS;
+    Mem.write32(Info.MemAddr, State.reg(Inst.Rd));
+    break;
+  case Opcode::Stb:
+    Info.IsMem = true;
+    Info.MemAddr = A + ImmS;
+    Mem.write8(Info.MemAddr, static_cast<uint8_t>(State.reg(Inst.Rd)));
+    break;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    Info.Taken = branchTaken(Inst.Op, A, B);
+    if (Info.Taken)
+      Next = relativeTarget(Inst, Pc);
+    break;
+  case Opcode::Jal:
+    State.setReg(LinkReg, Pc + 4);
+    Next = relativeTarget(Inst, Pc);
+    break;
+  case Opcode::Jmp:
+    Next = relativeTarget(Inst, Pc);
+    break;
+  case Opcode::Jalr:
+    State.setReg(Inst.Rd, Pc + 4);
+    Next = (A + ImmS) & ~3u;
+    break;
+  case Opcode::Halt:
+    State.Halted = true;
+    Next = Pc;
+    break;
+  }
+  if (Inst.Cls == InstClass::Invalid) {
+    State.Halted = true;
+    Next = Pc;
+  }
+  State.Pc = Next;
+  Info.NextPc = Next;
+  return Info;
+}
+
+ArchState facile::makeInitialState(const TargetImage &Image) {
+  ArchState State;
+  State.Pc = Image.Entry;
+  State.Regs[StackReg] = DefaultStackTop;
+  return State;
+}
+
+uint64_t facile::runFunctional(ArchState &State, TargetMemory &Mem,
+                               const TargetImage &Image, uint64_t MaxInsts) {
+  uint64_t Count = 0;
+  while (!State.Halted && Count < MaxInsts) {
+    if (!Image.isTextAddr(State.Pc)) {
+      State.Halted = true;
+      break;
+    }
+    DecodedInst Inst = decode(Image.fetch(State.Pc));
+    executeInst(Inst, State, Mem);
+    ++Count;
+  }
+  return Count;
+}

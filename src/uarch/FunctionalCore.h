@@ -1,0 +1,68 @@
+//===- FunctionalCore.h - Architectural state + semantics ------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical functional semantics of the target ISA: architectural
+/// register/PC state and a single-instruction executor. Every timing
+/// simulator in the project drives this executor (the paper's Facile
+/// simulators interpret instruction semantics rather than direct-executing
+/// them; see DESIGN.md §2). The Facile-language simulators re-implement
+/// these semantics in Facile, and the test suite cross-validates the two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_UARCH_FUNCTIONALCORE_H
+#define FACILE_UARCH_FUNCTIONALCORE_H
+
+#include "src/isa/Isa.h"
+#include "src/loader/TargetMemory.h"
+
+#include <cstdint>
+
+namespace facile {
+
+/// User-visible architectural state of the target processor.
+struct ArchState {
+  uint32_t Pc = 0;
+  uint32_t Regs[isa::NumRegs] = {};
+  bool Halted = false;
+
+  /// Reads a register; r0 always reads zero.
+  uint32_t reg(unsigned R) const { return R == 0 ? 0 : Regs[R]; }
+  /// Writes a register; writes to r0 are discarded.
+  void setReg(unsigned R, uint32_t V) {
+    if (R != 0)
+      Regs[R] = V;
+  }
+};
+
+/// Side information produced by executing one instruction, consumed by the
+/// timing models (branch outcome, effective address).
+struct ExecInfo {
+  uint32_t NextPc = 0;
+  bool Taken = false;      ///< branch direction (conditional branches only)
+  bool IsMem = false;      ///< instruction touched data memory
+  uint32_t MemAddr = 0;    ///< effective address when IsMem
+};
+
+/// Executes \p Inst against \p State and \p Mem, advancing State.Pc.
+/// Invalid encodings halt the machine (a runaway fetch stream must stop).
+/// Returns branch/memory side information for the timing models.
+ExecInfo executeInst(const isa::DecodedInst &Inst, ArchState &State,
+                     TargetMemory &Mem);
+
+/// Initialises architectural state for \p Image: pc = entry, sp = stack top.
+ArchState makeInitialState(const isa::TargetImage &Image);
+
+/// Runs the program functionally (no timing) for at most \p MaxInsts
+/// instructions. Returns the number of instructions executed. Used by tests
+/// as the golden reference and by workload validation.
+uint64_t runFunctional(ArchState &State, TargetMemory &Mem,
+                       const isa::TargetImage &Image, uint64_t MaxInsts);
+
+} // namespace facile
+
+#endif // FACILE_UARCH_FUNCTIONALCORE_H

@@ -1,0 +1,8 @@
+//===- Predictors.cpp - Branch prediction structures ----------------------===//
+//
+// All predictor methods are defined inline in Predictors.h; this file
+// anchors the translation unit for the library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/uarch/Predictors.h"

@@ -1,0 +1,165 @@
+//===- Predictors.h - Branch prediction structures --------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch-direction predictors (bimodal and gshare), a branch target buffer
+/// and a return-address stack. In the paper these live outside the memoized
+/// Facile code ("the branch predictor and cache simulator are not
+/// memoized"); here they are a plain C++ library used by every timing
+/// simulator and exported to Facile programs through the extern-function
+/// FFI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_UARCH_PREDICTORS_H
+#define FACILE_UARCH_PREDICTORS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace facile {
+
+/// Saturating 2-bit counter table indexed by pc (bimodal) or pc^history
+/// (gshare).
+class DirectionPredictor {
+public:
+  enum class Kind { Bimodal, Gshare };
+
+  explicit DirectionPredictor(Kind K = Kind::Gshare, unsigned TableBits = 12)
+      : PredKind(K), Mask((1u << TableBits) - 1),
+        Table(1u << TableBits, /*weakly not-taken*/ 1) {}
+
+  /// Predicts the direction of the branch at \p Pc.
+  bool predict(uint32_t Pc) const { return Table[index(Pc)] >= 2; }
+
+  /// Trains the predictor with the resolved direction and updates the
+  /// global history register (gshare only).
+  void update(uint32_t Pc, bool Taken) {
+    uint8_t &C = Table[index(Pc)];
+    if (Taken && C < 3)
+      ++C;
+    else if (!Taken && C > 0)
+      --C;
+    History = (History << 1) | (Taken ? 1u : 0u);
+  }
+
+private:
+  unsigned index(uint32_t Pc) const {
+    uint32_t I = Pc >> 2;
+    if (PredKind == Kind::Gshare)
+      I ^= History;
+    return I & Mask;
+  }
+
+  Kind PredKind;
+  uint32_t Mask;
+  uint32_t History = 0;
+  std::vector<uint8_t> Table;
+};
+
+/// Direct-mapped branch target buffer for indirect jumps (jalr).
+class BranchTargetBuffer {
+public:
+  explicit BranchTargetBuffer(unsigned Bits = 10)
+      : Mask((1u << Bits) - 1), Tags(1u << Bits, 0), Targets(1u << Bits, 0) {}
+
+  /// Returns the predicted target, or 0 when the BTB has no entry.
+  uint32_t lookup(uint32_t Pc) const {
+    unsigned I = (Pc >> 2) & Mask;
+    return Tags[I] == Pc ? Targets[I] : 0;
+  }
+
+  void update(uint32_t Pc, uint32_t Target) {
+    unsigned I = (Pc >> 2) & Mask;
+    Tags[I] = Pc;
+    Targets[I] = Target;
+  }
+
+private:
+  uint32_t Mask;
+  std::vector<uint32_t> Tags;
+  std::vector<uint32_t> Targets;
+};
+
+/// Circular return-address stack.
+class ReturnAddressStack {
+public:
+  explicit ReturnAddressStack(unsigned Depth = 16) : Stack(Depth, 0) {}
+
+  void push(uint32_t Addr) {
+    Top = (Top + 1) % Stack.size();
+    Stack[Top] = Addr;
+  }
+
+  /// Pops the predicted return address (0 when empty — callers fall back to
+  /// the BTB).
+  uint32_t pop() {
+    uint32_t Addr = Stack[Top];
+    Stack[Top] = 0;
+    Top = (Top + Stack.size() - 1) % Stack.size();
+    return Addr;
+  }
+
+private:
+  std::vector<uint32_t> Stack;
+  size_t Top = 0;
+};
+
+/// Aggregate front-end predictor used by the pipeline models: direction
+/// predictor + BTB + RAS with shared statistics.
+class BranchUnit {
+public:
+  struct Stats {
+    uint64_t CondLookups = 0;
+    uint64_t CondMispredicts = 0;
+    uint64_t IndirectLookups = 0;
+    uint64_t IndirectMispredicts = 0;
+  };
+
+  explicit BranchUnit(DirectionPredictor::Kind K = DirectionPredictor::Kind::Bimodal)
+      : Dir(K) {}
+
+  bool predictDirection(uint32_t Pc) const { return Dir.predict(Pc); }
+  uint32_t predictIndirect(uint32_t Pc) const { return Btb.lookup(Pc); }
+
+  void notifyCall(uint32_t ReturnAddr) { Ras.push(ReturnAddr); }
+  uint32_t predictReturn() { return Ras.pop(); }
+
+  /// Resolves a conditional branch, training the predictor and counting
+  /// mispredictions.
+  bool resolveDirection(uint32_t Pc, bool Taken) {
+    ++S.CondLookups;
+    bool Predicted = Dir.predict(Pc);
+    Dir.update(Pc, Taken);
+    if (Predicted != Taken)
+      ++S.CondMispredicts;
+    return Predicted == Taken;
+  }
+
+  /// Resolves an indirect jump.
+  bool resolveIndirect(uint32_t Pc, uint32_t Target) {
+    ++S.IndirectLookups;
+    bool Correct = Btb.lookup(Pc) == Target;
+    Btb.update(Pc, Target);
+    if (!Correct)
+      ++S.IndirectMispredicts;
+    return Correct;
+  }
+
+  const Stats &stats() const { return S; }
+
+private:
+  DirectionPredictor Dir;
+  BranchTargetBuffer Btb;
+  ReturnAddressStack Ras;
+  Stats S;
+};
+
+} // namespace facile
+
+#endif // FACILE_UARCH_PREDICTORS_H

@@ -1,0 +1,74 @@
+//===- Workloads.h - SPEC95-shaped synthetic workloads ----------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic target programs standing in for the SPEC95 suite (DESIGN.md
+/// §2). The paper's four experiments all measure consequences of *program
+/// locality*: the fraction of simulation replayed from the action cache
+/// (Table 1), the amount of memoized data (Table 2) and the resulting
+/// speeds (Figures 11/12). Each generated program therefore dials the three
+/// locality knobs that drive those results:
+///
+///  - code footprint (number of distinct loop kernels and block sizes) —
+///    large, branchy codes like gcc/go produce many distinct pipeline
+///    states, hence more memoized data and more action-cache misses;
+///  - control entropy (fraction of data-dependent branches) — drives
+///    dynamic-result-test divergence;
+///  - data footprint and stride — drives data-cache behaviour.
+///
+/// Programs are emitted as assembler text and assembled with src/isa's
+/// assembler; all state is initialised by target code (an LCG fills the
+/// data segment), so a program is fully reproducible from its spec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_WORKLOAD_WORKLOADS_H
+#define FACILE_WORKLOAD_WORKLOADS_H
+
+#include "src/isa/TargetImage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace facile {
+namespace workload {
+
+/// Generation parameters for one synthetic benchmark.
+struct WorkloadSpec {
+  std::string Name;        ///< SPEC95-style name, e.g. "126.gcc"
+  bool FloatingPoint = false; ///< suite membership (affects op mix)
+  unsigned NumKernels = 8;    ///< distinct loop kernels (code footprint)
+  unsigned BlocksPerKernel = 4;
+  unsigned InstsPerBlock = 6;
+  unsigned DepBranchPct = 20; ///< % of blocks guarded by data-dependent branch
+  unsigned InnerIters = 16;   ///< inner-loop trip count
+  unsigned DataKWords = 64;   ///< data footprint in 1024-word units
+  unsigned StrideWords = 1;   ///< access stride within a kernel's chunk
+  uint64_t Seed = 1;
+};
+
+/// The 18 SPEC95 benchmarks as synthetic specs (8 integer + 10 FP),
+/// parameterised per the locality discussion above.
+const std::vector<WorkloadSpec> &spec95Suite();
+
+/// Looks up a suite entry by (possibly abbreviated) name, e.g. "gcc" or
+/// "126.gcc". Returns nullptr if not found.
+const WorkloadSpec *findSpec(const std::string &Name);
+
+/// Renders the program for \p Spec as assembler text. \p OuterIters bounds
+/// the outer driver loop; pass a large value and stop simulators on an
+/// instruction budget for open-ended runs.
+std::string generateAsm(const WorkloadSpec &Spec, uint64_t OuterIters);
+
+/// Generates and assembles the program. Aborts on internal assembler errors
+/// (generation is deterministic, so a failure is a bug, not bad input).
+isa::TargetImage generate(const WorkloadSpec &Spec, uint64_t OuterIters);
+
+} // namespace workload
+} // namespace facile
+
+#endif // FACILE_WORKLOAD_WORKLOADS_H

@@ -1,0 +1,82 @@
+//===- test_actioncache.cpp - Specialized action cache unit tests -------------===//
+
+#include "src/runtime/ActionCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+using namespace facile::rt;
+
+TEST(ActionCache, LookupMissThenHit) {
+  ActionCache C(1 << 20);
+  EXPECT_EQ(C.lookup("k1"), nullptr);
+  CacheEntry *E = C.create("k1");
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(C.lookup("k1"), E);
+  EXPECT_EQ(C.lookup("k2"), nullptr);
+  EXPECT_EQ(C.entryCount(), 1u);
+  EXPECT_EQ(C.stats().Lookups, 3u);
+  EXPECT_EQ(C.stats().Hits, 1u);
+  EXPECT_EQ(C.stats().EntriesCreated, 1u);
+}
+
+TEST(ActionCache, KeysAreBinarySafe) {
+  ActionCache C(1 << 20);
+  std::string K1("\x00\x01\x02", 3);
+  std::string K2("\x00\x01\x03", 3);
+  CacheEntry *E1 = C.create(K1);
+  CacheEntry *E2 = C.create(K2);
+  EXPECT_NE(E1, E2);
+  EXPECT_EQ(C.lookup(K1), E1);
+  EXPECT_EQ(C.lookup(K2), E2);
+}
+
+TEST(ActionCache, BudgetAccountingAndClear) {
+  ActionCache C(1000);
+  C.create("a");
+  EXPECT_FALSE(C.overBudget());
+  C.noteBytes(2000);
+  EXPECT_TRUE(C.overBudget());
+  EXPECT_GE(C.stats().PeakBytes, 2000u);
+  C.clear();
+  EXPECT_EQ(C.entryCount(), 0u);
+  EXPECT_EQ(C.bytes(), 0u);
+  EXPECT_FALSE(C.overBudget());
+  EXPECT_EQ(C.stats().Clears, 1u);
+  EXPECT_EQ(C.lookup("a"), nullptr);
+}
+
+TEST(ActionCache, EntryPointersStableAcrossInserts) {
+  // Entries are unique_ptr-held: growing the map must not move them (the
+  // INDEX chain and recovery hold entry pointers).
+  ActionCache C(1 << 20);
+  CacheEntry *First = C.create("first");
+  First->Data.push_back(42);
+  for (int I = 0; I != 1000; ++I)
+    C.create("k" + std::to_string(I));
+  EXPECT_EQ(C.lookup("first"), First);
+  EXPECT_EQ(First->Data[0], 42);
+}
+
+TEST(ActionCache, NodeLinkingShapes) {
+  // Build an entry by hand: plain -> test -> {end, end}, the Figure 2
+  // control-path shape.
+  ActionCache C(1 << 20);
+  CacheEntry *E = C.create("k");
+  E->Nodes.resize(4);
+  E->Head = 0;
+  E->Nodes[0].K = ActionNode::Kind::Plain;
+  E->Nodes[0].Next = 1;
+  E->Nodes[1].K = ActionNode::Kind::Test;
+  E->Nodes[1].OnValue[0] = 2;
+  E->Nodes[1].OnValue[1] = 3;
+  E->Nodes[2].K = ActionNode::Kind::End;
+  E->Nodes[3].K = ActionNode::Kind::End;
+  // Walk both paths.
+  for (int V : {0, 1}) {
+    uint32_t N = E->Head;
+    N = E->Nodes[N].Next;
+    N = E->Nodes[N].OnValue[V];
+    EXPECT_EQ(E->Nodes[N].K, ActionNode::Kind::End);
+  }
+}

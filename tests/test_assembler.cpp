@@ -1,0 +1,172 @@
+//===- test_assembler.cpp - Assembler unit tests ---------------------------===//
+
+#include "src/isa/Assembler.h"
+#include "src/isa/Isa.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+using namespace facile::isa;
+
+TEST(Assembler, EmptyProgram) {
+  auto Image = assemble("");
+  ASSERT_TRUE(Image.has_value());
+  EXPECT_TRUE(Image->Text.empty());
+  EXPECT_EQ(Image->Entry, Image->TextBase);
+}
+
+TEST(Assembler, SimpleLoop) {
+  auto Image = assemble(R"(
+    main:
+      addi r1, r0, 10
+    loop:
+      addi r1, r1, -1
+      bne r1, r0, loop
+      halt
+  )");
+  ASSERT_TRUE(Image.has_value());
+  ASSERT_EQ(Image->Text.size(), 4u);
+  EXPECT_EQ(Image->Entry, Image->TextBase);
+  DecodedInst Bne = decode(Image->Text[2]);
+  EXPECT_EQ(Bne.Op, Opcode::Bne);
+  // Branch back one instruction: offset -2 words relative to pc+4.
+  EXPECT_EQ(Bne.Imm, -2);
+}
+
+TEST(Assembler, ForwardReferences) {
+  auto Image = assemble(R"(
+      beq r0, r0, end
+      addi r1, r0, 1
+    end:
+      halt
+  )");
+  ASSERT_TRUE(Image.has_value());
+  DecodedInst Beq = decode(Image->Text[0]);
+  EXPECT_EQ(Beq.Imm, 1);
+}
+
+TEST(Assembler, DataSectionAndLa) {
+  auto Image = assemble(R"(
+    .data
+    tbl: .word 1, 2, 3
+    buf: .space 8
+    .text
+    main:
+      la r1, tbl
+      ld r2, 4(r1)
+      halt
+  )");
+  ASSERT_TRUE(Image.has_value());
+  ASSERT_EQ(Image->Data.size(), 20u);
+  EXPECT_EQ(Image->Data[0], 1u);
+  EXPECT_EQ(Image->Data[4], 2u);
+  EXPECT_EQ(Image->Symbols.at("tbl"), Image->DataBase);
+  EXPECT_EQ(Image->Symbols.at("buf"), Image->DataBase + 12);
+  // la expands to lui+ori.
+  ASSERT_EQ(Image->Text.size(), 4u);
+  EXPECT_EQ(decode(Image->Text[0]).Op, Opcode::Lui);
+  EXPECT_EQ(decode(Image->Text[1]).Op, Opcode::Ori);
+}
+
+TEST(Assembler, PseudoInstructions) {
+  auto Image = assemble(R"(
+      nop
+      mv r3, r4
+      li r5, 305419896   # 0x12345678
+      ret
+  )");
+  ASSERT_TRUE(Image.has_value());
+  ASSERT_EQ(Image->Text.size(), 5u);
+  DecodedInst Nop = decode(Image->Text[0]);
+  EXPECT_EQ(Nop.Op, Opcode::Addi);
+  EXPECT_EQ(Nop.Rd, 0u);
+  DecodedInst Lui = decode(Image->Text[2]);
+  EXPECT_EQ(static_cast<uint32_t>(Lui.Imm), 0x1234u);
+  DecodedInst Ori = decode(Image->Text[3]);
+  EXPECT_EQ(static_cast<uint32_t>(Ori.Imm) & 0xffff, 0x5678u);
+  DecodedInst Ret = decode(Image->Text[4]);
+  EXPECT_EQ(Ret.Op, Opcode::Jalr);
+  EXPECT_EQ(Ret.Rs1, LinkReg);
+  EXPECT_EQ(Ret.Rd, 0u);
+}
+
+TEST(Assembler, CallAndJ) {
+  auto Image = assemble(R"(
+    main:
+      call fn
+      j main
+    fn:
+      ret
+  )");
+  ASSERT_TRUE(Image.has_value());
+  EXPECT_EQ(decode(Image->Text[0]).Op, Opcode::Jal);
+  EXPECT_EQ(decode(Image->Text[1]).Op, Opcode::Jmp);
+  EXPECT_EQ(decode(Image->Text[1]).Imm, -2);
+}
+
+TEST(Assembler, EntryIsMainLabel) {
+  auto Image = assemble(R"(
+      nop
+    main:
+      halt
+  )");
+  ASSERT_TRUE(Image.has_value());
+  EXPECT_EQ(Image->Entry, Image->TextBase + 4);
+}
+
+TEST(Assembler, Comments) {
+  auto Image = assemble("  nop # trailing\n; full line\n  halt\n");
+  ASSERT_TRUE(Image.has_value());
+  EXPECT_EQ(Image->Text.size(), 2u);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  std::string Error;
+  EXPECT_FALSE(assemble("  beq r0, r0, nowhere\n", &Error).has_value());
+  EXPECT_NE(Error.find("undefined symbol"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  std::string Error;
+  EXPECT_FALSE(assemble("a:\n nop\na:\n nop\n", &Error).has_value());
+  EXPECT_NE(Error.find("duplicate label"), std::string::npos);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  std::string Error;
+  EXPECT_FALSE(assemble("  add r1, r2, r99\n", &Error).has_value());
+  EXPECT_NE(Error.find("bad register"), std::string::npos);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  std::string Error;
+  EXPECT_FALSE(assemble("  add r1, r2\n", &Error).has_value());
+  EXPECT_NE(Error.find("expects 3 operands"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateRange) {
+  std::string Error;
+  EXPECT_FALSE(assemble("  addi r1, r0, 70000\n", &Error).has_value());
+  EXPECT_NE(Error.find("16-bit range"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  std::string Error;
+  EXPECT_FALSE(assemble("  frobnicate r1\n", &Error).has_value());
+  EXPECT_NE(Error.find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(AssemblerErrors, WordInText) {
+  std::string Error;
+  EXPECT_FALSE(assemble(".text\n.word 5\n", &Error).has_value());
+}
+
+TEST(Assembler, FetchHelper) {
+  auto Image = assemble("main:\n nop\n halt\n");
+  ASSERT_TRUE(Image.has_value());
+  EXPECT_TRUE(Image->isTextAddr(Image->TextBase));
+  EXPECT_TRUE(Image->isTextAddr(Image->TextBase + 4));
+  EXPECT_FALSE(Image->isTextAddr(Image->TextBase + 8));
+  EXPECT_FALSE(Image->isTextAddr(Image->TextBase - 4));
+  EXPECT_EQ(Image->fetch(Image->TextBase + 4), encodeHalt());
+}

@@ -1,0 +1,95 @@
+//===- test_caches.cpp - Cache model unit tests ----------------------------===//
+
+#include "src/uarch/Caches.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+
+TEST(Cache, ColdMissThenHit) {
+  Cache C({/*Sets=*/4, /*Ways=*/2, /*LineBits=*/4, /*HitLatency=*/1});
+  EXPECT_FALSE(C.access(0x100, false));
+  EXPECT_TRUE(C.access(0x100, false));
+  EXPECT_TRUE(C.access(0x10f, false)); // same 16-byte line
+  EXPECT_FALSE(C.access(0x110, false)); // next line
+  EXPECT_EQ(C.stats().Accesses, 4u);
+  EXPECT_EQ(C.stats().Misses, 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // Direct geometry: 1 set, 2 ways, 16B lines. Three conflicting lines.
+  Cache C({1, 2, 4, 1});
+  C.access(0x000, false);
+  C.access(0x010, false);
+  C.access(0x000, false);  // touch A so B becomes LRU
+  C.access(0x020, false);  // evicts B
+  EXPECT_TRUE(C.probe(0x000));
+  EXPECT_FALSE(C.probe(0x010));
+  EXPECT_TRUE(C.probe(0x020));
+}
+
+TEST(Cache, SetIndexingSeparatesLines) {
+  Cache C({4, 1, 4, 1});
+  // Lines 0x00,0x10,0x20,0x30 map to sets 0..3 and all fit.
+  for (uint32_t A : {0x00u, 0x10u, 0x20u, 0x30u})
+    C.access(A, false);
+  for (uint32_t A : {0x00u, 0x10u, 0x20u, 0x30u})
+    EXPECT_TRUE(C.probe(A));
+}
+
+TEST(Cache, ClearEmpties) {
+  Cache C({4, 2, 4, 1});
+  C.access(0x40, true);
+  EXPECT_TRUE(C.probe(0x40));
+  C.clear();
+  EXPECT_FALSE(C.probe(0x40));
+}
+
+TEST(MemoryHierarchy, LatenciesStack) {
+  MemoryHierarchy::Config Cfg;
+  Cfg.L1D = {4, 1, 4, 1};
+  Cfg.L2 = {16, 2, 5, 8};
+  Cfg.MemLatency = 40;
+  MemoryHierarchy MH(Cfg);
+  // Cold: miss everywhere.
+  EXPECT_EQ(MH.accessData(0x1000, false), 1u + 8u + 40u);
+  // Hot in L1.
+  EXPECT_EQ(MH.accessData(0x1000, false), 1u);
+  // Evict from tiny L1 but keep in L2: access a conflicting line.
+  EXPECT_EQ(MH.accessData(0x1040, false), 1u + 8u + 40u);
+  EXPECT_EQ(MH.accessData(0x1000, false), 1u + 8u);
+}
+
+TEST(MemoryHierarchy, InstAndDataAreSeparateL1s) {
+  MemoryHierarchy MH;
+  unsigned Cold = MH.accessInst(0x1000);
+  EXPECT_GT(Cold, 1u);
+  EXPECT_EQ(MH.accessInst(0x1000), 1u);
+  // A data access to the same address must miss L1D but hit shared L2.
+  unsigned Data = MH.accessData(0x1000, false);
+  EXPECT_EQ(Data, 1u + MH.l2().config().HitLatency);
+}
+
+TEST(MemoryHierarchy, WorkingSetSweep) {
+  // Property: miss rate grows once the working set exceeds capacity.
+  MemoryHierarchy::Config Cfg;
+  Cfg.L1D = {64, 2, 5, 1}; // 4 KB
+  Cfg.L2 = {256, 4, 6, 8}; // 64 KB
+  auto missRate = [&](uint32_t FootprintBytes) {
+    MemoryHierarchy MH(Cfg);
+    uint64_t Misses = 0, Accesses = 0;
+    for (int Pass = 0; Pass != 4; ++Pass)
+      for (uint32_t A = 0; A < FootprintBytes; A += 32) {
+        if (MH.accessData(A, false) > 1)
+          ++Misses;
+        ++Accesses;
+      }
+    return static_cast<double>(Misses) / static_cast<double>(Accesses);
+  };
+  double Small = missRate(2048);        // fits L1
+  double Medium = missRate(32 * 1024);  // fits L2 only
+  double Large = missRate(512 * 1024);  // thrashes everything
+  EXPECT_LT(Small, 0.30);
+  EXPECT_GT(Medium, Small);
+  EXPECT_GE(Large, Medium);
+}

@@ -1,0 +1,112 @@
+//===- test_cemitter.cpp - C backend structure tests -------------------------===//
+//
+// The C emitter renders the two simulators the paper's compiler generates
+// (Figures 9 and 10). These tests pin the structural elements the paper
+// shows: the fast simulator's action-number switch with INDEX_ACTION and
+// placeholder reads, and the slow simulator's memoize_* calls and
+// recover guards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/facile/CEmitter.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+
+namespace {
+
+/// The paper's Figure 7 running example, in our syntax.
+const char *Figure7 = R"(
+  token instruction[32]
+    fields op 26:31, rd 21:25, rs1 16:20, rs2 11:15, i 13:13, imm 0:12;
+  pat add = op==0x00;
+  pat beq = op==0x01;
+  val R = array(32){0};
+  init val pc = 4096;
+  fun main() {
+    val npc = pc + 4;
+    switch (pc) {
+      pat add:
+        if (i) R[rd] = R[rs1] + imm?sext(13);
+        else R[rd] = R[rs1] + R[rs2];
+      pat beq:
+        if (R[rd] == 0) npc = pc + imm?sext(13);
+    }
+    pc = npc;
+  }
+)";
+
+CompiledProgram compileOk(const char *Source) {
+  DiagnosticEngine Diag;
+  auto P = compileFacile(Source, Diag);
+  EXPECT_TRUE(P.has_value()) << Diag.str();
+  if (!P)
+    std::abort();
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(CEmitter, FastSimulatorHasFigure9Structure) {
+  CompiledProgram P = compileOk(Figure7);
+  std::string C = emitFastSimulatorC(P);
+  // The dispatch loop over action numbers.
+  EXPECT_NE(C.find("switch (get_next_action_number())"), std::string::npos);
+  EXPECT_NE(C.find("case INDEX_ACTION:"), std::string::npos);
+  EXPECT_NE(C.find("verify_static_input()"), std::string::npos);
+  // Placeholder reads feed rt-static operands of dynamic code.
+  EXPECT_NE(C.find("read_static_data()"), std::string::npos);
+  // Dynamic result test on the register compare.
+  EXPECT_NE(C.find("verify_dynamic_result(t)"), std::string::npos);
+  // Misses return control to the slow simulator.
+  EXPECT_NE(C.find("action_cache_miss()"), std::string::npos);
+  // Register-file traffic is dynamic code in the cases.
+  EXPECT_NE(C.find("R["), std::string::npos);
+}
+
+TEST(CEmitter, SlowSimulatorHasFigure10Structure) {
+  CompiledProgram P = compileOk(Figure7);
+  std::string C = emitSlowSimulatorC(P);
+  EXPECT_NE(C.find("memoize_action_number("), std::string::npos);
+  EXPECT_NE(C.find("memoize_static_data("), std::string::npos);
+  EXPECT_NE(C.find("memoize_dynamic_result(t)"), std::string::npos);
+  EXPECT_NE(C.find("recover_dynamic_result(&t)"), std::string::npos);
+  // Dynamic statements are guarded so recovery skips them.
+  EXPECT_NE(C.find("if (!recover)"), std::string::npos);
+  // The end of the step records the next key (INDEX data).
+  EXPECT_NE(C.find("memoize_next_key()"), std::string::npos);
+  // rt-static decode work is unguarded.
+  EXPECT_NE(C.find("/* rt-static */"), std::string::npos);
+}
+
+TEST(CEmitter, GlobalsCarryKeyAnnotations) {
+  CompiledProgram P = compileOk(Figure7);
+  std::string C = emitFastSimulatorC(P);
+  EXPECT_NE(C.find("int64_t pc = 4096; /* init: part of the cache key */"),
+            std::string::npos);
+  EXPECT_NE(C.find("int64_t R[32];"), std::string::npos);
+}
+
+TEST(CEmitter, EveryActionGetsACase) {
+  CompiledProgram P = compileOk(Figure7);
+  std::string C = emitFastSimulatorC(P);
+  for (uint32_t A = 0; A != P.Actions.numActions(); ++A)
+    EXPECT_NE(C.find("case " + std::to_string(A) + ":"), std::string::npos)
+        << "missing case for action " << A;
+}
+
+TEST(CEmitter, ExternsAppearAsUnmemoizedCalls) {
+  CompiledProgram P = compileOk(R"(
+    extern cache_sim(int) : int;
+    init val pc = 0;
+    fun main() {
+      if (cache_sim(pc) == 1) pc = pc + 4;
+      else pc = pc + 8;
+    }
+  )");
+  std::string Fast = emitFastSimulatorC(P);
+  EXPECT_NE(Fast.find("cache_sim("), std::string::npos);
+  std::string Slow = emitSlowSimulatorC(P);
+  EXPECT_NE(Slow.find("cache_sim("), std::string::npos);
+}

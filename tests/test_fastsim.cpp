@@ -1,0 +1,195 @@
+//===- test_fastsim.cpp - Hand-coded memoizing simulator tests --------------===//
+//
+// Validates the FastSim analogue: hand-coded memoization must be invisible
+// (memo on/off identical results), and — the strongest cross-check in the
+// suite — the hand-coded simulator and the compiler-generated Facile OOO
+// simulator implement the same microarchitecture, so their simulated cycle
+// counts must agree exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/fastsim/FastSim.h"
+#include "src/isa/Assembler.h"
+#include "src/sims/SimHarness.h"
+#include "src/uarch/FunctionalCore.h"
+#include "src/workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+using namespace facile::fastsim;
+
+namespace {
+
+isa::TargetImage assembleOk(const char *Asm) {
+  std::string Error;
+  auto Image = isa::assemble(Asm, &Error);
+  EXPECT_TRUE(Image.has_value()) << Error;
+  if (!Image)
+    std::abort();
+  return *Image;
+}
+
+isa::TargetImage smallWorkload(const char *Name, unsigned Outer) {
+  workload::WorkloadSpec Spec = *workload::findSpec(Name);
+  Spec.DataKWords = 2;
+  return workload::generate(Spec, Outer);
+}
+
+} // namespace
+
+TEST(PipelineState, HashAndEqualityAreContentBased) {
+  PipelineState A, B;
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(A.hash(), B.hash());
+  B.Pc = 4;
+  EXPECT_FALSE(A == B);
+  B = A;
+  B.Slots[3].Stage = 2;
+  EXPECT_FALSE(A == B);
+}
+
+TEST(PipelineClassify, MatchesIsaClasses) {
+  using namespace facile::isa;
+  EXPECT_EQ(classifyInst(decode(encodeR(AluFunct::Add, 1, 2, 3))),
+            PipeCls::Alu);
+  EXPECT_EQ(classifyInst(decode(encodeR(AluFunct::Mul, 1, 2, 3))),
+            PipeCls::Mul);
+  EXPECT_EQ(classifyInst(decode(encodeR(AluFunct::Div, 1, 2, 3))),
+            PipeCls::Div);
+  EXPECT_EQ(classifyInst(decode(encodeI(Opcode::Ld, 1, 2, 0))),
+            PipeCls::Load);
+  EXPECT_EQ(classifyInst(decode(encodeI(Opcode::St, 1, 2, 0))),
+            PipeCls::Store);
+  EXPECT_EQ(classifyInst(decode(encodeB(Opcode::Beq, 1, 2, 0))),
+            PipeCls::Branch);
+  EXPECT_EQ(classifyInst(decode(encodeJ(Opcode::Jal, 1))), PipeCls::Jump);
+  EXPECT_EQ(classifyInst(decode(encodeI(Opcode::Jalr, 1, 2, 0))),
+            PipeCls::Jalr);
+  EXPECT_EQ(classifyInst(decode(encodeHalt())), PipeCls::Halt);
+}
+
+TEST(PipelineDeps, StoreReadsDataFromRdSlot) {
+  using namespace facile::isa;
+  DecodedInst St = decode(encodeI(Opcode::St, /*Rd=*/5, /*Rs1=*/6, 0));
+  EXPECT_EQ(destRegOf(St), -1);
+  EXPECT_EQ(src1RegOf(St), 6);
+  EXPECT_EQ(src2RegOf(St), 5);
+  // r0 sources create no dependences.
+  DecodedInst Add = decode(encodeR(AluFunct::Add, 1, 0, 0));
+  EXPECT_EQ(src1RegOf(Add), -1);
+  EXPECT_EQ(src2RegOf(Add), -1);
+}
+
+TEST(FastSim, ArchitecturalResultsMatchGolden) {
+  isa::TargetImage Image = smallWorkload("compress", 1);
+  TargetMemory GoldenMem;
+  GoldenMem.loadImage(Image);
+  ArchState Golden = makeInitialState(Image);
+  uint64_t GoldenInsts = runFunctional(Golden, GoldenMem, Image, 10'000'000);
+
+  FastSim Sim(Image);
+  Sim.run(10'000'000);
+  EXPECT_TRUE(Sim.halted());
+  for (unsigned R = 0; R != isa::NumRegs; ++R)
+    EXPECT_EQ(Sim.archState().reg(R), Golden.reg(R)) << "r" << R;
+  // FastSim does not fetch/retire the halt instruction itself.
+  EXPECT_EQ(Sim.stats().Retired + 1, GoldenInsts);
+}
+
+TEST(FastSim, MemoOnOffIdenticalCyclesAndState) {
+  isa::TargetImage Image = smallWorkload("li", 2);
+  FastSim::Options On, Off;
+  Off.Memoize = false;
+  FastSim SimOn(Image, On);
+  FastSim SimOff(Image, Off);
+  SimOn.run(5'000'000);
+  SimOff.run(5'000'000);
+  EXPECT_TRUE(SimOn.halted());
+  EXPECT_TRUE(SimOff.halted());
+  EXPECT_EQ(SimOn.stats().Cycles, SimOff.stats().Cycles)
+      << "fast-forwarding must compute exactly the same simulated cycle "
+         "counts (paper §6.1)";
+  EXPECT_EQ(SimOn.stats().Retired, SimOff.stats().Retired);
+  for (unsigned R = 0; R != isa::NumRegs; ++R)
+    EXPECT_EQ(SimOn.archState().reg(R), SimOff.archState().reg(R));
+  EXPECT_EQ(SimOff.stats().FastSteps, 0u);
+  EXPECT_GT(SimOn.stats().FastSteps, 0u);
+}
+
+TEST(FastSim, FastForwardsLoopyCode) {
+  isa::TargetImage Image = assembleOk(R"(
+    main:
+      li r1, 10000
+    loop:
+      add r2, r2, r1
+      xor r3, r3, r2
+      addi r1, r1, -1
+      bne r1, r0, loop
+      halt
+  )");
+  FastSim Sim(Image);
+  Sim.run(1'000'000);
+  EXPECT_GT(Sim.stats().fastForwardedPct(), 95.0);
+}
+
+TEST(FastSim, MissRecoveryOnDataDependentBranches) {
+  // Branch direction alternates with loop parity: the predictor and the
+  // branch outcomes generate result-test misses that must recover.
+  isa::TargetImage Image = assembleOk(R"(
+    main:
+      li r1, 4000
+    loop:
+      andi r2, r1, 1
+      beq r2, r0, even
+      addi r3, r3, 7
+      j next
+    even:
+      addi r4, r4, 11
+    next:
+      addi r1, r1, -1
+      bne r1, r0, loop
+      halt
+  )");
+  FastSim::Options Off;
+  Off.Memoize = false;
+  FastSim SimOn(Image);
+  FastSim SimOff(Image, Off);
+  SimOn.run(1'000'000);
+  SimOff.run(1'000'000);
+  EXPECT_TRUE(SimOn.halted());
+  EXPECT_EQ(SimOn.stats().Cycles, SimOff.stats().Cycles);
+  EXPECT_EQ(SimOn.archState().reg(3), SimOff.archState().reg(3));
+  EXPECT_EQ(SimOn.archState().reg(4), SimOff.archState().reg(4));
+  EXPECT_GT(SimOn.stats().Misses, 0u);
+}
+
+TEST(FastSim, CacheBudgetClears) {
+  isa::TargetImage Image = smallWorkload("go", 1);
+  FastSim::Options Opts;
+  Opts.CacheBudgetBytes = 64 * 1024;
+  FastSim Sim(Image, Opts);
+  Sim.run(400'000);
+  EXPECT_GE(Sim.stats().Clears, 1u);
+}
+
+TEST(FastSim, CyclesMatchFacileOooExactly) {
+  // The decisive cross-validation: the hand-coded memoizing simulator and
+  // the compiler-generated Facile simulator model the same machine, so
+  // their cycle counts must be identical on the same workload.
+  for (const char *Name : {"compress", "mgrid"}) {
+    isa::TargetImage Image = smallWorkload(Name, 1);
+
+    FastSim Hand(Image);
+    Hand.run(10'000'000);
+
+    sims::FacileSim Compiled(sims::SimKind::OutOfOrder, Image);
+    Compiled.run(10'000'000);
+
+    EXPECT_TRUE(Hand.halted());
+    EXPECT_TRUE(Compiled.sim().halted());
+    EXPECT_EQ(Hand.stats().Cycles, Compiled.sim().stats().Cycles) << Name;
+    EXPECT_EQ(Hand.stats().Retired, Compiled.sim().stats().RetiredTotal)
+        << Name;
+  }
+}

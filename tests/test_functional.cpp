@@ -1,0 +1,210 @@
+//===- test_functional.cpp - Functional core semantics tests ---------------===//
+
+#include "src/isa/Assembler.h"
+#include "src/uarch/FunctionalCore.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+using namespace facile::isa;
+
+namespace {
+
+/// Assembles, loads and runs a program; returns the final state.
+ArchState runProgram(const char *Asm, uint64_t MaxInsts = 100000) {
+  std::string Error;
+  auto Image = assemble(Asm, &Error);
+  EXPECT_TRUE(Image.has_value()) << Error;
+  TargetMemory Mem;
+  Mem.loadImage(*Image);
+  ArchState State = makeInitialState(*Image);
+  runFunctional(State, Mem, *Image, MaxInsts);
+  return State;
+}
+
+} // namespace
+
+TEST(Functional, ArithmeticBasics) {
+  ArchState S = runProgram(R"(
+    main:
+      addi r1, r0, 7
+      addi r2, r0, 5
+      add r3, r1, r2
+      sub r4, r1, r2
+      mul r5, r1, r2
+      div r6, r1, r2
+      rem r7, r1, r2
+      halt
+  )");
+  EXPECT_EQ(S.reg(3), 12u);
+  EXPECT_EQ(S.reg(4), 2u);
+  EXPECT_EQ(S.reg(5), 35u);
+  EXPECT_EQ(S.reg(6), 1u);
+  EXPECT_EQ(S.reg(7), 2u);
+  EXPECT_TRUE(S.Halted);
+}
+
+TEST(Functional, DivByZeroDoesNotTrap) {
+  ArchState S = runProgram(R"(
+      addi r1, r0, 9
+      div r2, r1, r0
+      rem r3, r1, r0
+      halt
+  )");
+  EXPECT_EQ(S.reg(2), 0u);
+  EXPECT_EQ(S.reg(3), 9u);
+}
+
+TEST(Functional, LogicalImmediatesZeroExtend) {
+  ArchState S = runProgram(R"(
+      lui r1, 0xffff
+      ori r1, r1, 0xffff     # r1 = 0xffffffff
+      andi r2, r1, 0x8000    # zero-extended mask
+      xori r3, r0, 0x8000
+      halt
+  )");
+  EXPECT_EQ(S.reg(1), 0xffffffffu);
+  EXPECT_EQ(S.reg(2), 0x8000u);
+  EXPECT_EQ(S.reg(3), 0x8000u);
+}
+
+TEST(Functional, ShiftsAndCompares) {
+  ArchState S = runProgram(R"(
+      addi r1, r0, -8
+      srai r2, r1, 1        # arithmetic: -4
+      srli r3, r1, 28       # logical high bits
+      slli r4, r1, 1
+      slt  r5, r1, r0       # -8 < 0 signed
+      sltu r6, r1, r0       # huge unsigned < 0 is false
+      halt
+  )");
+  EXPECT_EQ(static_cast<int32_t>(S.reg(2)), -4);
+  EXPECT_EQ(S.reg(3), 0xfu);
+  EXPECT_EQ(static_cast<int32_t>(S.reg(4)), -16);
+  EXPECT_EQ(S.reg(5), 1u);
+  EXPECT_EQ(S.reg(6), 0u);
+}
+
+TEST(Functional, LoadsStores) {
+  ArchState S = runProgram(R"(
+    .data
+    buf: .space 16
+    .text
+    main:
+      la r1, buf
+      li r2, -559038737     # 0xdeadbeef
+      st r2, 4(r1)
+      ld r3, 4(r1)
+      ldb r4, 4(r1)         # low byte, zero-extended
+      stb r2, 0(r1)
+      ldb r5, 0(r1)
+      ld r6, 8(r1)          # untouched -> 0
+      halt
+  )");
+  EXPECT_EQ(S.reg(3), 0xdeadbeefu);
+  EXPECT_EQ(S.reg(4), 0xefu);
+  EXPECT_EQ(S.reg(5), 0xefu);
+  EXPECT_EQ(S.reg(6), 0u);
+}
+
+TEST(Functional, BranchesAllDirections) {
+  ArchState S = runProgram(R"(
+      addi r1, r0, -1
+      addi r2, r0, 1
+      blt r1, r2, ok1       # taken (signed)
+      addi r10, r0, 99
+    ok1:
+      bge r2, r1, ok2       # taken
+      addi r11, r0, 99
+    ok2:
+      beq r1, r1, ok3       # taken
+      addi r12, r0, 99
+    ok3:
+      bne r1, r1, bad       # not taken
+      addi r13, r0, 42
+    bad:
+      halt
+  )");
+  EXPECT_EQ(S.reg(10), 0u);
+  EXPECT_EQ(S.reg(11), 0u);
+  EXPECT_EQ(S.reg(12), 0u);
+  EXPECT_EQ(S.reg(13), 42u);
+}
+
+TEST(Functional, CallRetAndLink) {
+  ArchState S = runProgram(R"(
+    main:
+      call fn
+      addi r2, r0, 2
+      halt
+    fn:
+      addi r1, r0, 1
+      ret
+  )");
+  EXPECT_EQ(S.reg(1), 1u);
+  EXPECT_EQ(S.reg(2), 2u);
+}
+
+TEST(Functional, R0AlwaysZero) {
+  ArchState S = runProgram(R"(
+      addi r0, r0, 5
+      add r1, r0, r0
+      halt
+  )");
+  EXPECT_EQ(S.reg(0), 0u);
+  EXPECT_EQ(S.reg(1), 0u);
+}
+
+TEST(Functional, LoopCounts) {
+  ArchState S = runProgram(R"(
+    main:
+      addi r1, r0, 100
+      addi r2, r0, 0
+    loop:
+      add r2, r2, r1
+      addi r1, r1, -1
+      bne r1, r0, loop
+      halt
+  )");
+  EXPECT_EQ(S.reg(2), 5050u);
+}
+
+TEST(Functional, MaxInstsStopsRunawayLoop) {
+  std::string Error;
+  auto Image = assemble("loop:\n j loop\n", &Error);
+  ASSERT_TRUE(Image.has_value()) << Error;
+  TargetMemory Mem;
+  Mem.loadImage(*Image);
+  ArchState State = makeInitialState(*Image);
+  uint64_t N = runFunctional(State, Mem, *Image, 1000);
+  EXPECT_EQ(N, 1000u);
+  EXPECT_FALSE(State.Halted);
+}
+
+TEST(Functional, FallOffTextHalts) {
+  ArchState S = runProgram("  nop\n  nop\n"); // no halt instruction
+  EXPECT_TRUE(S.Halted);
+}
+
+TEST(Functional, InitialStateConventions) {
+  auto Image = assemble("main:\n halt\n");
+  ASSERT_TRUE(Image.has_value());
+  ArchState S = makeInitialState(*Image);
+  EXPECT_EQ(S.Pc, Image->Entry);
+  EXPECT_EQ(S.reg(StackReg), DefaultStackTop);
+}
+
+TEST(Functional, JalrIndirectCall) {
+  ArchState S = runProgram(R"(
+    main:
+      la r1, fn
+      jalr r31, r1, 0
+      addi r3, r0, 3
+      halt
+    fn:
+      addi r2, r0, 2
+      ret
+  )");
+  EXPECT_EQ(S.reg(2), 2u);
+  EXPECT_EQ(S.reg(3), 3u);
+}

@@ -1,0 +1,100 @@
+//===- test_isa.cpp - Encoding/decoding unit tests -------------------------===//
+
+#include "src/isa/Isa.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+using namespace facile::isa;
+
+TEST(IsaDecode, RTypeRoundTrip) {
+  uint32_t Word = encodeR(AluFunct::Add, 3, 4, 5);
+  DecodedInst Inst = decode(Word);
+  EXPECT_EQ(Inst.Op, Opcode::RAlu);
+  EXPECT_EQ(Inst.Funct, AluFunct::Add);
+  EXPECT_EQ(Inst.Rd, 3u);
+  EXPECT_EQ(Inst.Rs1, 4u);
+  EXPECT_EQ(Inst.Rs2, 5u);
+  EXPECT_EQ(Inst.Cls, InstClass::IntAlu);
+}
+
+TEST(IsaDecode, AllAluFunctsClassify) {
+  struct {
+    AluFunct F;
+    InstClass Cls;
+  } Cases[] = {
+      {AluFunct::Add, InstClass::IntAlu}, {AluFunct::Sub, InstClass::IntAlu},
+      {AluFunct::And, InstClass::IntAlu}, {AluFunct::Or, InstClass::IntAlu},
+      {AluFunct::Xor, InstClass::IntAlu}, {AluFunct::Sll, InstClass::IntAlu},
+      {AluFunct::Srl, InstClass::IntAlu}, {AluFunct::Sra, InstClass::IntAlu},
+      {AluFunct::Slt, InstClass::IntAlu}, {AluFunct::Sltu, InstClass::IntAlu},
+      {AluFunct::Mul, InstClass::IntMul}, {AluFunct::Div, InstClass::IntDiv},
+      {AluFunct::Rem, InstClass::IntDiv}};
+  for (auto &C : Cases) {
+    DecodedInst Inst = decode(encodeR(C.F, 1, 2, 3));
+    EXPECT_EQ(Inst.Funct, C.F);
+    EXPECT_EQ(Inst.Cls, C.Cls);
+  }
+}
+
+TEST(IsaDecode, ITypeSignExtension) {
+  DecodedInst Inst = decode(encodeI(Opcode::Addi, 1, 2, -5));
+  EXPECT_EQ(Inst.Op, Opcode::Addi);
+  EXPECT_EQ(Inst.Imm, -5);
+  Inst = decode(encodeI(Opcode::Addi, 1, 2, 32767));
+  EXPECT_EQ(Inst.Imm, 32767);
+}
+
+TEST(IsaDecode, BranchFieldsAndTarget) {
+  DecodedInst Inst = decode(encodeB(Opcode::Beq, 7, 8, -4));
+  EXPECT_EQ(Inst.Op, Opcode::Beq);
+  EXPECT_EQ(Inst.Rs1, 7u);
+  EXPECT_EQ(Inst.Rs2, 8u);
+  EXPECT_EQ(Inst.Imm, -4);
+  EXPECT_EQ(relativeTarget(Inst, 0x1000), 0x1000u + 4 - 16);
+  EXPECT_TRUE(Inst.isBranch());
+  EXPECT_TRUE(Inst.readsRs1());
+  EXPECT_TRUE(Inst.readsRs2());
+  EXPECT_FALSE(Inst.writesRd());
+}
+
+TEST(IsaDecode, JumpForms) {
+  DecodedInst Jal = decode(encodeJ(Opcode::Jal, 16));
+  EXPECT_EQ(Jal.Op, Opcode::Jal);
+  EXPECT_EQ(Jal.Rd, LinkReg);
+  EXPECT_TRUE(Jal.writesRd());
+  EXPECT_EQ(relativeTarget(Jal, 0x1000), 0x1000u + 4 + 64);
+
+  DecodedInst Jmp = decode(encodeJ(Opcode::Jmp, -1));
+  EXPECT_EQ(Jmp.Imm, -1);
+  EXPECT_FALSE(Jmp.writesRd());
+
+  DecodedInst Jalr = decode(encodeI(Opcode::Jalr, 31, 6, 0));
+  EXPECT_TRUE(Jalr.isJump());
+  EXPECT_TRUE(Jalr.readsRs1());
+  EXPECT_TRUE(Jalr.writesRd());
+}
+
+TEST(IsaDecode, InvalidOpcodeIsInvalid) {
+  uint32_t Word = 63u << 26;
+  EXPECT_EQ(decode(Word).Cls, InstClass::Invalid);
+  // Out-of-range ALU funct is invalid too.
+  EXPECT_EQ(decode((0u << 26) | 900u).Cls, InstClass::Invalid);
+}
+
+TEST(IsaDecode, R0WritesDiscardedByAccessors) {
+  DecodedInst Inst = decode(encodeR(AluFunct::Add, 0, 1, 2));
+  EXPECT_FALSE(Inst.writesRd());
+}
+
+TEST(IsaDisasm, RendersCommonForms) {
+  EXPECT_EQ(disassemble(decode(encodeR(AluFunct::Add, 1, 2, 3)), 0),
+            "add r1, r2, r3");
+  EXPECT_EQ(disassemble(decode(encodeI(Opcode::Addi, 1, 2, -1)), 0),
+            "addi r1, r2, -1");
+  EXPECT_EQ(disassemble(decode(encodeI(Opcode::Ld, 4, 5, 8)), 0),
+            "ld r4, 8(r5)");
+  EXPECT_EQ(disassemble(decode(encodeHalt()), 0), "halt");
+  EXPECT_EQ(disassemble(decode(encodeB(Opcode::Bne, 1, 0, 2)), 0x1000),
+            "bne r1, r0, 0x100c");
+}

@@ -1,0 +1,110 @@
+//===- test_lexer.cpp - Facile lexer unit tests -----------------------------===//
+
+#include "src/facile/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+
+namespace {
+
+std::vector<FacileTok> lexOk(const char *Source) {
+  DiagnosticEngine Diag;
+  auto Toks = lexFacile(Source, Diag);
+  EXPECT_FALSE(Diag.hasErrors()) << Diag.str();
+  return Toks;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto Toks = lexOk("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].is(TokKind::Eof));
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Toks = lexOk("token fields pat sem val init extern fun foo _bar x9");
+  ASSERT_GE(Toks.size(), 12u);
+  EXPECT_TRUE(Toks[0].is(TokKind::KwToken));
+  EXPECT_TRUE(Toks[1].is(TokKind::KwFields));
+  EXPECT_TRUE(Toks[2].is(TokKind::KwPat));
+  EXPECT_TRUE(Toks[3].is(TokKind::KwSem));
+  EXPECT_TRUE(Toks[4].is(TokKind::KwVal));
+  EXPECT_TRUE(Toks[5].is(TokKind::KwInit));
+  EXPECT_TRUE(Toks[6].is(TokKind::KwExtern));
+  EXPECT_TRUE(Toks[7].is(TokKind::KwFun));
+  EXPECT_TRUE(Toks[8].is(TokKind::Identifier));
+  EXPECT_EQ(Toks[8].Text, "foo");
+  EXPECT_EQ(Toks[9].Text, "_bar");
+  EXPECT_EQ(Toks[10].Text, "x9");
+}
+
+TEST(Lexer, DecimalAndHexLiterals) {
+  auto Toks = lexOk("0 42 0x0 0xdeadBEEF 0x7fffffff");
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 0);
+  EXPECT_EQ(Toks[3].IntValue, static_cast<int64_t>(0xdeadbeef));
+  EXPECT_EQ(Toks[4].IntValue, 0x7fffffff);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto Toks = lexOk("== != <= >= << >> && ||");
+  TokKind Expect[] = {TokKind::EqEq,      TokKind::NotEq, TokKind::LessEq,
+                      TokKind::GreaterEq, TokKind::Shl,   TokKind::Shr,
+                      TokKind::AmpAmp,    TokKind::PipePipe};
+  for (size_t I = 0; I != 8; ++I)
+    EXPECT_TRUE(Toks[I].is(Expect[I])) << I;
+}
+
+TEST(Lexer, OneCharOperatorsDoNotMerge) {
+  auto Toks = lexOk("= ! < > & | ^ ~ ? :");
+  TokKind Expect[] = {TokKind::Assign, TokKind::Bang,  TokKind::Less,
+                      TokKind::Greater, TokKind::Amp,  TokKind::Pipe,
+                      TokKind::Caret,  TokKind::Tilde, TokKind::Question,
+                      TokKind::Colon};
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_TRUE(Toks[I].is(Expect[I])) << I;
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto Toks = lexOk("a // line comment\nb /* block\n comment */ c");
+  ASSERT_EQ(Toks.size(), 4u); // a b c eof
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[2].Text, "c");
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  auto Toks = lexOk("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Column, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Column, 3u);
+}
+
+TEST(LexerErrors, UnterminatedBlockComment) {
+  DiagnosticEngine Diag;
+  lexFacile("a /* never closed", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+  EXPECT_NE(Diag.str().find("unterminated"), std::string::npos);
+}
+
+TEST(LexerErrors, UnknownCharacter) {
+  DiagnosticEngine Diag;
+  lexFacile("a @ b", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(LexerErrors, BareHexPrefix) {
+  DiagnosticEngine Diag;
+  lexFacile("0x", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(Lexer, TokenKindNamesAreStable) {
+  EXPECT_STREQ(tokKindName(TokKind::AmpAmp), "'&&'");
+  EXPECT_STREQ(tokKindName(TokKind::Identifier), "identifier");
+  EXPECT_STREQ(tokKindName(TokKind::Eof), "end of input");
+}

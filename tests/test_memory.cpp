@@ -1,0 +1,48 @@
+//===- test_memory.cpp - TargetMemory unit tests ---------------------------===//
+
+#include "src/loader/TargetMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+
+TEST(TargetMemory, ZeroInitialised) {
+  TargetMemory Mem;
+  EXPECT_EQ(Mem.read8(0x1234), 0u);
+  EXPECT_EQ(Mem.read32(0xdeadbeef), 0u);
+  EXPECT_EQ(Mem.residentPages(), 0u);
+}
+
+TEST(TargetMemory, ByteRoundTrip) {
+  TargetMemory Mem;
+  Mem.write8(100, 0xab);
+  EXPECT_EQ(Mem.read8(100), 0xabu);
+  EXPECT_EQ(Mem.read8(101), 0u);
+}
+
+TEST(TargetMemory, WordRoundTripLittleEndian) {
+  TargetMemory Mem;
+  Mem.write32(0x2000, 0x11223344);
+  EXPECT_EQ(Mem.read32(0x2000), 0x11223344u);
+  EXPECT_EQ(Mem.read8(0x2000), 0x44u);
+  EXPECT_EQ(Mem.read8(0x2003), 0x11u);
+}
+
+TEST(TargetMemory, CrossPageWord) {
+  TargetMemory Mem;
+  uint32_t Addr = TargetMemory::PageSize - 2;
+  Mem.write32(Addr, 0xa1b2c3d4);
+  EXPECT_EQ(Mem.read32(Addr), 0xa1b2c3d4u);
+  EXPECT_EQ(Mem.residentPages(), 2u);
+}
+
+TEST(TargetMemory, LoadImagePlacesSegments) {
+  isa::TargetImage Image;
+  Image.Text = {0xdead0001, 0xdead0002};
+  Image.Data = {1, 2, 3, 4};
+  TargetMemory Mem;
+  Mem.loadImage(Image);
+  EXPECT_EQ(Mem.read32(Image.TextBase), 0xdead0001u);
+  EXPECT_EQ(Mem.read32(Image.TextBase + 4), 0xdead0002u);
+  EXPECT_EQ(Mem.read32(Image.DataBase), 0x04030201u);
+}

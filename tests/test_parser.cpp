@@ -1,0 +1,208 @@
+//===- test_parser.cpp - Facile parser unit tests ----------------------------===//
+
+#include "src/facile/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+using namespace facile::ast;
+
+namespace {
+
+Program parseOk(const char *Source) {
+  DiagnosticEngine Diag;
+  auto P = parseFacile(Source, Diag);
+  EXPECT_TRUE(P.has_value()) << Diag.str();
+  if (!P)
+    std::abort();
+  return std::move(*P);
+}
+
+std::string parseErr(const char *Source) {
+  DiagnosticEngine Diag;
+  auto P = parseFacile(Source, Diag);
+  EXPECT_FALSE(P.has_value());
+  return Diag.str();
+}
+
+} // namespace
+
+TEST(Parser, TokenDeclWithFields) {
+  Program P = parseOk("token instruction[32] fields op 24:31, i 13:13;");
+  ASSERT_EQ(P.Tokens.size(), 1u);
+  EXPECT_EQ(P.Tokens[0].Name, "instruction");
+  EXPECT_EQ(P.Tokens[0].Width, 32u);
+  ASSERT_EQ(P.Tokens[0].Fields.size(), 2u);
+  EXPECT_EQ(P.Tokens[0].Fields[0].Lo, 24u);
+  EXPECT_EQ(P.Tokens[0].Fields[0].Hi, 31u);
+  EXPECT_EQ(P.Tokens[0].Fields[1].Lo, 13u);
+  EXPECT_EQ(P.Tokens[0].Fields[1].Hi, 13u);
+}
+
+TEST(Parser, FieldBitOrderNormalised) {
+  // The paper writes low:high; either order is accepted.
+  Program P = parseOk("token w[32] fields a 31:26, b 0:5;");
+  EXPECT_EQ(P.Tokens[0].Fields[0].Lo, 26u);
+  EXPECT_EQ(P.Tokens[0].Fields[0].Hi, 31u);
+  EXPECT_EQ(P.Tokens[0].Fields[1].Lo, 0u);
+  EXPECT_EQ(P.Tokens[0].Fields[1].Hi, 5u);
+}
+
+TEST(Parser, PaperFigure4Patterns) {
+  // The pattern syntax of the paper's Figure 4.
+  Program P = parseOk(R"(
+    token instruction[32]
+      fields op 24:31, i 13:13, fill 5:12;
+    pat add = op==0x00 && (i==1 || fill==0);
+    pat bz = op==0x01;
+  )");
+  ASSERT_EQ(P.Patterns.size(), 2u);
+  const PatExpr &Add = *P.Patterns[0].Pattern;
+  EXPECT_EQ(Add.Kind, PatExprKind::AndOp);
+  EXPECT_EQ(Add.Lhs->Kind, PatExprKind::FieldCmp);
+  EXPECT_EQ(Add.Lhs->Name, "op");
+  EXPECT_EQ(Add.Rhs->Kind, PatExprKind::OrOp);
+}
+
+TEST(Parser, SemWithOptionalTrailingSemicolon) {
+  Program P = parseOk(R"(
+    token w[32] fields op 0:31;
+    pat p = op==1;
+    sem p { val x = 1; };
+  )");
+  ASSERT_EQ(P.Semantics.size(), 1u);
+  EXPECT_EQ(P.Semantics[0].PatName, "p");
+  EXPECT_EQ(P.Semantics[0].Body.size(), 1u);
+}
+
+TEST(Parser, GlobalDeclVariants) {
+  Program P = parseOk(R"(
+    val a = 5;
+    val b : stream;
+    init val c = 0x10;
+    val R = array(32){0};
+    init val q = array(4){7};
+  )");
+  ASSERT_EQ(P.Globals.size(), 5u);
+  EXPECT_FALSE(P.Globals[0].IsInit);
+  EXPECT_EQ(P.Globals[1].DeclType.K, Type::Kind::Stream);
+  EXPECT_TRUE(P.Globals[2].IsInit);
+  EXPECT_TRUE(P.Globals[3].DeclType.isArray());
+  EXPECT_EQ(P.Globals[3].DeclType.ArraySize, 32u);
+  EXPECT_TRUE(P.Globals[4].IsInit);
+  ASSERT_NE(P.Globals[4].ArrayFill, nullptr);
+}
+
+TEST(Parser, ExternDecls) {
+  Program P = parseOk(R"(
+    extern f();
+    extern g(int) : int;
+    extern h(int, stream, int);
+  )");
+  ASSERT_EQ(P.Externs.size(), 3u);
+  EXPECT_EQ(P.Externs[0].Arity, 0u);
+  EXPECT_FALSE(P.Externs[0].HasResult);
+  EXPECT_EQ(P.Externs[1].Arity, 1u);
+  EXPECT_TRUE(P.Externs[1].HasResult);
+  EXPECT_EQ(P.Externs[2].Arity, 3u);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // 1 + 2 * 3 == 7 && 4 < 5  parses as ((1+(2*3)) == 7) && (4 < 5)
+  Program P = parseOk("fun main() { val x = 1 + 2 * 3 == 7 && 4 < 5; }");
+  const Stmt &Decl = *P.Functions[0].Body[0];
+  const Expr &E = *Decl.Value;
+  ASSERT_EQ(E.Kind, ExprKind::Binary);
+  EXPECT_EQ(E.BOp, BinOp::LogAnd);
+  ASSERT_EQ(E.Lhs->Kind, ExprKind::Binary);
+  EXPECT_EQ(E.Lhs->BOp, BinOp::Eq);
+  EXPECT_EQ(E.Lhs->Lhs->BOp, BinOp::Add);
+  EXPECT_EQ(E.Lhs->Lhs->Rhs->BOp, BinOp::Mul);
+}
+
+TEST(Parser, AttributeChain) {
+  Program P = parseOk("fun main() { val x = (5)?sext(16)?zext(8); }");
+  const Expr &E = *P.Functions[0].Body[0]->Value;
+  EXPECT_EQ(E.Kind, ExprKind::Attribute);
+  EXPECT_EQ(E.Name, "zext");
+  EXPECT_EQ(E.Lhs->Kind, ExprKind::Attribute);
+  EXPECT_EQ(E.Lhs->Name, "sext");
+}
+
+TEST(Parser, SwitchWithDefault) {
+  Program P = parseOk(R"(
+    token w[32] fields op 0:31;
+    pat a = op==0;
+    pat b = op==1;
+    init val pc = 0;
+    fun main() {
+      switch (pc) {
+        pat a: pc = 1;
+        pat b: pc = 2; pc = 3;
+        default: pc = 4;
+      }
+    }
+  )");
+  const Stmt &Sw = *P.Functions[0].Body[0];
+  ASSERT_EQ(Sw.Kind, StmtKind::Switch);
+  ASSERT_EQ(Sw.Cases.size(), 3u);
+  EXPECT_EQ(Sw.Cases[0].PatName, "a");
+  EXPECT_EQ(Sw.Cases[1].Body.size(), 2u);
+  EXPECT_TRUE(Sw.Cases[2].PatName.empty());
+}
+
+TEST(Parser, ControlFlowStatements) {
+  Program P = parseOk(R"(
+    fun f(n) {
+      val i = 0;
+      while (i < n) {
+        if (i == 3) break;
+        i = i + 1;
+      }
+      if (i > 2) return i;
+      else return 0;
+    }
+    fun main() { f(5); }
+  )");
+  EXPECT_EQ(P.Functions.size(), 2u);
+}
+
+TEST(Parser, IndexAssignment) {
+  Program P = parseOk("val a = array(4){0};\nfun main() { a[1 + 2] = 9; }");
+  const Stmt &St = *P.Functions[0].Body[0];
+  EXPECT_EQ(St.Kind, StmtKind::AssignIndex);
+  EXPECT_EQ(St.Name, "a");
+  ASSERT_NE(St.Index, nullptr);
+}
+
+TEST(ParserErrors, MissingSemicolon) {
+  EXPECT_NE(parseErr("val a = 1").find("';'"), std::string::npos);
+}
+
+TEST(ParserErrors, BadAssignmentTarget) {
+  EXPECT_NE(parseErr("fun main() { 1 + 2 = 3; }").find("assignment target"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, UnclosedBlock) {
+  EXPECT_NE(parseErr("fun main() { val a = 1;").find("end of input"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, RecoversToNextDeclaration) {
+  // Two errors in two declarations should both be reported.
+  DiagnosticEngine Diag;
+  parseFacile("val a = ;\nval b = ;", Diag);
+  EXPECT_GE(Diag.errorCount(), 2u);
+}
+
+TEST(ParserErrors, ArraySizeBounds) {
+  EXPECT_NE(parseErr("val a = array(0){0};").find("array size"),
+            std::string::npos);
+}
+
+TEST(ParserErrors, CaseOutsideSwitch) {
+  DiagnosticEngine Diag;
+  EXPECT_FALSE(
+      parseFacile("fun main() { pat a: val x = 1; }", Diag).has_value());
+}

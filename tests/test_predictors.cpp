@@ -1,0 +1,109 @@
+//===- test_predictors.cpp - Branch predictor unit tests -------------------===//
+
+#include "src/uarch/Predictors.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+
+TEST(DirectionPredictor, BimodalLearnsAlwaysTaken) {
+  DirectionPredictor P(DirectionPredictor::Kind::Bimodal, 8);
+  uint32_t Pc = 0x1000;
+  for (int I = 0; I != 4; ++I)
+    P.update(Pc, true);
+  EXPECT_TRUE(P.predict(Pc));
+}
+
+TEST(DirectionPredictor, BimodalLearnsNeverTaken) {
+  DirectionPredictor P(DirectionPredictor::Kind::Bimodal, 8);
+  uint32_t Pc = 0x1000;
+  for (int I = 0; I != 4; ++I)
+    P.update(Pc, false);
+  EXPECT_FALSE(P.predict(Pc));
+}
+
+TEST(DirectionPredictor, HysteresisSurvivesOneFlip) {
+  DirectionPredictor P(DirectionPredictor::Kind::Bimodal, 8);
+  uint32_t Pc = 0x2000;
+  for (int I = 0; I != 4; ++I)
+    P.update(Pc, true);
+  P.update(Pc, false); // one not-taken shouldn't flip a saturated counter
+  EXPECT_TRUE(P.predict(Pc));
+}
+
+TEST(DirectionPredictor, GshareLearnsAlternatingPattern) {
+  DirectionPredictor P(DirectionPredictor::Kind::Gshare, 12);
+  uint32_t Pc = 0x3000;
+  // Alternating T/N/T/N is history-predictable for gshare.
+  bool Dir = false;
+  for (int I = 0; I != 4096; ++I) {
+    P.update(Pc, Dir);
+    Dir = !Dir;
+  }
+  int Correct = 0;
+  for (int I = 0; I != 100; ++I) {
+    if (P.predict(Pc) == Dir)
+      ++Correct;
+    P.update(Pc, Dir);
+    Dir = !Dir;
+  }
+  EXPECT_GT(Correct, 95);
+}
+
+TEST(BranchTargetBuffer, LookupAfterUpdate) {
+  BranchTargetBuffer Btb(8);
+  EXPECT_EQ(Btb.lookup(0x1000), 0u);
+  Btb.update(0x1000, 0x2000);
+  EXPECT_EQ(Btb.lookup(0x1000), 0x2000u);
+  // A conflicting pc (same index, different tag) misses.
+  uint32_t Conflict = 0x1000 + (1u << (8 + 2));
+  EXPECT_EQ(Btb.lookup(Conflict), 0u);
+  Btb.update(Conflict, 0x3000);
+  EXPECT_EQ(Btb.lookup(Conflict), 0x3000u);
+  EXPECT_EQ(Btb.lookup(0x1000), 0u); // evicted
+}
+
+TEST(ReturnAddressStack, LifoOrder) {
+  ReturnAddressStack Ras(4);
+  Ras.push(0x100);
+  Ras.push(0x200);
+  EXPECT_EQ(Ras.pop(), 0x200u);
+  EXPECT_EQ(Ras.pop(), 0x100u);
+}
+
+TEST(ReturnAddressStack, OverflowWraps) {
+  ReturnAddressStack Ras(2);
+  Ras.push(1);
+  Ras.push(2);
+  Ras.push(3); // overwrites the oldest
+  EXPECT_EQ(Ras.pop(), 3u);
+  EXPECT_EQ(Ras.pop(), 2u);
+  EXPECT_EQ(Ras.pop(), 0u); // entry 1 was overwritten and slots are cleared
+}
+
+TEST(BranchUnit, CountsMispredictions) {
+  BranchUnit BU(DirectionPredictor::Kind::Bimodal);
+  uint32_t Pc = 0x4000;
+  // First resolutions with a cold predictor will mispredict "taken".
+  for (int I = 0; I != 10; ++I)
+    BU.resolveDirection(Pc, true);
+  EXPECT_EQ(BU.stats().CondLookups, 10u);
+  EXPECT_GE(BU.stats().CondMispredicts, 1u);
+  EXPECT_LT(BU.stats().CondMispredicts, 5u);
+}
+
+TEST(BranchUnit, IndirectResolution) {
+  BranchUnit BU;
+  EXPECT_FALSE(BU.resolveIndirect(0x5000, 0x6000)); // cold miss
+  EXPECT_TRUE(BU.resolveIndirect(0x5000, 0x6000));  // learned
+  EXPECT_FALSE(BU.resolveIndirect(0x5000, 0x7000)); // target changed
+  EXPECT_EQ(BU.stats().IndirectLookups, 3u);
+  EXPECT_EQ(BU.stats().IndirectMispredicts, 2u);
+}
+
+TEST(BranchUnit, ReturnPrediction) {
+  BranchUnit BU;
+  BU.notifyCall(0x1234);
+  EXPECT_EQ(BU.predictReturn(), 0x1234u);
+  EXPECT_EQ(BU.predictReturn(), 0u); // empty
+}

@@ -1,0 +1,81 @@
+//===- test_workloads.cpp - Synthetic workload tests -----------------------===//
+
+#include "src/uarch/FunctionalCore.h"
+#include "src/workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace facile;
+using namespace facile::workload;
+
+TEST(Workloads, SuiteHasEighteenBenchmarks) {
+  const auto &Suite = spec95Suite();
+  EXPECT_EQ(Suite.size(), 18u);
+  unsigned Fp = 0;
+  for (const auto &S : Suite)
+    Fp += S.FloatingPoint ? 1 : 0;
+  EXPECT_EQ(Fp, 10u);
+}
+
+TEST(Workloads, FindSpecByShortAndLongName) {
+  EXPECT_NE(findSpec("126.gcc"), nullptr);
+  EXPECT_NE(findSpec("gcc"), nullptr);
+  EXPECT_EQ(findSpec("gcc")->Name, "126.gcc");
+  EXPECT_EQ(findSpec("doom"), nullptr);
+}
+
+TEST(Workloads, GenerationIsDeterministic) {
+  const WorkloadSpec *Spec = findSpec("compress");
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_EQ(generateAsm(*Spec, 3), generateAsm(*Spec, 3));
+  isa::TargetImage A = generate(*Spec, 3);
+  isa::TargetImage B = generate(*Spec, 3);
+  EXPECT_EQ(A.Text, B.Text);
+}
+
+TEST(Workloads, EveryBenchmarkAssembles) {
+  for (const WorkloadSpec &Spec : spec95Suite()) {
+    isa::TargetImage Image = generate(Spec, 1);
+    EXPECT_GT(Image.Text.size(), 30u) << Spec.Name;
+    EXPECT_EQ(Image.Entry, Image.TextBase) << Spec.Name;
+  }
+}
+
+TEST(Workloads, SmallRunTerminates) {
+  // A 1-outer-iteration compress run must reach halt.
+  WorkloadSpec Spec = *findSpec("compress");
+  Spec.DataKWords = 1; // shrink the init loop for test speed
+  isa::TargetImage Image = generate(Spec, 1);
+  TargetMemory Mem;
+  Mem.loadImage(Image);
+  ArchState State = makeInitialState(Image);
+  uint64_t N = runFunctional(State, Mem, Image, 10'000'000);
+  EXPECT_TRUE(State.Halted);
+  EXPECT_GT(N, 1000u);
+}
+
+TEST(Workloads, CodeFootprintTracksKernelCount) {
+  // gcc-like must have a much larger text segment than mgrid-like.
+  isa::TargetImage Gcc = generate(*findSpec("gcc"), 1);
+  isa::TargetImage Mgrid = generate(*findSpec("mgrid"), 1);
+  EXPECT_GT(Gcc.Text.size(), 4 * Mgrid.Text.size());
+}
+
+TEST(Workloads, OuterIterationsScaleRuntime) {
+  WorkloadSpec Spec = *findSpec("li");
+  Spec.DataKWords = 1;
+  isa::TargetImage I1 = generate(Spec, 1);
+  isa::TargetImage I4 = generate(Spec, 4);
+
+  auto runLen = [](const isa::TargetImage &Image) {
+    TargetMemory Mem;
+    Mem.loadImage(Image);
+    ArchState State = makeInitialState(Image);
+    return runFunctional(State, Mem, Image, 100'000'000);
+  };
+  uint64_t N1 = runLen(I1);
+  uint64_t N4 = runLen(I4);
+  // 4 outer iterations do ~4x the kernel work plus the fixed init.
+  EXPECT_GT(N4, 3 * N1 / 2);
+  EXPECT_LT(N4, 5 * N1);
+}
