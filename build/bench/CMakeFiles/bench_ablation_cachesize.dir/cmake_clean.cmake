@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cachesize.dir/bench_ablation_cachesize.cpp.o"
+  "CMakeFiles/bench_ablation_cachesize.dir/bench_ablation_cachesize.cpp.o.d"
+  "bench_ablation_cachesize"
+  "bench_ablation_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

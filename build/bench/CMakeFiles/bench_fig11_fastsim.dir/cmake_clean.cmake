@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fastsim.dir/bench_fig11_fastsim.cpp.o"
+  "CMakeFiles/bench_fig11_fastsim.dir/bench_fig11_fastsim.cpp.o.d"
+  "bench_fig11_fastsim"
+  "bench_fig11_fastsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fastsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

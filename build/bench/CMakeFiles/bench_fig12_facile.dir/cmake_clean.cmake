@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_facile.dir/bench_fig12_facile.cpp.o"
+  "CMakeFiles/bench_fig12_facile.dir/bench_fig12_facile.cpp.o.d"
+  "bench_fig12_facile"
+  "bench_fig12_facile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_facile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_fastfwd_pct.cpp" "bench/CMakeFiles/bench_table1_fastfwd_pct.dir/bench_table1_fastfwd_pct.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_fastfwd_pct.dir/bench_table1_fastfwd_pct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sims/CMakeFiles/facile_sims.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastsim/CMakeFiles/facile_fastsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/facile_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/facile_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/facile/CMakeFiles/facile_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/facile_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/facile_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/facile_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/facile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fastfwd_pct.dir/bench_table1_fastfwd_pct.cpp.o"
+  "CMakeFiles/bench_table1_fastfwd_pct.dir/bench_table1_fastfwd_pct.cpp.o.d"
+  "bench_table1_fastfwd_pct"
+  "bench_table1_fastfwd_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fastfwd_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_memo_data.dir/bench_table2_memo_data.cpp.o"
+  "CMakeFiles/bench_table2_memo_data.dir/bench_table2_memo_data.cpp.o.d"
+  "bench_table2_memo_data"
+  "bench_table2_memo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_memo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_simulators.dir/compare_simulators.cpp.o"
+  "CMakeFiles/compare_simulators.dir/compare_simulators.cpp.o.d"
+  "compare_simulators"
+  "compare_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooo_workload.dir/ooo_workload.cpp.o"
+  "CMakeFiles/ooo_workload.dir/ooo_workload.cpp.o.d"
+  "ooo_workload"
+  "ooo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

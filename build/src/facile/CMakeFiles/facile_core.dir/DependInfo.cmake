@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facile/Actions.cpp" "src/facile/CMakeFiles/facile_core.dir/Actions.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Actions.cpp.o.d"
+  "/root/repo/src/facile/Bta.cpp" "src/facile/CMakeFiles/facile_core.dir/Bta.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Bta.cpp.o.d"
+  "/root/repo/src/facile/Builtins.cpp" "src/facile/CMakeFiles/facile_core.dir/Builtins.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Builtins.cpp.o.d"
+  "/root/repo/src/facile/CEmitter.cpp" "src/facile/CMakeFiles/facile_core.dir/CEmitter.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/CEmitter.cpp.o.d"
+  "/root/repo/src/facile/Compiler.cpp" "src/facile/CMakeFiles/facile_core.dir/Compiler.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Compiler.cpp.o.d"
+  "/root/repo/src/facile/Ir.cpp" "src/facile/CMakeFiles/facile_core.dir/Ir.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Ir.cpp.o.d"
+  "/root/repo/src/facile/Lexer.cpp" "src/facile/CMakeFiles/facile_core.dir/Lexer.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Lexer.cpp.o.d"
+  "/root/repo/src/facile/Lower.cpp" "src/facile/CMakeFiles/facile_core.dir/Lower.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Lower.cpp.o.d"
+  "/root/repo/src/facile/Parser.cpp" "src/facile/CMakeFiles/facile_core.dir/Parser.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Parser.cpp.o.d"
+  "/root/repo/src/facile/Sema.cpp" "src/facile/CMakeFiles/facile_core.dir/Sema.cpp.o" "gcc" "src/facile/CMakeFiles/facile_core.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/facile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_core.dir/Actions.cpp.o"
+  "CMakeFiles/facile_core.dir/Actions.cpp.o.d"
+  "CMakeFiles/facile_core.dir/Bta.cpp.o"
+  "CMakeFiles/facile_core.dir/Bta.cpp.o.d"
+  "CMakeFiles/facile_core.dir/Builtins.cpp.o"
+  "CMakeFiles/facile_core.dir/Builtins.cpp.o.d"
+  "CMakeFiles/facile_core.dir/CEmitter.cpp.o"
+  "CMakeFiles/facile_core.dir/CEmitter.cpp.o.d"
+  "CMakeFiles/facile_core.dir/Compiler.cpp.o"
+  "CMakeFiles/facile_core.dir/Compiler.cpp.o.d"
+  "CMakeFiles/facile_core.dir/Ir.cpp.o"
+  "CMakeFiles/facile_core.dir/Ir.cpp.o.d"
+  "CMakeFiles/facile_core.dir/Lexer.cpp.o"
+  "CMakeFiles/facile_core.dir/Lexer.cpp.o.d"
+  "CMakeFiles/facile_core.dir/Lower.cpp.o"
+  "CMakeFiles/facile_core.dir/Lower.cpp.o.d"
+  "CMakeFiles/facile_core.dir/Parser.cpp.o"
+  "CMakeFiles/facile_core.dir/Parser.cpp.o.d"
+  "CMakeFiles/facile_core.dir/Sema.cpp.o"
+  "CMakeFiles/facile_core.dir/Sema.cpp.o.d"
+  "libfacile_core.a"
+  "libfacile_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_fastsim.dir/FastSim.cpp.o"
+  "CMakeFiles/facile_fastsim.dir/FastSim.cpp.o.d"
+  "libfacile_fastsim.a"
+  "libfacile_fastsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_fastsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/Assembler.cpp" "src/isa/CMakeFiles/facile_isa.dir/Assembler.cpp.o" "gcc" "src/isa/CMakeFiles/facile_isa.dir/Assembler.cpp.o.d"
+  "/root/repo/src/isa/Decode.cpp" "src/isa/CMakeFiles/facile_isa.dir/Decode.cpp.o" "gcc" "src/isa/CMakeFiles/facile_isa.dir/Decode.cpp.o.d"
+  "/root/repo/src/isa/Disasm.cpp" "src/isa/CMakeFiles/facile_isa.dir/Disasm.cpp.o" "gcc" "src/isa/CMakeFiles/facile_isa.dir/Disasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/facile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_isa.dir/Assembler.cpp.o"
+  "CMakeFiles/facile_isa.dir/Assembler.cpp.o.d"
+  "CMakeFiles/facile_isa.dir/Decode.cpp.o"
+  "CMakeFiles/facile_isa.dir/Decode.cpp.o.d"
+  "CMakeFiles/facile_isa.dir/Disasm.cpp.o"
+  "CMakeFiles/facile_isa.dir/Disasm.cpp.o.d"
+  "libfacile_isa.a"
+  "libfacile_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_loader.dir/TargetMemory.cpp.o"
+  "CMakeFiles/facile_loader.dir/TargetMemory.cpp.o.d"
+  "libfacile_loader.a"
+  "libfacile_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

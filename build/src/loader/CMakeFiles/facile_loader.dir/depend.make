@@ -1,0 +1,2 @@
+# Empty dependencies file for facile_loader.
+# This may be replaced when dependencies are built.

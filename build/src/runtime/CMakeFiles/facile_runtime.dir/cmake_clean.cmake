@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_runtime.dir/Simulation.cpp.o"
+  "CMakeFiles/facile_runtime.dir/Simulation.cpp.o.d"
+  "libfacile_runtime.a"
+  "libfacile_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_sims.dir/SimHarness.cpp.o"
+  "CMakeFiles/facile_sims.dir/SimHarness.cpp.o.d"
+  "libfacile_sims.a"
+  "libfacile_sims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_sims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

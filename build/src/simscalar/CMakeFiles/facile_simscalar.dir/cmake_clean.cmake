@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_simscalar.dir/SimScalar.cpp.o"
+  "CMakeFiles/facile_simscalar.dir/SimScalar.cpp.o.d"
+  "libfacile_simscalar.a"
+  "libfacile_simscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_simscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_support.dir/Diagnostic.cpp.o"
+  "CMakeFiles/facile_support.dir/Diagnostic.cpp.o.d"
+  "CMakeFiles/facile_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/facile_support.dir/StringUtils.cpp.o.d"
+  "libfacile_support.a"
+  "libfacile_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/Caches.cpp" "src/uarch/CMakeFiles/facile_uarch.dir/Caches.cpp.o" "gcc" "src/uarch/CMakeFiles/facile_uarch.dir/Caches.cpp.o.d"
+  "/root/repo/src/uarch/FunctionalCore.cpp" "src/uarch/CMakeFiles/facile_uarch.dir/FunctionalCore.cpp.o" "gcc" "src/uarch/CMakeFiles/facile_uarch.dir/FunctionalCore.cpp.o.d"
+  "/root/repo/src/uarch/Predictors.cpp" "src/uarch/CMakeFiles/facile_uarch.dir/Predictors.cpp.o" "gcc" "src/uarch/CMakeFiles/facile_uarch.dir/Predictors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/facile_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/facile_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/facile_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

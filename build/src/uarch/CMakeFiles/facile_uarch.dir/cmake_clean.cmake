@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_uarch.dir/Caches.cpp.o"
+  "CMakeFiles/facile_uarch.dir/Caches.cpp.o.d"
+  "CMakeFiles/facile_uarch.dir/FunctionalCore.cpp.o"
+  "CMakeFiles/facile_uarch.dir/FunctionalCore.cpp.o.d"
+  "CMakeFiles/facile_uarch.dir/Predictors.cpp.o"
+  "CMakeFiles/facile_uarch.dir/Predictors.cpp.o.d"
+  "libfacile_uarch.a"
+  "libfacile_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facile_workload.dir/Workloads.cpp.o"
+  "CMakeFiles/facile_workload.dir/Workloads.cpp.o.d"
+  "libfacile_workload.a"
+  "libfacile_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facile_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfacile_workload.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for facile_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_actioncache.dir/test_actioncache.cpp.o"
+  "CMakeFiles/test_actioncache.dir/test_actioncache.cpp.o.d"
+  "test_actioncache"
+  "test_actioncache.pdb"
+  "test_actioncache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_actioncache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cemitter.dir/test_cemitter.cpp.o"
+  "CMakeFiles/test_cemitter.dir/test_cemitter.cpp.o.d"
+  "test_cemitter"
+  "test_cemitter.pdb"
+  "test_cemitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cemitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

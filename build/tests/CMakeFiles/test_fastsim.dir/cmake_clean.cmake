@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastsim.dir/test_fastsim.cpp.o"
+  "CMakeFiles/test_fastsim.dir/test_fastsim.cpp.o.d"
+  "test_fastsim"
+  "test_fastsim.pdb"
+  "test_fastsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inorder.dir/test_inorder.cpp.o"
+  "CMakeFiles/test_inorder.dir/test_inorder.cpp.o.d"
+  "test_inorder"
+  "test_inorder.pdb"
+  "test_inorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

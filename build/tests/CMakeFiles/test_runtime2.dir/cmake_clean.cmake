@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime2.dir/test_runtime2.cpp.o"
+  "CMakeFiles/test_runtime2.dir/test_runtime2.cpp.o.d"
+  "test_runtime2"
+  "test_runtime2.pdb"
+  "test_runtime2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simscalar.dir/test_simscalar.cpp.o"
+  "CMakeFiles/test_simscalar.dir/test_simscalar.cpp.o.d"
+  "test_simscalar"
+  "test_simscalar.pdb"
+  "test_simscalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

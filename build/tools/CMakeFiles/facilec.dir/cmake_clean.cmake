@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facilec.dir/facilec.cpp.o"
+  "CMakeFiles/facilec.dir/facilec.cpp.o.d"
+  "facilec"
+  "facilec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facilec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
