@@ -58,6 +58,14 @@ inline double parseScale(int Argc, char **Argv) {
   return 1.0;
 }
 
+/// True when \p Name (e.g. "--json") appears in argv.
+inline bool hasFlag(int Argc, char **Argv, const char *Name) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == Name)
+      return true;
+  return false;
+}
+
 inline uint64_t scaled(uint64_t Budget, double Scale) {
   double V = static_cast<double>(Budget) * Scale;
   return V < 1000 ? 1000 : static_cast<uint64_t>(V);

@@ -31,8 +31,9 @@ int main(int Argc, char **Argv) {
   isa::TargetImage Image = workload::generate(*Spec, 1u << 30);
   uint64_t Budget = scaled(400'000, Scale);
 
-  std::printf("%-14s %10s %12s %14s %14s %12s\n", "simulator", "sync ops",
-              "key bytes", "placeholders", "words/step", "cache B/step");
+  std::printf("%-14s %10s %12s %14s %14s %12s %10s %12s\n", "simulator",
+              "sync ops", "key bytes", "placeholders", "words/step",
+              "cache B/step", "keys", "keypool B");
 
   for (auto [Kind, Name] :
        {std::pair{SimKind::Functional, "functional"},
@@ -47,7 +48,7 @@ int main(int Argc, char **Argv) {
     Sim.run(Budget);
     const rt::Simulation::Stats &S = Sim.sim().stats();
     uint64_t SlowSteps = S.Steps - S.FastSteps;
-    std::printf("%-14s %10u %12zu %14llu %14.1f %12.1f\n", Name,
+    std::printf("%-14s %10u %12zu %14llu %14.1f %12.1f %10zu %12zu\n", Name,
                 P.Bta.SyncInsts, KeyBytes,
                 static_cast<unsigned long long>(S.PlaceholderWords),
                 SlowSteps ? static_cast<double>(S.PlaceholderWords) /
@@ -55,7 +56,9 @@ int main(int Argc, char **Argv) {
                           : 0.0,
                 SlowSteps ? static_cast<double>(Sim.sim().cache().bytes()) /
                                 static_cast<double>(SlowSteps)
-                          : 0.0);
+                          : 0.0,
+                Sim.sim().cache().keyCount(),
+                Sim.sim().cache().keyPoolBytes());
   }
 
   std::printf("%-14s %10s %12zu  (hand-packed pipeline state — the paper's "

@@ -2,7 +2,11 @@
 
 #include "src/loader/TargetMemory.h"
 
+#include "src/support/Hashing.h"
+
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 using namespace facile;
 
@@ -55,6 +59,26 @@ uint32_t TargetMemory::read32(uint32_t Addr) const {
   for (int B = 0; B != 4; ++B)
     V |= static_cast<uint32_t>(read8(Addr + B)) << (8 * B);
   return V;
+}
+
+uint64_t TargetMemory::digest() const {
+  std::vector<uint32_t> Bases;
+  Bases.reserve(Pages.size());
+  for (const auto &KV : Pages)
+    Bases.push_back(KV.first);
+  std::sort(Bases.begin(), Bases.end());
+  uint64_t H = FNVOffset;
+  for (uint32_t Base : Bases) {
+    const uint8_t *Page = Pages.at(Base).get();
+    bool AllZero = true;
+    for (uint32_t I = 0; I != PageSize && AllZero; ++I)
+      AllZero = Page[I] == 0;
+    if (AllZero)
+      continue;
+    H = hashCombine(H, Base);
+    H = hashBytes(Page, PageSize, H);
+  }
+  return H;
 }
 
 void TargetMemory::write32(uint32_t Addr, uint32_t Value) {

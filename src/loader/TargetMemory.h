@@ -48,6 +48,12 @@ public:
   /// Number of resident pages (for footprint reporting).
   size_t residentPages() const { return Pages.size(); }
 
+  /// FNV digest of the logical memory contents: non-zero pages hashed in
+  /// ascending address order. All-zero pages are skipped so two memories
+  /// with the same contents digest equal regardless of which untouched
+  /// pages happen to be resident (differential-test oracle).
+  uint64_t digest() const;
+
 private:
   const uint8_t *pageFor(uint32_t Addr) const;
   uint8_t *pageForWrite(uint32_t Addr);

@@ -1,0 +1,215 @@
+//===- ActionCache.cpp - The specialized action cache ----------------------===//
+
+#include "src/runtime/ActionCache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace facile;
+using namespace facile::rt;
+
+//===----------------------------------------------------------------------===//
+// Key interning
+//===----------------------------------------------------------------------===//
+
+void ActionCache::growTable() {
+  // Smallest power of two keeping the load factor below ~2/3.
+  size_t NewSize = 64;
+  while (NewSize * 2 < (Keys.size() + 1) * 3)
+    NewSize *= 2;
+  NewSize = std::max(NewSize, Table.size() * 2);
+  Table.assign(NewSize, NoId);
+  size_t Mask = NewSize - 1;
+  for (KeyId K = 0; K != Keys.size(); ++K) {
+    size_t I = static_cast<size_t>(Keys[K].Hash) & Mask;
+    while (Table[I] != NoId)
+      I = (I + 1) & Mask;
+    Table[I] = K;
+  }
+}
+
+KeyId ActionCache::internKey(const char *Data, size_t Len) {
+  // Keep the load factor below ~2/3 so probe sequences stay short.
+  if (Table.empty() || (Keys.size() + 1) * 3 > Table.size() * 2)
+    growTable();
+
+  uint64_t H = hashBytes(Data, Len);
+  size_t Mask = Table.size() - 1;
+  size_t I = static_cast<size_t>(H) & Mask;
+  uint64_t Probes = 0;
+  for (;;) {
+    uint32_t Slot = Table[I];
+    if (Slot == NoId)
+      break;
+    const KeyRecord &R = Keys[Slot];
+    if (R.Hash == H && R.Len == Len &&
+        std::memcmp(KeyPool.data() + R.Ofs, Data, Len) == 0) {
+      S.ProbeTotal += Probes;
+      S.ProbeMax = std::max(S.ProbeMax, Probes);
+      return Slot;
+    }
+    I = (I + 1) & Mask;
+    ++Probes;
+  }
+  S.ProbeTotal += Probes;
+  S.ProbeMax = std::max(S.ProbeMax, Probes);
+
+  KeyId K = static_cast<KeyId>(Keys.size());
+  KeyRecord R;
+  R.Ofs = static_cast<uint32_t>(KeyPool.size());
+  R.Len = static_cast<uint32_t>(Len);
+  R.Hash = H;
+  KeyPool.insert(KeyPool.end(), Data, Data + Len);
+  Keys.push_back(R);
+  KeyToEntry.push_back(NoId);
+  Table[I] = K;
+  ++S.KeysInterned;
+  notePeak();
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Entries
+//===----------------------------------------------------------------------===//
+
+EntryId ActionCache::create(KeyId K) {
+  assert(KeyToEntry[K] == NoId && "key already has an entry");
+  ++S.EntriesCreated;
+  EntryId E = static_cast<EntryId>(Entries.size());
+  Entries.emplace_back();
+  Entries.back().Key = K;
+  Entries.back().LastUse = ++Tick;
+  KeyToEntry[K] = E;
+  notePeak();
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Eviction
+//===----------------------------------------------------------------------===//
+
+void ActionCache::clear() {
+  KeyPool.clear();
+  Keys.clear();
+  KeyToEntry.clear();
+  Table.clear();
+  Entries.clear();
+  NodeArena.clear();
+  DataPool.clear();
+  ++S.Clears;
+}
+
+void ActionCache::evict() {
+  notePeak();
+  if (Policy == EvictionPolicy::Segmented && Entries.size() >= 2) {
+    evictSegmented();
+    // Compaction keeps the hot half; if even that half exceeds the budget
+    // (one giant working set), fall back to the wholesale clear.
+    if (overBudget())
+      clear();
+    return;
+  }
+  clear();
+}
+
+void ActionCache::evictSegmented() {
+  // Retain the most-recently-used half: entries whose LastUse is at or
+  // above the median tick.
+  std::vector<uint64_t> Uses;
+  Uses.reserve(Entries.size());
+  for (const CacheEntry &E : Entries)
+    Uses.push_back(E.LastUse);
+  std::nth_element(Uses.begin(), Uses.begin() + Uses.size() / 2, Uses.end());
+  uint64_t Threshold = Uses[Uses.size() / 2];
+
+  std::vector<char> NewKeyPool;
+  std::vector<KeyRecord> NewKeys;
+  std::vector<EntryId> NewKeyToEntry;
+  std::vector<CacheEntry> NewEntries;
+  std::vector<ActionNode> NewNodes;
+  std::vector<int64_t> NewData;
+
+  // Copies key \p Old into the new pool once, returning its new id.
+  std::vector<KeyId> KeyRemap(Keys.size(), NoId);
+  auto remapKey = [&](KeyId Old) -> KeyId {
+    if (Old == NoId)
+      return NoId;
+    if (KeyRemap[Old] != NoId)
+      return KeyRemap[Old];
+    const KeyRecord &R = Keys[Old];
+    KeyId New = static_cast<KeyId>(NewKeys.size());
+    KeyRecord C = R;
+    C.Ofs = static_cast<uint32_t>(NewKeyPool.size());
+    NewKeyPool.insert(NewKeyPool.end(), KeyPool.begin() + R.Ofs,
+                      KeyPool.begin() + R.Ofs + R.Len);
+    NewKeys.push_back(C);
+    NewKeyToEntry.push_back(NoId);
+    KeyRemap[Old] = New;
+    return New;
+  };
+
+  // Worklist item: copy old node Old and hang the copy off the given edge
+  // of the already-copied parent (Edge -1 = Next, 0/1 = OnValue).
+  struct WorkItem {
+    uint32_t Old;
+    uint32_t ParentNew;
+    int8_t Edge;
+  };
+  std::vector<WorkItem> Work;
+
+  for (const CacheEntry &E : Entries) {
+    if (E.LastUse < Threshold)
+      continue;
+    EntryId NewE = static_cast<EntryId>(NewEntries.size());
+    NewEntries.emplace_back();
+    CacheEntry &C = NewEntries.back();
+    C.Key = remapKey(E.Key);
+    C.LastUse = E.LastUse;
+    NewKeyToEntry[C.Key] = NewE;
+
+    if (E.Head == ActionNode::NoNode)
+      continue;
+    Work.push_back({E.Head, ActionNode::NoNode, -1});
+    while (!Work.empty()) {
+      WorkItem W = Work.back();
+      Work.pop_back();
+      const ActionNode &Src = NodeArena[W.Old];
+      uint32_t NewIdx = static_cast<uint32_t>(NewNodes.size());
+      NewNodes.push_back(Src);
+      ActionNode &Dst = NewNodes.back();
+      Dst.DataOfs = static_cast<uint32_t>(NewData.size());
+      NewData.insert(NewData.end(), DataPool.begin() + Src.DataOfs,
+                     DataPool.begin() + Src.DataOfs + Src.DataLen);
+      Dst.Next = ActionNode::NoNode;
+      Dst.OnValue[0] = Dst.OnValue[1] = ActionNode::NoNode;
+      if (Dst.K == ActionNode::Kind::End)
+        Dst.NextKey = remapKey(Src.NextKey);
+      if (W.ParentNew == ActionNode::NoNode)
+        C.Head = NewIdx;
+      else if (W.Edge < 0)
+        NewNodes[W.ParentNew].Next = NewIdx;
+      else
+        NewNodes[W.ParentNew].OnValue[W.Edge] = NewIdx;
+      if (Src.K == ActionNode::Kind::Plain &&
+          Src.Next != ActionNode::NoNode)
+        Work.push_back({Src.Next, NewIdx, -1});
+      if (Src.K == ActionNode::Kind::Test)
+        for (int V = 0; V != 2; ++V)
+          if (Src.OnValue[V] != ActionNode::NoNode)
+            Work.push_back({Src.OnValue[V], NewIdx,
+                            static_cast<int8_t>(V)});
+    }
+  }
+
+  S.EvictedEntries += Entries.size() - NewEntries.size();
+  ++S.Evictions;
+
+  KeyPool = std::move(NewKeyPool);
+  Keys = std::move(NewKeys);
+  KeyToEntry = std::move(NewKeyToEntry);
+  Entries = std::move(NewEntries);
+  NodeArena = std::move(NewNodes);
+  DataPool = std::move(NewData);
+  Table.clear();
+  growTable();
+}

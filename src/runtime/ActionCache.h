@@ -6,17 +6,27 @@
 ///
 /// \file
 /// The specialized action cache of a fast-forwarding simulator (paper §2,
-/// Figure 2). Entries are indexed by the serialized run-time static input
-/// (the `init` globals — the step function's key). Each entry holds a graph
-/// of action nodes: plain dynamic basic blocks, dynamic-result tests with
-/// one successor per observed predicate value, and an end-of-step INDEX
-/// node carrying the next step's key. Placeholder data (memoized rt-static
-/// operand values) lives in a per-entry pool addressed by [DataOfs,
-/// DataOfs+DataLen) spans.
+/// Figure 2), laid out for replay speed. Three flat stores back every
+/// entry:
 ///
-/// Memory is budgeted: when the cache exceeds its byte budget it is cleared
-/// wholesale and re-filled by the slow simulator, the policy the paper
-/// reports costs little performance at 1/10 the footprint (§6.1-§6.2).
+///  - the *key table*: every serialized run-time static input is interned
+///    once into a shared byte pool and addressed by a fixed-width KeyId.
+///    Entry keys and the next-step keys recorded in End nodes share the
+///    same pool, so a key is stored exactly once no matter how many End
+///    nodes chain to it, and key equality is an integer compare;
+///  - the *node arena*: one contiguous array of 32-byte ActionNodes for
+///    the whole cache. Nodes link by arena index, so replay is a pointer
+///    chase over dense memory with no per-entry allocation;
+///  - the *data pool*: one contiguous array of memoized placeholder words,
+///    addressed by [DataOfs, DataOfs+DataLen) spans in each node.
+///
+/// Memory is budgeted, with the policy pluggable (EvictionPolicy):
+/// ClearAll is the paper's wholesale clear-on-full, which §6.1-§6.2 report
+/// costs little performance at 1/10 the footprint; Segmented drops the
+/// least-recently-used half of the entries and compacts the survivors into
+/// fresh arenas, trading eviction-time copying for retained hot state.
+/// The byte account is derived from the container sizes in one place
+/// (bytes()), so overBudget() always reflects the real footprint.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,17 +36,28 @@
 #include "src/support/Hashing.h"
 
 #include <cstdint>
-#include <memory>
-#include <string>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 namespace facile {
 namespace rt {
 
-struct CacheEntry;
+/// Index of an interned key in the key table.
+using KeyId = uint32_t;
+/// Index of a cache entry.
+using EntryId = uint32_t;
+/// Sentinel for "no key" / "no entry".
+inline constexpr uint32_t NoId = ~0u;
+
+/// How the cache sheds weight when it exceeds its byte budget.
+enum class EvictionPolicy : uint8_t {
+  ClearAll,  ///< the paper's clear-on-full: drop everything
+  Segmented, ///< drop the least-recently-used half, compact the rest
+};
 
 /// One recorded action. Kind determines which link fields are meaningful.
+/// Links are node-arena indices; NextKey is an interned key id — the node
+/// carries no heap-allocated state.
 struct ActionNode {
   static constexpr uint32_t NoNode = ~0u;
 
@@ -48,20 +69,22 @@ struct ActionNode {
 
   int32_t ActionId = -1;
   Kind K = Kind::Plain;
-  uint32_t DataOfs = 0; ///< placeholder span in the entry's pool
+  uint32_t DataOfs = 0; ///< placeholder span in the cache-wide data pool
   uint32_t DataLen = 0;
-  uint32_t Next = NoNode;          ///< Plain
+  uint32_t Next = NoNode;                 ///< Plain
   uint32_t OnValue[2] = {NoNode, NoNode}; ///< Test: successor per 0/1 result
-  std::string NextKey;             ///< End: serialized next key
-  CacheEntry *NextEntry = nullptr; ///< End: lazily resolved chain pointer
+  KeyId NextKey = NoId;                   ///< End: interned next key
 };
 
+static_assert(sizeof(ActionNode) == 32, "replay nodes must stay dense");
+
 /// One cache entry: the recorded behaviour of the step function for one
-/// run-time static input.
+/// run-time static input. The node graph and placeholder data live in the
+/// cache-wide arenas; the entry is just the head index plus bookkeeping.
 struct CacheEntry {
-  std::vector<ActionNode> Nodes;
-  std::vector<int64_t> Data; ///< placeholder pool
-  uint32_t Head = ActionNode::NoNode;
+  uint32_t Head = ActionNode::NoNode; ///< node-arena index of the first node
+  KeyId Key = NoId;                   ///< the interned entry key
+  uint64_t LastUse = 0;               ///< recency tick for Segmented eviction
 };
 
 /// The key-indexed store of specialized actions.
@@ -71,64 +94,142 @@ public:
     uint64_t Lookups = 0;
     uint64_t Hits = 0;
     uint64_t EntriesCreated = 0;
-    uint64_t Clears = 0;
+    uint64_t KeysInterned = 0;
+    uint64_t Clears = 0;         ///< wholesale clears (ClearAll or fallback)
+    uint64_t Evictions = 0;      ///< Segmented compaction passes
+    uint64_t EvictedEntries = 0; ///< entries dropped by Segmented eviction
     uint64_t PeakBytes = 0;
+    uint64_t ProbeTotal = 0; ///< key-table probes beyond the home slot
+    uint64_t ProbeMax = 0;   ///< longest probe sequence seen
   };
 
-  explicit ActionCache(size_t BudgetBytes) : Budget(BudgetBytes) {}
+  explicit ActionCache(size_t BudgetBytes,
+                       EvictionPolicy Policy = EvictionPolicy::ClearAll)
+      : Budget(BudgetBytes), Policy(Policy) {}
 
-  /// Finds the entry for \p Key, or nullptr.
-  CacheEntry *lookup(const std::string &Key) {
+  //===-- Key interning ----------------------------------------------------
+
+  /// Interns \p Len bytes at \p Data, returning the id of the existing or
+  /// freshly created key. The bytes are copied into the shared key pool.
+  KeyId internKey(const char *Data, size_t Len);
+
+  /// True when interned key \p K has exactly the bytes [\p Data, \p Len).
+  /// This is the INDEX-chain verification: one memcmp, no hashing.
+  bool keyEquals(KeyId K, const char *Data, size_t Len) const {
+    const KeyRecord &R = Keys[K];
+    return R.Len == Len && std::memcmp(KeyPool.data() + R.Ofs, Data, Len) == 0;
+  }
+
+  const char *keyData(KeyId K) const { return KeyPool.data() + Keys[K].Ofs; }
+  uint32_t keyLen(KeyId K) const { return Keys[K].Len; }
+  size_t keyCount() const { return Keys.size(); }
+  size_t keyPoolBytes() const { return KeyPool.size(); }
+
+  //===-- Entries ----------------------------------------------------------
+
+  /// Finds the entry for key \p K, counting a lookup (and a hit on
+  /// success) and refreshing the entry's recency. Returns NoId on miss.
+  EntryId lookup(KeyId K) {
     ++S.Lookups;
-    auto It = Map.find(Key);
-    if (It == Map.end())
-      return nullptr;
+    EntryId E = KeyToEntry[K];
+    if (E == NoId)
+      return NoId;
     ++S.Hits;
-    return It->second.get();
+    Entries[E].LastUse = ++Tick;
+    return E;
   }
 
-  /// Creates an (empty) entry for \p Key. The caller records into it.
-  CacheEntry *create(const std::string &Key) {
-    ++S.EntriesCreated;
-    auto Entry = std::make_unique<CacheEntry>();
-    CacheEntry *Ptr = Entry.get();
-    noteBytes(Key.size() + 64);
-    Map.emplace(Key, std::move(Entry));
-    return Ptr;
+  /// Creates an (empty) entry for key \p K. The caller records into it.
+  /// \p K must not already have an entry.
+  EntryId create(KeyId K);
+
+  CacheEntry &entry(EntryId E) { return Entries[E]; }
+  const CacheEntry &entry(EntryId E) const { return Entries[E]; }
+
+  //===-- Node arena and data pool ------------------------------------------
+
+  /// Allocates a node in the arena with its data span starting at the
+  /// current end of the data pool. The caller links it.
+  uint32_t appendNode(int32_t ActionId) {
+    uint32_t Idx = static_cast<uint32_t>(NodeArena.size());
+    NodeArena.emplace_back();
+    NodeArena.back().ActionId = ActionId;
+    NodeArena.back().DataOfs = static_cast<uint32_t>(DataPool.size());
+    notePeak();
+    return Idx;
   }
 
-  /// Accounts \p N additional bytes of memoized data.
-  void noteBytes(size_t N) {
-    Bytes += N;
-    if (Bytes > S.PeakBytes)
-      S.PeakBytes = Bytes;
+  ActionNode &node(uint32_t I) { return NodeArena[I]; }
+  const ActionNode &node(uint32_t I) const { return NodeArena[I]; }
+  /// Raw arena base for the replay loop. Invalidated by recording.
+  const ActionNode *nodes() const { return NodeArena.data(); }
+  size_t nodeCount() const { return NodeArena.size(); }
+
+  void pushData(int64_t V) {
+    DataPool.push_back(V);
+    notePeak();
+  }
+  uint32_t dataSize() const { return static_cast<uint32_t>(DataPool.size()); }
+  /// Raw pool base for the replay loop. Invalidated by recording.
+  const int64_t *data() const { return DataPool.data(); }
+
+  //===-- Budget and eviction ------------------------------------------------
+
+  /// The real footprint, derived from the backing containers in one place:
+  /// key pool and table, entry vector, node arena and data pool.
+  size_t bytes() const {
+    return KeyPool.size() + Keys.size() * sizeof(KeyRecord) +
+           KeyToEntry.size() * sizeof(EntryId) +
+           Table.size() * sizeof(uint32_t) +
+           Entries.size() * sizeof(CacheEntry) +
+           NodeArena.size() * sizeof(ActionNode) +
+           DataPool.size() * sizeof(int64_t);
   }
 
-  /// True when the budget is exhausted; the owner should clear().
-  bool overBudget() const { return Bytes > Budget; }
+  /// True when the budget is exhausted; the owner should evict().
+  bool overBudget() const { return bytes() > Budget; }
 
-  /// Drops every entry (the paper's clear-on-full policy). Any outstanding
-  /// CacheEntry pointers become invalid.
-  void clear() {
-    Map.clear();
-    Bytes = 0;
-    ++S.Clears;
-  }
+  /// Sheds weight per the configured policy. Any outstanding EntryIds,
+  /// KeyIds and node indices become invalid.
+  void evict();
 
-  size_t bytes() const { return Bytes; }
-  size_t entryCount() const { return Map.size(); }
+  /// Drops every entry, key and node (the paper's clear-on-full policy).
+  void clear();
+
+  size_t entryCount() const { return Entries.size(); }
+  EvictionPolicy policy() const { return Policy; }
   const Stats &stats() const { return S; }
 
 private:
-  struct KeyHash {
-    size_t operator()(const std::string &K) const {
-      return static_cast<size_t>(hashBytes(K.data(), K.size()));
-    }
+  struct KeyRecord {
+    uint32_t Ofs = 0;
+    uint32_t Len = 0;
+    uint64_t Hash = 0;
   };
 
-  std::unordered_map<std::string, std::unique_ptr<CacheEntry>, KeyHash> Map;
+  void notePeak() {
+    size_t B = bytes();
+    if (B > S.PeakBytes)
+      S.PeakBytes = B;
+  }
+
+  void growTable();
+  void evictSegmented();
+
   size_t Budget;
-  size_t Bytes = 0;
+  EvictionPolicy Policy;
+  uint64_t Tick = 0;
+
+  // Key table: open-addressed, power-of-two sized, linear probing.
+  std::vector<char> KeyPool;
+  std::vector<KeyRecord> Keys;      ///< KeyId -> span + hash
+  std::vector<EntryId> KeyToEntry;  ///< KeyId -> entry or NoId
+  std::vector<uint32_t> Table;      ///< slot -> KeyId or NoId
+
+  std::vector<CacheEntry> Entries;
+  std::vector<ActionNode> NodeArena;
+  std::vector<int64_t> DataPool;
+
   Stats S;
 };
 

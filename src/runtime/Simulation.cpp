@@ -100,7 +100,8 @@ uint32_t wrapIndex(int64_t V, size_t Size) {
 
 Simulation::Simulation(const CompiledProgram &Prog,
                        const isa::TargetImage &Image, Options Opts)
-    : Prog(Prog), Image(Image), Opts(Opts), Cache(Opts.CacheBudgetBytes) {
+    : Prog(Prog), Image(Image), Opts(Opts),
+      Cache(Opts.CacheBudgetBytes, Opts.Eviction) {
   Mem.loadImage(Image);
   DynSlots.assign(Prog.Step.NumSlots, 0);
   StatSlots.assign(Prog.Step.NumSlots, 0);
@@ -125,6 +126,9 @@ Simulation::Simulation(const CompiledProgram &Prog,
     StatLocalArrays[L].assign(Prog.Step.LocalArrays[L].Size, 0);
   }
   Externs.resize(Prog.Externs.size());
+  for (uint32_t G : Prog.InitGlobals)
+    KeyWidth += 8 * (Prog.Globals[G].IsArray ? Prog.Globals[G].Size : 1);
+  KeyBuf.reserve(KeyWidth);
 }
 
 void Simulation::registerExtern(const std::string &Name,
@@ -173,42 +177,32 @@ void Simulation::setGlobalElem(const std::string &Name, uint32_t Index,
 //===----------------------------------------------------------------------===//
 
 void Simulation::serializeKeyInto(std::string &Out) const {
+  // Arrays are contiguous int64 storage, so whole arrays append with one
+  // memcpy — this runs on every step and dominates the replay overhead.
   Out.clear();
-  auto Append = [&Out](int64_t V) {
-    char Buf[8];
-    std::memcpy(Buf, &V, 8);
-    Out.append(Buf, 8);
-  };
   for (uint32_t G : Prog.InitGlobals) {
-    if (Prog.Globals[G].IsArray)
-      for (int64_t V : DynArrays[G])
-        Append(V);
-    else
-      Append(DynGlobals[G]);
+    if (Prog.Globals[G].IsArray) {
+      const std::vector<int64_t> &A = DynArrays[G];
+      Out.append(reinterpret_cast<const char *>(A.data()), A.size() * 8);
+    } else {
+      Out.append(reinterpret_cast<const char *>(&DynGlobals[G]), 8);
+    }
   }
 }
 
-std::string Simulation::serializeKey() const {
-  std::string Key;
-  serializeKeyInto(Key);
-  return Key;
-}
-
-void Simulation::seedStaticFromKey(const std::string &Key) {
+void Simulation::seedStaticFromKey(KeyId Key) {
+  const char *Data = Cache.keyData(Key);
   size_t Pos = 0;
-  auto Read = [&]() {
-    int64_t V;
-    assert(Pos + 8 <= Key.size() && "key too short for init globals");
-    std::memcpy(&V, Key.data() + Pos, 8);
-    Pos += 8;
-    return V;
-  };
+  assert(Cache.keyLen(Key) == KeyWidth && "key width mismatch");
   for (uint32_t G : Prog.InitGlobals) {
-    if (Prog.Globals[G].IsArray)
-      for (int64_t &V : StatArrays[G])
-        V = Read();
-    else
-      StatGlobals[G] = Read();
+    if (Prog.Globals[G].IsArray) {
+      std::vector<int64_t> &A = StatArrays[G];
+      std::memcpy(A.data(), Data + Pos, A.size() * 8);
+      Pos += A.size() * 8;
+    } else {
+      std::memcpy(&StatGlobals[G], Data + Pos, 8);
+      Pos += 8;
+    }
   }
 }
 
@@ -277,8 +271,8 @@ int64_t Simulation::externCall(const Inst &I, const int64_t *Args) {
 /// Recovery input: the replayed prefix of a cache entry up to (and
 /// including) the missing dynamic-result test.
 struct Simulation::ReplayedStep {
-  CacheEntry *Entry = nullptr;
-  std::string Key;
+  EntryId Entry = NoId;
+  KeyId Key = NoId;
   struct Item {
     uint32_t Node;
     int64_t Value; ///< taken result for Test nodes along the prefix
@@ -287,8 +281,9 @@ struct Simulation::ReplayedStep {
   int64_t MissValue = 0;  ///< the new result computed at the miss
 };
 
-void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
+void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
   const StepFunction &F = Prog.Step;
+  const bool Record = Rec != NoId;
   bool Recovering = Recovery != nullptr;
   size_t RecoveryIdx = 0;
 
@@ -304,24 +299,20 @@ void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
     copyInitDynToStatic();
   }
 
-  // Appends a new action node linked at the current attach point.
+  // Appends a new arena node linked at the current attach point.
   auto appendNode = [&](int32_t ActionId) -> uint32_t {
-    uint32_t Idx = static_cast<uint32_t>(Rec->Nodes.size());
-    Rec->Nodes.emplace_back();
-    ActionNode &N = Rec->Nodes.back();
-    N.ActionId = ActionId;
-    N.DataOfs = static_cast<uint32_t>(Rec->Data.size());
+    uint32_t Idx = Cache.appendNode(ActionId);
     if (PrevNode == ActionNode::NoNode) {
-      assert(Rec->Head == ActionNode::NoNode && "entry already has a head");
-      Rec->Head = Idx;
+      assert(Cache.entry(Rec).Head == ActionNode::NoNode &&
+             "entry already has a head");
+      Cache.entry(Rec).Head = Idx;
     } else if (PrevEdge < 0) {
-      Rec->Nodes[PrevNode].Next = Idx;
+      Cache.node(PrevNode).Next = Idx;
     } else {
-      assert(Rec->Nodes[PrevNode].OnValue[PrevEdge] == ActionNode::NoNode &&
+      assert(Cache.node(PrevNode).OnValue[PrevEdge] == ActionNode::NoNode &&
              "successor already recorded");
-      Rec->Nodes[PrevNode].OnValue[PrevEdge] = Idx;
+      Cache.node(PrevNode).OnValue[PrevEdge] = Idx;
     }
-    Cache.noteBytes(sizeof(ActionNode));
     PrevNode = Idx;
     PrevEdge = -1;
     return Idx;
@@ -342,7 +333,7 @@ void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
         assert(RecoveryIdx < Recovery->Path.size() &&
                "recovery walked past the recorded prefix");
         const ReplayedStep::Item &Item = Recovery->Path[RecoveryIdx];
-        assert(Recovery->Entry->Nodes[Item.Node].ActionId == AI.ActionId &&
+        assert(Cache.node(Item.Node).ActionId == AI.ActionId &&
                "slow and fast simulators disagree on the control path");
         MissBlock = RecoveryIdx + 1 == Recovery->Path.size();
         RecordedTest = Item.Value;
@@ -351,7 +342,7 @@ void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
           PrevNode = Item.Node;
         }
         ++RecoveryIdx;
-      } else if (Rec) {
+      } else if (Record) {
         NodeIdx = appendNode(AI.ActionId);
       }
     }
@@ -433,8 +424,7 @@ void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
         if (I.StaticOperands & (1u << Pos)) {
           int64_t V = StatSlots[Slot];
           if (NodeIdx != ActionNode::NoNode) {
-            Rec->Data.push_back(V);
-            Cache.noteBytes(8);
+            Cache.pushData(V);
             ++S.PlaceholderWords;
           }
           return V;
@@ -443,8 +433,7 @@ void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
       };
       auto memoize = [&](int64_t V) {
         if (NodeIdx != ActionNode::NoNode) {
-          Rec->Data.push_back(V);
-          Cache.noteBytes(8);
+          Cache.pushData(V);
           ++S.PlaceholderWords;
         }
       };
@@ -546,13 +535,15 @@ void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
     }
 
     // Terminator.
+    auto sealDataSpan = [&] {
+      ActionNode &N = Cache.node(NodeIdx);
+      N.DataLen = Cache.dataSize() - N.DataOfs;
+    };
     const Inst &Term = Blk.terminator();
     switch (Term.Opcode) {
     case Op::Jump:
       if (NodeIdx != ActionNode::NoNode)
-        Rec->Nodes[NodeIdx].DataLen =
-            static_cast<uint32_t>(Rec->Data.size()) -
-            Rec->Nodes[NodeIdx].DataOfs;
+        sealDataSpan();
       BB = Term.Target;
       break;
     case Op::Branch: {
@@ -570,30 +561,26 @@ void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
       } else {
         Taken = DynSlots[Term.A] != 0;
         if (NodeIdx != ActionNode::NoNode) {
-          Rec->Nodes[NodeIdx].K = ActionNode::Kind::Test;
-          Rec->Nodes[NodeIdx].DataLen =
-              static_cast<uint32_t>(Rec->Data.size()) -
-              Rec->Nodes[NodeIdx].DataOfs;
+          Cache.node(NodeIdx).K = ActionNode::Kind::Test;
+          sealDataSpan();
           PrevEdge = Taken ? 1 : 0;
         }
       }
       if (!Term.Dynamic && NodeIdx != ActionNode::NoNode)
-        Rec->Nodes[NodeIdx].DataLen =
-            static_cast<uint32_t>(Rec->Data.size()) -
-            Rec->Nodes[NodeIdx].DataOfs;
+        sealDataSpan();
       BB = Taken ? Term.Target : Term.Target2;
       break;
     }
     case Op::Ret:
       assert(!Recovering && "step ended before reaching the miss point");
       if (NodeIdx != ActionNode::NoNode) {
-        ActionNode &N = Rec->Nodes[NodeIdx];
+        serializeKeyInto(KeyBuf);
+        KeyId Next = Cache.internKey(KeyBuf.data(), KeyBuf.size());
+        ActionNode &N = Cache.node(NodeIdx);
         N.K = ActionNode::Kind::End;
-        N.DataLen = static_cast<uint32_t>(Rec->Data.size()) - N.DataOfs;
-        N.NextKey = serializeKey();
-        Cache.noteBytes(N.NextKey.size());
+        N.DataLen = Cache.dataSize() - N.DataOfs;
+        N.NextKey = Next;
         // Arm the INDEX chain for the next step.
-        PendingEndEntry = Rec;
         PendingEndNode = NodeIdx;
       }
       return;
@@ -608,17 +595,22 @@ void Simulation::runSlow(CacheEntry *Rec, const ReplayedStep *Recovery) {
 // The fast / residual simulator
 //===----------------------------------------------------------------------===//
 
-bool Simulation::runFast(CacheEntry *Entry, const std::string &Key) {
+bool Simulation::runFast(EntryId Entry, KeyId Key) {
   const StepFunction &F = Prog.Step;
   ReplayedStep Rp;
   Rp.Entry = Entry;
   Rp.Key = Key;
 
   InFastEngine = true;
-  uint32_t NodeIdx = Entry->Head;
+  // Raw arena bases: replay never grows the cache, so these stay valid
+  // until a miss hands the step to the slow simulator (after which they
+  // are not touched again).
+  const ActionNode *Nodes = Cache.nodes();
+  const int64_t *Pool = Cache.data();
+  uint32_t NodeIdx = Cache.entry(Entry).Head;
   int64_t ArgBuf[16];
   for (;;) {
-    ActionNode &N = Entry->Nodes[NodeIdx];
+    const ActionNode &N = Nodes[NodeIdx];
     uint32_t Block = Prog.Actions.ActionToBlock[N.ActionId];
     const ActionBlockInfo &AI = Prog.Actions.Blocks[Block];
     const ir::Block &Blk = F.Blocks[Block];
@@ -629,7 +621,7 @@ bool Simulation::runFast(CacheEntry *Entry, const std::string &Key) {
       const Inst &I = Blk.Insts[InstIdx];
       auto readOperand = [&](SlotId Slot, unsigned Pos) -> int64_t {
         if (I.StaticOperands & (1u << Pos))
-          return Entry->Data[DataPos++];
+          return Pool[DataPos++];
         return DynSlots[Slot];
       };
 
@@ -701,15 +693,15 @@ bool Simulation::runFast(CacheEntry *Entry, const std::string &Key) {
         break;
       }
       case Op::SyncSlot:
-        DynSlots[I.Dst] = Entry->Data[DataPos++];
+        DynSlots[I.Dst] = Pool[DataPos++];
         break;
       case Op::SyncGlobal:
-        DynGlobals[I.Id] = Entry->Data[DataPos++];
+        DynGlobals[I.Id] = Pool[DataPos++];
         break;
       case Op::SyncArray: {
         std::vector<int64_t> &Dst = DynArrays[I.Id];
-        for (size_t E = 0; E != Dst.size(); ++E)
-          Dst[E] = Entry->Data[DataPos++];
+        std::memcpy(Dst.data(), Pool + DataPos, Dst.size() * 8);
+        DataPos += Dst.size();
         break;
       }
       case Op::Branch:
@@ -725,7 +717,6 @@ bool Simulation::runFast(CacheEntry *Entry, const std::string &Key) {
     switch (N.K) {
     case ActionNode::Kind::End:
       InFastEngine = false;
-      PendingEndEntry = Entry;
       PendingEndNode = NodeIdx;
       return true;
     case ActionNode::Kind::Plain:
@@ -760,42 +751,41 @@ bool Simulation::runFast(CacheEntry *Entry, const std::string &Key) {
 StepEngine Simulation::step() {
   ++S.Steps;
   if (!Opts.Memoize) {
-    runSlow(nullptr, nullptr);
+    runSlow(NoId, nullptr);
     return StepEngine::Slow;
   }
 
   serializeKeyInto(KeyBuf);
 
   // INDEX chain: verify the previous step's recorded next key against the
-  // actual init globals and follow the cached entry pointer on a match,
-  // skipping the hash lookup (paper Figure 9, INDEX_ACTION).
-  CacheEntry *Entry = nullptr;
-  if (PendingEndEntry) {
-    ActionNode &End = PendingEndEntry->Nodes[PendingEndNode];
-    if (End.NextKey == KeyBuf) {
-      if (!End.NextEntry)
-        End.NextEntry = Cache.lookup(KeyBuf);
-      Entry = End.NextEntry;
-    }
-    PendingEndEntry = nullptr;
+  // actual init globals with one memcmp against the interned bytes; on a
+  // match the hash-and-probe interning is skipped (paper Figure 9,
+  // INDEX_ACTION).
+  KeyId Key = NoId;
+  if (PendingEndNode != ActionNode::NoNode) {
+    KeyId Next = Cache.node(PendingEndNode).NextKey;
+    if (Next != NoId && Cache.keyEquals(Next, KeyBuf.data(), KeyBuf.size()))
+      Key = Next;
+    PendingEndNode = ActionNode::NoNode;
   }
-  if (!Entry)
-    Entry = Cache.lookup(KeyBuf);
+  if (Key == NoId)
+    Key = Cache.internKey(KeyBuf.data(), KeyBuf.size());
+  EntryId Entry = Cache.lookup(Key);
 
   StepEngine Engine;
-  if (!Entry) {
-    Entry = Cache.create(KeyBuf);
+  if (Entry == NoId) {
+    Entry = Cache.create(Key);
     runSlow(Entry, nullptr);
     Engine = StepEngine::Slow;
-  } else if (runFast(Entry, KeyBuf)) {
+  } else if (runFast(Entry, Key)) {
     ++S.FastSteps;
     Engine = StepEngine::Fast;
   } else {
     Engine = StepEngine::FastThenSlow;
   }
   if (Cache.overBudget()) {
-    Cache.clear();
-    PendingEndEntry = nullptr;
+    Cache.evict();
+    PendingEndNode = ActionNode::NoNode;
   }
   return Engine;
 }

@@ -55,6 +55,9 @@ public:
   struct Options {
     bool Memoize = true; ///< false: slow simulator only, no cache (baseline)
     size_t CacheBudgetBytes = 256u << 20; ///< paper §6.2's 256 MB default
+    /// What happens when the cache exceeds its budget. ClearAll is the
+    /// paper's policy; Segmented keeps the hot half of the entries.
+    EvictionPolicy Eviction = EvictionPolicy::ClearAll;
   };
 
   struct Stats {
@@ -111,11 +114,10 @@ private:
   struct RecordCtx;
   struct ReplayedStep;
 
-  void runSlow(CacheEntry *Rec, const ReplayedStep *Recovery);
-  bool runFast(CacheEntry *Entry, const std::string &Key);
-  std::string serializeKey() const;
+  void runSlow(EntryId Rec, const ReplayedStep *Recovery);
+  bool runFast(EntryId Entry, KeyId Key);
   void serializeKeyInto(std::string &Out) const;
-  void seedStaticFromKey(const std::string &Key);
+  void seedStaticFromKey(KeyId Key);
   void copyInitDynToStatic();
   int64_t builtinCall(const ir::Inst &I, const int64_t *Args, bool FastSide);
   int64_t externCall(const ir::Inst &I, const int64_t *Args);
@@ -144,11 +146,12 @@ private:
   Stats S;
 
   /// INDEX chaining (paper Figure 9): the End node reached by the previous
-  /// step. When its recorded NextKey matches the current key, the next
-  /// entry is reached through a cached pointer instead of a hash lookup.
-  CacheEntry *PendingEndEntry = nullptr;
-  uint32_t PendingEndNode = 0;
-  std::string KeyBuf; ///< reused per-step key buffer
+  /// step. When its recorded NextKey's bytes match the current init
+  /// globals (one memcmp against the interned key), the hash-and-probe
+  /// interning of the current key is skipped entirely.
+  uint32_t PendingEndNode = ActionNode::NoNode;
+  std::string KeyBuf;  ///< reused per-step key buffer
+  size_t KeyWidth = 0; ///< serialized key size, fixed per program
 };
 
 } // namespace rt

@@ -100,6 +100,43 @@ void FacileSim::wireExterns(SimKind Kind) {
   });
 }
 
+std::string FacileSim::statsJson() const {
+  const rt::Simulation::Stats &S = Sim.stats();
+  const rt::ActionCache &C = Sim.cache();
+  const rt::ActionCache::Stats &CS = C.stats();
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"steps\":%llu,\"fast_steps\":%llu,\"misses\":%llu,"
+      "\"retired_total\":%llu,\"retired_fast\":%llu,\"cycles\":%llu,"
+      "\"placeholder_words\":%llu,\"fast_forwarded_pct\":%.4f,"
+      "\"cache\":{\"lookups\":%llu,\"hits\":%llu,\"entries_created\":%llu,"
+      "\"keys_interned\":%llu,\"clears\":%llu,\"evictions\":%llu,"
+      "\"evicted_entries\":%llu,\"probe_total\":%llu,\"probe_max\":%llu,"
+      "\"entries\":%zu,\"keys\":%zu,\"nodes\":%zu,\"bytes\":%zu,"
+      "\"key_pool_bytes\":%zu,\"peak_bytes\":%llu}}",
+      static_cast<unsigned long long>(S.Steps),
+      static_cast<unsigned long long>(S.FastSteps),
+      static_cast<unsigned long long>(S.Misses),
+      static_cast<unsigned long long>(S.RetiredTotal),
+      static_cast<unsigned long long>(S.RetiredFast),
+      static_cast<unsigned long long>(S.Cycles),
+      static_cast<unsigned long long>(S.PlaceholderWords),
+      S.fastForwardedPct(),
+      static_cast<unsigned long long>(CS.Lookups),
+      static_cast<unsigned long long>(CS.Hits),
+      static_cast<unsigned long long>(CS.EntriesCreated),
+      static_cast<unsigned long long>(CS.KeysInterned),
+      static_cast<unsigned long long>(CS.Clears),
+      static_cast<unsigned long long>(CS.Evictions),
+      static_cast<unsigned long long>(CS.EvictedEntries),
+      static_cast<unsigned long long>(CS.ProbeTotal),
+      static_cast<unsigned long long>(CS.ProbeMax), C.entryCount(),
+      C.keyCount(), C.nodeCount(), C.bytes(), C.keyPoolBytes(),
+      static_cast<unsigned long long>(CS.PeakBytes));
+  return Buf;
+}
+
 uint64_t FacileSim::run(uint64_t MaxInstrs) {
   // Steps and instructions differ (the OOO simulator retires several
   // instructions per cycle-step); poll the retire counter in batches.

@@ -54,6 +54,11 @@ public:
   /// Returns the number of instructions retired.
   uint64_t run(uint64_t MaxInstrs);
 
+  /// One-line JSON object with the run's simulation and action-cache
+  /// statistics, for machine-readable perf trajectories (no trailing
+  /// newline). Keys are stable across releases; new ones may be added.
+  std::string statsJson() const;
+
   rt::Simulation &sim() { return Sim; }
   const rt::Simulation &sim() const { return Sim; }
   const BranchUnit &branchUnit() const { return BU; }

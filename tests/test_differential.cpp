@@ -1,0 +1,161 @@
+//===- test_differential.cpp - Memoize-on/off differential oracle ------------===//
+//
+// The refactored action-cache data layer is only safe if the memoizing and
+// non-memoizing engines stay bit-identical (the paper's §6.1 claim: fast-
+// forwarding computes "exactly the same simulated cycle counts"). This
+// suite runs every Facile-written simulator (functional, in-order,
+// out-of-order) over each workload twice — Memoize=true vs Memoize=false —
+// under both eviction policies, and asserts identical final architectural
+// state: every global (scalars and arrays), the target-memory digest,
+// RetiredTotal and Cycles. The memoized runs must also actually
+// fast-forward (fastForwardedPct() > 0), or the comparison is vacuous.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sims/SimHarness.h"
+#include "src/workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace facile;
+using namespace facile::sims;
+
+namespace {
+
+/// Everything the step function can observably compute.
+struct FinalState {
+  bool Halted = false;
+  uint64_t RetiredTotal = 0;
+  uint64_t Cycles = 0;
+  uint64_t MemDigest = 0;
+  std::vector<int64_t> Globals; ///< scalars and array elements, flattened
+  double FfPct = 0.0;
+
+  bool operator==(const FinalState &O) const {
+    return Halted == O.Halted && RetiredTotal == O.RetiredTotal &&
+           Cycles == O.Cycles && MemDigest == O.MemDigest &&
+           Globals == O.Globals;
+  }
+};
+
+FinalState runOne(SimKind Kind, const isa::TargetImage &Image,
+                  rt::Simulation::Options Opts, uint64_t MaxInstrs) {
+  FacileSim Sim(Kind, Image, Opts);
+  Sim.run(MaxInstrs);
+  FinalState F;
+  F.Halted = Sim.sim().halted();
+  F.RetiredTotal = Sim.sim().stats().RetiredTotal;
+  F.Cycles = Sim.sim().stats().Cycles;
+  F.MemDigest = Sim.sim().memory().digest();
+  F.FfPct = Sim.sim().stats().fastForwardedPct();
+  const CompiledProgram &P = simulatorProgram(Kind);
+  for (const ir::GlobalVar &G : P.Globals) {
+    if (G.IsArray)
+      for (uint32_t E = 0; E != G.Size; ++E)
+        F.Globals.push_back(Sim.sim().getGlobalElem(G.Name, E));
+    else
+      F.Globals.push_back(Sim.sim().getGlobal(G.Name));
+  }
+  return F;
+}
+
+const char *kindName(SimKind Kind) {
+  switch (Kind) {
+  case SimKind::Functional:
+    return "functional";
+  case SimKind::InOrder:
+    return "inorder";
+  case SimKind::OutOfOrder:
+    return "ooo";
+  }
+  return "?";
+}
+
+/// Memo-on (under \p Policy) vs memo-off over one workload for one sim.
+void expectEquivalent(SimKind Kind, const workload::WorkloadSpec &Spec,
+                      rt::EvictionPolicy Policy, size_t BudgetBytes,
+                      uint64_t MaxInstrs) {
+  isa::TargetImage Image = workload::generate(Spec, 2);
+
+  rt::Simulation::Options On;
+  On.Eviction = Policy;
+  On.CacheBudgetBytes = BudgetBytes;
+  rt::Simulation::Options Off;
+  Off.Memoize = false;
+
+  FinalState Memo = runOne(Kind, Image, On, MaxInstrs);
+  FinalState Slow = runOne(Kind, Image, Off, MaxInstrs);
+
+  SCOPED_TRACE(std::string(kindName(Kind)) + " on " + Spec.Name +
+               (Policy == rt::EvictionPolicy::Segmented ? " (segmented)"
+                                                        : " (clearall)"));
+  EXPECT_EQ(Memo.Halted, Slow.Halted);
+  EXPECT_EQ(Memo.RetiredTotal, Slow.RetiredTotal);
+  EXPECT_EQ(Memo.Cycles, Slow.Cycles);
+  EXPECT_EQ(Memo.MemDigest, Slow.MemDigest);
+  EXPECT_EQ(Memo.Globals, Slow.Globals);
+  // The memoized run must actually exercise the fast engine.
+  EXPECT_GT(Memo.FfPct, 0.0);
+  EXPECT_EQ(Slow.FfPct, 0.0);
+}
+
+/// A budget small enough to force evictions mid-run for \p Kind, but big
+/// enough that entries survive long enough to replay. The OOO simulator's
+/// rt-static state (instruction window, scoreboards) makes its keys and
+/// entries an order of magnitude larger than the functional simulator's.
+size_t tinyBudget(SimKind Kind) {
+  return Kind == SimKind::OutOfOrder ? 512u << 10 : 192u << 10;
+}
+
+std::vector<workload::WorkloadSpec> testWorkloads() {
+  // One loop-dominated and one branchy/large-footprint workload, shrunk so
+  // the unmemoized runs stay test-sized.
+  workload::WorkloadSpec Loopy = *workload::findSpec("compress");
+  Loopy.DataKWords = 2;
+  workload::WorkloadSpec Branchy = *workload::findSpec("gcc");
+  Branchy.DataKWords = 2;
+  Branchy.NumKernels = 4;
+  return {Loopy, Branchy};
+}
+
+} // namespace
+
+TEST(Differential, FunctionalMemoOnOff) {
+  for (const workload::WorkloadSpec &Spec : testWorkloads())
+    expectEquivalent(SimKind::Functional, Spec, rt::EvictionPolicy::ClearAll,
+                     256u << 20, 3'000'000);
+}
+
+TEST(Differential, InOrderMemoOnOff) {
+  for (const workload::WorkloadSpec &Spec : testWorkloads())
+    expectEquivalent(SimKind::InOrder, Spec, rt::EvictionPolicy::ClearAll,
+                     256u << 20, 3'000'000);
+}
+
+TEST(Differential, OutOfOrderMemoOnOff) {
+  for (const workload::WorkloadSpec &Spec : testWorkloads())
+    expectEquivalent(SimKind::OutOfOrder, Spec, rt::EvictionPolicy::ClearAll,
+                     256u << 20, 3'000'000);
+}
+
+TEST(Differential, SegmentedEvictionPreservesResults) {
+  // A budget small enough to force segmented evictions mid-run: replay
+  // after compaction must still be bit-identical to the slow engine.
+  for (SimKind Kind :
+       {SimKind::Functional, SimKind::InOrder, SimKind::OutOfOrder})
+    for (const workload::WorkloadSpec &Spec : testWorkloads())
+      expectEquivalent(Kind, Spec, rt::EvictionPolicy::Segmented,
+                       tinyBudget(Kind), 1'000'000);
+}
+
+TEST(Differential, ClearAllTinyBudgetPreservesResults) {
+  // Same under the paper's clear-on-full with a tiny budget: constant
+  // clears and re-records must not perturb the architectural state.
+  for (SimKind Kind :
+       {SimKind::Functional, SimKind::InOrder, SimKind::OutOfOrder})
+    for (const workload::WorkloadSpec &Spec : testWorkloads())
+      expectEquivalent(Kind, Spec, rt::EvictionPolicy::ClearAll,
+                       tinyBudget(Kind), 1'000'000);
+}
