@@ -10,8 +10,9 @@
 
 using namespace facile;
 
-std::optional<CompiledProgram> facile::compileFacile(std::string_view Source,
-                                                     DiagnosticEngine &Diag) {
+std::optional<CompiledProgram>
+facile::compileFacile(std::string_view Source, DiagnosticEngine &Diag,
+                      const CompileOptions &Opts) {
   std::optional<ast::Program> P = parseFacile(Source, Diag);
   if (!P)
     return std::nullopt;
@@ -23,7 +24,35 @@ std::optional<CompiledProgram> facile::compileFacile(std::string_view Source,
     return std::nullopt;
 
   CompiledProgram Out;
+  if (Opts.CaptureIrBeforePasses)
+    Out.IrBeforePasses = ir::printStepFunction(LP->Step);
+
+  if (Opts.RunPasses) {
+    std::string PassError;
+    if (!runPassPipeline(*LP, Out.Passes,
+                         Opts.VerifyIr ? &PassError : nullptr)) {
+      Diag.error(SourceLoc(), PassError);
+      return std::nullopt;
+    }
+  } else if (Opts.VerifyIr) {
+    std::string E = verifyStepFunction(LP->Step, LP->Globals, LP->Externs);
+    if (!E.empty()) {
+      Diag.error(SourceLoc(),
+                 strFormat("IR verifier failed after lowering: %s", E.c_str()));
+      return std::nullopt;
+    }
+  }
+
   Out.Bta = annotateStepFunction(*LP, &Out.DynArrays, &Out.DynLocalArrays);
+  if (Opts.VerifyIr) {
+    std::string E = verifyStepFunction(LP->Step, LP->Globals, LP->Externs,
+                                       /*PostBta=*/true);
+    if (!E.empty()) {
+      Diag.error(SourceLoc(),
+                 strFormat("IR verifier failed after BTA: %s", E.c_str()));
+      return std::nullopt;
+    }
+  }
   Out.Actions = extractActions(LP->Step);
   Out.Step = std::move(LP->Step);
   Out.Globals = std::move(LP->Globals);
@@ -39,7 +68,8 @@ std::optional<CompiledProgram> facile::compileFacile(std::string_view Source,
 }
 
 std::optional<CompiledProgram>
-facile::compileFacileFile(const std::string &Path, DiagnosticEngine &Diag) {
+facile::compileFacileFile(const std::string &Path, DiagnosticEngine &Diag,
+                          const CompileOptions &Opts) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File) {
     Diag.error(SourceLoc(), strFormat("cannot open '%s'", Path.c_str()));
@@ -51,5 +81,5 @@ facile::compileFacileFile(const std::string &Path, DiagnosticEngine &Diag) {
   while ((N = std::fread(Buffer, 1, sizeof(Buffer), File)) != 0)
     Source.append(Buffer, N);
   std::fclose(File);
-  return compileFacile(Source, Diag);
+  return compileFacile(Source, Diag, Opts);
 }

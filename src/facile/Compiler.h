@@ -12,6 +12,8 @@
 ///   (+ sync insertion) -> action extraction
 ///
 /// The result is consumed by the fast-forwarding runtime (src/runtime).
+/// Between lowering and BTA the optimization pipeline (Passes.h) runs,
+/// with the IR verifier checking invariants after every pass.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +23,7 @@
 #include "src/facile/Actions.h"
 #include "src/facile/Bta.h"
 #include "src/facile/Lower.h"
+#include "src/facile/Passes.h"
 #include "src/support/Diagnostic.h"
 
 #include <map>
@@ -29,6 +32,17 @@
 #include <string_view>
 
 namespace facile {
+
+/// Knobs for compileFacile. Defaults give the full optimizing pipeline.
+struct CompileOptions {
+  /// Run the optimization passes (Passes.h) between lowering and BTA.
+  bool RunPasses = true;
+  /// Run the IR verifier after lowering, after every pass, and after BTA.
+  bool VerifyIr = true;
+  /// Keep a printed copy of the pre-pass IR in
+  /// CompiledProgram::IrBeforePasses (for `facilec --dump-ir=before`).
+  bool CaptureIrBeforePasses = false;
+};
 
 /// A compiled, analysis-annotated Facile simulator ready to run.
 struct CompiledProgram {
@@ -39,6 +53,8 @@ struct CompiledProgram {
   std::vector<bool> DynLocalArrays; ///< per local array
   ActionTable Actions;
   BtaStats Bta;
+  PassPipelineStats Passes;         ///< zeroed when RunPasses was off
+  std::string IrBeforePasses;       ///< only with CaptureIrBeforePasses
 
   std::map<std::string, uint32_t> GlobalIndex;
   std::map<std::string, uint32_t> ExternIndex;
@@ -54,14 +70,16 @@ struct CompiledProgram {
 };
 
 /// Compiles Facile source text. Returns std::nullopt with diagnostics in
-/// \p Diag on any front-end error.
-std::optional<CompiledProgram> compileFacile(std::string_view Source,
-                                             DiagnosticEngine &Diag);
+/// \p Diag on any front-end error or IR verifier failure.
+std::optional<CompiledProgram>
+compileFacile(std::string_view Source, DiagnosticEngine &Diag,
+              const CompileOptions &Opts = CompileOptions());
 
 /// Convenience: reads \p Path and compiles it. Reports file errors through
 /// \p Diag as well.
-std::optional<CompiledProgram> compileFacileFile(const std::string &Path,
-                                                 DiagnosticEngine &Diag);
+std::optional<CompiledProgram>
+compileFacileFile(const std::string &Path, DiagnosticEngine &Diag,
+                  const CompileOptions &Opts = CompileOptions());
 
 } // namespace facile
 

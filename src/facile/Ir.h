@@ -148,6 +148,94 @@ struct ExternFn {
 /// tests and debugging.
 std::string printStepFunction(const StepFunction &F);
 
+/// Evaluates a binary operator with Facile semantics (wrapping 64-bit
+/// arithmetic, division by zero yields 0, logical shift right). The single
+/// source of truth shared by the constant folder and both execution
+/// engines, so folding can never diverge from run-time behaviour.
+inline int64_t evalBin(ast::BinOp O, int64_t A, int64_t B) {
+  // Wrapping ops go through uint64_t: signed overflow is undefined in C++
+  // but defined (two's-complement wrap) in Facile.
+  uint64_t UA = static_cast<uint64_t>(A);
+  uint64_t UB = static_cast<uint64_t>(B);
+  switch (O) {
+  case ast::BinOp::Add:
+    return static_cast<int64_t>(UA + UB);
+  case ast::BinOp::Sub:
+    return static_cast<int64_t>(UA - UB);
+  case ast::BinOp::Mul:
+    return static_cast<int64_t>(UA * UB);
+  case ast::BinOp::Div:
+    // INT64_MIN / -1 also traps on x86; define it as wrapping negation.
+    if (B == 0)
+      return 0;
+    if (B == -1)
+      return static_cast<int64_t>(0 - UA);
+    return A / B;
+  case ast::BinOp::Rem:
+    if (B == 0)
+      return A;
+    if (B == -1)
+      return 0;
+    return A % B;
+  case ast::BinOp::And:
+    return A & B;
+  case ast::BinOp::Or:
+    return A | B;
+  case ast::BinOp::Xor:
+    return A ^ B;
+  case ast::BinOp::Shl:
+    return static_cast<int64_t>(UA << (UB & 63));
+  case ast::BinOp::Shr:
+    // Logical shift right, matching the Facile language definition.
+    return static_cast<int64_t>(static_cast<uint64_t>(A) >> (B & 63));
+  case ast::BinOp::Lt:
+    return A < B;
+  case ast::BinOp::Le:
+    return A <= B;
+  case ast::BinOp::Gt:
+    return A > B;
+  case ast::BinOp::Ge:
+    return A >= B;
+  case ast::BinOp::Eq:
+    return A == B;
+  case ast::BinOp::Ne:
+    return A != B;
+  case ast::BinOp::LogAnd:
+    return (A != 0) & (B != 0);
+  case ast::BinOp::LogOr:
+    return (A != 0) | (B != 0);
+  }
+  return 0;
+}
+
+/// Evaluates a unary operator (Imm = bit width for Sext/Zext).
+inline int64_t evalUn(UnKind K, int64_t A, int64_t Width) {
+  switch (K) {
+  case UnKind::Neg:
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(A)); // wraps
+
+  case UnKind::Not:
+    return A == 0 ? 1 : 0;
+  case UnKind::BitNot:
+    return ~A;
+  case UnKind::Sext: {
+    if (Width >= 64)
+      return A;
+    uint64_t Mask = (1ull << Width) - 1;
+    uint64_t V = static_cast<uint64_t>(A) & Mask;
+    uint64_t Sign = 1ull << (Width - 1);
+    return static_cast<int64_t>((V ^ Sign) - Sign);
+  }
+  case UnKind::Zext: {
+    if (Width >= 64)
+      return A;
+    return static_cast<int64_t>(static_cast<uint64_t>(A) &
+                                ((1ull << Width) - 1));
+  }
+  }
+  return 0;
+}
+
 } // namespace ir
 } // namespace facile
 

@@ -1,0 +1,161 @@
+//===- ExecPlan.cpp - Packed execution plan construction -------------------===//
+
+#include "src/runtime/ExecPlan.h"
+
+#include <cassert>
+
+using namespace facile;
+using namespace facile::rt;
+using namespace facile::ir;
+
+namespace {
+
+XOp builtinOp(Builtin B) {
+  switch (B) {
+  case Builtin::MemLd:
+    return XOp::MemLd;
+  case Builtin::MemLd8:
+    return XOp::MemLd8;
+  case Builtin::MemSt:
+    return XOp::MemSt;
+  case Builtin::MemSt8:
+    return XOp::MemSt8;
+  case Builtin::SimHalt:
+    return XOp::SimHalt;
+  case Builtin::Retire:
+    return XOp::Retire;
+  case Builtin::Cycles:
+    return XOp::Cycles;
+  case Builtin::TextStart:
+    return XOp::TextStart;
+  case Builtin::TextEnd:
+    return XOp::TextEnd;
+  case Builtin::Print:
+    return XOp::Print;
+  }
+  assert(false && "unknown builtin");
+  return XOp::Print;
+}
+
+XOp directOp(Op O) {
+  switch (O) {
+  case Op::Const:
+    return XOp::Const;
+  case Op::Copy:
+    return XOp::Copy;
+  case Op::Bin:
+    return XOp::Bin;
+  case Op::Un:
+    return XOp::Un;
+  case Op::LoadGlobal:
+    return XOp::LoadGlobal;
+  case Op::StoreGlobal:
+    return XOp::StoreGlobal;
+  case Op::LoadElem:
+    return XOp::LoadElem;
+  case Op::StoreElem:
+    return XOp::StoreElem;
+  case Op::LoadLocElem:
+    return XOp::LoadLocElem;
+  case Op::StoreLocElem:
+    return XOp::StoreLocElem;
+  case Op::InitLocArray:
+    return XOp::InitLocArray;
+  case Op::Fetch:
+    return XOp::Fetch;
+  case Op::CallExtern:
+    return XOp::CallExtern;
+  case Op::Jump:
+    return XOp::Jump;
+  case Op::Branch:
+    return XOp::Branch;
+  case Op::Ret:
+    return XOp::Ret;
+  case Op::SyncSlot:
+    return XOp::SyncSlot;
+  case Op::SyncGlobal:
+    return XOp::SyncGlobal;
+  case Op::SyncArray:
+    return XOp::SyncArray;
+  case Op::CallBuiltin:
+    break;
+  }
+  assert(false && "CallBuiltin must go through builtinOp");
+  return XOp::Const;
+}
+
+XInst pack(const Inst &I, std::vector<uint32_t> &ArgPool) {
+  XInst X;
+  X.Dynamic = I.Dynamic;
+  X.StaticOperands = I.StaticOperands;
+  X.Dst = I.Dst;
+  X.A = I.A;
+  X.B = I.B;
+  X.Id = I.Id;
+  X.Imm = I.Imm;
+  X.Target = I.Target;
+  X.Target2 = I.Target2;
+  switch (I.Opcode) {
+  case Op::Bin:
+    X.Opcode = XOp::Bin;
+    X.Kind = static_cast<uint8_t>(I.BinKind);
+    break;
+  case Op::Un:
+    X.Opcode = XOp::Un;
+    X.Kind = static_cast<uint8_t>(I.UnOp);
+    break;
+  case Op::CallBuiltin: {
+    // All builtins have arity <= 2: arguments move into A/B, and the
+    // StaticOperands bits for Args[0]/Args[1] (bits 2/3) move to the A/B
+    // positions (bits 0/1). The A-then-B operand read order matches the
+    // old Args[0]-then-Args[1] order, so placeholder streams recorded by
+    // the slow engine replay byte-identically.
+    assert(I.Args.size() <= 2 && "builtin arity grew past the A/B fields");
+    X.Opcode = builtinOp(static_cast<Builtin>(I.Imm));
+    X.A = I.Args.size() > 0 ? I.Args[0] : NoSlot;
+    X.B = I.Args.size() > 1 ? I.Args[1] : NoSlot;
+    X.StaticOperands = (I.StaticOperands >> 2) & 3u;
+    X.Imm = 0;
+    break;
+  }
+  case Op::CallExtern:
+    X.Opcode = XOp::CallExtern;
+    X.ArgOfs = static_cast<uint32_t>(ArgPool.size());
+    X.ArgCount = static_cast<uint8_t>(I.Args.size());
+    ArgPool.insert(ArgPool.end(), I.Args.begin(), I.Args.end());
+    break;
+  default:
+    X.Opcode = directOp(I.Opcode);
+    break;
+  }
+  return X;
+}
+
+} // namespace
+
+ExecPlan facile::rt::buildExecPlan(const CompiledProgram &Prog) {
+  ExecPlan P;
+  const StepFunction &F = Prog.Step;
+
+  // Slow streams: every instruction, block-major, terminator last.
+  P.BlockOfs.reserve(F.Blocks.size() + 1);
+  for (const Block &B : F.Blocks) {
+    P.BlockOfs.push_back(static_cast<uint32_t>(P.Code.size()));
+    for (const Inst &I : B.Insts)
+      P.Code.push_back(pack(I, P.ArgPool));
+  }
+  P.BlockOfs.push_back(static_cast<uint32_t>(P.Code.size()));
+
+  // Fast streams: dynamic instructions only, action-major, in the same
+  // order the slow engine records placeholders (DynInsts is ascending, and
+  // includes a dynamic Branch terminator when the action ends in a test).
+  P.ActionOfs.reserve(Prog.Actions.numActions() + 1);
+  for (uint32_t A = 0; A != Prog.Actions.numActions(); ++A) {
+    P.ActionOfs.push_back(static_cast<uint32_t>(P.Fast.size()));
+    uint32_t Block = Prog.Actions.ActionToBlock[A];
+    for (uint32_t InstIdx : Prog.Actions.Blocks[Block].DynInsts)
+      P.Fast.push_back(pack(F.Blocks[Block].Insts[InstIdx], P.ArgPool));
+  }
+  P.ActionOfs.push_back(static_cast<uint32_t>(P.Fast.size()));
+  return P;
+}

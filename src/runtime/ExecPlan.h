@@ -1,0 +1,132 @@
+//===- ExecPlan.h - Packed execution plan for the runtime -------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime's back-end data layer: the annotated IR compiled once per
+/// program into flat, fixed-width packed instructions. The tree-shaped
+/// `ir::Inst` (with its per-instruction heap `Args` vector) is a good
+/// compile-time structure and a bad execution one — replay spent its time
+/// chasing `std::vector` headers and re-dispatching `CallBuiltin` through
+/// a second switch on the builtin id. The plan fixes the layout:
+///
+///  - **XInst** is 48 bytes, `static_assert`ed, with every operand inline.
+///    Builtins are pre-resolved to their own opcodes (all Facile builtins
+///    have arity <= 2, so their arguments move into the A/B fields; the
+///    `StaticOperands` bits are remapped to match, preserving the
+///    placeholder record/replay order A-then-B == Args[0]-then-Args[1]).
+///    Only `CallExtern` keeps out-of-line arguments, as a span of the
+///    shared `ArgPool` (host-bound calls are slow anyway).
+///  - **Per-block slow streams**: `Code[BlockOfs[B] .. BlockOfs[B+1])` is
+///    block B's full instruction run, terminator last — what the slow
+///    engine walks.
+///  - **Per-action fast streams**: `Fast[ActionOfs[A] .. ActionOfs[A+1])`
+///    holds only the *dynamic* instructions of action A's block, so fast
+///    replay never re-skips rt-static instructions and never touches the
+///    `ActionToBlock` / `DynInsts` index vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_RUNTIME_EXECPLAN_H
+#define FACILE_RUNTIME_EXECPLAN_H
+
+#include "src/facile/Compiler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace facile {
+namespace rt {
+
+/// Packed opcodes: every IR op the engines execute, plus one opcode per
+/// builtin (CallBuiltin never reaches the engines).
+enum class XOp : uint8_t {
+  Const,
+  Copy,
+  Bin,
+  Un,
+  LoadGlobal,
+  StoreGlobal,
+  LoadElem,
+  StoreElem,
+  LoadLocElem,
+  StoreLocElem,
+  InitLocArray,
+  Fetch,
+  CallExtern,
+  Jump,
+  Branch,
+  Ret,
+  SyncSlot,
+  SyncGlobal,
+  SyncArray,
+  // Pre-resolved builtins (Builtins.h order).
+  MemLd,
+  MemLd8,
+  MemSt,
+  MemSt8,
+  SimHalt,
+  Retire,
+  Cycles,
+  TextStart,
+  TextEnd,
+  Print,
+};
+
+/// One packed instruction. Slot sentinel is ir::NoSlot, same as the IR.
+struct XInst {
+  XOp Opcode = XOp::Const;
+  uint8_t Kind = 0;     ///< raw ast::BinOp (Bin) or ir::UnKind (Un)
+  uint8_t ArgCount = 0; ///< CallExtern: number of ArgPool operands
+  uint8_t Dynamic = 0;
+  /// Bitmask of operand positions memoized as placeholders: bit 0 = A,
+  /// bit 1 = B, bit 2+i = ArgPool operand i (CallExtern only). For
+  /// builtins the IR's Args bits were remapped onto A/B at build time.
+  uint32_t StaticOperands = 0;
+  uint32_t Dst = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t Id = 0;     ///< global / array / extern index
+  uint32_t ArgOfs = 0; ///< CallExtern: first operand slot in ArgPool
+  uint32_t Target = 0;
+  uint32_t Target2 = 0;
+  int64_t Imm = 0; ///< Const value, Un width
+};
+
+static_assert(sizeof(XInst) == 48, "packed instructions must stay dense");
+
+/// The compiled execution plan of one program. Built once by buildExecPlan;
+/// read-only afterwards (both engines share one instance).
+struct ExecPlan {
+  std::vector<XInst> Code;         ///< slow streams, block-major
+  std::vector<uint32_t> BlockOfs;  ///< size nblocks+1; span of block B
+  std::vector<XInst> Fast;         ///< fast streams, action-major, dynamic-only
+  std::vector<uint32_t> ActionOfs; ///< size nactions+1; span of action A
+  std::vector<uint32_t> ArgPool;   ///< CallExtern operand slots
+
+  const XInst *blockBegin(uint32_t B) const { return Code.data() + BlockOfs[B]; }
+  const XInst *blockEnd(uint32_t B) const {
+    return Code.data() + BlockOfs[B + 1];
+  }
+  const XInst *actionBegin(uint32_t A) const {
+    return Fast.data() + ActionOfs[A];
+  }
+  const XInst *actionEnd(uint32_t A) const {
+    return Fast.data() + ActionOfs[A + 1];
+  }
+};
+
+/// Compiles \p Prog's annotated IR into a packed plan.
+ExecPlan buildExecPlan(const CompiledProgram &Prog);
+
+/// Deterministic in-bounds index: Facile arrays wrap modulo their size.
+inline uint32_t wrapIndex(int64_t V, size_t Size) {
+  return static_cast<uint32_t>(static_cast<uint64_t>(V) % Size);
+}
+
+} // namespace rt
+} // namespace facile
+
+#endif // FACILE_RUNTIME_EXECPLAN_H

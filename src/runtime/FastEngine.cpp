@@ -1,0 +1,198 @@
+//===- FastEngine.cpp - The fast / residual simulator ----------------------===//
+//
+// Replays recorded action nodes against the per-action dynamic-only
+// streams of the ExecPlan: one packed instruction run per action, no
+// rt-static skipping, no index-vector chasing. Rt-static operand values
+// come from each node's placeholder span in the cache's data pool. On a
+// missing Test successor the replayed prefix is handed to the slow engine
+// for recovery (SlowEngine.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/runtime/Simulation.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+using namespace facile;
+using namespace facile::rt;
+using namespace facile::ir;
+
+bool Simulation::runFast(EntryId Entry, KeyId Key) {
+  const ExecPlan &P = Plan;
+  ReplayedStep Rp;
+  Rp.Entry = Entry;
+  Rp.Key = Key;
+
+  // Raw arena bases: replay never grows the cache, so these stay valid
+  // until a miss hands the step to the slow simulator (after which they
+  // are not touched again).
+  const ActionNode *Nodes = Cache.nodes();
+  const int64_t *Pool = Cache.data();
+  uint32_t NodeIdx = Cache.entry(Entry).Head;
+  int64_t ArgBuf[16];
+  for (;;) {
+    const ActionNode &N = Nodes[NodeIdx];
+    size_t DataPos = N.DataOfs;
+
+    int64_t TestValue = 0;
+    const XInst *IP = P.actionBegin(N.ActionId);
+    const XInst *End = P.actionEnd(N.ActionId);
+    for (; IP != End; ++IP) {
+      const XInst &I = *IP;
+      auto readOperand = [&](uint32_t Slot, unsigned Pos) -> int64_t {
+        if (I.StaticOperands & (1u << Pos))
+          return Pool[DataPos++];
+        return DynSlots[Slot];
+      };
+
+      switch (I.Opcode) {
+      case XOp::Copy:
+        DynSlots[I.Dst] = readOperand(I.A, 0);
+        break;
+      case XOp::Bin: {
+        int64_t A = readOperand(I.A, 0);
+        int64_t B = readOperand(I.B, 1);
+        DynSlots[I.Dst] = evalBin(static_cast<ast::BinOp>(I.Kind), A, B);
+        break;
+      }
+      case XOp::Un:
+        DynSlots[I.Dst] =
+            evalUn(static_cast<UnKind>(I.Kind), readOperand(I.A, 0), I.Imm);
+        break;
+      case XOp::LoadGlobal:
+        DynSlots[I.Dst] = DynGlobals[I.Id];
+        break;
+      case XOp::StoreGlobal:
+        DynGlobals[I.Id] = readOperand(I.A, 0);
+        break;
+      case XOp::LoadElem: {
+        std::vector<int64_t> &Arr = DynArrays[I.Id];
+        DynSlots[I.Dst] = Arr[wrapIndex(readOperand(I.A, 0), Arr.size())];
+        break;
+      }
+      case XOp::StoreElem: {
+        int64_t Idx = readOperand(I.A, 0);
+        int64_t V = readOperand(I.B, 1);
+        std::vector<int64_t> &Arr = DynArrays[I.Id];
+        Arr[wrapIndex(Idx, Arr.size())] = V;
+        break;
+      }
+      case XOp::LoadLocElem: {
+        std::vector<int64_t> &Arr = DynLocalArrays[I.Id];
+        DynSlots[I.Dst] = Arr[wrapIndex(readOperand(I.A, 0), Arr.size())];
+        break;
+      }
+      case XOp::StoreLocElem: {
+        int64_t Idx = readOperand(I.A, 0);
+        int64_t V = readOperand(I.B, 1);
+        std::vector<int64_t> &Arr = DynLocalArrays[I.Id];
+        Arr[wrapIndex(Idx, Arr.size())] = V;
+        break;
+      }
+      case XOp::InitLocArray:
+        DynLocalArrays[I.Id].assign(DynLocalArrays[I.Id].size(),
+                                    readOperand(I.A, 0));
+        break;
+      case XOp::Fetch:
+        DynSlots[I.Dst] =
+            Image.fetch(static_cast<uint32_t>(readOperand(I.A, 0)));
+        break;
+      case XOp::CallExtern: {
+        for (unsigned A = 0; A != I.ArgCount; ++A)
+          ArgBuf[A] = readOperand(P.ArgPool[I.ArgOfs + A], 2 + A);
+        int64_t R = externCall(I, ArgBuf);
+        if (I.Dst != NoSlot)
+          DynSlots[I.Dst] = R;
+        break;
+      }
+      case XOp::MemLd:
+        DynSlots[I.Dst] =
+            Mem.read32(static_cast<uint32_t>(readOperand(I.A, 0)));
+        break;
+      case XOp::MemLd8:
+        DynSlots[I.Dst] = Mem.read8(static_cast<uint32_t>(readOperand(I.A, 0)));
+        break;
+      case XOp::MemSt: {
+        int64_t Addr = readOperand(I.A, 0);
+        int64_t V = readOperand(I.B, 1);
+        Mem.write32(static_cast<uint32_t>(Addr), static_cast<uint32_t>(V));
+        break;
+      }
+      case XOp::MemSt8: {
+        int64_t Addr = readOperand(I.A, 0);
+        int64_t V = readOperand(I.B, 1);
+        Mem.write8(static_cast<uint32_t>(Addr), static_cast<uint8_t>(V));
+        break;
+      }
+      case XOp::SimHalt:
+        HaltFlag = true;
+        break;
+      case XOp::Retire: {
+        uint64_t V = static_cast<uint64_t>(readOperand(I.A, 0));
+        S.RetiredTotal += V;
+        S.RetiredFast += V;
+        break;
+      }
+      case XOp::Cycles:
+        S.Cycles += static_cast<uint64_t>(readOperand(I.A, 0));
+        break;
+      case XOp::TextStart:
+        DynSlots[I.Dst] = Image.TextBase;
+        break;
+      case XOp::TextEnd:
+        DynSlots[I.Dst] = Image.textEnd();
+        break;
+      case XOp::Print:
+        std::printf("%lld\n", static_cast<long long>(readOperand(I.A, 0)));
+        break;
+      case XOp::SyncSlot:
+        DynSlots[I.Dst] = Pool[DataPos++];
+        break;
+      case XOp::SyncGlobal:
+        DynGlobals[I.Id] = Pool[DataPos++];
+        break;
+      case XOp::SyncArray: {
+        std::vector<int64_t> &Dst = DynArrays[I.Id];
+        std::memcpy(Dst.data(), Pool + DataPos, Dst.size() * 8);
+        DataPos += Dst.size();
+        break;
+      }
+      case XOp::Branch:
+        // Dynamic-result test: evaluate the predicate for verification.
+        TestValue = DynSlots[I.A] != 0 ? 1 : 0;
+        break;
+      default:
+        assert(false && "unexpected dynamic opcode in replay");
+      }
+    }
+    assert(DataPos == N.DataOfs + N.DataLen && "placeholder stream desynced");
+
+    switch (N.K) {
+    case ActionNode::Kind::End:
+      PendingEndNode = NodeIdx;
+      return true;
+    case ActionNode::Kind::Plain:
+      Rp.Path.push_back({NodeIdx, 0});
+      assert(N.Next != ActionNode::NoNode && "complete entries are linked");
+      NodeIdx = N.Next;
+      break;
+    case ActionNode::Kind::Test: {
+      uint32_t Succ = N.OnValue[TestValue];
+      if (Succ == ActionNode::NoNode) {
+        // Action cache miss: this control path was never recorded. Hand
+        // the replayed prefix to the slow simulator for recovery.
+        Rp.Path.push_back({NodeIdx, TestValue});
+        Rp.MissValue = TestValue;
+        ++S.Misses;
+        runSlow(Entry, &Rp);
+        return false;
+      }
+      Rp.Path.push_back({NodeIdx, TestValue});
+      NodeIdx = Succ;
+      break;
+    }
+    }
+  }
+}

@@ -1,4 +1,11 @@
-//===- Simulation.cpp - Fast-forwarding simulation runtime -----------------===//
+//===- Simulation.cpp - Simulation lifecycle, host API and stepping --------===//
+//
+// The engines themselves live in SlowEngine.cpp (record + recovery) and
+// FastEngine.cpp (replay); both execute the packed streams built here by
+// buildExecPlan. This file owns construction, the host-facing API, key
+// serialization and the per-step dispatch between the engines.
+//
+//===----------------------------------------------------------------------===//
 
 #include "src/runtime/Simulation.h"
 
@@ -13,80 +20,6 @@ using namespace facile::ir;
 
 namespace {
 
-int64_t evalBin(ast::BinOp O, int64_t A, int64_t B) {
-  switch (O) {
-  case ast::BinOp::Add:
-    return A + B;
-  case ast::BinOp::Sub:
-    return A - B;
-  case ast::BinOp::Mul:
-    return A * B;
-  case ast::BinOp::Div:
-    return B == 0 ? 0 : A / B;
-  case ast::BinOp::Rem:
-    return B == 0 ? A : A % B;
-  case ast::BinOp::And:
-    return A & B;
-  case ast::BinOp::Or:
-    return A | B;
-  case ast::BinOp::Xor:
-    return A ^ B;
-  case ast::BinOp::Shl:
-    return A << (B & 63);
-  case ast::BinOp::Shr:
-    // Logical shift right, matching the Facile language definition.
-    return static_cast<int64_t>(static_cast<uint64_t>(A) >> (B & 63));
-  case ast::BinOp::Lt:
-    return A < B;
-  case ast::BinOp::Le:
-    return A <= B;
-  case ast::BinOp::Gt:
-    return A > B;
-  case ast::BinOp::Ge:
-    return A >= B;
-  case ast::BinOp::Eq:
-    return A == B;
-  case ast::BinOp::Ne:
-    return A != B;
-  case ast::BinOp::LogAnd:
-    return (A != 0) & (B != 0);
-  case ast::BinOp::LogOr:
-    return (A != 0) | (B != 0);
-  }
-  return 0;
-}
-
-int64_t evalUn(UnKind K, int64_t A, int64_t Width) {
-  switch (K) {
-  case UnKind::Neg:
-    return -A;
-  case UnKind::Not:
-    return A == 0 ? 1 : 0;
-  case UnKind::BitNot:
-    return ~A;
-  case UnKind::Sext: {
-    if (Width >= 64)
-      return A;
-    uint64_t Mask = (1ull << Width) - 1;
-    uint64_t V = static_cast<uint64_t>(A) & Mask;
-    uint64_t Sign = 1ull << (Width - 1);
-    return static_cast<int64_t>((V ^ Sign) - Sign);
-  }
-  case UnKind::Zext: {
-    if (Width >= 64)
-      return A;
-    return static_cast<int64_t>(static_cast<uint64_t>(A) &
-                                ((1ull << Width) - 1));
-  }
-  }
-  return 0;
-}
-
-/// Deterministic in-bounds index: Facile arrays wrap modulo their size.
-uint32_t wrapIndex(int64_t V, size_t Size) {
-  return static_cast<uint32_t>(static_cast<uint64_t>(V) % Size);
-}
-
 [[noreturn]] void fatal(const char *Msg) {
   std::fprintf(stderr, "facile runtime: %s\n", Msg);
   std::abort();
@@ -100,7 +33,7 @@ uint32_t wrapIndex(int64_t V, size_t Size) {
 
 Simulation::Simulation(const CompiledProgram &Prog,
                        const isa::TargetImage &Image, Options Opts)
-    : Prog(Prog), Image(Image), Opts(Opts),
+    : Prog(Prog), Image(Image), Opts(Opts), Plan(buildExecPlan(Prog)),
       Cache(Opts.CacheBudgetBytes, Opts.Eviction) {
   Mem.loadImage(Image);
   DynSlots.assign(Prog.Step.NumSlots, 0);
@@ -216,532 +149,14 @@ void Simulation::copyInitDynToStatic() {
 }
 
 //===----------------------------------------------------------------------===//
-// Builtins and externs
+// Externs
 //===----------------------------------------------------------------------===//
 
-int64_t Simulation::builtinCall(const Inst &I, const int64_t *Args,
-                                bool FastSide) {
-  (void)FastSide;
-  switch (static_cast<Builtin>(I.Imm)) {
-  case Builtin::MemLd:
-    return Mem.read32(static_cast<uint32_t>(Args[0]));
-  case Builtin::MemLd8:
-    return Mem.read8(static_cast<uint32_t>(Args[0]));
-  case Builtin::MemSt:
-    Mem.write32(static_cast<uint32_t>(Args[0]),
-                static_cast<uint32_t>(Args[1]));
-    return 0;
-  case Builtin::MemSt8:
-    Mem.write8(static_cast<uint32_t>(Args[0]),
-               static_cast<uint8_t>(Args[1]));
-    return 0;
-  case Builtin::SimHalt:
-    HaltFlag = true;
-    return 0;
-  case Builtin::Retire:
-    S.RetiredTotal += static_cast<uint64_t>(Args[0]);
-    if (InFastEngine)
-      S.RetiredFast += static_cast<uint64_t>(Args[0]);
-    return 0;
-  case Builtin::Cycles:
-    S.Cycles += static_cast<uint64_t>(Args[0]);
-    return 0;
-  case Builtin::TextStart:
-    return Image.TextBase;
-  case Builtin::TextEnd:
-    return Image.textEnd();
-  case Builtin::Print:
-    std::printf("%lld\n", static_cast<long long>(Args[0]));
-    return 0;
-  }
-  return 0;
-}
-
-int64_t Simulation::externCall(const Inst &I, const int64_t *Args) {
+int64_t Simulation::externCall(const XInst &I, const int64_t *Args) {
   const ExternHandler &H = Externs[I.Id];
   if (!H)
     fatal("call to unregistered extern function");
-  return H(Args, I.Args.size());
-}
-
-//===----------------------------------------------------------------------===//
-// The slow / complete simulator
-//===----------------------------------------------------------------------===//
-
-/// Recovery input: the replayed prefix of a cache entry up to (and
-/// including) the missing dynamic-result test.
-struct Simulation::ReplayedStep {
-  EntryId Entry = NoId;
-  KeyId Key = NoId;
-  struct Item {
-    uint32_t Node;
-    int64_t Value; ///< taken result for Test nodes along the prefix
-  };
-  std::vector<Item> Path; ///< head .. miss node
-  int64_t MissValue = 0;  ///< the new result computed at the miss
-};
-
-void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
-  const StepFunction &F = Prog.Step;
-  const bool Record = Rec != NoId;
-  bool Recovering = Recovery != nullptr;
-  size_t RecoveryIdx = 0;
-
-  // Where the next recorded node hangs: off the entry head, a plain node's
-  // Next, or a test node's OnValue[PrevEdge].
-  uint32_t PrevNode = ActionNode::NoNode;
-  int PrevEdge = -1;
-
-  if (Recovering) {
-    assert(Rec == Recovery->Entry && "recovery must extend the missed entry");
-    seedStaticFromKey(Recovery->Key);
-  } else {
-    copyInitDynToStatic();
-  }
-
-  // Appends a new arena node linked at the current attach point.
-  auto appendNode = [&](int32_t ActionId) -> uint32_t {
-    uint32_t Idx = Cache.appendNode(ActionId);
-    if (PrevNode == ActionNode::NoNode) {
-      assert(Cache.entry(Rec).Head == ActionNode::NoNode &&
-             "entry already has a head");
-      Cache.entry(Rec).Head = Idx;
-    } else if (PrevEdge < 0) {
-      Cache.node(PrevNode).Next = Idx;
-    } else {
-      assert(Cache.node(PrevNode).OnValue[PrevEdge] == ActionNode::NoNode &&
-             "successor already recorded");
-      Cache.node(PrevNode).OnValue[PrevEdge] = Idx;
-    }
-    PrevNode = Idx;
-    PrevEdge = -1;
-    return Idx;
-  };
-
-  uint32_t BB = 0;
-  int64_t ArgBuf[16];
-  for (;;) {
-    const Block &Blk = F.Blocks[BB];
-    const ActionBlockInfo &AI = Prog.Actions.Blocks[BB];
-
-    uint32_t NodeIdx = ActionNode::NoNode;
-    bool MissBlock = false;   ///< this block holds the missed test
-    int64_t RecordedTest = 0; ///< recovery: the recorded test outcome
-
-    if (AI.ActionId != ActionBlockInfo::NoAction) {
-      if (Recovering) {
-        assert(RecoveryIdx < Recovery->Path.size() &&
-               "recovery walked past the recorded prefix");
-        const ReplayedStep::Item &Item = Recovery->Path[RecoveryIdx];
-        assert(Cache.node(Item.Node).ActionId == AI.ActionId &&
-               "slow and fast simulators disagree on the control path");
-        MissBlock = RecoveryIdx + 1 == Recovery->Path.size();
-        RecordedTest = Item.Value;
-        if (MissBlock) {
-          // Attach new recording after the missed test.
-          PrevNode = Item.Node;
-        }
-        ++RecoveryIdx;
-      } else if (Record) {
-        NodeIdx = appendNode(AI.ActionId);
-      }
-    }
-
-    // Execute the block body (everything but the terminator).
-    for (size_t K = 0; K + 1 < Blk.Insts.size(); ++K) {
-      const Inst &I = Blk.Insts[K];
-      if (!I.Dynamic) {
-        // Run-time static: executes on the slow simulator's private state.
-        switch (I.Opcode) {
-        case Op::Const:
-          StatSlots[I.Dst] = I.Imm;
-          break;
-        case Op::Copy:
-          StatSlots[I.Dst] = StatSlots[I.A];
-          break;
-        case Op::Bin:
-          StatSlots[I.Dst] = evalBin(I.BinKind, StatSlots[I.A], StatSlots[I.B]);
-          break;
-        case Op::Un:
-          StatSlots[I.Dst] = evalUn(I.UnOp, StatSlots[I.A], I.Imm);
-          break;
-        case Op::LoadGlobal:
-          StatSlots[I.Dst] = StatGlobals[I.Id];
-          break;
-        case Op::StoreGlobal:
-          StatGlobals[I.Id] = StatSlots[I.A];
-          break;
-        case Op::LoadElem: {
-          const std::vector<int64_t> &Arr = StatArrays[I.Id];
-          StatSlots[I.Dst] = Arr[wrapIndex(StatSlots[I.A], Arr.size())];
-          break;
-        }
-        case Op::StoreElem: {
-          std::vector<int64_t> &Arr = StatArrays[I.Id];
-          Arr[wrapIndex(StatSlots[I.A], Arr.size())] = StatSlots[I.B];
-          break;
-        }
-        case Op::LoadLocElem: {
-          const std::vector<int64_t> &Arr = StatLocalArrays[I.Id];
-          StatSlots[I.Dst] = Arr[wrapIndex(StatSlots[I.A], Arr.size())];
-          break;
-        }
-        case Op::StoreLocElem: {
-          std::vector<int64_t> &Arr = StatLocalArrays[I.Id];
-          Arr[wrapIndex(StatSlots[I.A], Arr.size())] = StatSlots[I.B];
-          break;
-        }
-        case Op::InitLocArray:
-          StatLocalArrays[I.Id].assign(StatLocalArrays[I.Id].size(),
-                                       StatSlots[I.A]);
-          break;
-        case Op::Fetch:
-          StatSlots[I.Dst] =
-              Image.fetch(static_cast<uint32_t>(StatSlots[I.A]));
-          break;
-        case Op::CallBuiltin: {
-          // Only pure builtins can be rt-static.
-          for (size_t A = 0; A != I.Args.size(); ++A)
-            ArgBuf[A] = StatSlots[I.Args[A]];
-          int64_t R = builtinCall(I, ArgBuf, /*FastSide=*/false);
-          if (I.Dst != NoSlot)
-            StatSlots[I.Dst] = R;
-          break;
-        }
-        default:
-          assert(false && "unexpected rt-static opcode");
-        }
-        continue;
-      }
-
-      // Dynamic instruction.
-      if (Recovering)
-        continue; // already executed by the fast simulator
-
-      // Operand fetch in placeholder order; rt-static operands come from
-      // the slow simulator's state and are memoized.
-      auto readOperand = [&](SlotId Slot, unsigned Pos) -> int64_t {
-        if (I.StaticOperands & (1u << Pos)) {
-          int64_t V = StatSlots[Slot];
-          if (NodeIdx != ActionNode::NoNode) {
-            Cache.pushData(V);
-            ++S.PlaceholderWords;
-          }
-          return V;
-        }
-        return DynSlots[Slot];
-      };
-      auto memoize = [&](int64_t V) {
-        if (NodeIdx != ActionNode::NoNode) {
-          Cache.pushData(V);
-          ++S.PlaceholderWords;
-        }
-      };
-
-      switch (I.Opcode) {
-      case Op::Copy:
-        DynSlots[I.Dst] = readOperand(I.A, 0);
-        break;
-      case Op::Bin: {
-        int64_t A = readOperand(I.A, 0);
-        int64_t B = readOperand(I.B, 1);
-        DynSlots[I.Dst] = evalBin(I.BinKind, A, B);
-        break;
-      }
-      case Op::Un:
-        DynSlots[I.Dst] = evalUn(I.UnOp, readOperand(I.A, 0), I.Imm);
-        break;
-      case Op::LoadGlobal:
-        DynSlots[I.Dst] = DynGlobals[I.Id];
-        break;
-      case Op::StoreGlobal:
-        DynGlobals[I.Id] = readOperand(I.A, 0);
-        break;
-      case Op::LoadElem: {
-        std::vector<int64_t> &Arr = DynArrays[I.Id];
-        DynSlots[I.Dst] = Arr[wrapIndex(readOperand(I.A, 0), Arr.size())];
-        break;
-      }
-      case Op::StoreElem: {
-        int64_t Idx = readOperand(I.A, 0);
-        int64_t V = readOperand(I.B, 1);
-        std::vector<int64_t> &Arr = DynArrays[I.Id];
-        Arr[wrapIndex(Idx, Arr.size())] = V;
-        break;
-      }
-      case Op::LoadLocElem: {
-        std::vector<int64_t> &Arr = DynLocalArrays[I.Id];
-        DynSlots[I.Dst] = Arr[wrapIndex(readOperand(I.A, 0), Arr.size())];
-        break;
-      }
-      case Op::StoreLocElem: {
-        int64_t Idx = readOperand(I.A, 0);
-        int64_t V = readOperand(I.B, 1);
-        std::vector<int64_t> &Arr = DynLocalArrays[I.Id];
-        Arr[wrapIndex(Idx, Arr.size())] = V;
-        break;
-      }
-      case Op::InitLocArray: {
-        int64_t V = readOperand(I.A, 0);
-        DynLocalArrays[I.Id].assign(DynLocalArrays[I.Id].size(), V);
-        break;
-      }
-      case Op::Fetch:
-        DynSlots[I.Dst] =
-            Image.fetch(static_cast<uint32_t>(readOperand(I.A, 0)));
-        break;
-      case Op::CallExtern: {
-        assert(I.Args.size() <= 16 && "extern arity limit");
-        for (size_t A = 0; A != I.Args.size(); ++A)
-          ArgBuf[A] = readOperand(I.Args[A], 2 + static_cast<unsigned>(A));
-        int64_t R = externCall(I, ArgBuf);
-        if (I.Dst != NoSlot)
-          DynSlots[I.Dst] = R;
-        break;
-      }
-      case Op::CallBuiltin: {
-        assert(I.Args.size() <= 16 && "builtin arity limit");
-        for (size_t A = 0; A != I.Args.size(); ++A)
-          ArgBuf[A] = readOperand(I.Args[A], 2 + static_cast<unsigned>(A));
-        int64_t R = builtinCall(I, ArgBuf, /*FastSide=*/false);
-        if (I.Dst != NoSlot)
-          DynSlots[I.Dst] = R;
-        break;
-      }
-      case Op::SyncSlot: {
-        int64_t V = StatSlots[I.Dst];
-        memoize(V);
-        DynSlots[I.Dst] = V;
-        break;
-      }
-      case Op::SyncGlobal: {
-        int64_t V = StatGlobals[I.Id];
-        memoize(V);
-        DynGlobals[I.Id] = V;
-        break;
-      }
-      case Op::SyncArray: {
-        const std::vector<int64_t> &Src = StatArrays[I.Id];
-        std::vector<int64_t> &Dst = DynArrays[I.Id];
-        for (size_t E = 0; E != Src.size(); ++E) {
-          memoize(Src[E]);
-          Dst[E] = Src[E];
-        }
-        break;
-      }
-      default:
-        assert(false && "unexpected dynamic opcode");
-      }
-    }
-
-    // Terminator.
-    auto sealDataSpan = [&] {
-      ActionNode &N = Cache.node(NodeIdx);
-      N.DataLen = Cache.dataSize() - N.DataOfs;
-    };
-    const Inst &Term = Blk.terminator();
-    switch (Term.Opcode) {
-    case Op::Jump:
-      if (NodeIdx != ActionNode::NoNode)
-        sealDataSpan();
-      BB = Term.Target;
-      break;
-    case Op::Branch: {
-      bool Taken;
-      if (!Term.Dynamic) {
-        Taken = StatSlots[Term.A] != 0;
-      } else if (Recovering) {
-        // Dynamic-result tests take the value recorded by the fast
-        // simulator; at the miss point, the newly computed value.
-        Taken = (MissBlock ? Recovery->MissValue : RecordedTest) != 0;
-        if (MissBlock) {
-          PrevEdge = Taken ? 1 : 0;
-          Recovering = false;
-        }
-      } else {
-        Taken = DynSlots[Term.A] != 0;
-        if (NodeIdx != ActionNode::NoNode) {
-          Cache.node(NodeIdx).K = ActionNode::Kind::Test;
-          sealDataSpan();
-          PrevEdge = Taken ? 1 : 0;
-        }
-      }
-      if (!Term.Dynamic && NodeIdx != ActionNode::NoNode)
-        sealDataSpan();
-      BB = Taken ? Term.Target : Term.Target2;
-      break;
-    }
-    case Op::Ret:
-      assert(!Recovering && "step ended before reaching the miss point");
-      if (NodeIdx != ActionNode::NoNode) {
-        serializeKeyInto(KeyBuf);
-        KeyId Next = Cache.internKey(KeyBuf.data(), KeyBuf.size());
-        ActionNode &N = Cache.node(NodeIdx);
-        N.K = ActionNode::Kind::End;
-        N.DataLen = Cache.dataSize() - N.DataOfs;
-        N.NextKey = Next;
-        // Arm the INDEX chain for the next step.
-        PendingEndNode = NodeIdx;
-      }
-      return;
-    default:
-      assert(false && "block without a terminator");
-      return;
-    }
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// The fast / residual simulator
-//===----------------------------------------------------------------------===//
-
-bool Simulation::runFast(EntryId Entry, KeyId Key) {
-  const StepFunction &F = Prog.Step;
-  ReplayedStep Rp;
-  Rp.Entry = Entry;
-  Rp.Key = Key;
-
-  InFastEngine = true;
-  // Raw arena bases: replay never grows the cache, so these stay valid
-  // until a miss hands the step to the slow simulator (after which they
-  // are not touched again).
-  const ActionNode *Nodes = Cache.nodes();
-  const int64_t *Pool = Cache.data();
-  uint32_t NodeIdx = Cache.entry(Entry).Head;
-  int64_t ArgBuf[16];
-  for (;;) {
-    const ActionNode &N = Nodes[NodeIdx];
-    uint32_t Block = Prog.Actions.ActionToBlock[N.ActionId];
-    const ActionBlockInfo &AI = Prog.Actions.Blocks[Block];
-    const ir::Block &Blk = F.Blocks[Block];
-    size_t DataPos = N.DataOfs;
-
-    int64_t TestValue = 0;
-    for (uint32_t InstIdx : AI.DynInsts) {
-      const Inst &I = Blk.Insts[InstIdx];
-      auto readOperand = [&](SlotId Slot, unsigned Pos) -> int64_t {
-        if (I.StaticOperands & (1u << Pos))
-          return Pool[DataPos++];
-        return DynSlots[Slot];
-      };
-
-      switch (I.Opcode) {
-      case Op::Copy:
-        DynSlots[I.Dst] = readOperand(I.A, 0);
-        break;
-      case Op::Bin: {
-        int64_t A = readOperand(I.A, 0);
-        int64_t B = readOperand(I.B, 1);
-        DynSlots[I.Dst] = evalBin(I.BinKind, A, B);
-        break;
-      }
-      case Op::Un:
-        DynSlots[I.Dst] = evalUn(I.UnOp, readOperand(I.A, 0), I.Imm);
-        break;
-      case Op::LoadGlobal:
-        DynSlots[I.Dst] = DynGlobals[I.Id];
-        break;
-      case Op::StoreGlobal:
-        DynGlobals[I.Id] = readOperand(I.A, 0);
-        break;
-      case Op::LoadElem: {
-        std::vector<int64_t> &Arr = DynArrays[I.Id];
-        DynSlots[I.Dst] = Arr[wrapIndex(readOperand(I.A, 0), Arr.size())];
-        break;
-      }
-      case Op::StoreElem: {
-        int64_t Idx = readOperand(I.A, 0);
-        int64_t V = readOperand(I.B, 1);
-        std::vector<int64_t> &Arr = DynArrays[I.Id];
-        Arr[wrapIndex(Idx, Arr.size())] = V;
-        break;
-      }
-      case Op::LoadLocElem: {
-        std::vector<int64_t> &Arr = DynLocalArrays[I.Id];
-        DynSlots[I.Dst] = Arr[wrapIndex(readOperand(I.A, 0), Arr.size())];
-        break;
-      }
-      case Op::StoreLocElem: {
-        int64_t Idx = readOperand(I.A, 0);
-        int64_t V = readOperand(I.B, 1);
-        std::vector<int64_t> &Arr = DynLocalArrays[I.Id];
-        Arr[wrapIndex(Idx, Arr.size())] = V;
-        break;
-      }
-      case Op::InitLocArray:
-        DynLocalArrays[I.Id].assign(DynLocalArrays[I.Id].size(),
-                                    readOperand(I.A, 0));
-        break;
-      case Op::Fetch:
-        DynSlots[I.Dst] =
-            Image.fetch(static_cast<uint32_t>(readOperand(I.A, 0)));
-        break;
-      case Op::CallExtern: {
-        for (size_t A = 0; A != I.Args.size(); ++A)
-          ArgBuf[A] = readOperand(I.Args[A], 2 + static_cast<unsigned>(A));
-        int64_t R = externCall(I, ArgBuf);
-        if (I.Dst != NoSlot)
-          DynSlots[I.Dst] = R;
-        break;
-      }
-      case Op::CallBuiltin: {
-        for (size_t A = 0; A != I.Args.size(); ++A)
-          ArgBuf[A] = readOperand(I.Args[A], 2 + static_cast<unsigned>(A));
-        int64_t R = builtinCall(I, ArgBuf, /*FastSide=*/true);
-        if (I.Dst != NoSlot)
-          DynSlots[I.Dst] = R;
-        break;
-      }
-      case Op::SyncSlot:
-        DynSlots[I.Dst] = Pool[DataPos++];
-        break;
-      case Op::SyncGlobal:
-        DynGlobals[I.Id] = Pool[DataPos++];
-        break;
-      case Op::SyncArray: {
-        std::vector<int64_t> &Dst = DynArrays[I.Id];
-        std::memcpy(Dst.data(), Pool + DataPos, Dst.size() * 8);
-        DataPos += Dst.size();
-        break;
-      }
-      case Op::Branch:
-        // Dynamic-result test: evaluate the predicate for verification.
-        TestValue = DynSlots[I.A] != 0 ? 1 : 0;
-        break;
-      default:
-        assert(false && "unexpected dynamic opcode in replay");
-      }
-    }
-    assert(DataPos == N.DataOfs + N.DataLen && "placeholder stream desynced");
-
-    switch (N.K) {
-    case ActionNode::Kind::End:
-      InFastEngine = false;
-      PendingEndNode = NodeIdx;
-      return true;
-    case ActionNode::Kind::Plain:
-      Rp.Path.push_back({NodeIdx, 0});
-      assert(N.Next != ActionNode::NoNode && "complete entries are linked");
-      NodeIdx = N.Next;
-      break;
-    case ActionNode::Kind::Test: {
-      uint32_t Succ = N.OnValue[TestValue];
-      if (Succ == ActionNode::NoNode) {
-        // Action cache miss: this control path was never recorded. Hand
-        // the replayed prefix to the slow simulator for recovery.
-        Rp.Path.push_back({NodeIdx, TestValue});
-        Rp.MissValue = TestValue;
-        ++S.Misses;
-        InFastEngine = false;
-        runSlow(Entry, &Rp);
-        return false;
-      }
-      Rp.Path.push_back({NodeIdx, TestValue});
-      NodeIdx = Succ;
-      break;
-    }
-    }
-  }
+  return H(Args, I.ArgCount);
 }
 
 //===----------------------------------------------------------------------===//

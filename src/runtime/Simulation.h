@@ -29,6 +29,7 @@
 #include "src/isa/TargetImage.h"
 #include "src/loader/TargetMemory.h"
 #include "src/runtime/ActionCache.h"
+#include "src/runtime/ExecPlan.h"
 
 #include <cstdint>
 #include <functional>
@@ -110,21 +111,33 @@ public:
   const TargetMemory &memory() const { return Mem; }
 
 private:
-  //===-- shared evaluation helpers (Simulation.cpp) -----------------------
-  struct RecordCtx;
-  struct ReplayedStep;
+  /// Recovery input: the replayed prefix of a cache entry up to (and
+  /// including) the missing dynamic-result test. Built by the fast engine
+  /// (FastEngine.cpp), consumed by the slow engine (SlowEngine.cpp).
+  struct ReplayedStep {
+    EntryId Entry = NoId;
+    KeyId Key = NoId;
+    struct Item {
+      uint32_t Node;
+      int64_t Value; ///< taken result for Test nodes along the prefix
+    };
+    std::vector<Item> Path; ///< head .. miss node
+    int64_t MissValue = 0;  ///< the new result computed at the miss
+  };
 
+  /// The slow / complete simulator: record and recovery (SlowEngine.cpp).
   void runSlow(EntryId Rec, const ReplayedStep *Recovery);
+  /// The fast / residual simulator: replay (FastEngine.cpp).
   bool runFast(EntryId Entry, KeyId Key);
   void serializeKeyInto(std::string &Out) const;
   void seedStaticFromKey(KeyId Key);
   void copyInitDynToStatic();
-  int64_t builtinCall(const ir::Inst &I, const int64_t *Args, bool FastSide);
-  int64_t externCall(const ir::Inst &I, const int64_t *Args);
+  int64_t externCall(const XInst &I, const int64_t *Args);
 
   const CompiledProgram &Prog;
   const isa::TargetImage &Image;
   Options Opts;
+  ExecPlan Plan; ///< packed instruction streams both engines execute
   TargetMemory Mem;
 
   // Dynamic state: shared between the two simulators (and with the host).
@@ -142,7 +155,6 @@ private:
   std::vector<ExternHandler> Externs;
   ActionCache Cache;
   bool HaltFlag = false;
-  bool InFastEngine = false; ///< attribution for retire()/cycles()
   Stats S;
 
   /// INDEX chaining (paper Figure 9): the End node reached by the previous

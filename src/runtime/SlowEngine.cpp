@@ -1,0 +1,361 @@
+//===- SlowEngine.cpp - The slow / complete simulator ----------------------===//
+//
+// Executes the full per-block streams of the ExecPlan: rt-static
+// instructions against the slow simulator's private state, dynamic
+// instructions against the shared state while recording action nodes and
+// placeholder data into the cache. Also implements miss recovery (paper
+// §4.3): re-execute rt-static code only, take dynamic results from the
+// replayed prefix handed over by the fast engine, then resume recording at
+// the miss point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/runtime/Simulation.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+using namespace facile;
+using namespace facile::rt;
+using namespace facile::ir;
+
+void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
+  const ExecPlan &P = Plan;
+  const bool Record = Rec != NoId;
+  bool Recovering = Recovery != nullptr;
+  size_t RecoveryIdx = 0;
+
+  // Where the next recorded node hangs: off the entry head, a plain node's
+  // Next, or a test node's OnValue[PrevEdge].
+  uint32_t PrevNode = ActionNode::NoNode;
+  int PrevEdge = -1;
+
+  if (Recovering) {
+    assert(Rec == Recovery->Entry && "recovery must extend the missed entry");
+    seedStaticFromKey(Recovery->Key);
+  } else {
+    copyInitDynToStatic();
+  }
+
+  // Appends a new arena node linked at the current attach point.
+  auto appendNode = [&](int32_t ActionId) -> uint32_t {
+    uint32_t Idx = Cache.appendNode(ActionId);
+    if (PrevNode == ActionNode::NoNode) {
+      assert(Cache.entry(Rec).Head == ActionNode::NoNode &&
+             "entry already has a head");
+      Cache.entry(Rec).Head = Idx;
+    } else if (PrevEdge < 0) {
+      Cache.node(PrevNode).Next = Idx;
+    } else {
+      assert(Cache.node(PrevNode).OnValue[PrevEdge] == ActionNode::NoNode &&
+             "successor already recorded");
+      Cache.node(PrevNode).OnValue[PrevEdge] = Idx;
+    }
+    PrevNode = Idx;
+    PrevEdge = -1;
+    return Idx;
+  };
+
+  uint32_t BB = 0;
+  int64_t ArgBuf[16];
+  for (;;) {
+    const ActionBlockInfo &AI = Prog.Actions.Blocks[BB];
+
+    uint32_t NodeIdx = ActionNode::NoNode;
+    bool MissBlock = false;   ///< this block holds the missed test
+    int64_t RecordedTest = 0; ///< recovery: the recorded test outcome
+
+    if (AI.ActionId != ActionBlockInfo::NoAction) {
+      if (Recovering) {
+        assert(RecoveryIdx < Recovery->Path.size() &&
+               "recovery walked past the recorded prefix");
+        const ReplayedStep::Item &Item = Recovery->Path[RecoveryIdx];
+        assert(Cache.node(Item.Node).ActionId == AI.ActionId &&
+               "slow and fast simulators disagree on the control path");
+        MissBlock = RecoveryIdx + 1 == Recovery->Path.size();
+        RecordedTest = Item.Value;
+        if (MissBlock) {
+          // Attach new recording after the missed test.
+          PrevNode = Item.Node;
+        }
+        ++RecoveryIdx;
+      } else if (Record) {
+        NodeIdx = appendNode(AI.ActionId);
+      }
+    }
+
+    // Execute the block body (everything but the terminator).
+    const XInst *IP = P.blockBegin(BB);
+    const XInst *Term = P.blockEnd(BB) - 1;
+    for (; IP != Term; ++IP) {
+      const XInst &I = *IP;
+      if (!I.Dynamic) {
+        // Run-time static: executes on the slow simulator's private state.
+        switch (I.Opcode) {
+        case XOp::Const:
+          StatSlots[I.Dst] = I.Imm;
+          break;
+        case XOp::Copy:
+          StatSlots[I.Dst] = StatSlots[I.A];
+          break;
+        case XOp::Bin:
+          StatSlots[I.Dst] = evalBin(static_cast<ast::BinOp>(I.Kind),
+                                     StatSlots[I.A], StatSlots[I.B]);
+          break;
+        case XOp::Un:
+          StatSlots[I.Dst] =
+              evalUn(static_cast<UnKind>(I.Kind), StatSlots[I.A], I.Imm);
+          break;
+        case XOp::LoadGlobal:
+          StatSlots[I.Dst] = StatGlobals[I.Id];
+          break;
+        case XOp::StoreGlobal:
+          StatGlobals[I.Id] = StatSlots[I.A];
+          break;
+        case XOp::LoadElem: {
+          const std::vector<int64_t> &Arr = StatArrays[I.Id];
+          StatSlots[I.Dst] = Arr[wrapIndex(StatSlots[I.A], Arr.size())];
+          break;
+        }
+        case XOp::StoreElem: {
+          std::vector<int64_t> &Arr = StatArrays[I.Id];
+          Arr[wrapIndex(StatSlots[I.A], Arr.size())] = StatSlots[I.B];
+          break;
+        }
+        case XOp::LoadLocElem: {
+          const std::vector<int64_t> &Arr = StatLocalArrays[I.Id];
+          StatSlots[I.Dst] = Arr[wrapIndex(StatSlots[I.A], Arr.size())];
+          break;
+        }
+        case XOp::StoreLocElem: {
+          std::vector<int64_t> &Arr = StatLocalArrays[I.Id];
+          Arr[wrapIndex(StatSlots[I.A], Arr.size())] = StatSlots[I.B];
+          break;
+        }
+        case XOp::InitLocArray:
+          StatLocalArrays[I.Id].assign(StatLocalArrays[I.Id].size(),
+                                       StatSlots[I.A]);
+          break;
+        case XOp::Fetch:
+          StatSlots[I.Dst] =
+              Image.fetch(static_cast<uint32_t>(StatSlots[I.A]));
+          break;
+        // Only pure builtins can be rt-static.
+        case XOp::TextStart:
+          StatSlots[I.Dst] = Image.TextBase;
+          break;
+        case XOp::TextEnd:
+          StatSlots[I.Dst] = Image.textEnd();
+          break;
+        default:
+          assert(false && "unexpected rt-static opcode");
+        }
+        continue;
+      }
+
+      // Dynamic instruction.
+      if (Recovering)
+        continue; // already executed by the fast simulator
+
+      // Operand fetch in placeholder order; rt-static operands come from
+      // the slow simulator's state and are memoized.
+      auto readOperand = [&](uint32_t Slot, unsigned Pos) -> int64_t {
+        if (I.StaticOperands & (1u << Pos)) {
+          int64_t V = StatSlots[Slot];
+          if (NodeIdx != ActionNode::NoNode) {
+            Cache.pushData(V);
+            ++S.PlaceholderWords;
+          }
+          return V;
+        }
+        return DynSlots[Slot];
+      };
+      auto memoize = [&](int64_t V) {
+        if (NodeIdx != ActionNode::NoNode) {
+          Cache.pushData(V);
+          ++S.PlaceholderWords;
+        }
+      };
+
+      switch (I.Opcode) {
+      case XOp::Copy:
+        DynSlots[I.Dst] = readOperand(I.A, 0);
+        break;
+      case XOp::Bin: {
+        int64_t A = readOperand(I.A, 0);
+        int64_t B = readOperand(I.B, 1);
+        DynSlots[I.Dst] = evalBin(static_cast<ast::BinOp>(I.Kind), A, B);
+        break;
+      }
+      case XOp::Un:
+        DynSlots[I.Dst] =
+            evalUn(static_cast<UnKind>(I.Kind), readOperand(I.A, 0), I.Imm);
+        break;
+      case XOp::LoadGlobal:
+        DynSlots[I.Dst] = DynGlobals[I.Id];
+        break;
+      case XOp::StoreGlobal:
+        DynGlobals[I.Id] = readOperand(I.A, 0);
+        break;
+      case XOp::LoadElem: {
+        std::vector<int64_t> &Arr = DynArrays[I.Id];
+        DynSlots[I.Dst] = Arr[wrapIndex(readOperand(I.A, 0), Arr.size())];
+        break;
+      }
+      case XOp::StoreElem: {
+        int64_t Idx = readOperand(I.A, 0);
+        int64_t V = readOperand(I.B, 1);
+        std::vector<int64_t> &Arr = DynArrays[I.Id];
+        Arr[wrapIndex(Idx, Arr.size())] = V;
+        break;
+      }
+      case XOp::LoadLocElem: {
+        std::vector<int64_t> &Arr = DynLocalArrays[I.Id];
+        DynSlots[I.Dst] = Arr[wrapIndex(readOperand(I.A, 0), Arr.size())];
+        break;
+      }
+      case XOp::StoreLocElem: {
+        int64_t Idx = readOperand(I.A, 0);
+        int64_t V = readOperand(I.B, 1);
+        std::vector<int64_t> &Arr = DynLocalArrays[I.Id];
+        Arr[wrapIndex(Idx, Arr.size())] = V;
+        break;
+      }
+      case XOp::InitLocArray: {
+        int64_t V = readOperand(I.A, 0);
+        DynLocalArrays[I.Id].assign(DynLocalArrays[I.Id].size(), V);
+        break;
+      }
+      case XOp::Fetch:
+        DynSlots[I.Dst] =
+            Image.fetch(static_cast<uint32_t>(readOperand(I.A, 0)));
+        break;
+      case XOp::CallExtern: {
+        assert(I.ArgCount <= 16 && "extern arity limit");
+        for (unsigned A = 0; A != I.ArgCount; ++A)
+          ArgBuf[A] = readOperand(P.ArgPool[I.ArgOfs + A], 2 + A);
+        int64_t R = externCall(I, ArgBuf);
+        if (I.Dst != NoSlot)
+          DynSlots[I.Dst] = R;
+        break;
+      }
+      case XOp::MemLd:
+        DynSlots[I.Dst] =
+            Mem.read32(static_cast<uint32_t>(readOperand(I.A, 0)));
+        break;
+      case XOp::MemLd8:
+        DynSlots[I.Dst] = Mem.read8(static_cast<uint32_t>(readOperand(I.A, 0)));
+        break;
+      case XOp::MemSt: {
+        int64_t Addr = readOperand(I.A, 0);
+        int64_t V = readOperand(I.B, 1);
+        Mem.write32(static_cast<uint32_t>(Addr), static_cast<uint32_t>(V));
+        break;
+      }
+      case XOp::MemSt8: {
+        int64_t Addr = readOperand(I.A, 0);
+        int64_t V = readOperand(I.B, 1);
+        Mem.write8(static_cast<uint32_t>(Addr), static_cast<uint8_t>(V));
+        break;
+      }
+      case XOp::SimHalt:
+        HaltFlag = true;
+        break;
+      case XOp::Retire:
+        S.RetiredTotal += static_cast<uint64_t>(readOperand(I.A, 0));
+        break;
+      case XOp::Cycles:
+        S.Cycles += static_cast<uint64_t>(readOperand(I.A, 0));
+        break;
+      case XOp::TextStart:
+        DynSlots[I.Dst] = Image.TextBase;
+        break;
+      case XOp::TextEnd:
+        DynSlots[I.Dst] = Image.textEnd();
+        break;
+      case XOp::Print:
+        std::printf("%lld\n", static_cast<long long>(readOperand(I.A, 0)));
+        break;
+      case XOp::SyncSlot: {
+        int64_t V = StatSlots[I.Dst];
+        memoize(V);
+        DynSlots[I.Dst] = V;
+        break;
+      }
+      case XOp::SyncGlobal: {
+        int64_t V = StatGlobals[I.Id];
+        memoize(V);
+        DynGlobals[I.Id] = V;
+        break;
+      }
+      case XOp::SyncArray: {
+        const std::vector<int64_t> &Src = StatArrays[I.Id];
+        std::vector<int64_t> &Dst = DynArrays[I.Id];
+        for (size_t E = 0; E != Src.size(); ++E) {
+          memoize(Src[E]);
+          Dst[E] = Src[E];
+        }
+        break;
+      }
+      default:
+        assert(false && "unexpected dynamic opcode");
+      }
+    }
+
+    // Terminator.
+    auto sealDataSpan = [&] {
+      ActionNode &N = Cache.node(NodeIdx);
+      N.DataLen = Cache.dataSize() - N.DataOfs;
+    };
+    const XInst &T = *Term;
+    switch (T.Opcode) {
+    case XOp::Jump:
+      if (NodeIdx != ActionNode::NoNode)
+        sealDataSpan();
+      BB = T.Target;
+      break;
+    case XOp::Branch: {
+      bool Taken;
+      if (!T.Dynamic) {
+        Taken = StatSlots[T.A] != 0;
+      } else if (Recovering) {
+        // Dynamic-result tests take the value recorded by the fast
+        // simulator; at the miss point, the newly computed value.
+        Taken = (MissBlock ? Recovery->MissValue : RecordedTest) != 0;
+        if (MissBlock) {
+          PrevEdge = Taken ? 1 : 0;
+          Recovering = false;
+        }
+      } else {
+        Taken = DynSlots[T.A] != 0;
+        if (NodeIdx != ActionNode::NoNode) {
+          Cache.node(NodeIdx).K = ActionNode::Kind::Test;
+          sealDataSpan();
+          PrevEdge = Taken ? 1 : 0;
+        }
+      }
+      if (!T.Dynamic && NodeIdx != ActionNode::NoNode)
+        sealDataSpan();
+      BB = Taken ? T.Target : T.Target2;
+      break;
+    }
+    case XOp::Ret:
+      assert(!Recovering && "step ended before reaching the miss point");
+      if (NodeIdx != ActionNode::NoNode) {
+        serializeKeyInto(KeyBuf);
+        KeyId Next = Cache.internKey(KeyBuf.data(), KeyBuf.size());
+        ActionNode &N = Cache.node(NodeIdx);
+        N.K = ActionNode::Kind::End;
+        N.DataLen = Cache.dataSize() - N.DataOfs;
+        N.NextKey = Next;
+        // Arm the INDEX chain for the next step.
+        PendingEndNode = NodeIdx;
+      }
+      return;
+    default:
+      assert(false && "block without a terminator");
+      return;
+    }
+  }
+}

@@ -52,12 +52,16 @@ std::string sims::simulatorSource(SimKind Kind) {
          readFileOrDie(Dir + "/" + sourceFileFor(Kind));
 }
 
-const CompiledProgram &sims::simulatorProgram(SimKind Kind) {
-  static std::map<SimKind, std::unique_ptr<CompiledProgram>> Cache;
-  std::unique_ptr<CompiledProgram> &Slot = Cache[Kind];
+const CompiledProgram &sims::simulatorProgram(SimKind Kind, PassMode Mode) {
+  static std::map<std::pair<SimKind, PassMode>,
+                  std::unique_ptr<CompiledProgram>>
+      Cache;
+  std::unique_ptr<CompiledProgram> &Slot = Cache[{Kind, Mode}];
   if (!Slot) {
     DiagnosticEngine Diag;
-    auto P = compileFacile(simulatorSource(Kind), Diag);
+    CompileOptions Opts;
+    Opts.RunPasses = Mode == PassMode::Optimized;
+    auto P = compileFacile(simulatorSource(Kind), Diag, Opts);
     if (!P) {
       std::fprintf(stderr, "failed to compile %s:\n%s",
                    sourceFileFor(Kind), Diag.str().c_str());
@@ -69,8 +73,8 @@ const CompiledProgram &sims::simulatorProgram(SimKind Kind) {
 }
 
 FacileSim::FacileSim(SimKind Kind, const isa::TargetImage &Image,
-                     rt::Simulation::Options Opts)
-    : Sim(simulatorProgram(Kind), Image, Opts) {
+                     rt::Simulation::Options Opts, PassMode Mode)
+    : Prog(simulatorProgram(Kind, Mode)), Sim(Prog, Image, Opts) {
   Sim.setGlobal("PC", Image.Entry);
   Sim.setGlobalElem("R", isa::StackReg, isa::DefaultStackTop);
   wireExterns(Kind);
@@ -104,7 +108,7 @@ std::string FacileSim::statsJson() const {
   const rt::Simulation::Stats &S = Sim.stats();
   const rt::ActionCache &C = Sim.cache();
   const rt::ActionCache::Stats &CS = C.stats();
-  char Buf[1024];
+  char Buf[2048];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"steps\":%llu,\"fast_steps\":%llu,\"misses\":%llu,"
@@ -114,7 +118,11 @@ std::string FacileSim::statsJson() const {
       "\"keys_interned\":%llu,\"clears\":%llu,\"evictions\":%llu,"
       "\"evicted_entries\":%llu,\"probe_total\":%llu,\"probe_max\":%llu,"
       "\"entries\":%zu,\"keys\":%zu,\"nodes\":%zu,\"bytes\":%zu,"
-      "\"key_pool_bytes\":%zu,\"peak_bytes\":%llu}}",
+      "\"key_pool_bytes\":%zu,\"peak_bytes\":%llu},"
+      "\"passes\":{\"rounds\":%u,\"insts_before\":%u,\"insts_after\":%u,"
+      "\"blocks_before\":%u,\"blocks_after\":%u,\"folded\":%u,"
+      "\"branches_folded\":%u,\"copies_propagated\":%u,\"dead_removed\":%u,"
+      "\"jumps_threaded\":%u,\"blocks_merged\":%u,\"blocks_removed\":%u}}",
       static_cast<unsigned long long>(S.Steps),
       static_cast<unsigned long long>(S.FastSteps),
       static_cast<unsigned long long>(S.Misses),
@@ -133,7 +141,12 @@ std::string FacileSim::statsJson() const {
       static_cast<unsigned long long>(CS.ProbeTotal),
       static_cast<unsigned long long>(CS.ProbeMax), C.entryCount(),
       C.keyCount(), C.nodeCount(), C.bytes(), C.keyPoolBytes(),
-      static_cast<unsigned long long>(CS.PeakBytes));
+      static_cast<unsigned long long>(CS.PeakBytes), Prog.Passes.Rounds,
+      Prog.Passes.InstsBefore, Prog.Passes.InstsAfter,
+      Prog.Passes.BlocksBefore, Prog.Passes.BlocksAfter, Prog.Passes.Folded,
+      Prog.Passes.BranchesFolded, Prog.Passes.CopiesPropagated,
+      Prog.Passes.DeadRemoved, Prog.Passes.JumpsThreaded,
+      Prog.Passes.BlocksMerged, Prog.Passes.BlocksRemoved);
   return Buf;
 }
 

@@ -33,11 +33,20 @@ enum class SimKind {
   OutOfOrder, ///< ooo.fac — instruction-window out-of-order pipeline
 };
 
+/// Whether the compiler's optimization pipeline runs. Raw exists for the
+/// differential tests, which pin optimized against unoptimized execution.
+enum class PassMode : uint8_t {
+  Optimized, ///< full pipeline (the default everywhere)
+  Raw,       ///< passes disabled; the lowered IR runs as-is
+};
+
 /// Returns the compiled program for \p Kind. Sources are read from the
 /// FACILE_SIMS_DIR the build configures; compilation happens once per
-/// process and the result is cached. Aborts on compile errors (the .fac
-/// sources ship with the repo, so failures are build breakage).
-const CompiledProgram &simulatorProgram(SimKind Kind);
+/// (Kind, Mode) per process and the result is cached. Aborts on compile
+/// errors (the .fac sources ship with the repo, so failures are build
+/// breakage).
+const CompiledProgram &simulatorProgram(SimKind Kind,
+                                        PassMode Mode = PassMode::Optimized);
 
 /// Returns the concatenated Facile source text for \p Kind (prelude +
 /// simulator), for tests that want to inspect or recompile it.
@@ -48,7 +57,8 @@ class FacileSim {
 public:
   /// \p Image must outlive this object.
   FacileSim(SimKind Kind, const isa::TargetImage &Image,
-            rt::Simulation::Options Opts = {});
+            rt::Simulation::Options Opts = {},
+            PassMode Mode = PassMode::Optimized);
 
   /// Runs until sim_halt() or at least \p MaxInstrs instructions retired.
   /// Returns the number of instructions retired.
@@ -67,6 +77,7 @@ public:
 private:
   void wireExterns(SimKind Kind);
 
+  const CompiledProgram &Prog; ///< for pass stats in statsJson()
   rt::Simulation Sim;
   BranchUnit BU;
   MemoryHierarchy MH;

@@ -1,0 +1,123 @@
+//===- test_cemitter_golden.cpp - Golden files for the emitted C --------------===//
+//
+// Pins the exact C source the backend emits for the shipped functional
+// simulator (fast and slow variants, Figures 9/10), compiled through the
+// full pipeline — lowering, optimization passes, BTA. Any change to
+// lowering, the passes, binding times or the emitter itself shows up as a
+// readable diff against tests/golden/*.c instead of a silent drift.
+//
+// To regenerate after an intentional change:
+//
+//   FACILE_UPDATE_GOLDEN=1 ./build/tests/test_cemitter_golden
+//
+// then review the diff of tests/golden/ before committing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/facile/CEmitter.h"
+#include "src/sims/SimHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace facile;
+using namespace facile::sims;
+
+#ifndef FACILE_GOLDEN_DIR
+#error "FACILE_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::string goldenPath(const char *Name) {
+  return std::string(FACILE_GOLDEN_DIR) + "/" + Name;
+}
+
+bool readFile(const std::string &Path, std::string *Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  char Buffer[4096];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), File)) != 0)
+    Out->append(Buffer, N);
+  std::fclose(File);
+  return true;
+}
+
+/// Line/column of the first difference, so a mismatch is diagnosable
+/// without dumping two multi-thousand-line files into the test log.
+std::string firstDiff(const std::string &Want, const std::string &Got) {
+  size_t Line = 1, Col = 1, I = 0;
+  size_t N = std::min(Want.size(), Got.size());
+  while (I != N && Want[I] == Got[I]) {
+    if (Want[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  }
+  if (I == Want.size() && I == Got.size())
+    return "";
+  size_t WantEnd = Want.find('\n', I);
+  size_t GotEnd = Got.find('\n', I);
+  size_t LineStart = Want.rfind('\n', I == 0 ? 0 : I - 1);
+  LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+  return "first difference at line " + std::to_string(Line) + ", column " +
+         std::to_string(Col) + "\n  golden:  " +
+         Want.substr(LineStart, (WantEnd == std::string::npos
+                                     ? Want.size()
+                                     : WantEnd) -
+                                    LineStart) +
+         "\n  emitted: " +
+         Got.substr(LineStart,
+                    (GotEnd == std::string::npos ? Got.size() : GotEnd) -
+                        LineStart);
+}
+
+void checkGolden(const char *Name, const std::string &Emitted) {
+  std::string Path = goldenPath(Name);
+  if (std::getenv("FACILE_UPDATE_GOLDEN")) {
+    std::FILE *File = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(File, nullptr) << "cannot write " << Path;
+    std::fwrite(Emitted.data(), 1, Emitted.size(), File);
+    std::fclose(File);
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+  std::string Want;
+  ASSERT_TRUE(readFile(Path, &Want))
+      << "missing golden file " << Path
+      << " (run with FACILE_UPDATE_GOLDEN=1 to create it)";
+  if (Want == Emitted)
+    return;
+  ADD_FAILURE() << "emitted C for " << Name
+                << " diverged from the golden file " << Path << "\n"
+                << firstDiff(Want, Emitted)
+                << "\nIf the change is intentional, regenerate with "
+                   "FACILE_UPDATE_GOLDEN=1 and review the diff.";
+}
+
+} // namespace
+
+TEST(CEmitterGolden, FunctionalFastMatchesGolden) {
+  const CompiledProgram &P = simulatorProgram(SimKind::Functional);
+  checkGolden("functional_fast.c", emitFastSimulatorC(P));
+}
+
+TEST(CEmitterGolden, FunctionalSlowMatchesGolden) {
+  const CompiledProgram &P = simulatorProgram(SimKind::Functional);
+  checkGolden("functional_slow.c", emitSlowSimulatorC(P));
+}
+
+TEST(CEmitterGolden, EmissionIsDeterministic) {
+  // The golden comparison is only meaningful if emission is a pure
+  // function of the compiled program.
+  const CompiledProgram &P = simulatorProgram(SimKind::Functional);
+  EXPECT_EQ(emitFastSimulatorC(P), emitFastSimulatorC(P));
+  EXPECT_EQ(emitSlowSimulatorC(P), emitSlowSimulatorC(P));
+}

@@ -24,6 +24,19 @@ CompiledProgram compileOk(const char *Source) {
   return std::move(*P);
 }
 
+/// Compiles with the optimization pipeline disabled, for tests that pin
+/// the raw lowering output (block structure before CFG simplification).
+CompiledProgram compileNoPasses(const char *Source) {
+  DiagnosticEngine Diag;
+  CompileOptions Opts;
+  Opts.RunPasses = false;
+  auto P = compileFacile(Source, Diag, Opts);
+  EXPECT_TRUE(P.has_value()) << Diag.str();
+  if (!P)
+    return CompiledProgram();
+  return std::move(*P);
+}
+
 std::string compileErr(const char *Source) {
   DiagnosticEngine Diag;
   auto P = compileFacile(Source, Diag);
@@ -390,17 +403,22 @@ TEST(Actions, ActionIdsAreDenseAndMapped) {
 //===----------------------------------------------------------------------===//
 
 TEST(Lowering, FunctionsAreInlined) {
-  CompiledProgram P = compileOk(R"(
+  const char *Source = R"(
     init val pc = 0;
     fun inc(x) { return x + 1; }
     fun main() { pc = inc(inc(pc)); }
-  )");
+  )";
   // Two call sites -> two inlined copies; there must be at least two join
-  // blocks and no call instructions (externs aside).
+  // blocks and no call instructions (externs aside). Passes off: this
+  // pins the raw lowering output.
+  CompiledProgram P = compileNoPasses(Source);
   for (const ir::Block &B : P.Step.Blocks)
     for (const ir::Inst &I : B.Insts)
       EXPECT_NE(I.Opcode, ir::Op::CallExtern);
   EXPECT_GE(P.Step.Blocks.size(), 3u);
+  // With the pipeline on, the straight-line call joins collapse.
+  CompiledProgram Opt = compileOk(Source);
+  EXPECT_LT(Opt.Step.Blocks.size(), P.Step.Blocks.size());
 }
 
 TEST(Lowering, NeverAssignedGlobalsConstantFold) {

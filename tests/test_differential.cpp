@@ -41,8 +41,9 @@ struct FinalState {
 };
 
 FinalState runOne(SimKind Kind, const isa::TargetImage &Image,
-                  rt::Simulation::Options Opts, uint64_t MaxInstrs) {
-  FacileSim Sim(Kind, Image, Opts);
+                  rt::Simulation::Options Opts, uint64_t MaxInstrs,
+                  PassMode Mode = PassMode::Optimized) {
+  FacileSim Sim(Kind, Image, Opts, Mode);
   Sim.run(MaxInstrs);
   FinalState F;
   F.Halted = Sim.sim().halted();
@@ -50,7 +51,7 @@ FinalState runOne(SimKind Kind, const isa::TargetImage &Image,
   F.Cycles = Sim.sim().stats().Cycles;
   F.MemDigest = Sim.sim().memory().digest();
   F.FfPct = Sim.sim().stats().fastForwardedPct();
-  const CompiledProgram &P = simulatorProgram(Kind);
+  const CompiledProgram &P = simulatorProgram(Kind, Mode);
   for (const ir::GlobalVar &G : P.Globals) {
     if (G.IsArray)
       for (uint32_t E = 0; E != G.Size; ++E)
@@ -158,4 +159,44 @@ TEST(Differential, ClearAllTinyBudgetPreservesResults) {
     for (const workload::WorkloadSpec &Spec : testWorkloads())
       expectEquivalent(Kind, Spec, rt::EvictionPolicy::ClearAll,
                        tinyBudget(Kind), 1'000'000);
+}
+
+TEST(Differential, PassesOnOffBitIdentical) {
+  // The optimization pipeline must be invisible to the architecture: the
+  // optimized program (memoized and not) computes the same final state as
+  // the raw lowered IR (memoized and not), under both eviction policies.
+  for (SimKind Kind :
+       {SimKind::Functional, SimKind::InOrder, SimKind::OutOfOrder}) {
+    for (const workload::WorkloadSpec &Spec : testWorkloads()) {
+      isa::TargetImage Image = workload::generate(Spec, 2);
+      constexpr uint64_t MaxInstrs = 1'000'000;
+
+      rt::Simulation::Options Off;
+      Off.Memoize = false;
+      FinalState RawSlow =
+          runOne(Kind, Image, Off, MaxInstrs, PassMode::Raw);
+      FinalState OptSlow =
+          runOne(Kind, Image, Off, MaxInstrs, PassMode::Optimized);
+
+      SCOPED_TRACE(std::string(kindName(Kind)) + " on " + Spec.Name);
+      EXPECT_EQ(OptSlow, RawSlow) << "passes changed unmemoized execution";
+
+      for (rt::EvictionPolicy Policy :
+           {rt::EvictionPolicy::ClearAll, rt::EvictionPolicy::Segmented}) {
+        rt::Simulation::Options On;
+        On.Eviction = Policy;
+        On.CacheBudgetBytes = tinyBudget(Kind);
+        FinalState RawMemo =
+            runOne(Kind, Image, On, MaxInstrs, PassMode::Raw);
+        FinalState OptMemo =
+            runOne(Kind, Image, On, MaxInstrs, PassMode::Optimized);
+        SCOPED_TRACE(Policy == rt::EvictionPolicy::Segmented ? "segmented"
+                                                             : "clearall");
+        EXPECT_EQ(OptMemo, RawSlow) << "passes changed memoized execution";
+        EXPECT_EQ(RawMemo, RawSlow) << "memoization broke on raw IR";
+        EXPECT_GT(OptMemo.FfPct, 0.0);
+        EXPECT_GT(RawMemo.FfPct, 0.0);
+      }
+    }
+  }
 }

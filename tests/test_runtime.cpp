@@ -292,11 +292,11 @@ TEST(Runtime, MemoizedAndUnmemoizedAgreeExactly) {
     Simulation::Options Opts;
     Opts.Memoize = Memoize;
     Simulation Sim(P, Img, Opts);
-    int64_t Seed = 12345;
+    uint64_t Seed = 12345;
     Sim.registerExtern("noise", [Seed](const int64_t *Args,
                                        size_t) mutable {
-      Seed = Seed * 6364136223846793005ll + 1442695040888963407ll;
-      return ((Seed >> 33) & 0xffff) + Args[0];
+      Seed = Seed * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<int64_t>((Seed >> 33) & 0xffff) + Args[0];
     });
     for (int I = 0; I != 500; ++I)
       Sim.step();

@@ -35,7 +35,12 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: facilec <check|ir|actions|cfast|cslow|stats> <sim.fac>...\n"
-      "       facilec run <sim.fac>... <prog.s> [max-steps]\n");
+      "       facilec run <sim.fac>... <prog.s> [max-steps]\n"
+      "options:\n"
+      "  --dump-ir=<before|after>  print the IR before or after the\n"
+      "                            optimization passes (to stdout)\n"
+      "  --pass-stats              print per-pass optimization statistics\n"
+      "  --no-passes               disable the optimization pipeline\n");
   return 2;
 }
 
@@ -120,9 +125,19 @@ int main(int Argc, char **Argv) {
   std::string FacSource;
   std::string AsmPath;
   uint64_t MaxSteps = 10'000'000;
+  std::string DumpIr; // "", "before" or "after"
+  bool PassStats = false;
+  CompileOptions Opts;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (endsWith(Arg, ".fac")) {
+    if (Arg == "--dump-ir=before" || Arg == "--dump-ir=after") {
+      DumpIr = Arg.substr(std::strlen("--dump-ir="));
+      Opts.CaptureIrBeforePasses = DumpIr == "before";
+    } else if (Arg == "--pass-stats") {
+      PassStats = true;
+    } else if (Arg == "--no-passes") {
+      Opts.RunPasses = false;
+    } else if (endsWith(Arg, ".fac")) {
       if (!readFile(Arg, &FacSource))
         return 1;
       FacSource += "\n";
@@ -140,12 +155,33 @@ int main(int Argc, char **Argv) {
     return usage();
 
   DiagnosticEngine Diag;
-  std::optional<CompiledProgram> P = compileFacile(FacSource, Diag);
+  std::optional<CompiledProgram> P = compileFacile(FacSource, Diag, Opts);
   // Warnings (and errors) go to stderr in either case.
   if (!Diag.diagnostics().empty())
     std::fprintf(stderr, "%s", Diag.str().c_str());
   if (!P)
     return 1;
+
+  if (DumpIr == "before")
+    std::printf("%s", P->IrBeforePasses.c_str());
+  else if (DumpIr == "after")
+    std::printf("%s", ir::printStepFunction(P->Step).c_str());
+  if (PassStats) {
+    const PassPipelineStats &PS = P->Passes;
+    std::printf("pass pipeline (%u round%s):\n", PS.Rounds,
+                PS.Rounds == 1 ? "" : "s");
+    std::printf("  instructions:      %u -> %u\n", PS.InstsBefore,
+                PS.InstsAfter);
+    std::printf("  blocks:            %u -> %u\n", PS.BlocksBefore,
+                PS.BlocksAfter);
+    std::printf("  folded:            %u (+%u branches)\n", PS.Folded,
+                PS.BranchesFolded);
+    std::printf("  copies propagated: %u\n", PS.CopiesPropagated);
+    std::printf("  dead removed:      %u\n", PS.DeadRemoved);
+    std::printf("  jumps threaded:    %u\n", PS.JumpsThreaded);
+    std::printf("  blocks merged:     %u\n", PS.BlocksMerged);
+    std::printf("  blocks removed:    %u\n", PS.BlocksRemoved);
+  }
 
   if (Mode == "check") {
     std::printf("ok\n");
