@@ -6,8 +6,10 @@
 ///
 /// \file
 /// Utilities shared by the table/figure harnesses in bench/: wall-clock
-/// timing, harmonic means (the paper reports harmonic-mean speedups) and a
-/// --scale flag so the full suite can be shortened or lengthened.
+/// timing, harmonic means (the paper reports harmonic-mean speedups), a
+/// --scale flag so the full suite can be shortened or lengthened, and
+/// JsonSink — the one place machine-readable result lines are emitted
+/// (`--json` to stdout, `--out=<file>` straight to a BENCH_*.json file).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +17,7 @@
 #define FACILE_BENCH_BENCHCOMMON_H
 
 #include <chrono>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -46,16 +49,23 @@ inline double harmonicMean(const std::vector<double> &Values) {
   return static_cast<double>(Values.size()) / Denominator;
 }
 
+/// Returns the value of "<prefix><value>" in argv, or "" when absent.
+inline std::string parseArg(int Argc, char **Argv, const char *Prefix) {
+  size_t N = std::string(Prefix).size();
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind(Prefix, 0) == 0)
+      return Arg.substr(N);
+  }
+  return "";
+}
+
 /// Parses "--scale=<f>" from argv (default 1.0): multiplies every
 /// instruction budget, so `--scale=0.1` smoke-runs a table and
 /// `--scale=10` approaches paper-length runs.
 inline double parseScale(int Argc, char **Argv) {
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg.rfind("--scale=", 0) == 0)
-      return std::atof(Arg.c_str() + 8);
-  }
-  return 1.0;
+  std::string V = parseArg(Argc, Argv, "--scale=");
+  return V.empty() ? 1.0 : std::atof(V.c_str());
 }
 
 /// True when \p Name (e.g. "--json") appears in argv.
@@ -70,6 +80,61 @@ inline uint64_t scaled(uint64_t Budget, double Scale) {
   double V = static_cast<double>(Budget) * Scale;
   return V < 1000 ? 1000 : static_cast<uint64_t>(V);
 }
+
+/// Destination for the machine-readable result lines every harness can
+/// emit alongside its human-readable table. Construction parses argv:
+/// `--json` prints each line to stdout prefixed "JSON " (the historical
+/// format, grep-friendly in CI logs); `--out=<file>` implies --json but
+/// writes the raw lines to \p file instead (one JSON object per line).
+/// When neither flag is present line() is a no-op, so harness code calls
+/// it unconditionally.
+class JsonSink {
+public:
+  JsonSink(int Argc, char **Argv)
+      : Path(parseArg(Argc, Argv, "--out=")),
+        Enabled(!Path.empty() || hasFlag(Argc, Argv, "--json")) {}
+
+  ~JsonSink() {
+    if (Path.empty())
+      return;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return;
+    }
+    for (const std::string &L : Lines)
+      std::fprintf(F, "%s\n", L.c_str());
+    std::fclose(F);
+    std::printf("wrote %zu JSON lines to %s\n", Lines.size(), Path.c_str());
+  }
+
+  bool enabled() const { return Enabled; }
+
+  /// Appends one printf-formatted JSON line (pass the object body without
+  /// a trailing newline).
+  void line(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
+    if (!Enabled)
+      return;
+    va_list Ap, Ap2;
+    va_start(Ap, Fmt);
+    va_copy(Ap2, Ap);
+    int N = std::vsnprintf(nullptr, 0, Fmt, Ap);
+    va_end(Ap);
+    std::string Buf(N > 0 ? static_cast<size_t>(N) : 0, '\0');
+    if (N > 0)
+      std::vsnprintf(&Buf[0], Buf.size() + 1, Fmt, Ap2);
+    va_end(Ap2);
+    if (Path.empty())
+      std::printf("JSON %s\n", Buf.c_str());
+    else
+      Lines.push_back(std::move(Buf));
+  }
+
+private:
+  std::string Path;
+  bool Enabled;
+  std::vector<std::string> Lines;
+};
 
 /// Prints the standard harness banner.
 inline void banner(const char *Id, const char *Paper, const char *Ours) {

@@ -19,7 +19,7 @@ using namespace facile::sims;
 
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
-  bool Json = hasFlag(Argc, Argv, "--json");
+  JsonSink Sink(Argc, Argv);
   banner("Ablation — action-cache byte budget and eviction policy",
          "10x smaller cache costs little; gcc degrades when over budget",
          "speed and eviction counts vs. budget, clear-on-full vs. "
@@ -54,11 +54,10 @@ int main(int Argc, char **Argv) {
                     static_cast<unsigned long long>(CS.Evictions),
                     static_cast<unsigned long long>(S.Misses),
                     Sim.sim().cache().entryCount());
-        if (Json)
-          std::printf("JSON {\"bench\":\"%s\",\"policy\":\"%s\","
-                      "\"budget_mb\":%zu,\"stats\":%s}\n",
-                      Spec->Name.c_str(), PolicyName, CacheMB,
-                      Sim.statsJson().c_str());
+        Sink.line("{\"bench\":\"%s\",\"policy\":\"%s\","
+                  "\"budget_mb\":%zu,\"stats\":%s}",
+                  Spec->Name.c_str(), PolicyName, CacheMB,
+                  Sim.statsJson().c_str());
       }
     }
   }

@@ -28,9 +28,9 @@ using namespace facile::sims;
 
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
-  // --json: append one machine-readable stats line per benchmark so perf
-  // trajectories can be tracked across changes.
-  bool Json = hasFlag(Argc, Argv, "--json");
+  // --json/--out=<file>: one machine-readable stats line per benchmark so
+  // perf trajectories can be tracked across changes.
+  JsonSink Sink(Argc, Argv);
   banner("Figure 12 — Facile-compiled OOO simulator with/without "
          "fast-forwarding vs. SimpleScalar",
          "memo/no-memo 2.8-23.8x (hmean 8.3); ~1/6 of hand-coded FastSim",
@@ -78,11 +78,9 @@ int main(int Argc, char **Argv) {
                 Spec.Name.c_str(), KipsMemo, KipsNo, KipsSs, MemoSpeedup,
                 KipsMemo / KipsSs, KipsMemo / KipsHand,
                 Memo.sim().stats().fastForwardedPct());
-    if (Json)
-      std::printf("JSON {\"bench\":\"%s\",\"kips_memo\":%.1f,"
-                  "\"kips_nomemo\":%.1f,\"stats\":%s}\n",
-                  Spec.Name.c_str(), KipsMemo, KipsNo,
-                  Memo.statsJson().c_str());
+    Sink.line("{\"bench\":\"%s\",\"kips_memo\":%.1f,"
+              "\"kips_nomemo\":%.1f,\"stats\":%s}",
+              Spec.Name.c_str(), KipsMemo, KipsNo, Memo.statsJson().c_str());
   }
 
   std::printf("\nharmonic means: memo/no-memo %.2fx (paper 2.8-23.8x, hmean "

@@ -1,0 +1,92 @@
+//===- bench_warmstart.cpp - Cold vs. warm-start simulation throughput -------===//
+//
+// The paper's memoization is intra-run: every simulation starts with an
+// empty action cache and pays the slow-path cost of discovering its
+// working set before fast-forwarding kicks in. The snapshot subsystem
+// extends that across runs: a persistent action cache saved by one process
+// warm-starts the next, so the expensive record phase is paid once per
+// (simulator, workload, options) and amortized over every later run.
+//
+// This harness quantifies that. Per suite entry, with the OOO simulator:
+//
+//   cold:    fresh simulator, empty cache, run N instructions (timed);
+//   builder: fresh simulator, run N instructions, snapshot its cache
+//            (untimed — this is the once-per-configuration cost);
+//   warm:    fresh simulator, load the snapshot, run N instructions (timed).
+//
+// The warm run replays actions memoized by the builder instead of
+// re-recording them, so warm/cold throughput measures exactly the benefit
+// of cache persistence. Short runs favor warm starts (the record phase is
+// a bigger fraction of the run); --scale stretches N to probe the decay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "src/sims/SimHarness.h"
+#include "src/workload/Workloads.h"
+
+using namespace facile;
+using namespace facile::bench;
+using namespace facile::sims;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  JsonSink Sink(Argc, Argv);
+  banner("Warm start — persistent action cache vs. cold start",
+         "(beyond the paper: §4.2's cache persisted across processes)",
+         "cold/warm Ksim-instr/s per benchmark, OOO simulator, and the "
+         "snapshot size paid once per configuration");
+
+  std::printf("%-14s %11s %11s %8s %10s %10s %9s\n", "benchmark",
+              "cold Kips", "warm Kips", "warm/c", "ff cold", "ff warm",
+              "snap MB");
+
+  std::vector<double> Ratios;
+  size_t Faster = 0;
+  for (const workload::WorkloadSpec &Spec : workload::spec95Suite()) {
+    isa::TargetImage Image = workload::generate(Spec, 1u << 30);
+    uint64_t Budget = scaled(600'000, Scale);
+
+    // Cold: empty cache, pays the full record phase.
+    FacileSim Cold(SimKind::OutOfOrder, Image);
+    double TCold = timeIt([&] { Cold.run(Budget); });
+    double KipsCold =
+        static_cast<double>(Cold.sim().stats().RetiredTotal) / TCold / 1e3;
+
+    // Builder: same run, untimed; its cache becomes the snapshot.
+    FacileSim Builder(SimKind::OutOfOrder, Image);
+    Builder.run(Budget);
+    std::vector<uint8_t> CacheSnap = Builder.cacheBytes();
+
+    // Warm: fresh process-equivalent state plus the persisted cache.
+    FacileSim Warm(SimKind::OutOfOrder, Image);
+    std::string Err;
+    if (!Warm.loadCacheBytes(CacheSnap, &Err)) {
+      std::printf("%-14s load failed: %s\n", Spec.Name.c_str(), Err.c_str());
+      continue;
+    }
+    double TWarm = timeIt([&] { Warm.run(Budget); });
+    double KipsWarm =
+        static_cast<double>(Warm.sim().stats().RetiredTotal) / TWarm / 1e3;
+
+    double Ratio = KipsWarm / KipsCold;
+    Ratios.push_back(Ratio);
+    if (Ratio >= 1.5)
+      ++Faster;
+
+    std::printf("%-14s %11.0f %11.0f %7.2fx %9.3f%% %9.3f%% %9.2f\n",
+                Spec.Name.c_str(), KipsCold, KipsWarm, Ratio,
+                Cold.sim().stats().fastForwardedPct(),
+                Warm.sim().stats().fastForwardedPct(),
+                static_cast<double>(CacheSnap.size()) / (1u << 20));
+    Sink.line("{\"bench\":\"%s\",\"kips_cold\":%.1f,\"kips_warm\":%.1f,"
+              "\"ratio\":%.3f,\"snapshot_bytes\":%zu,\"stats\":%s}",
+              Spec.Name.c_str(), KipsCold, KipsWarm, Ratio, CacheSnap.size(),
+              Warm.statsJson().c_str());
+  }
+
+  std::printf("\nharmonic mean warm/cold %.2fx; %zu/%zu entries at or above "
+              "1.5x\n",
+              harmonicMean(Ratios), Faster, Ratios.size());
+  return 0;
+}

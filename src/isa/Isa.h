@@ -38,6 +38,12 @@ namespace isa {
 
 /// Number of architectural integer registers. r0 is hard-wired to zero.
 inline constexpr unsigned NumRegs = 32;
+
+/// Revision of the ISA encoding/semantics. Mixed into snapshot
+/// compatibility keys: bump whenever a change would make previously
+/// recorded action caches or checkpoints semantically stale even though
+/// the compiled program and image bytes look unchanged.
+inline constexpr uint32_t IsaRevision = 1;
 /// Link register written by jal/call.
 inline constexpr unsigned LinkReg = 31;
 /// Stack pointer register initialised by the loader.

@@ -2,6 +2,7 @@
 
 #include "src/loader/TargetMemory.h"
 
+#include "src/snapshot/Serializer.h"
 #include "src/support/Hashing.h"
 
 #include <algorithm>
@@ -79,6 +80,47 @@ uint64_t TargetMemory::digest() const {
     H = hashBytes(Page, PageSize, H);
   }
   return H;
+}
+
+void TargetMemory::serialize(snapshot::Writer &W) const {
+  std::vector<uint32_t> Bases;
+  Bases.reserve(Pages.size());
+  for (const auto &KV : Pages) {
+    const uint8_t *Page = KV.second.get();
+    bool AllZero = true;
+    for (uint32_t I = 0; I != PageSize && AllZero; ++I)
+      AllZero = Page[I] == 0;
+    if (!AllZero)
+      Bases.push_back(KV.first);
+  }
+  std::sort(Bases.begin(), Bases.end());
+  W.u64(Bases.size());
+  for (uint32_t Base : Bases) {
+    W.u32(Base);
+    W.bytes(Pages.at(Base).get(), PageSize);
+  }
+}
+
+bool TargetMemory::deserialize(snapshot::Reader &R) {
+  uint64_t N = R.u64();
+  // Each page costs 4 + PageSize bytes; a count the input cannot back is
+  // corrupt, and checking first keeps allocation proportional to the file.
+  if (!R.ok() || N > R.remaining() / (4 + PageSize))
+    return false;
+  std::unordered_map<uint32_t, std::unique_ptr<uint8_t[]>> NewPages;
+  NewPages.reserve(static_cast<size_t>(N));
+  for (uint64_t I = 0; I != N; ++I) {
+    uint32_t Base = R.u32();
+    auto Page = std::make_unique<uint8_t[]>(PageSize);
+    if (!R.bytes(Page.get(), PageSize))
+      return false;
+    if (!NewPages.emplace(Base, std::move(Page)).second)
+      return false; // duplicate page: inconsistent framing
+  }
+  if (!R.ok())
+    return false;
+  Pages = std::move(NewPages);
+  return true;
 }
 
 void TargetMemory::write32(uint32_t Addr, uint32_t Value) {

@@ -24,6 +24,11 @@
 
 namespace facile {
 
+namespace snapshot {
+class Writer;
+class Reader;
+} // namespace snapshot
+
 /// Byte-addressable sparse memory. Pages are allocated on first touch and
 /// zero-initialised; reads of untouched memory return zero, matching a
 /// freshly mmapped BSS.
@@ -53,6 +58,16 @@ public:
   /// with the same contents digest equal regardless of which untouched
   /// pages happen to be resident (differential-test oracle).
   uint64_t digest() const;
+
+  /// Checkpoint hook: writes the non-zero pages in ascending address
+  /// order. All-zero pages are skipped (same normalization as digest()),
+  /// so a reloaded memory digests equal to its source.
+  void serialize(snapshot::Writer &W) const;
+
+  /// Checkpoint hook: replaces the current contents with the serialized
+  /// pages. Returns false — leaving this memory untouched — on short,
+  /// corrupt or structurally invalid input.
+  bool deserialize(snapshot::Reader &R);
 
 private:
   const uint8_t *pageFor(uint32_t Addr) const;

@@ -2,6 +2,8 @@
 
 #include "src/runtime/ActionCache.h"
 
+#include "src/snapshot/Serializer.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -110,6 +112,144 @@ void ActionCache::evict() {
     return;
   }
   clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+
+void ActionCache::serialize(snapshot::Writer &W) const {
+  W.u64(Tick);
+  W.charVec(KeyPool);
+  W.u64(Keys.size());
+  for (const KeyRecord &R : Keys) {
+    W.u32(R.Ofs);
+    W.u32(R.Len); // hashes are recomputed on load
+  }
+  W.u32Vec(KeyToEntry);
+  W.u64(Entries.size());
+  for (const CacheEntry &E : Entries) {
+    W.u32(E.Head);
+    W.u32(E.Key);
+    W.u64(E.LastUse);
+  }
+  W.u64(NodeArena.size());
+  for (const ActionNode &N : NodeArena) {
+    W.u32(static_cast<uint32_t>(N.ActionId));
+    W.u8(static_cast<uint8_t>(N.K));
+    W.u32(N.DataOfs);
+    W.u32(N.DataLen);
+    W.u32(N.Next);
+    W.u32(N.OnValue[0]);
+    W.u32(N.OnValue[1]);
+    W.u32(N.NextKey);
+  }
+  W.i64Vec(DataPool);
+}
+
+bool ActionCache::deserialize(snapshot::Reader &R, uint32_t NumActions) {
+  uint64_t NewTick = R.u64();
+
+  std::vector<char> NewKeyPool;
+  if (!R.charVec(NewKeyPool))
+    return false;
+
+  uint64_t NumKeys = R.u64();
+  // Each key record costs 8 serialized bytes; reject counts the input
+  // cannot back before allocating.
+  if (!R.ok() || NumKeys > R.remaining() / 8 || NumKeys >= NoId)
+    return false;
+  std::vector<KeyRecord> NewKeys(static_cast<size_t>(NumKeys));
+  for (KeyRecord &K : NewKeys) {
+    K.Ofs = R.u32();
+    K.Len = R.u32();
+    if (static_cast<uint64_t>(K.Ofs) + K.Len > NewKeyPool.size())
+      return false;
+    K.Hash = hashBytes(NewKeyPool.data() + K.Ofs, K.Len);
+  }
+
+  std::vector<EntryId> NewKeyToEntry;
+  if (!R.u32Vec(NewKeyToEntry) || NewKeyToEntry.size() != NewKeys.size())
+    return false;
+
+  uint64_t NumEntries = R.u64();
+  if (!R.ok() || NumEntries > R.remaining() / 16 || NumEntries >= NoId)
+    return false;
+  std::vector<CacheEntry> NewEntries(static_cast<size_t>(NumEntries));
+  for (CacheEntry &E : NewEntries) {
+    E.Head = R.u32();
+    E.Key = R.u32();
+    E.LastUse = R.u64();
+    if (E.Key >= NewKeys.size())
+      return false;
+  }
+
+  uint64_t NumNodes = R.u64();
+  if (!R.ok() || NumNodes > R.remaining() / 29 ||
+      NumNodes >= ActionNode::NoNode)
+    return false;
+  std::vector<ActionNode> NewNodes(static_cast<size_t>(NumNodes));
+  for (ActionNode &N : NewNodes) {
+    N.ActionId = static_cast<int32_t>(R.u32());
+    uint8_t K = R.u8();
+    if (K > static_cast<uint8_t>(ActionNode::Kind::End))
+      return false;
+    N.K = static_cast<ActionNode::Kind>(K);
+    N.DataOfs = R.u32();
+    N.DataLen = R.u32();
+    N.Next = R.u32();
+    N.OnValue[0] = R.u32();
+    N.OnValue[1] = R.u32();
+    N.NextKey = R.u32();
+  }
+
+  std::vector<int64_t> NewData;
+  if (!R.i64Vec(NewData) || !R.ok())
+    return false;
+
+  // Structural validation: every link in bounds. Replay follows these raw
+  // (no per-step checks), so a single bad index here would be UB later.
+  for (const ActionNode &N : NewNodes) {
+    if (N.ActionId < 0 || static_cast<uint32_t>(N.ActionId) >= NumActions)
+      return false;
+    if (static_cast<uint64_t>(N.DataOfs) + N.DataLen > NewData.size())
+      return false;
+    if (N.Next != ActionNode::NoNode && N.Next >= NewNodes.size())
+      return false;
+    for (int V = 0; V != 2; ++V)
+      if (N.OnValue[V] != ActionNode::NoNode &&
+          N.OnValue[V] >= NewNodes.size())
+        return false;
+    if (N.NextKey != NoId && N.NextKey >= NewKeys.size())
+      return false;
+    // A Plain node's replay unconditionally chases Next; a dangling link
+    // means a half-recorded entry, which only ever exists transiently
+    // while the slow engine holds the step — never in a saved image.
+    if (N.K == ActionNode::Kind::Plain && N.Next == ActionNode::NoNode)
+      return false;
+  }
+  for (const CacheEntry &E : NewEntries)
+    if (E.Head != ActionNode::NoNode && E.Head >= NewNodes.size())
+      return false;
+  for (size_t K = 0; K != NewKeyToEntry.size(); ++K) {
+    EntryId E = NewKeyToEntry[K];
+    if (E == NoId)
+      continue;
+    if (E >= NewEntries.size() || NewEntries[E].Key != K)
+      return false;
+  }
+
+  KeyPool = std::move(NewKeyPool);
+  Keys = std::move(NewKeys);
+  KeyToEntry = std::move(NewKeyToEntry);
+  Entries = std::move(NewEntries);
+  NodeArena = std::move(NewNodes);
+  DataPool = std::move(NewData);
+  Tick = NewTick;
+  Table.clear();
+  growTable();
+  notePeak();
+  return true;
 }
 
 void ActionCache::evictSegmented() {

@@ -40,6 +40,12 @@
 #include <vector>
 
 namespace facile {
+
+namespace snapshot {
+class Writer;
+class Reader;
+} // namespace snapshot
+
 namespace rt {
 
 /// Index of an interned key in the key table.
@@ -199,6 +205,23 @@ public:
   size_t entryCount() const { return Entries.size(); }
   EvictionPolicy policy() const { return Policy; }
   const Stats &stats() const { return S; }
+
+  //===-- Persistence --------------------------------------------------------
+
+  /// Writes the whole cache — key pool, key records, entry list, node
+  /// arena, data pool and the recency clock — flat into \p W. The probe
+  /// table is not written; it is rebuilt deterministically on load.
+  void serialize(snapshot::Writer &W) const;
+
+  /// Replaces this cache's contents with a serialized image. \p NumActions
+  /// is the consumer program's action count: every node's ActionId is
+  /// bounds-checked against it (replay indexes the ExecPlan's fast streams
+  /// by ActionId, so an out-of-range id would be an out-of-bounds read).
+  /// All links, key spans and data spans are validated; on any failure the
+  /// cache is left untouched and false is returned. Statistics are
+  /// preserved across the load. Outstanding EntryIds/KeyIds/node indices
+  /// are invalidated on success.
+  bool deserialize(snapshot::Reader &R, uint32_t NumActions);
 
 private:
   struct KeyRecord {

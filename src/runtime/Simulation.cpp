@@ -9,6 +9,9 @@
 
 #include "src/runtime/Simulation.h"
 
+#include "src/isa/Isa.h"
+#include "src/snapshot/Serializer.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -157,6 +160,203 @@ int64_t Simulation::externCall(const XInst &I, const int64_t *Args) {
   if (!H)
     fatal("call to unregistered extern function");
   return H(Args, I.ArgCount);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot hooks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Field-wise XInst hashing (never the raw struct: padding bytes are
+/// unspecified and must not leak into compatibility keys).
+uint64_t hashXInst(uint64_t H, const XInst &I) {
+  H = hashCombine(H, static_cast<uint64_t>(I.Opcode) |
+                         (static_cast<uint64_t>(I.Kind) << 8) |
+                         (static_cast<uint64_t>(I.ArgCount) << 16) |
+                         (static_cast<uint64_t>(I.Dynamic) << 24) |
+                         (static_cast<uint64_t>(I.StaticOperands) << 32));
+  H = hashCombine(H, static_cast<uint64_t>(I.Dst) |
+                         (static_cast<uint64_t>(I.A) << 32));
+  H = hashCombine(H, static_cast<uint64_t>(I.B) |
+                         (static_cast<uint64_t>(I.Id) << 32));
+  H = hashCombine(H, static_cast<uint64_t>(I.ArgOfs) |
+                         (static_cast<uint64_t>(I.Target) << 32));
+  H = hashCombine(H, I.Target2);
+  H = hashCombine(H, static_cast<uint64_t>(I.Imm));
+  return H;
+}
+
+uint64_t hashU32Vec(uint64_t H, const std::vector<uint32_t> &V) {
+  H = hashCombine(H, V.size());
+  return V.empty() ? H : hashBytes(V.data(), V.size() * 4, H);
+}
+
+} // namespace
+
+uint64_t Simulation::compatKey() const {
+  uint64_t H = FNVOffset;
+  H = hashCombine(H, isa::IsaRevision);
+
+  // Options: a cache persisted under one budget/policy is not replayable
+  // bookkeeping-identically under another.
+  H = hashCombine(H, Opts.Memoize ? 1 : 0);
+  H = hashCombine(H, Opts.CacheBudgetBytes);
+  H = hashCombine(H, static_cast<uint64_t>(Opts.Eviction));
+
+  // The compiled program, via its packed execution form: action ids,
+  // placeholder layout and key layout are all derived from it.
+  for (const XInst &I : Plan.Code)
+    H = hashXInst(H, I);
+  for (const XInst &I : Plan.Fast)
+    H = hashXInst(H, I);
+  H = hashU32Vec(H, Plan.BlockOfs);
+  H = hashU32Vec(H, Plan.ActionOfs);
+  H = hashU32Vec(H, Plan.ArgPool);
+
+  // Storage layout: slots, globals (names and shapes), local arrays, the
+  // init-global key order and the extern table.
+  H = hashCombine(H, Prog.Step.NumSlots);
+  H = hashCombine(H, Prog.Globals.size());
+  for (const GlobalVar &G : Prog.Globals) {
+    H = hashBytes(G.Name.data(), G.Name.size(), H);
+    H = hashCombine(H, (G.IsArray ? 1u : 0u) | (G.IsInit ? 2u : 0u));
+    H = hashCombine(H, G.Size);
+    H = hashCombine(H, static_cast<uint64_t>(G.InitValue));
+  }
+  H = hashCombine(H, Prog.Step.LocalArrays.size());
+  for (const auto &L : Prog.Step.LocalArrays)
+    H = hashCombine(H, L.Size);
+  H = hashU32Vec(H, Prog.InitGlobals);
+  H = hashCombine(H, Prog.Externs.size());
+  for (const ExternFn &E : Prog.Externs) {
+    H = hashBytes(E.Name.data(), E.Name.size(), H);
+    H = hashCombine(H, E.Arity | (E.HasResult ? 0x100u : 0u));
+  }
+
+  // The target image: same program over different images must never share
+  // snapshots.
+  H = hashCombine(H, Image.TextBase);
+  H = hashCombine(H, Image.DataBase);
+  H = hashCombine(H, Image.Entry);
+  H = hashCombine(H, Image.Text.size());
+  if (!Image.Text.empty())
+    H = hashBytes(Image.Text.data(), Image.Text.size() * 4, H);
+  H = hashCombine(H, Image.Data.size());
+  if (!Image.Data.empty())
+    H = hashBytes(Image.Data.data(), Image.Data.size(), H);
+  return H;
+}
+
+namespace {
+
+void writeArrays(snapshot::Writer &W,
+                 const std::vector<std::vector<int64_t>> &Arrays) {
+  W.u64(Arrays.size());
+  for (const std::vector<int64_t> &A : Arrays)
+    W.i64Vec(A);
+}
+
+/// Reads a vector-of-arrays whose shape must match \p Expect exactly (the
+/// shape is fixed by the compiled program, so a mismatch is a stale or
+/// corrupt payload, not a resize request).
+bool readArrays(snapshot::Reader &R,
+                const std::vector<std::vector<int64_t>> &Expect,
+                std::vector<std::vector<int64_t>> &Out) {
+  uint64_t N = R.u64();
+  if (!R.ok() || N != Expect.size())
+    return false;
+  Out.resize(Expect.size());
+  for (size_t I = 0; I != Out.size(); ++I)
+    if (!R.i64Vec(Out[I]) || Out[I].size() != Expect[I].size())
+      return false;
+  return true;
+}
+
+} // namespace
+
+void Simulation::serializeState(snapshot::Writer &W) const {
+  W.u64(S.Steps);
+  W.u64(S.FastSteps);
+  W.u64(S.Misses);
+  W.u64(S.RetiredTotal);
+  W.u64(S.RetiredFast);
+  W.u64(S.Cycles);
+  W.u64(S.PlaceholderWords);
+  W.u8(HaltFlag ? 1 : 0);
+  W.i64Vec(DynSlots);
+  W.i64Vec(DynGlobals);
+  writeArrays(W, DynArrays);
+  writeArrays(W, DynLocalArrays);
+  // The rt-static store persists across steps for non-init static globals,
+  // so bit-identical resume must carry it too.
+  W.i64Vec(StatSlots);
+  W.i64Vec(StatGlobals);
+  writeArrays(W, StatArrays);
+  writeArrays(W, StatLocalArrays);
+}
+
+bool Simulation::deserializeState(snapshot::Reader &R) {
+  Stats NewS;
+  NewS.Steps = R.u64();
+  NewS.FastSteps = R.u64();
+  NewS.Misses = R.u64();
+  NewS.RetiredTotal = R.u64();
+  NewS.RetiredFast = R.u64();
+  NewS.Cycles = R.u64();
+  NewS.PlaceholderWords = R.u64();
+  uint8_t Halt = R.u8();
+  if (!R.ok() || Halt > 1)
+    return false;
+
+  std::vector<int64_t> NewDynSlots, NewDynGlobals, NewStatSlots,
+      NewStatGlobals;
+  std::vector<std::vector<int64_t>> NewDynArrays, NewDynLocalArrays,
+      NewStatArrays, NewStatLocalArrays;
+  if (!R.i64Vec(NewDynSlots) || NewDynSlots.size() != DynSlots.size())
+    return false;
+  if (!R.i64Vec(NewDynGlobals) || NewDynGlobals.size() != DynGlobals.size())
+    return false;
+  if (!readArrays(R, DynArrays, NewDynArrays) ||
+      !readArrays(R, DynLocalArrays, NewDynLocalArrays))
+    return false;
+  if (!R.i64Vec(NewStatSlots) || NewStatSlots.size() != StatSlots.size())
+    return false;
+  if (!R.i64Vec(NewStatGlobals) ||
+      NewStatGlobals.size() != StatGlobals.size())
+    return false;
+  if (!readArrays(R, StatArrays, NewStatArrays) ||
+      !readArrays(R, StatLocalArrays, NewStatLocalArrays))
+    return false;
+  if (!R.ok())
+    return false;
+
+  S = NewS;
+  HaltFlag = Halt != 0;
+  DynSlots = std::move(NewDynSlots);
+  DynGlobals = std::move(NewDynGlobals);
+  DynArrays = std::move(NewDynArrays);
+  DynLocalArrays = std::move(NewDynLocalArrays);
+  StatSlots = std::move(NewStatSlots);
+  StatGlobals = std::move(NewStatGlobals);
+  StatArrays = std::move(NewStatArrays);
+  StatLocalArrays = std::move(NewStatLocalArrays);
+  // The INDEX chain points into the action cache of the *previous* run;
+  // re-intern from scratch on the next step.
+  PendingEndNode = ActionNode::NoNode;
+  return true;
+}
+
+void Simulation::serializeCache(snapshot::Writer &W) const {
+  Cache.serialize(W);
+}
+
+bool Simulation::deserializeCache(snapshot::Reader &R) {
+  uint32_t NumActions = static_cast<uint32_t>(Plan.ActionOfs.size() - 1);
+  if (!Cache.deserialize(R, NumActions))
+    return false;
+  PendingEndNode = ActionNode::NoNode;
+  return true;
 }
 
 //===----------------------------------------------------------------------===//

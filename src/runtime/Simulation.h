@@ -110,6 +110,32 @@ public:
   TargetMemory &memory() { return Mem; }
   const TargetMemory &memory() const { return Mem; }
 
+  //===-- Snapshot hooks -----------------------------------------------------
+
+  /// Compatibility key for snapshot payloads produced by this simulation:
+  /// an FNV hash of the packed ExecPlan (the compiled program's
+  /// fingerprint), the global/extern layout, the ISA revision, Options and
+  /// the target image contents. Two simulations with equal keys interpret
+  /// checkpoint and action-cache payloads identically.
+  uint64_t compatKey() const;
+
+  /// Writes the complete dynamic simulation state — both stores (dynamic
+  /// and rt-static), halt flag and statistics counters — but not target
+  /// memory (TargetMemory::serialize) or the action cache.
+  void serializeState(snapshot::Writer &W) const;
+
+  /// Restores state written by serializeState. Validates every container
+  /// size against the compiled program; on failure returns false and the
+  /// simulation is untouched.
+  bool deserializeState(snapshot::Reader &R);
+
+  /// Persistent action cache: save/load the whole cache. Loading resets
+  /// the INDEX chain (the next step re-interns its key) and validates all
+  /// node links against this program's action count; on failure the cache
+  /// is untouched and false is returned.
+  void serializeCache(snapshot::Writer &W) const;
+  bool deserializeCache(snapshot::Reader &R);
+
 private:
   /// Recovery input: the replayed prefix of a cache entry up to (and
   /// including) the missing dynamic-result test. Built by the fast engine

@@ -3,10 +3,12 @@
 #include "src/sims/SimHarness.h"
 
 #include "src/isa/Isa.h"
+#include "src/snapshot/Snapshot.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <utility>
 
 using namespace facile;
 using namespace facile::sims;
@@ -104,11 +106,222 @@ void FacileSim::wireExterns(SimKind Kind) {
   });
 }
 
+//===----------------------------------------------------------------------===//
+// Snapshot & warm start
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> FacileSim::checkpointBytes() const {
+  std::vector<snapshot::Section> Sections(4);
+  Sections[0].Tag = snapshot::SecSimState;
+  Sections[1].Tag = snapshot::SecMemory;
+  Sections[2].Tag = snapshot::SecBranchUnit;
+  Sections[3].Tag = snapshot::SecMemHier;
+  {
+    snapshot::Writer W;
+    Sim.serializeState(W);
+    Sections[0].Bytes = W.take();
+  }
+  {
+    snapshot::Writer W;
+    Sim.memory().serialize(W);
+    Sections[1].Bytes = W.take();
+  }
+  {
+    snapshot::Writer W;
+    BU.serialize(W);
+    Sections[2].Bytes = W.take();
+  }
+  {
+    snapshot::Writer W;
+    MH.serialize(W);
+    Sections[3].Bytes = W.take();
+  }
+  return snapshot::buildContainer(snapshot::PayloadKind::Checkpoint,
+                                  Sim.compatKey(), Sections);
+}
+
+std::vector<uint8_t> FacileSim::cacheBytes() const {
+  std::vector<snapshot::Section> Sections(1);
+  Sections[0].Tag = snapshot::SecActionCache;
+  snapshot::Writer W;
+  Sim.serializeCache(W);
+  Sections[0].Bytes = W.take();
+  return snapshot::buildContainer(snapshot::PayloadKind::ActionCache,
+                                  Sim.compatKey(), Sections);
+}
+
+bool FacileSim::noteLoadFailure(const char *What, const std::string &Detail,
+                                std::string *Err) {
+  ++SnapStats.ColdFallbacks;
+  std::string Msg = std::string(What) + ": " + Detail +
+                    "; falling back to cold start";
+  if (Err)
+    *Err = Msg;
+  else
+    std::fprintf(stderr, "facile-snapshot: %s\n", Msg.c_str());
+  return false;
+}
+
+namespace {
+
+/// Returns the section tagged \p Tag, or null.
+const snapshot::Section *findSection(const std::vector<snapshot::Section> &S,
+                                     uint32_t Tag) {
+  for (const snapshot::Section &Sec : S)
+    if (Sec.Tag == Tag)
+      return &Sec;
+  return nullptr;
+}
+
+} // namespace
+
+bool FacileSim::loadCheckpointBytes(const std::vector<uint8_t> &Bytes,
+                                    std::string *Err) {
+  SnapStats.BytesRead += Bytes.size();
+  std::vector<snapshot::Section> Sections;
+  std::string Detail;
+  snapshot::LoadStatus St = snapshot::parseContainer(
+      Bytes.data(), Bytes.size(), snapshot::PayloadKind::Checkpoint,
+      Sim.compatKey(), Sections, Detail);
+  if (St != snapshot::LoadStatus::Ok) {
+    if (St == snapshot::LoadStatus::CompatMismatch)
+      ++SnapStats.CompatMismatches;
+    else
+      ++SnapStats.CorruptInputs;
+    return noteLoadFailure("checkpoint rejected", Detail, Err);
+  }
+
+  const snapshot::Section *SimSec =
+      findSection(Sections, snapshot::SecSimState);
+  const snapshot::Section *MemSec = findSection(Sections, snapshot::SecMemory);
+  const snapshot::Section *BuSec =
+      findSection(Sections, snapshot::SecBranchUnit);
+  const snapshot::Section *MhSec = findSection(Sections, snapshot::SecMemHier);
+  if (!SimSec || !MemSec || !BuSec || !MhSec) {
+    ++SnapStats.CorruptInputs;
+    return noteLoadFailure("checkpoint rejected", "missing section", Err);
+  }
+
+  // Decode every section into scratch state first, then commit — a payload
+  // that fails halfway must leave the simulation exactly as it was.
+  TargetMemory NewMem;
+  {
+    snapshot::Reader R(MemSec->Bytes);
+    if (!NewMem.deserialize(R) || !R.atEnd()) {
+      ++SnapStats.CorruptInputs;
+      return noteLoadFailure("checkpoint rejected", "bad memory section", Err);
+    }
+  }
+  BranchUnit NewBU(BU);
+  {
+    snapshot::Reader R(BuSec->Bytes);
+    if (!NewBU.deserialize(R) || !R.atEnd()) {
+      ++SnapStats.CorruptInputs;
+      return noteLoadFailure("checkpoint rejected", "bad branch-unit section",
+                             Err);
+    }
+  }
+  MemoryHierarchy NewMH(MH);
+  {
+    snapshot::Reader R(MhSec->Bytes);
+    if (!NewMH.deserialize(R) || !R.atEnd()) {
+      ++SnapStats.CorruptInputs;
+      return noteLoadFailure("checkpoint rejected",
+                             "bad memory-hierarchy section", Err);
+    }
+  }
+  {
+    // Simulation state last: deserializeState is itself all-or-nothing, so
+    // after it commits every remaining piece is a plain move/assign.
+    snapshot::Reader R(SimSec->Bytes);
+    if (!Sim.deserializeState(R) || !R.atEnd()) {
+      ++SnapStats.CorruptInputs;
+      return noteLoadFailure("checkpoint rejected", "bad simulation section",
+                             Err);
+    }
+  }
+  Sim.memory() = std::move(NewMem);
+  BU = std::move(NewBU);
+  MH = std::move(NewMH);
+  SnapStats.CheckpointLoaded = true;
+  return true;
+}
+
+bool FacileSim::loadCacheBytes(const std::vector<uint8_t> &Bytes,
+                               std::string *Err) {
+  SnapStats.BytesRead += Bytes.size();
+  std::vector<snapshot::Section> Sections;
+  std::string Detail;
+  snapshot::LoadStatus St = snapshot::parseContainer(
+      Bytes.data(), Bytes.size(), snapshot::PayloadKind::ActionCache,
+      Sim.compatKey(), Sections, Detail);
+  if (St != snapshot::LoadStatus::Ok) {
+    if (St == snapshot::LoadStatus::CompatMismatch)
+      ++SnapStats.CompatMismatches;
+    else
+      ++SnapStats.CorruptInputs;
+    return noteLoadFailure("action cache rejected", Detail, Err);
+  }
+  const snapshot::Section *Sec =
+      findSection(Sections, snapshot::SecActionCache);
+  if (!Sec) {
+    ++SnapStats.CorruptInputs;
+    return noteLoadFailure("action cache rejected", "missing section", Err);
+  }
+  snapshot::Reader R(Sec->Bytes);
+  if (!Sim.deserializeCache(R) || !R.atEnd()) {
+    ++SnapStats.CorruptInputs;
+    return noteLoadFailure("action cache rejected", "bad cache section", Err);
+  }
+  SnapStats.CacheLoaded = true;
+  SnapStats.CacheEntriesLoaded = Sim.cache().entryCount();
+  SnapStats.CacheNodesLoaded = Sim.cache().nodeCount();
+  return true;
+}
+
+bool FacileSim::saveFile(const std::string &Path, std::vector<uint8_t> Bytes,
+                         std::string *Err) {
+  std::string Detail;
+  if (!snapshot::writeFileBytes(Path, Bytes, Detail)) {
+    if (Err)
+      *Err = Detail;
+    else
+      std::fprintf(stderr, "facile-snapshot: %s\n", Detail.c_str());
+    return false;
+  }
+  SnapStats.BytesWritten += Bytes.size();
+  return true;
+}
+
+bool FacileSim::saveCheckpoint(const std::string &Path, std::string *Err) {
+  return saveFile(Path, checkpointBytes(), Err);
+}
+
+bool FacileSim::saveCache(const std::string &Path, std::string *Err) {
+  return saveFile(Path, cacheBytes(), Err);
+}
+
+bool FacileSim::loadCheckpoint(const std::string &Path, std::string *Err) {
+  std::vector<uint8_t> Bytes;
+  std::string Detail;
+  if (!snapshot::readFileBytes(Path, Bytes, Detail))
+    return noteLoadFailure("checkpoint rejected", Detail, Err);
+  return loadCheckpointBytes(Bytes, Err);
+}
+
+bool FacileSim::loadCache(const std::string &Path, std::string *Err) {
+  std::vector<uint8_t> Bytes;
+  std::string Detail;
+  if (!snapshot::readFileBytes(Path, Bytes, Detail))
+    return noteLoadFailure("action cache rejected", Detail, Err);
+  return loadCacheBytes(Bytes, Err);
+}
+
 std::string FacileSim::statsJson() const {
   const rt::Simulation::Stats &S = Sim.stats();
   const rt::ActionCache &C = Sim.cache();
   const rt::ActionCache::Stats &CS = C.stats();
-  char Buf[2048];
+  char Buf[4096];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"steps\":%llu,\"fast_steps\":%llu,\"misses\":%llu,"
@@ -119,6 +332,10 @@ std::string FacileSim::statsJson() const {
       "\"evicted_entries\":%llu,\"probe_total\":%llu,\"probe_max\":%llu,"
       "\"entries\":%zu,\"keys\":%zu,\"nodes\":%zu,\"bytes\":%zu,"
       "\"key_pool_bytes\":%zu,\"peak_bytes\":%llu},"
+      "\"snapshot\":{\"checkpoint_loaded\":%s,\"cache_loaded\":%s,"
+      "\"cache_entries_loaded\":%llu,\"cache_nodes_loaded\":%llu,"
+      "\"compat_mismatches\":%llu,\"corrupt_inputs\":%llu,"
+      "\"cold_fallbacks\":%llu,\"bytes_read\":%llu,\"bytes_written\":%llu},"
       "\"passes\":{\"rounds\":%u,\"insts_before\":%u,\"insts_after\":%u,"
       "\"blocks_before\":%u,\"blocks_after\":%u,\"folded\":%u,"
       "\"branches_folded\":%u,\"copies_propagated\":%u,\"dead_removed\":%u,"
@@ -141,7 +358,17 @@ std::string FacileSim::statsJson() const {
       static_cast<unsigned long long>(CS.ProbeTotal),
       static_cast<unsigned long long>(CS.ProbeMax), C.entryCount(),
       C.keyCount(), C.nodeCount(), C.bytes(), C.keyPoolBytes(),
-      static_cast<unsigned long long>(CS.PeakBytes), Prog.Passes.Rounds,
+      static_cast<unsigned long long>(CS.PeakBytes),
+      SnapStats.CheckpointLoaded ? "true" : "false",
+      SnapStats.CacheLoaded ? "true" : "false",
+      static_cast<unsigned long long>(SnapStats.CacheEntriesLoaded),
+      static_cast<unsigned long long>(SnapStats.CacheNodesLoaded),
+      static_cast<unsigned long long>(SnapStats.CompatMismatches),
+      static_cast<unsigned long long>(SnapStats.CorruptInputs),
+      static_cast<unsigned long long>(SnapStats.ColdFallbacks),
+      static_cast<unsigned long long>(SnapStats.BytesRead),
+      static_cast<unsigned long long>(SnapStats.BytesWritten),
+      Prog.Passes.Rounds,
       Prog.Passes.InstsBefore, Prog.Passes.InstsAfter,
       Prog.Passes.BlocksBefore, Prog.Passes.BlocksAfter, Prog.Passes.Folded,
       Prog.Passes.BranchesFolded, Prog.Passes.CopiesPropagated,

@@ -21,7 +21,10 @@
 #include "src/uarch/Caches.h"
 #include "src/uarch/Predictors.h"
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace facile {
 namespace sims {
@@ -69,6 +72,47 @@ public:
   /// newline). Keys are stable across releases; new ones may be added.
   std::string statsJson() const;
 
+  //===-- Snapshot & warm start ----------------------------------------------
+
+  /// Per-instance snapshot accounting, reported under "snapshot" in
+  /// statsJson().
+  struct SnapshotStats {
+    uint64_t CacheEntriesLoaded = 0; ///< action-cache entries after load
+    uint64_t CacheNodesLoaded = 0;   ///< action nodes after load
+    uint64_t CompatMismatches = 0;   ///< stale compat key rejections
+    uint64_t CorruptInputs = 0;      ///< bad magic/CRC/framing rejections
+    uint64_t ColdFallbacks = 0;      ///< failed loads (any reason)
+    uint64_t BytesRead = 0;          ///< snapshot bytes read (incl. rejected)
+    uint64_t BytesWritten = 0;       ///< snapshot bytes written
+    bool CheckpointLoaded = false;
+    bool CacheLoaded = false;
+  };
+
+  /// Builds a checkpoint container: complete dynamic simulation state,
+  /// target memory, and the (unmemoized) branch-unit and cache-hierarchy
+  /// state, bound to this instance's compatibility key.
+  std::vector<uint8_t> checkpointBytes() const;
+
+  /// Builds a persistent action-cache container for warm-start replay.
+  std::vector<uint8_t> cacheBytes() const;
+
+  /// Restores a checkpoint/action-cache container. All-or-nothing: on any
+  /// mismatch or corruption the simulation is left exactly as it was (a
+  /// cold start), false is returned, and a diagnostic lands in \p Err when
+  /// given, else on stderr. Never aborts on bad input.
+  bool loadCheckpointBytes(const std::vector<uint8_t> &Bytes,
+                           std::string *Err = nullptr);
+  bool loadCacheBytes(const std::vector<uint8_t> &Bytes,
+                      std::string *Err = nullptr);
+
+  /// File-backed convenience wrappers over the byte-level API.
+  bool saveCheckpoint(const std::string &Path, std::string *Err = nullptr);
+  bool loadCheckpoint(const std::string &Path, std::string *Err = nullptr);
+  bool saveCache(const std::string &Path, std::string *Err = nullptr);
+  bool loadCache(const std::string &Path, std::string *Err = nullptr);
+
+  const SnapshotStats &snapshotStats() const { return SnapStats; }
+
   rt::Simulation &sim() { return Sim; }
   const rt::Simulation &sim() const { return Sim; }
   const BranchUnit &branchUnit() const { return BU; }
@@ -76,11 +120,16 @@ public:
 
 private:
   void wireExterns(SimKind Kind);
+  bool saveFile(const std::string &Path, std::vector<uint8_t> Bytes,
+                std::string *Err);
+  bool noteLoadFailure(const char *What, const std::string &Detail,
+                       std::string *Err);
 
   const CompiledProgram &Prog; ///< for pass stats in statsJson()
   rt::Simulation Sim;
   BranchUnit BU;
   MemoryHierarchy MH;
+  SnapshotStats SnapStats;
 };
 
 } // namespace sims

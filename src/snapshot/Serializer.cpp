@@ -1,0 +1,34 @@
+//===- Serializer.cpp - Bounds-checked binary (de)serialization ------------===//
+
+#include "src/snapshot/Serializer.h"
+
+namespace facile {
+namespace snapshot {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t T[256];
+  Crc32Table() {
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+  }
+};
+
+} // namespace
+
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed) {
+  static const Crc32Table Table;
+  const auto *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = Seed ^ 0xffffffffu;
+  for (size_t I = 0; I != Len; ++I)
+    C = Table.T[(C ^ P[I]) & 0xffu] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}
+
+} // namespace snapshot
+} // namespace facile

@@ -2,7 +2,10 @@
 
 #include "src/uarch/Caches.h"
 
+#include "src/snapshot/Serializer.h"
+
 #include <cassert>
+#include <utility>
 
 using namespace facile;
 
@@ -78,4 +81,62 @@ void MemoryHierarchy::clear() {
   L1I.clear();
   L1D.clear();
   L2.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot hooks
+//===----------------------------------------------------------------------===//
+
+void Cache::serialize(snapshot::Writer &W) const {
+  W.u32(Config.Sets);
+  W.u32(Config.Ways);
+  W.u64(Tick);
+  W.u64(S.Accesses);
+  W.u64(S.Misses);
+  W.u64(Lines.size());
+  for (const Line &L : Lines) {
+    W.u32(L.Tag);
+    W.u8(L.Valid ? 1 : 0);
+    W.u64(L.Lru);
+  }
+}
+
+bool Cache::deserialize(snapshot::Reader &R) {
+  uint32_t Sets = R.u32();
+  uint32_t Ways = R.u32();
+  uint64_t NewTick = R.u64();
+  Stats NewS;
+  NewS.Accesses = R.u64();
+  NewS.Misses = R.u64();
+  uint64_t N = R.u64();
+  if (!R.ok() || Sets != Config.Sets || Ways != Config.Ways ||
+      N != Lines.size())
+    return false;
+  std::vector<Line> NewLines(Lines.size());
+  for (Line &L : NewLines) {
+    L.Tag = R.u32();
+    L.Valid = R.u8() != 0;
+    L.Lru = R.u64();
+  }
+  if (!R.ok())
+    return false;
+  Lines = std::move(NewLines);
+  Tick = NewTick;
+  S = NewS;
+  return true;
+}
+
+void MemoryHierarchy::serialize(snapshot::Writer &W) const {
+  L1I.serialize(W);
+  L1D.serialize(W);
+  L2.serialize(W);
+}
+
+bool MemoryHierarchy::deserialize(snapshot::Reader &R) {
+  MemoryHierarchy Tmp(*this);
+  if (!Tmp.L1I.deserialize(R) || !Tmp.L1D.deserialize(R) ||
+      !Tmp.L2.deserialize(R))
+    return false;
+  *this = std::move(Tmp);
+  return true;
 }

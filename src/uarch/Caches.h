@@ -23,6 +23,11 @@
 
 namespace facile {
 
+namespace snapshot {
+class Writer;
+class Reader;
+} // namespace snapshot
+
 /// Geometry and latency of one cache level.
 struct CacheConfig {
   unsigned Sets = 128;
@@ -53,6 +58,12 @@ public:
   void clear();
   const Stats &stats() const { return S; }
   const CacheConfig &config() const { return Config; }
+
+  /// Checkpoint hooks: tag store, LRU clock and statistics. deserialize()
+  /// rejects payloads whose geometry differs from this cache (returning
+  /// false with the tag store untouched).
+  void serialize(snapshot::Writer &W) const;
+  bool deserialize(snapshot::Reader &R);
 
 private:
   struct Line {
@@ -99,6 +110,10 @@ public:
   unsigned memLatency() const { return Conf.MemLatency; }
 
   void clear();
+
+  /// Checkpoint hooks over all three levels (all-or-nothing on load).
+  void serialize(snapshot::Writer &W) const;
+  bool deserialize(snapshot::Reader &R);
 
 private:
   Config Conf;

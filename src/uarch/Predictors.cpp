@@ -1,8 +1,102 @@
 //===- Predictors.cpp - Branch prediction structures ----------------------===//
 //
-// All predictor methods are defined inline in Predictors.h; this file
-// anchors the translation unit for the library.
+// The predictor methods are defined inline in Predictors.h; this file
+// holds the snapshot hooks. Each deserialize() decodes into temporaries,
+// validates against the live instance's configuration and commits only on
+// success, so a rejected payload leaves the predictor untouched.
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/uarch/Predictors.h"
+
+#include "src/snapshot/Serializer.h"
+
+using namespace facile;
+
+void DirectionPredictor::serialize(snapshot::Writer &W) const {
+  W.u8(PredKind == Kind::Gshare ? 1 : 0);
+  W.u32(Mask);
+  W.u32(History);
+  W.u8Vec(Table);
+}
+
+bool DirectionPredictor::deserialize(snapshot::Reader &R) {
+  uint8_t K = R.u8();
+  uint32_t M = R.u32();
+  uint32_t H = R.u32();
+  std::vector<uint8_t> T;
+  if (!R.u8Vec(T) || !R.ok())
+    return false;
+  if (K != (PredKind == Kind::Gshare ? 1 : 0) || M != Mask ||
+      T.size() != Table.size())
+    return false;
+  for (uint8_t C : T)
+    if (C > 3)
+      return false; // counters saturate at 3; larger values are corrupt
+  History = H;
+  Table = std::move(T);
+  return true;
+}
+
+void BranchTargetBuffer::serialize(snapshot::Writer &W) const {
+  W.u32(Mask);
+  W.u32Vec(Tags);
+  W.u32Vec(Targets);
+}
+
+bool BranchTargetBuffer::deserialize(snapshot::Reader &R) {
+  uint32_t M = R.u32();
+  std::vector<uint32_t> NewTags, NewTargets;
+  if (!R.u32Vec(NewTags) || !R.u32Vec(NewTargets) || !R.ok())
+    return false;
+  if (M != Mask || NewTags.size() != Tags.size() ||
+      NewTargets.size() != Targets.size())
+    return false;
+  Tags = std::move(NewTags);
+  Targets = std::move(NewTargets);
+  return true;
+}
+
+void ReturnAddressStack::serialize(snapshot::Writer &W) const {
+  W.u64(Top);
+  W.u32Vec(Stack);
+}
+
+bool ReturnAddressStack::deserialize(snapshot::Reader &R) {
+  uint64_t T = R.u64();
+  std::vector<uint32_t> NewStack;
+  if (!R.u32Vec(NewStack) || !R.ok())
+    return false;
+  if (NewStack.size() != Stack.size() || T >= NewStack.size())
+    return false;
+  Top = static_cast<size_t>(T);
+  Stack = std::move(NewStack);
+  return true;
+}
+
+void BranchUnit::serialize(snapshot::Writer &W) const {
+  Dir.serialize(W);
+  Btb.serialize(W);
+  Ras.serialize(W);
+  W.u64(S.CondLookups);
+  W.u64(S.CondMispredicts);
+  W.u64(S.IndirectLookups);
+  W.u64(S.IndirectMispredicts);
+}
+
+bool BranchUnit::deserialize(snapshot::Reader &R) {
+  // Decode into a copy so a failure mid-payload (e.g. the BTB section is
+  // short) cannot leave this unit half-updated.
+  BranchUnit Tmp(*this);
+  if (!Tmp.Dir.deserialize(R) || !Tmp.Btb.deserialize(R) ||
+      !Tmp.Ras.deserialize(R))
+    return false;
+  Tmp.S.CondLookups = R.u64();
+  Tmp.S.CondMispredicts = R.u64();
+  Tmp.S.IndirectLookups = R.u64();
+  Tmp.S.IndirectMispredicts = R.u64();
+  if (!R.ok())
+    return false;
+  *this = std::move(Tmp);
+  return true;
+}

@@ -24,6 +24,11 @@
 
 namespace facile {
 
+namespace snapshot {
+class Writer;
+class Reader;
+} // namespace snapshot
+
 /// Saturating 2-bit counter table indexed by pc (bimodal) or pc^history
 /// (gshare).
 class DirectionPredictor {
@@ -47,6 +52,11 @@ public:
       --C;
     History = (History << 1) | (Taken ? 1u : 0u);
   }
+
+  /// Checkpoint hooks. deserialize() rejects (returning false, state
+  /// untouched) payloads whose kind or geometry differ from this instance.
+  void serialize(snapshot::Writer &W) const;
+  bool deserialize(snapshot::Reader &R);
 
 private:
   unsigned index(uint32_t Pc) const {
@@ -80,6 +90,9 @@ public:
     Targets[I] = Target;
   }
 
+  void serialize(snapshot::Writer &W) const;
+  bool deserialize(snapshot::Reader &R);
+
 private:
   uint32_t Mask;
   std::vector<uint32_t> Tags;
@@ -104,6 +117,9 @@ public:
     Top = (Top + Stack.size() - 1) % Stack.size();
     return Addr;
   }
+
+  void serialize(snapshot::Writer &W) const;
+  bool deserialize(snapshot::Reader &R);
 
 private:
   std::vector<uint32_t> Stack;
@@ -152,6 +168,12 @@ public:
   }
 
   const Stats &stats() const { return S; }
+
+  /// Checkpoint hooks: direction predictor, BTB, RAS and statistics. The
+  /// paper keeps the branch predictor outside the memoized code, so warm
+  /// resume must carry its state explicitly for bit-identical timing.
+  void serialize(snapshot::Writer &W) const;
+  bool deserialize(snapshot::Reader &R);
 
 private:
   DirectionPredictor Dir;

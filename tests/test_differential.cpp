@@ -161,6 +161,56 @@ TEST(Differential, ClearAllTinyBudgetPreservesResults) {
                        tinyBudget(Kind), 1'000'000);
 }
 
+TEST(Differential, WarmStartMatchesColdStart) {
+  // Warm-starting from a persisted action cache is just more memoization:
+  // a run that replays another process's recorded actions must compute the
+  // same final architectural state as a cold run, under both eviction
+  // policies. The warm run must also actually replay (FastSteps > 0 from
+  // entries it never recorded), or the comparison is vacuous.
+  for (SimKind Kind :
+       {SimKind::Functional, SimKind::InOrder, SimKind::OutOfOrder}) {
+    for (const workload::WorkloadSpec &Spec : testWorkloads()) {
+      isa::TargetImage Image = workload::generate(Spec, 2);
+      constexpr uint64_t MaxInstrs = 500'000;
+      for (rt::EvictionPolicy Policy :
+           {rt::EvictionPolicy::ClearAll, rt::EvictionPolicy::Segmented}) {
+        SCOPED_TRACE(std::string(kindName(Kind)) + " on " + Spec.Name +
+                     (Policy == rt::EvictionPolicy::Segmented ? " (segmented)"
+                                                              : " (clearall)"));
+        rt::Simulation::Options Opts;
+        Opts.Eviction = Policy;
+
+        FinalState Cold = runOne(Kind, Image, Opts, MaxInstrs);
+
+        FacileSim Builder(Kind, Image, Opts);
+        Builder.run(MaxInstrs);
+        std::vector<uint8_t> CacheSnap = Builder.cacheBytes();
+
+        FacileSim Warm(Kind, Image, Opts);
+        std::string Err;
+        ASSERT_TRUE(Warm.loadCacheBytes(CacheSnap, &Err)) << Err;
+        ASSERT_GT(Warm.snapshotStats().CacheEntriesLoaded, 0u);
+        Warm.run(MaxInstrs);
+        EXPECT_GT(Warm.sim().stats().FastSteps, 0u);
+
+        FinalState W;
+        W.Halted = Warm.sim().halted();
+        W.RetiredTotal = Warm.sim().stats().RetiredTotal;
+        W.Cycles = Warm.sim().stats().Cycles;
+        W.MemDigest = Warm.sim().memory().digest();
+        for (const ir::GlobalVar &G : simulatorProgram(Kind).Globals) {
+          if (G.IsArray)
+            for (uint32_t E = 0; E != G.Size; ++E)
+              W.Globals.push_back(Warm.sim().getGlobalElem(G.Name, E));
+          else
+            W.Globals.push_back(Warm.sim().getGlobal(G.Name));
+        }
+        EXPECT_EQ(W, Cold);
+      }
+    }
+  }
+}
+
 TEST(Differential, PassesOnOffBitIdentical) {
   // The optimization pipeline must be invisible to the architecture: the
   // optimized program (memoized and not) computes the same final state as

@@ -1,0 +1,624 @@
+//===- test_snapshot.cpp - Snapshot & warm-start subsystem tests -------------===//
+//
+// Covers the snapshot stack bottom-up: the bounds-checked serializer, the
+// checksummed container, action-cache persistence under both eviction
+// policies, checkpoint/resume bit-identity for every simulator, and the
+// robustness contract — truncated, bit-flipped or stale snapshot files
+// must degrade to a clean cold start, never crash or corrupt state (this
+// binary runs under ASan+UBSan in CI, so "no UB" is machine-checked).
+// Also validates that every simulator's statsJson() is well-formed JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sims/SimHarness.h"
+#include "src/snapshot/Snapshot.h"
+#include "src/workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace facile;
+using namespace facile::sims;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Serializer
+//===----------------------------------------------------------------------===//
+
+TEST(Serializer, ScalarAndVectorRoundTrip) {
+  snapshot::Writer W;
+  W.u8(0xab);
+  W.u32(0xdeadbeefu);
+  W.u64(0x0123456789abcdefull);
+  W.i64(-42);
+  W.i64Vec({1, -2, 3});
+  W.u32Vec({});
+  W.u8Vec({9, 8, 7});
+  W.charVec({'h', 'i'});
+
+  snapshot::Reader R(W.buffer());
+  EXPECT_EQ(R.u8(), 0xab);
+  EXPECT_EQ(R.u32(), 0xdeadbeefu);
+  EXPECT_EQ(R.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(R.i64(), -42);
+  std::vector<int64_t> I;
+  std::vector<uint32_t> U;
+  std::vector<uint8_t> B;
+  std::vector<char> C;
+  EXPECT_TRUE(R.i64Vec(I));
+  EXPECT_TRUE(R.u32Vec(U));
+  EXPECT_TRUE(R.u8Vec(B));
+  EXPECT_TRUE(R.charVec(C));
+  EXPECT_EQ(I, (std::vector<int64_t>{1, -2, 3}));
+  EXPECT_TRUE(U.empty());
+  EXPECT_EQ(B, (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_EQ(C, (std::vector<char>{'h', 'i'}));
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(Serializer, ShortReadsStickAndZero) {
+  snapshot::Writer W;
+  W.u32(7);
+  snapshot::Reader R(W.buffer());
+  EXPECT_EQ(R.u32(), 7u);
+  EXPECT_EQ(R.u64(), 0u); // past the end: zero value, reader fails
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.u32(), 0u); // failure sticks even for in-range sizes
+  std::vector<int64_t> V{1, 2};
+  EXPECT_FALSE(R.i64Vec(V));
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Serializer, CorruptCountCannotAllocate) {
+  // A length prefix claiming ~2^61 elements with 8 bytes of payload must
+  // fail before any resize happens.
+  snapshot::Writer W;
+  W.u64(0x2000000000000000ull);
+  W.u64(0);
+  snapshot::Reader R(W.buffer());
+  std::vector<int64_t> V;
+  EXPECT_FALSE(R.i64Vec(V));
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(V.empty());
+}
+
+TEST(Serializer, Crc32KnownVector) {
+  // The canonical CRC-32 check value (IEEE 802.3, reflected).
+  EXPECT_EQ(snapshot::crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(snapshot::crc32("", 0), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Container
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> testContainer(uint64_t Compat = 0x1234) {
+  snapshot::Section S1{snapshot::SecSimState, {1, 2, 3, 4, 5}};
+  snapshot::Section S2{snapshot::SecMemory, {}};
+  return snapshot::buildContainer(snapshot::PayloadKind::Checkpoint, Compat,
+                                  {S1, S2});
+}
+
+TEST(Container, RoundTrip) {
+  std::vector<uint8_t> Img = testContainer();
+  std::vector<snapshot::Section> Out;
+  std::string Err;
+  ASSERT_EQ(snapshot::parseContainer(Img.data(), Img.size(),
+                                     snapshot::PayloadKind::Checkpoint, 0x1234,
+                                     Out, Err),
+            snapshot::LoadStatus::Ok)
+      << Err;
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Tag, snapshot::SecSimState);
+  EXPECT_EQ(Out[0].Bytes, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(Out[1].Tag, snapshot::SecMemory);
+  EXPECT_TRUE(Out[1].Bytes.empty());
+}
+
+TEST(Container, RejectsWrongMagicKindAndCompat) {
+  std::vector<uint8_t> Img = testContainer();
+  std::vector<snapshot::Section> Out;
+  std::string Err;
+
+  std::vector<uint8_t> BadMagic = Img;
+  BadMagic[0] ^= 0xff;
+  EXPECT_EQ(snapshot::parseContainer(BadMagic.data(), BadMagic.size(),
+                                     snapshot::PayloadKind::Checkpoint, 0x1234,
+                                     Out, Err),
+            snapshot::LoadStatus::BadFormat);
+
+  // Valid container, but the caller wants the other payload kind.
+  EXPECT_EQ(snapshot::parseContainer(Img.data(), Img.size(),
+                                     snapshot::PayloadKind::ActionCache, 0x1234,
+                                     Out, Err),
+            snapshot::LoadStatus::BadFormat);
+
+  // Valid container produced under a different configuration.
+  EXPECT_EQ(snapshot::parseContainer(Img.data(), Img.size(),
+                                     snapshot::PayloadKind::Checkpoint, 0x9999,
+                                     Out, Err),
+            snapshot::LoadStatus::CompatMismatch);
+  EXPECT_TRUE(Out.empty()); // untouched on failure
+}
+
+TEST(Container, EveryTruncationRejected) {
+  std::vector<uint8_t> Img = testContainer();
+  std::vector<snapshot::Section> Out;
+  std::string Err;
+  for (size_t Len = 0; Len != Img.size(); ++Len) {
+    EXPECT_NE(snapshot::parseContainer(Img.data(), Len,
+                                       snapshot::PayloadKind::Checkpoint,
+                                       0x1234, Out, Err),
+              snapshot::LoadStatus::Ok)
+        << "truncation to " << Len << " bytes parsed";
+    EXPECT_TRUE(Out.empty());
+  }
+}
+
+TEST(Container, EveryPayloadBitFlipRejected) {
+  // Flips every bit of a small container. CRCs (header and section) catch
+  // everything except flips inside a section tag, which parse but change
+  // the tag — consumers then miss their section, which is also a clean
+  // failure; here we only demand "never Ok with the original sections".
+  std::vector<uint8_t> Img = testContainer();
+  std::string Err;
+  for (size_t Bit = 0; Bit != Img.size() * 8; ++Bit) {
+    std::vector<uint8_t> Mut = Img;
+    Mut[Bit / 8] ^= uint8_t(1u << (Bit % 8));
+    std::vector<snapshot::Section> Out;
+    snapshot::LoadStatus St = snapshot::parseContainer(
+        Mut.data(), Mut.size(), snapshot::PayloadKind::Checkpoint, 0x1234, Out,
+        Err);
+    if (St == snapshot::LoadStatus::Ok) {
+      ASSERT_EQ(Out.size(), 2u);
+      EXPECT_TRUE(Out[0].Tag != snapshot::SecSimState ||
+                  Out[1].Tag != snapshot::SecMemory)
+          << "bit " << Bit << " flipped yet container parsed unchanged";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator round-trips
+//===----------------------------------------------------------------------===//
+
+/// Shrunk suite entry so unmemoized runs stay test-sized.
+workload::WorkloadSpec testSpec(const char *Name = "compress") {
+  workload::WorkloadSpec Spec = *workload::findSpec(Name);
+  Spec.DataKWords = 2;
+  return Spec;
+}
+
+/// Everything the step function can observably compute (mirrors
+/// test_differential.cpp's oracle).
+struct FinalState {
+  bool Halted = false;
+  uint64_t RetiredTotal = 0;
+  uint64_t Cycles = 0;
+  uint64_t MemDigest = 0;
+  std::vector<int64_t> Globals;
+
+  bool operator==(const FinalState &O) const {
+    return Halted == O.Halted && RetiredTotal == O.RetiredTotal &&
+           Cycles == O.Cycles && MemDigest == O.MemDigest &&
+           Globals == O.Globals;
+  }
+};
+
+FinalState finalState(const FacileSim &Sim, SimKind Kind) {
+  FinalState F;
+  F.Halted = Sim.sim().halted();
+  F.RetiredTotal = Sim.sim().stats().RetiredTotal;
+  F.Cycles = Sim.sim().stats().Cycles;
+  F.MemDigest = Sim.sim().memory().digest();
+  for (const ir::GlobalVar &G : simulatorProgram(Kind).Globals) {
+    if (G.IsArray) {
+      for (uint32_t E = 0; E != G.Size; ++E)
+        F.Globals.push_back(Sim.sim().getGlobalElem(G.Name, E));
+    } else {
+      F.Globals.push_back(Sim.sim().getGlobal(G.Name));
+    }
+  }
+  return F;
+}
+
+/// Stop at N1, snapshot, restore into a fresh instance, continue to N2:
+/// the final state must be bit-identical to an uninterrupted run making
+/// the same run() calls.
+void expectResumeBitIdentical(SimKind Kind, rt::Simulation::Options Opts) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  constexpr uint64_t N1 = 150'000, N2 = 300'000;
+
+  FacileSim Cont(Kind, Image, Opts);
+  Cont.run(N1);
+  Cont.run(N2);
+
+  FacileSim A(Kind, Image, Opts);
+  A.run(N1);
+  std::vector<uint8_t> Ckpt = A.checkpointBytes();
+  std::vector<uint8_t> Cache = A.cacheBytes();
+
+  FacileSim B(Kind, Image, Opts);
+  std::string Err;
+  ASSERT_TRUE(B.loadCheckpointBytes(Ckpt, &Err)) << Err;
+  if (Opts.Memoize) {
+    ASSERT_TRUE(B.loadCacheBytes(Cache, &Err)) << Err;
+  }
+  EXPECT_TRUE(B.snapshotStats().CheckpointLoaded);
+  EXPECT_EQ(B.sim().stats().RetiredTotal, A.sim().stats().RetiredTotal);
+  EXPECT_EQ(finalState(B, Kind), finalState(A, Kind));
+  B.run(N2);
+
+  EXPECT_EQ(finalState(B, Kind), finalState(Cont, Kind));
+}
+
+TEST(SnapshotResume, AllSimsMemoOnOffBothPolicies) {
+  for (SimKind Kind :
+       {SimKind::Functional, SimKind::InOrder, SimKind::OutOfOrder}) {
+    for (bool Memo : {true, false}) {
+      for (rt::EvictionPolicy Policy :
+           {rt::EvictionPolicy::ClearAll, rt::EvictionPolicy::Segmented}) {
+        rt::Simulation::Options Opts;
+        Opts.Memoize = Memo;
+        Opts.Eviction = Policy;
+        SCOPED_TRACE(std::string("sim=") + std::to_string(int(Kind)) +
+                     " memo=" + (Memo ? "on" : "off") +
+                     " policy=" + (Policy == rt::EvictionPolicy::Segmented
+                                       ? "segmented"
+                                       : "clearall"));
+        expectResumeBitIdentical(Kind, Opts);
+      }
+    }
+  }
+}
+
+TEST(SnapshotCache, RoundTripBothPolicies) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  for (rt::EvictionPolicy Policy :
+       {rt::EvictionPolicy::ClearAll, rt::EvictionPolicy::Segmented}) {
+    SCOPED_TRACE(Policy == rt::EvictionPolicy::Segmented ? "segmented"
+                                                         : "clearall");
+    rt::Simulation::Options Opts;
+    Opts.Eviction = Policy;
+
+    FacileSim Builder(SimKind::OutOfOrder, Image, Opts);
+    Builder.run(300'000);
+    size_t BuiltEntries = Builder.sim().cache().entryCount();
+    ASSERT_GT(BuiltEntries, 0u);
+    std::vector<uint8_t> Bytes = Builder.cacheBytes();
+
+    FacileSim Warm(SimKind::OutOfOrder, Image, Opts);
+    std::string Err;
+    ASSERT_TRUE(Warm.loadCacheBytes(Bytes, &Err)) << Err;
+    EXPECT_TRUE(Warm.snapshotStats().CacheLoaded);
+    EXPECT_EQ(Warm.snapshotStats().CacheEntriesLoaded, BuiltEntries);
+    EXPECT_EQ(Warm.sim().cache().entryCount(), BuiltEntries);
+
+    // The reloaded cache must replay: the warm run fast-forwards from the
+    // start and computes the same state as a cold run.
+    FacileSim Cold(SimKind::OutOfOrder, Image, Opts);
+    Cold.run(300'000);
+    Warm.run(300'000);
+    EXPECT_GT(Warm.sim().stats().FastSteps, 0u);
+    EXPECT_EQ(finalState(Warm, SimKind::OutOfOrder),
+              finalState(Cold, SimKind::OutOfOrder));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compatibility and corruption robustness
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotCompat, StaleConfigurationFallsBackCold) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  FacileSim Producer(SimKind::OutOfOrder, Image);
+  Producer.run(60'000);
+  std::vector<uint8_t> Ckpt = Producer.checkpointBytes();
+  std::vector<uint8_t> Cache = Producer.cacheBytes();
+
+  // Different cache budget → different compat key.
+  rt::Simulation::Options Other;
+  Other.CacheBudgetBytes = 64u << 20;
+  FacileSim Consumer(SimKind::OutOfOrder, Image, Other);
+  std::string Err;
+  EXPECT_FALSE(Consumer.loadCheckpointBytes(Ckpt, &Err));
+  EXPECT_NE(Err.find("compat"), std::string::npos) << Err;
+  EXPECT_FALSE(Consumer.loadCacheBytes(Cache, &Err));
+  EXPECT_EQ(Consumer.snapshotStats().CompatMismatches, 2u);
+  EXPECT_EQ(Consumer.snapshotStats().ColdFallbacks, 2u);
+  EXPECT_FALSE(Consumer.snapshotStats().CheckpointLoaded);
+
+  // Different target image → different compat key.
+  isa::TargetImage Image2 = workload::generate(testSpec("gcc"), 2);
+  FacileSim OtherImage(SimKind::OutOfOrder, Image2);
+  EXPECT_FALSE(OtherImage.loadCheckpointBytes(Ckpt, &Err));
+
+  // Different simulator (different ExecPlan) → different compat key.
+  FacileSim OtherSim(SimKind::InOrder, Image);
+  EXPECT_FALSE(OtherSim.loadCacheBytes(Cache, &Err));
+  EXPECT_EQ(OtherSim.snapshotStats().CompatMismatches, 1u);
+
+  // A checkpoint container is not an action cache and vice versa.
+  EXPECT_FALSE(Consumer.loadCacheBytes(Ckpt, &Err));
+  EXPECT_FALSE(Consumer.loadCheckpointBytes(Cache, &Err));
+
+  // The rejected consumer still runs cold, unperturbed.
+  Consumer.run(60'000);
+  EXPECT_GT(Consumer.sim().stats().RetiredTotal, 0u);
+}
+
+TEST(SnapshotRobustness, TruncationsAndBitFlipsNeverBreakTheSim) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  FacileSim Producer(SimKind::OutOfOrder, Image);
+  Producer.run(60'000);
+  std::vector<uint8_t> Ckpt = Producer.checkpointBytes();
+  std::vector<uint8_t> Cache = Producer.cacheBytes();
+  FinalState Cold = [&] {
+    FacileSim Ref(SimKind::OutOfOrder, Image);
+    Ref.run(60'000);
+    return finalState(Ref, SimKind::OutOfOrder);
+  }();
+
+  FacileSim Victim(SimKind::OutOfOrder, Image);
+  std::string Err;
+  uint64_t Failures = 0;
+
+  // Truncations: every prefix of the small header region, then sampled
+  // lengths across both payloads.
+  auto truncations = [](const std::vector<uint8_t> &V) {
+    std::vector<size_t> L;
+    for (size_t I = 0; I != V.size() && I < 64; ++I)
+      L.push_back(I);
+    for (int K = 1; K < 32; ++K)
+      L.push_back(V.size() * size_t(K) / 32);
+    L.push_back(V.size() - 1);
+    return L;
+  };
+  for (size_t Len : truncations(Ckpt)) {
+    std::vector<uint8_t> T(Ckpt.begin(), Ckpt.begin() + Len);
+    EXPECT_FALSE(Victim.loadCheckpointBytes(T, &Err)) << "len " << Len;
+    ++Failures;
+  }
+  for (size_t Len : truncations(Cache)) {
+    std::vector<uint8_t> T(Cache.begin(), Cache.begin() + Len);
+    EXPECT_FALSE(Victim.loadCacheBytes(T, &Err)) << "len " << Len;
+    ++Failures;
+  }
+
+  // Bit flips at positions sampled across each container (headers land in
+  // the first bytes, section CRCs and payloads in the rest).
+  auto flipPositions = [](const std::vector<uint8_t> &V) {
+    std::vector<size_t> P;
+    for (size_t I = 0; I != V.size() && I < 48; ++I)
+      P.push_back(I);
+    for (int K = 1; K < 48; ++K)
+      P.push_back(V.size() * size_t(K) / 48);
+    return P;
+  };
+  for (size_t Pos : flipPositions(Ckpt)) {
+    std::vector<uint8_t> M = Ckpt;
+    M[Pos] ^= uint8_t(1u << (Pos % 8));
+    EXPECT_FALSE(Victim.loadCheckpointBytes(M, &Err)) << "byte " << Pos;
+    ++Failures;
+  }
+  for (size_t Pos : flipPositions(Cache)) {
+    std::vector<uint8_t> M = Cache;
+    M[Pos] ^= uint8_t(1u << (Pos % 8));
+    EXPECT_FALSE(Victim.loadCacheBytes(M, &Err)) << "byte " << Pos;
+    ++Failures;
+  }
+
+  EXPECT_EQ(Victim.snapshotStats().ColdFallbacks, Failures);
+  EXPECT_FALSE(Victim.snapshotStats().CheckpointLoaded);
+  EXPECT_FALSE(Victim.snapshotStats().CacheLoaded);
+
+  // After every rejected load the simulation is still a pristine cold
+  // start: it runs and computes exactly what an untouched instance does.
+  Victim.run(60'000);
+  EXPECT_EQ(finalState(Victim, SimKind::OutOfOrder), Cold);
+}
+
+TEST(SnapshotFiles, MissingFileIsCleanFailure) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  FacileSim Sim(SimKind::OutOfOrder, Image);
+  std::string Err;
+  EXPECT_FALSE(Sim.loadCheckpoint("/nonexistent/path/x.ckpt", &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(Sim.loadCache("/nonexistent/path/x.acache", &Err));
+  EXPECT_EQ(Sim.snapshotStats().ColdFallbacks, 2u);
+}
+
+TEST(SnapshotFiles, SaveLoadRoundTripOnDisk) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  FacileSim A(SimKind::OutOfOrder, Image);
+  A.run(60'000);
+  std::string Dir = ::testing::TempDir();
+  std::string CkptPath = Dir + "/facile_test.ckpt";
+  std::string CachePath = Dir + "/facile_test.acache";
+  std::string Err;
+  ASSERT_TRUE(A.saveCheckpoint(CkptPath, &Err)) << Err;
+  ASSERT_TRUE(A.saveCache(CachePath, &Err)) << Err;
+  EXPECT_GT(A.snapshotStats().BytesWritten, 0u);
+
+  FacileSim B(SimKind::OutOfOrder, Image);
+  ASSERT_TRUE(B.loadCheckpoint(CkptPath, &Err)) << Err;
+  ASSERT_TRUE(B.loadCache(CachePath, &Err)) << Err;
+  EXPECT_EQ(finalState(B, SimKind::OutOfOrder),
+            finalState(A, SimKind::OutOfOrder));
+  std::remove(CkptPath.c_str());
+  std::remove(CachePath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// statsJson validity
+//===----------------------------------------------------------------------===//
+
+/// Minimal complete JSON recognizer (objects, arrays, strings, numbers,
+/// literals) — enough to reject any malformed statsJson() output.
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S)
+      : P(S.data()), End(S.data() + S.size()) {}
+
+  bool valid() {
+    bool V = value();
+    ws();
+    return V && P == End;
+  }
+
+private:
+  void ws() {
+    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+  bool lit(const char *S) {
+    size_t N = std::strlen(S);
+    if (size_t(End - P) < N || std::strncmp(P, S, N) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+  bool string() {
+    if (P == End || *P != '"')
+      return false;
+    for (++P; P != End && *P != '"'; ++P)
+      if (*P == '\\' && ++P == End)
+        return false;
+    if (P == End)
+      return false;
+    ++P;
+    return true;
+  }
+  bool number() {
+    const char *Start = P;
+    if (P != End && *P == '-')
+      ++P;
+    while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+      ++P;
+    if (P == Start || (*Start == '-' && P == Start + 1))
+      return false;
+    if (P != End && *P == '.') {
+      ++P;
+      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    if (P != End && (*P == 'e' || *P == 'E')) {
+      ++P;
+      if (P != End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
+        return false;
+      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+        ++P;
+    }
+    return true;
+  }
+  bool value() {
+    ws();
+    if (P == End)
+      return false;
+    if (*P == '{')
+      return object();
+    if (*P == '[')
+      return array();
+    if (*P == '"')
+      return string();
+    if (lit("true") || lit("false") || lit("null"))
+      return true;
+    return number();
+  }
+  bool object() {
+    ++P;
+    ws();
+    if (P != End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (!string())
+        return false;
+      ws();
+      if (P == End || *P != ':')
+        return false;
+      ++P;
+      if (!value())
+        return false;
+      ws();
+      if (P != End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P != End && *P == '}') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++P;
+    ws();
+    if (P != End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      if (!value())
+        return false;
+      ws();
+      if (P != End && *P == ',') {
+        ++P;
+        continue;
+      }
+      if (P != End && *P == ']') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const char *P;
+  const char *End;
+};
+
+TEST(StatsJson, RecognizerSanity) {
+  EXPECT_TRUE(JsonChecker("{\"a\":1,\"b\":[1,2.5,-3e2],\"c\":\"x\"}").valid());
+  EXPECT_TRUE(JsonChecker("{}").valid());
+  EXPECT_FALSE(JsonChecker("{\"a\":}").valid());
+  EXPECT_FALSE(JsonChecker("{\"a\":1,}").valid());
+  EXPECT_FALSE(JsonChecker("{\"a\":1").valid());
+  EXPECT_FALSE(JsonChecker("{'a':1}").valid());
+  EXPECT_FALSE(JsonChecker("{\"a\":01x}").valid());
+}
+
+TEST(StatsJson, EverySimulatorEmitsValidJson) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  for (SimKind Kind :
+       {SimKind::Functional, SimKind::InOrder, SimKind::OutOfOrder}) {
+    SCOPED_TRACE(int(Kind));
+    FacileSim Sim(Kind, Image);
+    // Before any run, after a run, and after a snapshot load (which fills
+    // the "snapshot" block with nonzero values).
+    EXPECT_TRUE(JsonChecker(Sim.statsJson()).valid()) << Sim.statsJson();
+    Sim.run(60'000);
+    EXPECT_TRUE(JsonChecker(Sim.statsJson()).valid()) << Sim.statsJson();
+
+    FacileSim Warm(Kind, Image);
+    std::string Err;
+    ASSERT_TRUE(Warm.loadCacheBytes(Sim.cacheBytes(), &Err)) << Err;
+    ASSERT_TRUE(Warm.loadCheckpointBytes(Sim.checkpointBytes(), &Err)) << Err;
+    EXPECT_TRUE(JsonChecker(Warm.statsJson()).valid()) << Warm.statsJson();
+  }
+}
+
+} // namespace

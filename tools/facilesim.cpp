@@ -1,0 +1,192 @@
+//===- facilesim.cpp - Run a Facile simulator with snapshot support ----------===//
+//
+// Command-line driver for the compiled simulators in src/sims/: pick a
+// simulator and a synthetic workload, run to an instruction budget, and
+// save or restore snapshot containers (checkpoints and persistent action
+// caches) around the run. This is the user-facing surface of the snapshot
+// subsystem: a long simulation can be stopped and resumed bit-identically,
+// or a later run warm-started from a previous run's action cache.
+//
+//   facilesim --sim=ooo --workload=gcc --instrs=2000000
+//             --save-checkpoint=gcc.ckpt --save-cache=gcc.acache
+//   facilesim --sim=ooo --workload=gcc --instrs=4000000
+//             --load-checkpoint=gcc.ckpt --load-cache=gcc.acache --json
+//
+// Failed loads (missing file, corruption, stale compatibility key) print a
+// diagnostic and fall back to a cold start; they are not fatal. --require-warm
+// upgrades a cold fallback to exit status 1 for CI smoke tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sims/SimHarness.h"
+#include "src/workload/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace facile;
+using namespace facile::sims;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --sim=functional|inorder|ooo   simulator to run (default ooo)\n"
+      "  --workload=<name>              suite entry, e.g. gcc or 126.gcc\n"
+      "                                 (default compress)\n"
+      "  --instrs=<n>                   total retired-instruction target,\n"
+      "                                 including instructions restored from\n"
+      "                                 a checkpoint (default 1000000)\n"
+      "  --cache-budget-mb=<n>          action-cache byte budget (default 256)\n"
+      "  --eviction=clearall|segmented  eviction policy (default clearall)\n"
+      "  --no-memo                      disable memoization (slow path only)\n"
+      "  --save-checkpoint=<file>       write full state after the run\n"
+      "  --load-checkpoint=<file>       resume state before the run\n"
+      "  --save-cache=<file>            write the action cache after the run\n"
+      "  --load-cache=<file>            warm-start from a saved action cache\n"
+      "  --require-warm                 exit 1 unless a cache was loaded and\n"
+      "                                 fast replay actually ran\n"
+      "  --json                         print the stats JSON line\n",
+      Prog);
+}
+
+std::string argValue(const std::string &Arg, const char *Prefix) {
+  size_t N = std::strlen(Prefix);
+  return Arg.rfind(Prefix, 0) == 0 ? Arg.substr(N) : std::string();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SimName = "ooo", WorkloadName = "compress";
+  uint64_t Instrs = 1'000'000;
+  rt::Simulation::Options Opts;
+  std::string SaveCkpt, LoadCkpt, SaveCache, LoadCache;
+  bool Json = false, RequireWarm = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    std::string V;
+    if (!(V = argValue(Arg, "--sim=")).empty())
+      SimName = V;
+    else if (!(V = argValue(Arg, "--workload=")).empty())
+      WorkloadName = V;
+    else if (!(V = argValue(Arg, "--instrs=")).empty())
+      Instrs = std::strtoull(V.c_str(), nullptr, 10);
+    else if (!(V = argValue(Arg, "--cache-budget-mb=")).empty())
+      Opts.CacheBudgetBytes = std::strtoull(V.c_str(), nullptr, 10) << 20;
+    else if (!(V = argValue(Arg, "--eviction=")).empty()) {
+      if (V == "clearall")
+        Opts.Eviction = rt::EvictionPolicy::ClearAll;
+      else if (V == "segmented")
+        Opts.Eviction = rt::EvictionPolicy::Segmented;
+      else {
+        std::fprintf(stderr, "error: unknown eviction policy '%s'\n",
+                     V.c_str());
+        return 2;
+      }
+    } else if (!(V = argValue(Arg, "--save-checkpoint=")).empty())
+      SaveCkpt = V;
+    else if (!(V = argValue(Arg, "--load-checkpoint=")).empty())
+      LoadCkpt = V;
+    else if (!(V = argValue(Arg, "--save-cache=")).empty())
+      SaveCache = V;
+    else if (!(V = argValue(Arg, "--load-cache=")).empty())
+      LoadCache = V;
+    else if (Arg == "--no-memo")
+      Opts.Memoize = false;
+    else if (Arg == "--json")
+      Json = true;
+    else if (Arg == "--require-warm")
+      RequireWarm = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  SimKind Kind;
+  if (SimName == "functional")
+    Kind = SimKind::Functional;
+  else if (SimName == "inorder")
+    Kind = SimKind::InOrder;
+  else if (SimName == "ooo")
+    Kind = SimKind::OutOfOrder;
+  else {
+    std::fprintf(stderr, "error: unknown simulator '%s'\n", SimName.c_str());
+    return 2;
+  }
+
+  const workload::WorkloadSpec *Spec = workload::findSpec(WorkloadName);
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown workload '%s'; suite entries:\n",
+                 WorkloadName.c_str());
+    for (const workload::WorkloadSpec &S : workload::spec95Suite())
+      std::fprintf(stderr, "  %s\n", S.Name.c_str());
+    return 2;
+  }
+
+  // An effectively unbounded outer loop: runs stop on the --instrs budget.
+  isa::TargetImage Image = workload::generate(*Spec, 1u << 30);
+  FacileSim Sim(Kind, Image, Opts);
+
+  // Restore order matters: the checkpoint rewinds the simulation to a
+  // saved point, then the action cache pre-populates memoized actions for
+  // the run ahead. Failures fall back to a cold start (diagnostic on
+  // stderr via the harness).
+  if (!LoadCkpt.empty() && Sim.loadCheckpoint(LoadCkpt))
+    std::fprintf(stderr, "facilesim: resumed from %s (%llu instrs retired)\n",
+                 LoadCkpt.c_str(),
+                 (unsigned long long)Sim.sim().stats().RetiredTotal);
+  if (!LoadCache.empty() && Sim.loadCache(LoadCache))
+    std::fprintf(stderr, "facilesim: warm-started from %s (%llu entries)\n",
+                 LoadCache.c_str(),
+                 (unsigned long long)Sim.snapshotStats().CacheEntriesLoaded);
+
+  uint64_t Before = Sim.sim().stats().RetiredTotal;
+  if (Instrs > Before)
+    Sim.run(Instrs);
+  uint64_t Retired = Sim.sim().stats().RetiredTotal;
+
+  std::string Err;
+  if (!SaveCkpt.empty() && !Sim.saveCheckpoint(SaveCkpt, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!SaveCache.empty() && !Sim.saveCache(SaveCache, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::printf("facilesim: %s on %s: %llu instrs retired (%llu this run), "
+              "%.3f%% fast-forwarded\n",
+              SimName.c_str(), Spec->Name.c_str(),
+              (unsigned long long)Retired,
+              (unsigned long long)(Retired - Before),
+              Sim.sim().stats().fastForwardedPct());
+  if (Json)
+    std::printf("%s\n", Sim.statsJson().c_str());
+
+  if (RequireWarm) {
+    const FacileSim::SnapshotStats &SS = Sim.snapshotStats();
+    if (!SS.CacheLoaded || SS.CacheEntriesLoaded == 0 ||
+        Sim.sim().stats().FastSteps == 0) {
+      std::fprintf(stderr,
+                   "error: --require-warm: no warm start happened "
+                   "(cache_loaded=%d entries=%llu fast_steps=%llu)\n",
+                   SS.CacheLoaded ? 1 : 0,
+                   (unsigned long long)SS.CacheEntriesLoaded,
+                   (unsigned long long)Sim.sim().stats().FastSteps);
+      return 1;
+    }
+  }
+  return 0;
+}
