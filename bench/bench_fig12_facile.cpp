@@ -28,6 +28,11 @@ using namespace facile::sims;
 
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
+  // --guards=off runs the memoized simulator with the guarded execution
+  // layer disabled (no bounds/seal checks on replay); the run always
+  // measures both configurations so the JSON records the guard overhead,
+  // the flag just selects which one the headline memo numbers come from.
+  bool GuardsOn = parseArg(Argc, Argv, "--guards=") != "off";
   // --json/--out=<file>: one machine-readable stats line per benchmark so
   // perf trajectories can be tracked across changes.
   JsonSink Sink(Argc, Argv);
@@ -40,7 +45,7 @@ int main(int Argc, char **Argv) {
               "memo Kips", "nomemo Kips", "sscalar Kips", "memo/nom",
               "memo/sscal", "vs hand", "ff%");
 
-  std::vector<double> MemoSpeedups, VsScalar, VsHand;
+  std::vector<double> MemoSpeedups, VsScalar, VsHand, GuardOverheads;
   for (const workload::WorkloadSpec &Spec : workload::spec95Suite()) {
     isa::TargetImage Image = workload::generate(Spec, 1u << 30);
 
@@ -48,10 +53,26 @@ int main(int Argc, char **Argv) {
     uint64_t SlowBudget = scaled(80'000, Scale);
     uint64_t ScalarBudget = scaled(1'000'000, Scale);
 
-    FacileSim Memo(SimKind::OutOfOrder, Image);
-    double TMemo = timeIt([&] { Memo.run(MemoBudget); });
-    double KipsMemo =
-        static_cast<double>(Memo.sim().stats().RetiredTotal) / TMemo / 1e3;
+    rt::Simulation::Options Guarded;
+    Guarded.Guards = true;
+    FacileSim MemoG(SimKind::OutOfOrder, Image, Guarded);
+    double TMemoG = timeIt([&] { MemoG.run(MemoBudget); });
+    double KipsMemoG =
+        static_cast<double>(MemoG.sim().stats().RetiredTotal) / TMemoG / 1e3;
+
+    rt::Simulation::Options Unguarded;
+    Unguarded.Guards = false;
+    FacileSim MemoU(SimKind::OutOfOrder, Image, Unguarded);
+    double TMemoU = timeIt([&] { MemoU.run(MemoBudget); });
+    double KipsMemoU =
+        static_cast<double>(MemoU.sim().stats().RetiredTotal) / TMemoU / 1e3;
+
+    // Guard overhead: how much slower the guarded replay runs, in percent.
+    double GuardOverheadPct = (KipsMemoU / KipsMemoG - 1.0) * 100.0;
+    GuardOverheads.push_back(GuardOverheadPct);
+
+    FacileSim &Memo = GuardsOn ? MemoG : MemoU;
+    double KipsMemo = GuardsOn ? KipsMemoG : KipsMemoU;
 
     rt::Simulation::Options Off;
     Off.Memoize = false;
@@ -79,9 +100,17 @@ int main(int Argc, char **Argv) {
                 KipsMemo / KipsSs, KipsMemo / KipsHand,
                 Memo.sim().stats().fastForwardedPct());
     Sink.line("{\"bench\":\"%s\",\"kips_memo\":%.1f,"
-              "\"kips_nomemo\":%.1f,\"stats\":%s}",
-              Spec.Name.c_str(), KipsMemo, KipsNo, Memo.statsJson().c_str());
+              "\"kips_nomemo\":%.1f,\"kips_memo_guarded\":%.1f,"
+              "\"kips_memo_unguarded\":%.1f,\"guard_overhead_pct\":%.3f,"
+              "\"stats\":%s}",
+              Spec.Name.c_str(), KipsMemo, KipsNo, KipsMemoG, KipsMemoU,
+              GuardOverheadPct, Memo.statsJson().c_str());
   }
+
+  double MeanOverhead = 0.0;
+  for (double O : GuardOverheads)
+    MeanOverhead += O;
+  MeanOverhead /= static_cast<double>(GuardOverheads.size());
 
   std::printf("\nharmonic means: memo/no-memo %.2fx (paper 2.8-23.8x, hmean "
               "8.3); memo vs SimpleScalar %.3fx (paper ~1.5x, see "
@@ -89,6 +118,9 @@ int main(int Argc, char **Argv) {
               "hand-coded %.3fx (paper ~1/6)\n",
               harmonicMean(MemoSpeedups), harmonicMean(VsScalar),
               harmonicMean(VsHand));
+  std::printf("guarded replay overhead: %.2f%% mean across the suite "
+              "(budget: <= 5%%)\n",
+              MeanOverhead);
 
   // §6.2 line-count claims: simulator sizes in lines of Facile.
   std::printf("\nsimulator sizes (paper: functional 703, in-order 965, "

@@ -19,12 +19,21 @@ const uint8_t *TargetMemory::pageFor(uint32_t Addr) const {
 }
 
 uint8_t *TargetMemory::pageForWrite(uint32_t Addr) {
-  std::unique_ptr<uint8_t[]> &Page = Pages[Addr >> PageBits];
-  if (!Page) {
-    Page = std::make_unique<uint8_t[]>(PageSize);
-    std::memset(Page.get(), 0, PageSize);
+  auto It = Pages.find(Addr >> PageBits);
+  if (It != Pages.end())
+    return It->second.get();
+  // Budget guard: refuse to grow the resident set past the cap. The write
+  // is dropped (the page stays logically zero) and the condition latches
+  // for the owner to fault on.
+  if (Pages.size() >= PageBudget) {
+    BudgetHit = true;
+    return nullptr;
   }
-  return Page.get();
+  auto Page = std::make_unique<uint8_t[]>(PageSize);
+  std::memset(Page.get(), 0, PageSize);
+  uint8_t *Raw = Page.get();
+  Pages.emplace(Addr >> PageBits, std::move(Page));
+  return Raw;
 }
 
 void TargetMemory::loadImage(const isa::TargetImage &Image) {
@@ -42,7 +51,8 @@ uint8_t TargetMemory::read8(uint32_t Addr) const {
 }
 
 void TargetMemory::write8(uint32_t Addr, uint8_t Value) {
-  pageForWrite(Addr)[Addr & (PageSize - 1)] = Value;
+  if (uint8_t *Page = pageForWrite(Addr))
+    Page[Addr & (PageSize - 1)] = Value;
 }
 
 uint32_t TargetMemory::read32(uint32_t Addr) const {
@@ -105,7 +115,9 @@ bool TargetMemory::deserialize(snapshot::Reader &R) {
   uint64_t N = R.u64();
   // Each page costs 4 + PageSize bytes; a count the input cannot back is
   // corrupt, and checking first keeps allocation proportional to the file.
-  if (!R.ok() || N > R.remaining() / (4 + PageSize))
+  // The resident-page budget applies to checkpoints too: a snapshot taken
+  // under a larger budget must not bypass this memory's cap.
+  if (!R.ok() || N > R.remaining() / (4 + PageSize) || N > PageBudget)
     return false;
   std::unordered_map<uint32_t, std::unique_ptr<uint8_t[]>> NewPages;
   NewPages.reserve(static_cast<size_t>(N));
@@ -126,7 +138,8 @@ bool TargetMemory::deserialize(snapshot::Reader &R) {
 void TargetMemory::write32(uint32_t Addr, uint32_t Value) {
   uint32_t Off = Addr & (PageSize - 1);
   if (Off <= PageSize - 4) {
-    std::memcpy(pageForWrite(Addr) + Off, &Value, 4);
+    if (uint8_t *Page = pageForWrite(Addr))
+      std::memcpy(Page + Off, &Value, 4);
     return;
   }
   for (int B = 0; B != 4; ++B)

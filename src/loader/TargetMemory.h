@@ -53,6 +53,20 @@ public:
   /// Number of resident pages (for footprint reporting).
   size_t residentPages() const { return Pages.size(); }
 
+  /// Caps the number of resident pages. A wild store pattern in the target
+  /// (e.g. a corrupted pointer walking the whole 4 GB address space) would
+  /// otherwise allocate host memory without bound. 0 means unlimited.
+  /// Writes that would allocate past the budget are dropped and latch
+  /// budgetExceeded(); the simulation owner turns that into a
+  /// MemoryBudgetExceeded fault.
+  void setPageBudget(size_t MaxPages) {
+    PageBudget = MaxPages == 0 ? SIZE_MAX : MaxPages;
+  }
+  size_t pageBudget() const { return PageBudget == SIZE_MAX ? 0 : PageBudget; }
+  /// Sticky: latched by the first dropped write, cleared explicitly.
+  bool budgetExceeded() const { return BudgetHit; }
+  void clearBudgetExceeded() { BudgetHit = false; }
+
   /// FNV digest of the logical memory contents: non-zero pages hashed in
   /// ascending address order. All-zero pages are skipped so two memories
   /// with the same contents digest equal regardless of which untouched
@@ -74,6 +88,8 @@ private:
   uint8_t *pageForWrite(uint32_t Addr);
 
   mutable std::unordered_map<uint32_t, std::unique_ptr<uint8_t[]>> Pages;
+  size_t PageBudget = SIZE_MAX;
+  bool BudgetHit = false;
 };
 
 } // namespace facile

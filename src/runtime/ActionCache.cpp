@@ -97,7 +97,11 @@ void ActionCache::clear() {
   Table.clear();
   Entries.clear();
   NodeArena.clear();
+  NodeSeal.clear();
+  VerifyMark.clear();
+  ++Epoch;
   DataPool.clear();
+  PendingXor = 0;
   ++S.Clears;
 }
 
@@ -134,7 +138,8 @@ void ActionCache::serialize(snapshot::Writer &W) const {
     W.u64(E.LastUse);
   }
   W.u64(NodeArena.size());
-  for (const ActionNode &N : NodeArena) {
+  for (size_t I = 0; I != NodeArena.size(); ++I) {
+    const ActionNode &N = NodeArena[I];
     W.u32(static_cast<uint32_t>(N.ActionId));
     W.u8(static_cast<uint8_t>(N.K));
     W.u32(N.DataOfs);
@@ -143,6 +148,7 @@ void ActionCache::serialize(snapshot::Writer &W) const {
     W.u32(N.OnValue[0]);
     W.u32(N.OnValue[1]);
     W.u32(N.NextKey);
+    W.u64(NodeSeal[I]);
   }
   W.i64Vec(DataPool);
 }
@@ -185,11 +191,14 @@ bool ActionCache::deserialize(snapshot::Reader &R, uint32_t NumActions) {
   }
 
   uint64_t NumNodes = R.u64();
-  if (!R.ok() || NumNodes > R.remaining() / 29 ||
+  // 29 node bytes plus the 8-byte seal.
+  if (!R.ok() || NumNodes > R.remaining() / 37 ||
       NumNodes >= ActionNode::NoNode)
     return false;
   std::vector<ActionNode> NewNodes(static_cast<size_t>(NumNodes));
-  for (ActionNode &N : NewNodes) {
+  std::vector<uint64_t> NewSeals(static_cast<size_t>(NumNodes));
+  for (size_t I = 0; I != NewNodes.size(); ++I) {
+    ActionNode &N = NewNodes[I];
     N.ActionId = static_cast<int32_t>(R.u32());
     uint8_t K = R.u8();
     if (K > static_cast<uint8_t>(ActionNode::Kind::End))
@@ -201,6 +210,7 @@ bool ActionCache::deserialize(snapshot::Reader &R, uint32_t NumActions) {
     N.OnValue[0] = R.u32();
     N.OnValue[1] = R.u32();
     N.NextKey = R.u32();
+    NewSeals[I] = R.u64();
   }
 
   std::vector<int64_t> NewData;
@@ -244,7 +254,11 @@ bool ActionCache::deserialize(snapshot::Reader &R, uint32_t NumActions) {
   KeyToEntry = std::move(NewKeyToEntry);
   Entries = std::move(NewEntries);
   NodeArena = std::move(NewNodes);
+  NodeSeal = std::move(NewSeals);
+  VerifyMark.assign(NodeSeal.size(), 0);
+  ++Epoch;
   DataPool = std::move(NewData);
+  PendingXor = 0;
   Tick = NewTick;
   Table.clear();
   growTable();
@@ -292,10 +306,12 @@ void ActionCache::evictSegmented() {
   // of the already-copied parent (Edge -1 = Next, 0/1 = OnValue).
   struct WorkItem {
     uint32_t Old;
+    uint32_t ParentOld;
     uint32_t ParentNew;
     int8_t Edge;
   };
   std::vector<WorkItem> Work;
+  std::vector<uint64_t> NewSeals;
 
   for (const CacheEntry &E : Entries) {
     if (E.LastUse < Threshold)
@@ -309,7 +325,7 @@ void ActionCache::evictSegmented() {
 
     if (E.Head == ActionNode::NoNode)
       continue;
-    Work.push_back({E.Head, ActionNode::NoNode, -1});
+    Work.push_back({E.Head, ActionNode::NoNode, ActionNode::NoNode, -1});
     while (!Work.empty()) {
       WorkItem W = Work.back();
       Work.pop_back();
@@ -324,19 +340,30 @@ void ActionCache::evictSegmented() {
       Dst.OnValue[0] = Dst.OnValue[1] = ActionNode::NoNode;
       if (Dst.K == ActionNode::Kind::End)
         Dst.NextKey = remapKey(Src.NextKey);
-      if (W.ParentNew == ActionNode::NoNode)
+      // Re-home the seal's link tag: node indices (and the head's key id)
+      // change under compaction; the data xor and identity mix do not.
+      uint64_t OldTag, NewTag;
+      if (W.ParentNew == ActionNode::NoNode) {
         C.Head = NewIdx;
-      else if (W.Edge < 0)
+        OldTag = headTag(E.Key);
+        NewTag = headTag(C.Key);
+      } else if (W.Edge < 0) {
         NewNodes[W.ParentNew].Next = NewIdx;
-      else
+        OldTag = edgeTag(W.ParentOld, -1);
+        NewTag = edgeTag(W.ParentNew, -1);
+      } else {
         NewNodes[W.ParentNew].OnValue[W.Edge] = NewIdx;
+        OldTag = edgeTag(W.ParentOld, W.Edge);
+        NewTag = edgeTag(W.ParentNew, W.Edge);
+      }
+      NewSeals.push_back(NodeSeal[W.Old] ^ OldTag ^ NewTag);
       if (Src.K == ActionNode::Kind::Plain &&
           Src.Next != ActionNode::NoNode)
-        Work.push_back({Src.Next, NewIdx, -1});
+        Work.push_back({Src.Next, W.Old, NewIdx, -1});
       if (Src.K == ActionNode::Kind::Test)
         for (int V = 0; V != 2; ++V)
           if (Src.OnValue[V] != ActionNode::NoNode)
-            Work.push_back({Src.OnValue[V], NewIdx,
+            Work.push_back({Src.OnValue[V], W.Old, NewIdx,
                             static_cast<int8_t>(V)});
     }
   }
@@ -349,7 +376,11 @@ void ActionCache::evictSegmented() {
   KeyToEntry = std::move(NewKeyToEntry);
   Entries = std::move(NewEntries);
   NodeArena = std::move(NewNodes);
+  NodeSeal = std::move(NewSeals);
+  VerifyMark.assign(NodeSeal.size(), 0);
+  ++Epoch;
   DataPool = std::move(NewData);
+  PendingXor = 0;
   Table.clear();
   growTable();
 }

@@ -18,7 +18,14 @@
 ///    the whole cache. Nodes link by arena index, so replay is a pointer
 ///    chase over dense memory with no per-entry allocation;
 ///  - the *data pool*: one contiguous array of memoized placeholder words,
-///    addressed by [DataOfs, DataOfs+DataLen) spans in each node.
+///    addressed by [DataOfs, DataOfs+DataLen) spans in each node;
+///  - the *seal array*: one 64-bit integrity seal per node, computed for
+///    free while recording (an xor accumulated as placeholder words are
+///    pushed, mixed with the node's identity fields and a tag of the link
+///    it hangs from). Guarded replay re-derives the seal from what it
+///    actually read and walked; any flipped byte in a node, its data span
+///    or the links leading to it surfaces as a mismatch instead of a
+///    silently divergent step (see Simulation's CacheCorrupt fault).
 ///
 /// Memory is budgeted, with the policy pluggable (EvictionPolicy):
 /// ClearAll is the paper's wholesale clear-on-full, which §6.1-§6.2 report
@@ -149,6 +156,18 @@ public:
   /// \p K must not already have an entry.
   EntryId create(KeyId K);
 
+  /// Unmaps entry \p E from its key and drops its head, making its node
+  /// graph unreachable (the arena space is reclaimed at the next eviction).
+  /// Used when recording was abandoned mid-step or replay found the
+  /// entry's recording corrupt: the next lookup of the key misses and
+  /// re-records cold.
+  void detachEntry(EntryId E) {
+    CacheEntry &C = Entries[E];
+    if (C.Key != NoId && C.Key < KeyToEntry.size() && KeyToEntry[C.Key] == E)
+      KeyToEntry[C.Key] = NoId;
+    C.Head = ActionNode::NoNode;
+  }
+
   CacheEntry &entry(EntryId E) { return Entries[E]; }
   const CacheEntry &entry(EntryId E) const { return Entries[E]; }
 
@@ -161,6 +180,9 @@ public:
     NodeArena.emplace_back();
     NodeArena.back().ActionId = ActionId;
     NodeArena.back().DataOfs = static_cast<uint32_t>(DataPool.size());
+    NodeSeal.push_back(0);
+    VerifyMark.push_back(0);
+    PendingXor = 0;
     notePeak();
     return Idx;
   }
@@ -173,11 +195,81 @@ public:
 
   void pushData(int64_t V) {
     DataPool.push_back(V);
+    PendingXor ^= static_cast<uint64_t>(V);
     notePeak();
   }
   uint32_t dataSize() const { return static_cast<uint32_t>(DataPool.size()); }
   /// Raw pool base for the replay loop. Invalidated by recording.
   const int64_t *data() const { return DataPool.data(); }
+  /// Mutable pool base for fault injection only (inject::FaultInjector).
+  /// Invalidates verification marks: every node re-verifies on next replay.
+  int64_t *mutableData() {
+    noteExternalMutation();
+    return DataPool.data();
+  }
+  /// Mutable seal base for fault injection only (inject::FaultInjector).
+  uint64_t *mutableSeals() {
+    noteExternalMutation();
+    return NodeSeal.data();
+  }
+
+  //===-- Integrity seals ----------------------------------------------------
+
+  /// Tag of the link a node hangs from: the entry head (bound to the
+  /// entry's key) or an edge of an already-recorded parent (Edge -1 =
+  /// Next, 0/1 = OnValue). Folding the incoming link into each node's seal
+  /// makes link corruption — a Next/OnValue index flipped onto some other
+  /// valid node — detectable at replay time, not just out-of-bounds links.
+  /// Tags are injective by construction (kind bits below the shifted id),
+  /// which detection only needs — a seal compare is exact, not
+  /// probabilistic, so there is no reason to pay for hash mixing here.
+  static uint64_t headTag(KeyId K) { return static_cast<uint64_t>(K) << 2; }
+  static uint64_t edgeTag(uint32_t Parent, int Edge) {
+    return (static_cast<uint64_t>(Parent) << 2) |
+           static_cast<uint64_t>(Edge + 2); // Edge -1/0/1 -> 1/2/3, head 0
+  }
+  /// The node-identity component of a seal: fields replay dispatches on.
+  static uint64_t identityMix(const ActionNode &N) {
+    return hashCombine(
+        hashCombine(FNVOffset, static_cast<uint32_t>(N.ActionId)),
+        static_cast<uint64_t>(N.K));
+  }
+
+  /// Closes node \p I's seal: the placeholder-data xor accumulated since
+  /// the node was appended, mixed with its identity and incoming link.
+  /// Call exactly once per node, after its kind and data span are final.
+  void sealNode(uint32_t I, uint64_t LinkTag) {
+    NodeSeal[I] = PendingXor ^ identityMix(NodeArena[I]) ^ LinkTag;
+    PendingXor = 0;
+  }
+  uint64_t nodeSeal(uint32_t I) const { return NodeSeal[I]; }
+
+  //===-- Verification epochs ------------------------------------------------
+  //
+  // Re-deriving a seal means xoring the node's whole placeholder span —
+  // cheap once, expensive every replay (bulk Sync spans dominate). The
+  // guarded replay therefore verifies each node once per *mutation epoch*:
+  // a counter bumped by every channel that can corrupt the arenas
+  // (eviction compaction, snapshot loads, the mutable injection
+  // accessors). A verified mark is bound to the incoming link tag, so
+  // arriving at a node through a flipped-but-in-bounds edge never matches
+  // a stale mark and forces full re-verification. Structural bounds checks
+  // still run on every replay; only the data sweep is epoch-gated.
+
+  /// Invalidates all verification marks. Call after mutating the node
+  /// arena, seal array or data pool through any out-of-band channel.
+  void noteExternalMutation() { ++Epoch; }
+
+  /// True when node \p I already passed seal verification this epoch,
+  /// arriving through the same link. The mark is one word — the link tag
+  /// xor-mixed with the epoch — so a stale epoch or a different incoming
+  /// link can never compare equal (the epoch mix is injective).
+  bool nodeVerified(uint32_t I, uint64_t IncomingTag) const {
+    return VerifyMark[I] == (IncomingTag ^ epochMix());
+  }
+  void markVerified(uint32_t I, uint64_t IncomingTag) {
+    VerifyMark[I] = IncomingTag ^ epochMix();
+  }
 
   //===-- Budget and eviction ------------------------------------------------
 
@@ -189,6 +281,7 @@ public:
            Table.size() * sizeof(uint32_t) +
            Entries.size() * sizeof(CacheEntry) +
            NodeArena.size() * sizeof(ActionNode) +
+           NodeSeal.size() * sizeof(uint64_t) +
            DataPool.size() * sizeof(int64_t);
   }
 
@@ -251,7 +344,15 @@ private:
 
   std::vector<CacheEntry> Entries;
   std::vector<ActionNode> NodeArena;
+  uint64_t epochMix() const { return Epoch * 0x9e3779b97f4a7c15ULL; }
+
+  std::vector<uint64_t> NodeSeal; ///< parallel to NodeArena
+  // Verification scratch (not part of bytes(): a guard overlay, not cache
+  // content — including it would shift eviction behaviour with guards on).
+  std::vector<uint64_t> VerifyMark; ///< tag ^ epochMix() when verified
+  uint64_t Epoch = 1;               ///< current mutation epoch
   std::vector<int64_t> DataPool;
+  uint64_t PendingXor = 0; ///< data xor of the node being recorded
 
   Stats S;
 };

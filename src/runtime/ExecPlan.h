@@ -116,6 +116,16 @@ struct ExecPlan {
   const XInst *actionEnd(uint32_t A) const {
     return Fast.data() + ActionOfs[A + 1];
   }
+
+  /// O(1) structural invariant check: the offset tables must frame the
+  /// instruction streams exactly. A truncated stream (e.g. from a fault
+  /// injector or a partially overwritten plan) fails this before either
+  /// engine dereferences past an array end.
+  bool shapeOk() const {
+    return BlockOfs.size() >= 2 && !ActionOfs.empty() &&
+           BlockOfs.front() == 0 && ActionOfs.front() == 0 &&
+           BlockOfs.back() == Code.size() && ActionOfs.back() == Fast.size();
+  }
 };
 
 /// Compiles \p Prog's annotated IR into a packed plan.

@@ -7,6 +7,22 @@
 // missing Test successor the replayed prefix is handed to the slow engine
 // for recovery (SlowEngine.cpp).
 //
+// The loop is compiled twice from one template. The unguarded instance is
+// the trusting hot loop of the paper. The guarded instance (the default;
+// Options::Guards) verifies each node BEFORE executing it: bounds-checks
+// the link, action id, kind byte and data span against the arenas, then
+// recomputes the node's integrity seal — xor of its placeholder span,
+// folded with its identity fields and the link it was reached through —
+// and compares it to the sealed value. Verification up front keeps the
+// execution path identical to the unguarded loop (the span sweep is a
+// tight xor loop over words the execution is about to read anyway), so
+// the guarded overhead is per-node, not per-instruction.
+//
+// Corruption detected before any node executed is absorbed: the entry is
+// detached and the step re-records cold. Corruption detected after a node
+// ran cannot be silently retried (the slow simulator would re-execute side
+// effects), so it raises a CacheCorrupt fault instead.
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/runtime/Simulation.h"
@@ -19,7 +35,8 @@ using namespace facile;
 using namespace facile::rt;
 using namespace facile::ir;
 
-bool Simulation::runFast(EntryId Entry, KeyId Key) {
+template <bool Guarded>
+Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
   const ExecPlan &P = Plan;
   ReplayedStep Rp;
   Rp.Entry = Entry;
@@ -30,15 +47,69 @@ bool Simulation::runFast(EntryId Entry, KeyId Key) {
   // are not touched again).
   const ActionNode *Nodes = Cache.nodes();
   const int64_t *Pool = Cache.data();
+  const uint32_t NumNodes = static_cast<uint32_t>(Cache.nodeCount());
+  const uint32_t NumActions = static_cast<uint32_t>(P.ActionOfs.size() - 1);
+  const uint64_t PoolSize = Cache.dataSize();
+
   uint32_t NodeIdx = Cache.entry(Entry).Head;
+  uint64_t IncomingTag = Guarded ? ActionCache::headTag(Key) : 0;
+  bool ExecutedAny = false;
+  uint32_t Walked = 0;
   int64_t ArgBuf[16];
+
+  // Routes a detected corruption: before any node executed the step can be
+  // absorbed (re-recorded cold by the caller); afterwards the shared state
+  // is partially mutated and re-execution would double side effects, so
+  // the only honest outcome is a fault.
+  auto corrupt = [&](const char *What) -> ReplayResult {
+    if (!ExecutedAny)
+      return ReplayResult::CorruptCold;
+    raiseFault(FaultKind::CacheCorrupt, What);
+    return ReplayResult::Faulted;
+  };
+
+  if (Guarded && NodeIdx == ActionNode::NoNode)
+    return ReplayResult::CorruptCold;
   for (;;) {
+    if (Guarded) {
+      // Verify before executing: every field the execution below trusts is
+      // checked here, so the hot path stays branch-for-branch identical to
+      // the unguarded loop.
+      if (NodeIdx >= NumNodes)
+        return corrupt("node link outside the arena");
+      if (++Walked > NumNodes)
+        return corrupt("replay chain does not terminate");
+      const ActionNode &C = Nodes[NodeIdx];
+      if (static_cast<uint32_t>(C.ActionId) >= NumActions)
+        return corrupt("node action id outside the plan");
+      if (static_cast<uint8_t>(C.K) >
+          static_cast<uint8_t>(ActionNode::Kind::End))
+        return corrupt("illegal node kind");
+      const uint64_t Lo = C.DataOfs;
+      const uint64_t Hi = Lo + C.DataLen;
+      if (Hi > PoolSize)
+        return corrupt("node data span outside the pool");
+      // The expensive part — xoring the whole placeholder span — runs once
+      // per mutation epoch per (node, incoming link); arriving through a
+      // flipped edge never matches the mark and forces the full sweep.
+      if (!Cache.nodeVerified(NodeIdx, IncomingTag)) {
+        uint64_t Xor = 0;
+        for (uint64_t W = Lo; W != Hi; ++W)
+          Xor ^= static_cast<uint64_t>(Pool[W]);
+        if ((Xor ^ ActionCache::identityMix(C) ^ IncomingTag) !=
+            Cache.nodeSeal(NodeIdx))
+          return corrupt("node integrity seal mismatch");
+        Cache.markVerified(NodeIdx, IncomingTag);
+      }
+    }
     const ActionNode &N = Nodes[NodeIdx];
     size_t DataPos = N.DataOfs;
 
     int64_t TestValue = 0;
     const XInst *IP = P.actionBegin(N.ActionId);
     const XInst *End = P.actionEnd(N.ActionId);
+    if (IP != End)
+      ExecutedAny = true;
     for (; IP != End; ++IP) {
       const XInst &I = *IP;
       auto readOperand = [&](uint32_t Slot, unsigned Pos) -> int64_t {
@@ -95,14 +166,29 @@ bool Simulation::runFast(EntryId Entry, KeyId Key) {
         DynLocalArrays[I.Id].assign(DynLocalArrays[I.Id].size(),
                                     readOperand(I.A, 0));
         break;
-      case XOp::Fetch:
-        DynSlots[I.Dst] =
-            Image.fetch(static_cast<uint32_t>(readOperand(I.A, 0)));
+      case XOp::Fetch: {
+        uint32_t Addr = static_cast<uint32_t>(readOperand(I.A, 0));
+        if (Guarded && (Addr < Image.TextBase || Addr >= Image.textEnd())) {
+          raiseFault(FaultKind::DecodeError,
+                     "instruction fetch outside the text segment");
+          return ReplayResult::Faulted;
+        }
+        DynSlots[I.Dst] = Image.fetch(Addr);
         break;
+      }
       case XOp::CallExtern: {
+        if (Guarded &&
+            (I.ArgCount > 16 ||
+             static_cast<uint64_t>(I.ArgOfs) + I.ArgCount > P.ArgPool.size())) {
+          raiseFault(FaultKind::PlanCorrupt,
+                     "extern argument span outside the plan's arg pool");
+          return ReplayResult::Faulted;
+        }
         for (unsigned A = 0; A != I.ArgCount; ++A)
           ArgBuf[A] = readOperand(P.ArgPool[I.ArgOfs + A], 2 + A);
-        int64_t R = externCall(I, ArgBuf);
+        int64_t R = 0;
+        if (!externCall(I, ArgBuf, R))
+          return ReplayResult::Faulted;
         if (I.Dst != NoSlot)
           DynSlots[I.Dst] = R;
         break;
@@ -165,17 +251,36 @@ bool Simulation::runFast(EntryId Entry, KeyId Key) {
         break;
       default:
         assert(false && "unexpected dynamic opcode in replay");
+        raiseFault(FaultKind::PlanCorrupt,
+                   "unexpected dynamic opcode in replay");
+        return ReplayResult::Faulted;
       }
     }
-    assert(DataPos == N.DataOfs + N.DataLen && "placeholder stream desynced");
+    // The seal pinned the span to exactly what recording consumed, so a
+    // leftover here means the plan and the record disagree on how many
+    // placeholders this action reads (a mutated plan the shape check
+    // cannot frame).
+    if (Guarded) {
+      if (DataPos != static_cast<size_t>(N.DataOfs) + N.DataLen)
+        return corrupt("placeholder stream desynced from the plan");
+    } else {
+      assert(DataPos == N.DataOfs + N.DataLen &&
+             "placeholder stream desynced");
+    }
 
     switch (N.K) {
     case ActionNode::Kind::End:
       PendingEndNode = NodeIdx;
-      return true;
+      return ReplayResult::Replayed;
     case ActionNode::Kind::Plain:
       Rp.Path.push_back({NodeIdx, 0});
-      assert(N.Next != ActionNode::NoNode && "complete entries are linked");
+      if (Guarded) {
+        if (N.Next == ActionNode::NoNode)
+          return corrupt("plain node without a successor");
+        IncomingTag = ActionCache::edgeTag(NodeIdx, -1);
+      } else {
+        assert(N.Next != ActionNode::NoNode && "complete entries are linked");
+      }
       NodeIdx = N.Next;
       break;
     case ActionNode::Kind::Test: {
@@ -187,12 +292,20 @@ bool Simulation::runFast(EntryId Entry, KeyId Key) {
         Rp.MissValue = TestValue;
         ++S.Misses;
         runSlow(Entry, &Rp);
-        return false;
+        return Fault ? ReplayResult::Faulted : ReplayResult::Recovered;
       }
       Rp.Path.push_back({NodeIdx, TestValue});
+      if (Guarded)
+        IncomingTag =
+            ActionCache::edgeTag(NodeIdx, static_cast<int>(TestValue));
       NodeIdx = Succ;
       break;
     }
     }
   }
+}
+
+Simulation::ReplayResult Simulation::runFast(EntryId Entry, KeyId Key) {
+  return Opts.Guards ? runFastImpl<true>(Entry, Key)
+                     : runFastImpl<false>(Entry, Key);
 }

@@ -1,0 +1,70 @@
+//===- SimFault.h - Structured simulation faults ----------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured fault model of the guarded-execution layer. Every
+/// ill-formed input the runtime can meet at step time — corrupted action
+/// cache nodes, exhausted resource budgets, failing or unregistered extern
+/// calls, truncated execution plans — is reported as a SimFault instead of
+/// an assert (a no-op under NDEBUG) or an abort. A fault freezes the
+/// simulation in a consistent state: stepping becomes a no-op until the
+/// host inspects the fault and either gives up or clears it and resumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_RUNTIME_SIMFAULT_H
+#define FACILE_RUNTIME_SIMFAULT_H
+
+#include <cstdint>
+#include <string>
+
+namespace facile {
+namespace rt {
+
+/// What went wrong. Kinds are ordered roughly by layer: target-level
+/// conditions first, then resource guards, then integrity guards.
+enum class FaultKind : uint8_t {
+  None,                 ///< no fault (RunResult convenience)
+  DecodeError,          ///< target instruction the program cannot decode
+  MemoryBudgetExceeded, ///< TargetMemory resident-page budget exhausted
+  StepLimit,            ///< step/cycle watchdog fired
+  ExternFailure,        ///< extern call unregistered or reported failure
+  CacheCorrupt,         ///< action-cache node/span/link integrity violated
+  PlanCorrupt,          ///< ExecPlan stream truncated or opcode illegal
+};
+
+/// Stable diagnostic name of a fault kind ("cache-corrupt", ...).
+const char *faultKindName(FaultKind K);
+
+/// One detected fault. Pc is the value of the program's "PC"/"pc" init
+/// global at detection time (0 if the program has none); Step is the
+/// 1-based step during which the fault fired.
+struct SimFault {
+  FaultKind Kind = FaultKind::None;
+  uint64_t Step = 0;
+  uint64_t Pc = 0;
+  std::string Detail;
+
+  explicit operator bool() const { return Kind != FaultKind::None; }
+};
+
+/// Why Simulation::run returned.
+enum class RunStatus : uint8_t {
+  Halted,  ///< the program executed sim_halt()
+  Limit,   ///< MaxSteps reached, no fault, not halted
+  Faulted, ///< a SimFault is pending; see RunResult::Fault
+};
+
+struct RunResult {
+  RunStatus Status = RunStatus::Limit;
+  uint64_t Steps = 0; ///< steps executed by this run() call
+  SimFault Fault;     ///< meaningful when Status == Faulted
+};
+
+} // namespace rt
+} // namespace facile
+
+#endif // FACILE_RUNTIME_SIMFAULT_H

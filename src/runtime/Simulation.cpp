@@ -12,6 +12,7 @@
 #include "src/isa/Isa.h"
 #include "src/snapshot/Serializer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +39,19 @@ Simulation::Simulation(const CompiledProgram &Prog,
                        const isa::TargetImage &Image, Options Opts)
     : Prog(Prog), Image(Image), Opts(Opts), Plan(buildExecPlan(Prog)),
       Cache(Opts.CacheBudgetBytes, Opts.Eviction) {
+  // The budget applies to the image load too: an image that cannot fit is
+  // detected on the first step (the latched flag faults immediately).
+  Mem.setPageBudget(Opts.MemPageBudget);
   Mem.loadImage(Image);
+  // Fault diagnostics report the conventional program counter when the
+  // program has one.
+  for (const char *Name : {"PC", "pc"}) {
+    auto It = Prog.GlobalIndex.find(Name);
+    if (It != Prog.GlobalIndex.end() && !Prog.Globals[It->second].IsArray) {
+      PcGlobal = It->second;
+      break;
+    }
+  }
   DynSlots.assign(Prog.Step.NumSlots, 0);
   StatSlots.assign(Prog.Step.NumSlots, 0);
   DynGlobals.assign(Prog.Globals.size(), 0);
@@ -67,27 +80,42 @@ Simulation::Simulation(const CompiledProgram &Prog,
   KeyBuf.reserve(KeyWidth);
 }
 
-void Simulation::registerExtern(const std::string &Name,
+bool Simulation::registerExtern(const std::string &Name,
                                 ExternHandler Handler) {
   auto It = Prog.ExternIndex.find(Name);
   if (It == Prog.ExternIndex.end())
-    fatal("registerExtern: name was not declared extern in the program");
+    return false;
   Externs[It->second] = std::move(Handler);
+  return true;
+}
+
+bool Simulation::tryGetGlobal(const std::string &Name, int64_t &Out) const {
+  auto It = Prog.GlobalIndex.find(Name);
+  if (It == Prog.GlobalIndex.end() || Prog.Globals[It->second].IsArray)
+    return false;
+  Out = DynGlobals[It->second];
+  return true;
+}
+
+bool Simulation::trySetGlobal(const std::string &Name, int64_t Value) {
+  auto It = Prog.GlobalIndex.find(Name);
+  if (It == Prog.GlobalIndex.end() || Prog.Globals[It->second].IsArray)
+    return false;
+  DynGlobals[It->second] = Value;
+  StatGlobals[It->second] = Value;
+  return true;
 }
 
 int64_t Simulation::getGlobal(const std::string &Name) const {
-  auto It = Prog.GlobalIndex.find(Name);
-  if (It == Prog.GlobalIndex.end() || Prog.Globals[It->second].IsArray)
+  int64_t V = 0;
+  if (!tryGetGlobal(Name, V))
     fatal("getGlobal: unknown scalar global");
-  return DynGlobals[It->second];
+  return V;
 }
 
 void Simulation::setGlobal(const std::string &Name, int64_t Value) {
-  auto It = Prog.GlobalIndex.find(Name);
-  if (It == Prog.GlobalIndex.end() || Prog.Globals[It->second].IsArray)
+  if (!trySetGlobal(Name, Value))
     fatal("setGlobal: unknown scalar global");
-  DynGlobals[It->second] = Value;
-  StatGlobals[It->second] = Value;
 }
 
 int64_t Simulation::getGlobalElem(const std::string &Name,
@@ -152,14 +180,69 @@ void Simulation::copyInitDynToStatic() {
 }
 
 //===----------------------------------------------------------------------===//
+// Faults
+//===----------------------------------------------------------------------===//
+
+const char *facile::rt::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::None:
+    return "none";
+  case FaultKind::DecodeError:
+    return "decode-error";
+  case FaultKind::MemoryBudgetExceeded:
+    return "memory-budget-exceeded";
+  case FaultKind::StepLimit:
+    return "step-limit";
+  case FaultKind::ExternFailure:
+    return "extern-failure";
+  case FaultKind::CacheCorrupt:
+    return "cache-corrupt";
+  case FaultKind::PlanCorrupt:
+    return "plan-corrupt";
+  }
+  return "unknown";
+}
+
+void Simulation::raiseFault(FaultKind Kind, const char *Detail) {
+  if (Fault) // the first fault of a step wins; later ones are cascade
+    return;
+  Fault.Kind = Kind;
+  Fault.Step = S.Steps;
+  Fault.Pc = PcGlobal == NoId ? 0 : static_cast<uint64_t>(DynGlobals[PcGlobal]);
+  Fault.Detail = Detail;
+  ++S.Faults;
+  // The INDEX chain may point at a node recorded by the aborted step.
+  PendingEndNode = ActionNode::NoNode;
+}
+
+void Simulation::clearFault() {
+  Fault = SimFault();
+  Mem.clearBudgetExceeded();
+}
+
+//===----------------------------------------------------------------------===//
 // Externs
 //===----------------------------------------------------------------------===//
 
-int64_t Simulation::externCall(const XInst &I, const int64_t *Args) {
+bool Simulation::externCall(const XInst &I, const int64_t *Args,
+                            int64_t &Out) {
   const ExternHandler &H = Externs[I.Id];
-  if (!H)
-    fatal("call to unregistered extern function");
-  return H(Args, I.ArgCount);
+  if (!H) {
+    raiseFault(FaultKind::ExternFailure,
+               "call to unregistered extern function");
+    return false;
+  }
+  if (ExternFaultHook && ExternFaultHook(I.Id)) {
+    raiseFault(FaultKind::ExternFailure, "extern failure injected");
+    return false;
+  }
+  std::optional<int64_t> R = H(Args, I.ArgCount);
+  if (!R) {
+    raiseFault(FaultKind::ExternFailure, "extern handler reported failure");
+    return false;
+  }
+  Out = *R;
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -283,6 +366,10 @@ void Simulation::serializeState(snapshot::Writer &W) const {
   W.u64(S.RetiredFast);
   W.u64(S.Cycles);
   W.u64(S.PlaceholderWords);
+  W.u64(S.Faults);
+  W.u64(S.CorruptDropped);
+  W.u64(S.BypassActivations);
+  W.u64(S.BypassedSteps);
   W.u8(HaltFlag ? 1 : 0);
   W.i64Vec(DynSlots);
   W.i64Vec(DynGlobals);
@@ -305,6 +392,10 @@ bool Simulation::deserializeState(snapshot::Reader &R) {
   NewS.RetiredFast = R.u64();
   NewS.Cycles = R.u64();
   NewS.PlaceholderWords = R.u64();
+  NewS.Faults = R.u64();
+  NewS.CorruptDropped = R.u64();
+  NewS.BypassActivations = R.u64();
+  NewS.BypassedSteps = R.u64();
   uint8_t Halt = R.u8();
   if (!R.ok() || Halt > 1)
     return false;
@@ -342,8 +433,13 @@ bool Simulation::deserializeState(snapshot::Reader &R) {
   StatArrays = std::move(NewStatArrays);
   StatLocalArrays = std::move(NewStatLocalArrays);
   // The INDEX chain points into the action cache of the *previous* run;
-  // re-intern from scratch on the next step.
+  // re-intern from scratch on the next step. The bypass heuristic is
+  // transient and restarts observation from a fresh window.
   PendingEndNode = ActionNode::NoNode;
+  BypassActive = false;
+  BypassTrips = 0;
+  WinSteps = WinNonFast = 0;
+  WinEvictBase = Cache.stats().Clears + Cache.stats().Evictions;
   return true;
 }
 
@@ -364,10 +460,34 @@ bool Simulation::deserializeCache(snapshot::Reader &R) {
 //===----------------------------------------------------------------------===//
 
 StepEngine Simulation::step() {
+  if (Fault)
+    return StepEngine::Faulted; // frozen until clearFault()
+  if (Opts.Guards && !Plan.shapeOk()) {
+    raiseFault(FaultKind::PlanCorrupt,
+               "execution plan streams are truncated or misframed");
+    return StepEngine::Faulted;
+  }
+  if (Opts.StepLimit && S.Steps >= Opts.StepLimit) {
+    raiseFault(FaultKind::StepLimit, "step watchdog limit reached");
+    return StepEngine::Faulted;
+  }
   ++S.Steps;
   if (!Opts.Memoize) {
     runSlow(NoId, nullptr);
-    return StepEngine::Slow;
+    return finishStep(StepEngine::Slow);
+  }
+
+  // Adaptive bypass: while tripped, run the slow simulator unrecorded —
+  // the cache is thrashing and recording would only churn it further.
+  if (BypassActive) {
+    if (S.Steps < BypassUntil) {
+      runSlow(NoId, nullptr);
+      ++S.BypassedSteps;
+      return finishStep(StepEngine::Slow);
+    }
+    BypassActive = false; // cooldown over: observe a fresh window
+    WinSteps = WinNonFast = 0;
+    WinEvictBase = Cache.stats().Clears + Cache.stats().Evictions;
   }
 
   serializeKeyInto(KeyBuf);
@@ -379,7 +499,8 @@ StepEngine Simulation::step() {
   KeyId Key = NoId;
   if (PendingEndNode != ActionNode::NoNode) {
     KeyId Next = Cache.node(PendingEndNode).NextKey;
-    if (Next != NoId && Cache.keyEquals(Next, KeyBuf.data(), KeyBuf.size()))
+    if (Next != NoId && Next < Cache.keyCount() &&
+        Cache.keyEquals(Next, KeyBuf.data(), KeyBuf.size()))
       Key = Next;
     PendingEndNode = ActionNode::NoNode;
   }
@@ -392,24 +513,87 @@ StepEngine Simulation::step() {
     Entry = Cache.create(Key);
     runSlow(Entry, nullptr);
     Engine = StepEngine::Slow;
-  } else if (runFast(Entry, Key)) {
-    ++S.FastSteps;
-    Engine = StepEngine::Fast;
   } else {
-    Engine = StepEngine::FastThenSlow;
+    switch (runFast(Entry, Key)) {
+    case ReplayResult::Replayed:
+      ++S.FastSteps;
+      Engine = StepEngine::Fast;
+      break;
+    case ReplayResult::Recovered:
+      Engine = StepEngine::FastThenSlow;
+      break;
+    case ReplayResult::CorruptCold:
+      // Corruption detected before the replay touched dynamic state:
+      // absorb it. Detach the poisoned entry and record this step cold,
+      // exactly like a first-touch miss of the key.
+      ++S.CorruptDropped;
+      Cache.detachEntry(Entry);
+      Entry = Cache.create(Key);
+      runSlow(Entry, nullptr);
+      Engine = StepEngine::Slow;
+      break;
+    case ReplayResult::Faulted:
+      Engine = StepEngine::Faulted;
+      break;
+    }
   }
+  if (Fault)
+    return StepEngine::Faulted;
   if (Cache.overBudget()) {
     Cache.evict();
     PendingEndNode = ActionNode::NoNode;
   }
-  return Engine;
+  if (Opts.AdaptiveBypass)
+    noteBypassWindow(Engine);
+  return finishStep(Engine);
 }
 
-uint64_t Simulation::run(uint64_t MaxSteps) {
-  uint64_t N = 0;
-  while (!HaltFlag && N < MaxSteps) {
-    step();
-    ++N;
+/// Post-step guard common to every engine path: the memory budget latch
+/// becomes a fault at step granularity (the offending store was dropped,
+/// so target memory is still consistent).
+StepEngine Simulation::finishStep(StepEngine Engine) {
+  if (!Fault && Mem.budgetExceeded())
+    raiseFault(FaultKind::MemoryBudgetExceeded,
+               "target memory resident-page budget exceeded");
+  return Fault ? StepEngine::Faulted : Engine;
+}
+
+void Simulation::noteBypassWindow(StepEngine Engine) {
+  ++WinSteps;
+  if (Engine != StepEngine::Fast)
+    ++WinNonFast;
+  if (WinSteps < Opts.BypassWindow)
+    return;
+  uint64_t EvictNow = Cache.stats().Clears + Cache.stats().Evictions;
+  // Trip only on the thrashing signature: the window was dominated by
+  // non-replayed steps *and* the cache shed weight inside it. The second
+  // condition keeps cold warm-up (100% slow, no evictions) from tripping.
+  if (EvictNow > WinEvictBase &&
+      WinNonFast * 100 >= WinSteps * Opts.BypassTripPct) {
+    BypassActive = true;
+    ++S.BypassActivations;
+    BypassUntil =
+        S.Steps + (Opts.BypassCooldown << std::min<uint32_t>(BypassTrips, 6));
+    if (BypassTrips < 31)
+      ++BypassTrips;
+    PendingEndNode = ActionNode::NoNode;
+  } else if (WinNonFast * 100 <= WinSteps * Opts.BypassHealthyPct) {
+    BypassTrips = 0; // hysteresis: a healthy window forgives past trips
   }
-  return N;
+  WinSteps = WinNonFast = 0;
+  WinEvictBase = EvictNow;
+}
+
+RunResult Simulation::run(uint64_t MaxSteps) {
+  RunResult R;
+  while (!HaltFlag && !Fault && R.Steps < MaxSteps) {
+    if (step() == StepEngine::Faulted)
+      break;
+    ++R.Steps;
+  }
+  R.Status = Fault  ? RunStatus::Faulted
+             : HaltFlag ? RunStatus::Halted
+                        : RunStatus::Limit;
+  R.Fault = Fault;
+  return R;
 }

@@ -30,23 +30,29 @@
 #include "src/loader/TargetMemory.h"
 #include "src/runtime/ActionCache.h"
 #include "src/runtime/ExecPlan.h"
+#include "src/runtime/SimFault.h"
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace facile {
 namespace rt {
 
-/// Host-provided implementation of an `extern` function.
-using ExternHandler = std::function<int64_t(const int64_t *Args, size_t N)>;
+/// Host-provided implementation of an `extern` function. Returning
+/// std::nullopt reports a host-side failure, which the runtime surfaces as
+/// an ExternFailure fault (plain int64_t returns convert implicitly).
+using ExternHandler =
+    std::function<std::optional<int64_t>(const int64_t *Args, size_t N)>;
 
 /// Which engine produced a step.
 enum class StepEngine : uint8_t {
   Slow,         ///< recorded by the slow simulator (cold key)
   Fast,         ///< fully replayed from the action cache
   FastThenSlow, ///< replay missed; recovered and re-recorded
+  Faulted,      ///< the step raised (or the sim already had) a SimFault
 };
 
 /// A running simulation of one compiled Facile program over one target
@@ -59,6 +65,32 @@ public:
     /// What happens when the cache exceeds its budget. ClearAll is the
     /// paper's policy; Segmented keeps the hot half of the entries.
     EvictionPolicy Eviction = EvictionPolicy::ClearAll;
+
+    // Guarded execution (none of these affect compatKey(): they change
+    // how defensively the engines run, not what they record).
+
+    /// Integrity guards on the replay path: bounds-check node links, data
+    /// spans and opcode legality, and verify each node's seal while
+    /// walking a (possibly loaded-from-disk) cache. Off is only for
+    /// benchmarking trusted in-process caches.
+    bool Guards = true;
+    /// Step watchdog: fault with StepLimit once lifetime Steps reaches
+    /// this. 0 = unlimited. Resumable: clearFault() + a higher limit.
+    uint64_t StepLimit = 0;
+    /// TargetMemory resident-page cap (MemoryBudgetExceeded). 0 = none.
+    size_t MemPageBudget = 0;
+
+    /// Adaptive memoization bypass: when a sliding window of steps shows
+    /// the cache thrashing (mostly non-fast steps *and* at least one
+    /// eviction inside the window), stop recording/replaying for a
+    /// cooldown period and run the slow simulator unrecorded. Repeated
+    /// trips double the cooldown (capped); a healthy window resets the
+    /// escalation.
+    bool AdaptiveBypass = true;
+    uint32_t BypassWindow = 1024;     ///< steps per observation window
+    uint32_t BypassTripPct = 75;      ///< trip: non-fast % at or above this
+    uint32_t BypassHealthyPct = 25;   ///< reset escalation at or below this
+    uint64_t BypassCooldown = 4096;   ///< base bypassed steps per trip
   };
 
   struct Stats {
@@ -69,6 +101,10 @@ public:
     uint64_t RetiredFast = 0;     ///< retired during fast replay
     uint64_t Cycles = 0;          ///< via the cycles() builtin
     uint64_t PlaceholderWords = 0;
+    uint64_t Faults = 0;         ///< structured faults raised
+    uint64_t CorruptDropped = 0; ///< corrupt entries detached, step ran cold
+    uint64_t BypassActivations = 0; ///< adaptive-bypass trips
+    uint64_t BypassedSteps = 0;     ///< steps run unrecorded while bypassed
 
     /// Table 1's metric: fraction of instructions simulated by the fast
     /// simulator.
@@ -86,27 +122,64 @@ public:
   Simulation(const CompiledProgram &Prog, const isa::TargetImage &Image)
       : Simulation(Prog, Image, Options()) {}
 
-  /// Installs the handler for extern \p Name. Aborts the program if the
-  /// name was not declared extern (host wiring bug, not user input).
-  void registerExtern(const std::string &Name, ExternHandler Handler);
+  /// Installs the handler for extern \p Name. Returns false (installing
+  /// nothing) when the name was not declared extern in the program — the
+  /// diagnosable path for names arriving from driver flags or config.
+  /// Wiring code with compiled-in names may assert the result.
+  bool registerExtern(const std::string &Name, ExternHandler Handler);
 
   /// Reads / writes a scalar global in the dynamic store (e.g. to seed the
   /// initial pc). Aborts on unknown names or arrays.
   int64_t getGlobal(const std::string &Name) const;
   void setGlobal(const std::string &Name, int64_t Value);
+  /// Non-aborting variants for name-lookup paths fed by user input
+  /// (driver flags): false means no such scalar global.
+  bool tryGetGlobal(const std::string &Name, int64_t &Out) const;
+  bool trySetGlobal(const std::string &Name, int64_t Value);
   /// Array-global element access for harnesses and tests.
   int64_t getGlobalElem(const std::string &Name, uint32_t Index) const;
   void setGlobalElem(const std::string &Name, uint32_t Index, int64_t Value);
 
   /// Executes one call of the step function. Returns which engine ran it.
+  /// Once a fault is pending, stepping is a no-op returning Faulted until
+  /// clearFault().
   StepEngine step();
 
-  /// Runs until sim_halt() or \p MaxSteps steps. Returns steps executed.
-  uint64_t run(uint64_t MaxSteps);
+  /// Runs until sim_halt(), a fault, or \p MaxSteps steps.
+  RunResult run(uint64_t MaxSteps);
 
   bool halted() const { return HaltFlag; }
+
+  //===-- Guarded execution --------------------------------------------------
+
+  bool faulted() const { return static_cast<bool>(Fault); }
+  const SimFault &fault() const { return Fault; }
+  const Options &options() const { return Opts; }
+  /// Acknowledges the pending fault so stepping can resume. The
+  /// simulation state is whatever the fault left consistent: for
+  /// CacheCorrupt/PlanCorrupt the faulting step may have executed
+  /// partially, so resuming is at the host's own judgement; StepLimit,
+  /// MemoryBudgetExceeded and ExternFailure are cleanly resumable.
+  void clearFault();
+  /// Raises a fault from outside the engines (e.g. a harness that decodes
+  /// target state and finds it undecodable).
+  void raiseFault(FaultKind Kind, const char *Detail);
+  void setStepLimit(uint64_t Limit) { Opts.StepLimit = Limit; }
+  bool bypassActive() const { return BypassActive; }
+
+  /// Fault-injection hook: consulted before every extern dispatch with the
+  /// extern id; returning true fails the call (ExternFailure fault).
+  void setExternFaultHook(std::function<bool(uint32_t)> Hook) {
+    ExternFaultHook = std::move(Hook);
+  }
+
   const Stats &stats() const { return S; }
   const ActionCache &cache() const { return Cache; }
+  /// Mutable internals for the fault injector (inject::FaultInjector) and
+  /// white-box tests; production code never writes through these.
+  ActionCache &mutableCache() { return Cache; }
+  ExecPlan &mutablePlan() { return Plan; }
+  const isa::TargetImage &image() const { return Image; }
   TargetMemory &memory() { return Mem; }
   const TargetMemory &memory() const { return Mem; }
 
@@ -151,14 +224,33 @@ private:
     int64_t MissValue = 0;  ///< the new result computed at the miss
   };
 
+  /// How a replay attempt ended (FastEngine.cpp).
+  enum class ReplayResult : uint8_t {
+    Replayed,    ///< clean end-of-step replay
+    Recovered,   ///< miss: prefix handed to the slow engine, step completed
+    CorruptCold, ///< corruption detected before any dynamic instruction
+                 ///< executed; caller detaches the entry and records cold
+    Faulted,     ///< a fault was raised (corruption mid-step, extern, ...)
+  };
+
   /// The slow / complete simulator: record and recovery (SlowEngine.cpp).
   void runSlow(EntryId Rec, const ReplayedStep *Recovery);
-  /// The fast / residual simulator: replay (FastEngine.cpp).
-  bool runFast(EntryId Entry, KeyId Key);
+  /// The fast / residual simulator: replay (FastEngine.cpp). Guarded is
+  /// Options::Guards, lifted to a compile-time branch so the unguarded
+  /// replay loop stays exactly as tight as before.
+  template <bool Guarded> ReplayResult runFastImpl(EntryId Entry, KeyId Key);
+  ReplayResult runFast(EntryId Entry, KeyId Key);
   void serializeKeyInto(std::string &Out) const;
   void seedStaticFromKey(KeyId Key);
   void copyInitDynToStatic();
-  int64_t externCall(const XInst &I, const int64_t *Args);
+  /// Dispatches an extern call. False means an ExternFailure fault was
+  /// raised (unregistered handler, injected failure, or the handler
+  /// returned nullopt); \p Out is untouched then.
+  bool externCall(const XInst &I, const int64_t *Args, int64_t &Out);
+  /// Per-window bypass accounting, called once per memoized step.
+  void noteBypassWindow(StepEngine Engine);
+  /// Post-step resource-guard check; may turn \p Engine into Faulted.
+  StepEngine finishStep(StepEngine Engine);
 
   const CompiledProgram &Prog;
   const isa::TargetImage &Image;
@@ -179,9 +271,20 @@ private:
   std::vector<std::vector<int64_t>> StatLocalArrays;
 
   std::vector<ExternHandler> Externs;
+  std::function<bool(uint32_t)> ExternFaultHook;
   ActionCache Cache;
   bool HaltFlag = false;
   Stats S;
+  SimFault Fault;
+  uint32_t PcGlobal = NoId; ///< "PC"/"pc" scalar global, for SimFault::Pc
+
+  // Adaptive-bypass state machine (Options::AdaptiveBypass).
+  bool BypassActive = false;
+  uint64_t BypassUntil = 0;   ///< lifetime step count to resume memoizing at
+  uint32_t BypassTrips = 0;   ///< consecutive trips (cooldown escalation)
+  uint64_t WinSteps = 0;      ///< memoized steps in the current window
+  uint64_t WinNonFast = 0;    ///< of those, not fully replayed
+  uint64_t WinEvictBase = 0;  ///< cache clears+evictions at window start
 
   /// INDEX chaining (paper Figure 9): the End node reached by the previous
   /// step. When its recorded NextKey's bytes match the current init

@@ -8,10 +8,17 @@
 // replayed prefix handed over by the fast engine, then resume recording at
 // the miss point.
 //
+// Every condition that used to be an assert but is reachable from user
+// input — a corrupted recovery prefix, an illegal opcode in a loaded plan,
+// a control-flow target outside the block table — raises a structured
+// fault instead and abandons the step, detaching the entry being recorded
+// so the cache never retains a half-recorded step.
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/runtime/Simulation.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +30,9 @@ using namespace facile::ir;
 void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
   const ExecPlan &P = Plan;
   const bool Record = Rec != NoId;
+  const bool Guards = Opts.Guards;
+  const size_t NBlocks =
+      std::min(P.BlockOfs.size() - 1, Prog.Actions.Blocks.size());
   bool Recovering = Recovery != nullptr;
   size_t RecoveryIdx = 0;
 
@@ -31,12 +41,24 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
   uint32_t PrevNode = ActionNode::NoNode;
   int PrevEdge = -1;
 
+  // Abandons the step on a detected inconsistency. Anything recorded so
+  // far becomes unreachable (the key maps to no entry again), so the next
+  // visit of this key records from scratch.
+  auto fail = [&](FaultKind Kind, const char *Detail) {
+    if (Record)
+      Cache.detachEntry(Rec);
+    raiseFault(Kind, Detail);
+  };
+
   if (Recovering) {
     assert(Rec == Recovery->Entry && "recovery must extend the missed entry");
     seedStaticFromKey(Recovery->Key);
   } else {
     copyInitDynToStatic();
   }
+
+  // The link tag of the node currently being recorded (sealed with it).
+  uint64_t NodeTag = 0;
 
   // Appends a new arena node linked at the current attach point.
   auto appendNode = [&](int32_t ActionId) -> uint32_t {
@@ -45,12 +67,15 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
       assert(Cache.entry(Rec).Head == ActionNode::NoNode &&
              "entry already has a head");
       Cache.entry(Rec).Head = Idx;
+      NodeTag = ActionCache::headTag(Cache.entry(Rec).Key);
     } else if (PrevEdge < 0) {
       Cache.node(PrevNode).Next = Idx;
+      NodeTag = ActionCache::edgeTag(PrevNode, -1);
     } else {
       assert(Cache.node(PrevNode).OnValue[PrevEdge] == ActionNode::NoNode &&
              "successor already recorded");
       Cache.node(PrevNode).OnValue[PrevEdge] = Idx;
+      NodeTag = ActionCache::edgeTag(PrevNode, PrevEdge);
     }
     PrevNode = Idx;
     PrevEdge = -1;
@@ -68,11 +93,13 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
 
     if (AI.ActionId != ActionBlockInfo::NoAction) {
       if (Recovering) {
-        assert(RecoveryIdx < Recovery->Path.size() &&
-               "recovery walked past the recorded prefix");
+        if (RecoveryIdx >= Recovery->Path.size())
+          return fail(FaultKind::CacheCorrupt,
+                      "recovery walked past the recorded prefix");
         const ReplayedStep::Item &Item = Recovery->Path[RecoveryIdx];
-        assert(Cache.node(Item.Node).ActionId == AI.ActionId &&
-               "slow and fast simulators disagree on the control path");
+        if (Cache.node(Item.Node).ActionId != AI.ActionId)
+          return fail(FaultKind::CacheCorrupt,
+                      "slow and fast simulators disagree on the control path");
         MissBlock = RecoveryIdx + 1 == Recovery->Path.size();
         RecordedTest = Item.Value;
         if (MissBlock) {
@@ -137,10 +164,14 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
           StatLocalArrays[I.Id].assign(StatLocalArrays[I.Id].size(),
                                        StatSlots[I.A]);
           break;
-        case XOp::Fetch:
-          StatSlots[I.Dst] =
-              Image.fetch(static_cast<uint32_t>(StatSlots[I.A]));
+        case XOp::Fetch: {
+          uint32_t Addr = static_cast<uint32_t>(StatSlots[I.A]);
+          if (Guards && (Addr < Image.TextBase || Addr >= Image.textEnd()))
+            return fail(FaultKind::DecodeError,
+                        "instruction fetch outside the text segment");
+          StatSlots[I.Dst] = Image.fetch(Addr);
           break;
+        }
         // Only pure builtins can be rt-static.
         case XOp::TextStart:
           StatSlots[I.Dst] = Image.TextBase;
@@ -150,6 +181,8 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
           break;
         default:
           assert(false && "unexpected rt-static opcode");
+          return fail(FaultKind::PlanCorrupt,
+                      "unexpected rt-static opcode in the slow stream");
         }
         continue;
       }
@@ -227,15 +260,26 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
         DynLocalArrays[I.Id].assign(DynLocalArrays[I.Id].size(), V);
         break;
       }
-      case XOp::Fetch:
-        DynSlots[I.Dst] =
-            Image.fetch(static_cast<uint32_t>(readOperand(I.A, 0)));
+      case XOp::Fetch: {
+        uint32_t Addr = static_cast<uint32_t>(readOperand(I.A, 0));
+        if (Guards && (Addr < Image.TextBase || Addr >= Image.textEnd()))
+          return fail(FaultKind::DecodeError,
+                      "instruction fetch outside the text segment");
+        DynSlots[I.Dst] = Image.fetch(Addr);
         break;
+      }
       case XOp::CallExtern: {
-        assert(I.ArgCount <= 16 && "extern arity limit");
+        if (I.ArgCount > 16)
+          return fail(FaultKind::PlanCorrupt, "extern arity limit exceeded");
+        if (Guards &&
+            static_cast<uint64_t>(I.ArgOfs) + I.ArgCount > P.ArgPool.size())
+          return fail(FaultKind::PlanCorrupt,
+                      "extern argument span outside the plan's arg pool");
         for (unsigned A = 0; A != I.ArgCount; ++A)
           ArgBuf[A] = readOperand(P.ArgPool[I.ArgOfs + A], 2 + A);
-        int64_t R = externCall(I, ArgBuf);
+        int64_t R = 0;
+        if (!externCall(I, ArgBuf, R))
+          return fail(FaultKind::ExternFailure, "extern call failed");
         if (I.Dst != NoSlot)
           DynSlots[I.Dst] = R;
         break;
@@ -300,19 +344,23 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
       }
       default:
         assert(false && "unexpected dynamic opcode");
+        return fail(FaultKind::PlanCorrupt,
+                    "unexpected dynamic opcode in the slow stream");
       }
     }
 
-    // Terminator.
-    auto sealDataSpan = [&] {
+    // Terminator. Sealing closes the node's data span and integrity seal;
+    // the node's kind must be final by then.
+    auto sealNode = [&] {
       ActionNode &N = Cache.node(NodeIdx);
       N.DataLen = Cache.dataSize() - N.DataOfs;
+      Cache.sealNode(NodeIdx, NodeTag);
     };
     const XInst &T = *Term;
     switch (T.Opcode) {
     case XOp::Jump:
       if (NodeIdx != ActionNode::NoNode)
-        sealDataSpan();
+        sealNode();
       BB = T.Target;
       break;
     case XOp::Branch: {
@@ -331,31 +379,35 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
         Taken = DynSlots[T.A] != 0;
         if (NodeIdx != ActionNode::NoNode) {
           Cache.node(NodeIdx).K = ActionNode::Kind::Test;
-          sealDataSpan();
+          sealNode();
           PrevEdge = Taken ? 1 : 0;
         }
       }
       if (!T.Dynamic && NodeIdx != ActionNode::NoNode)
-        sealDataSpan();
+        sealNode();
       BB = Taken ? T.Target : T.Target2;
       break;
     }
     case XOp::Ret:
-      assert(!Recovering && "step ended before reaching the miss point");
+      if (Recovering)
+        return fail(FaultKind::CacheCorrupt,
+                    "step ended before reaching the miss point");
       if (NodeIdx != ActionNode::NoNode) {
         serializeKeyInto(KeyBuf);
         KeyId Next = Cache.internKey(KeyBuf.data(), KeyBuf.size());
-        ActionNode &N = Cache.node(NodeIdx);
-        N.K = ActionNode::Kind::End;
-        N.DataLen = Cache.dataSize() - N.DataOfs;
-        N.NextKey = Next;
+        Cache.node(NodeIdx).K = ActionNode::Kind::End;
+        Cache.node(NodeIdx).NextKey = Next;
+        sealNode();
         // Arm the INDEX chain for the next step.
         PendingEndNode = NodeIdx;
       }
       return;
     default:
       assert(false && "block without a terminator");
-      return;
+      return fail(FaultKind::PlanCorrupt, "block without a terminator");
     }
+    if (Guards && BB >= NBlocks)
+      return fail(FaultKind::PlanCorrupt,
+                  "control transfer outside the block table");
   }
 }

@@ -321,12 +321,18 @@ std::string FacileSim::statsJson() const {
   const rt::Simulation::Stats &S = Sim.stats();
   const rt::ActionCache &C = Sim.cache();
   const rt::ActionCache::Stats &CS = C.stats();
-  char Buf[4096];
+  const rt::SimFault &F = Sim.fault();
+  char Buf[6144];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"steps\":%llu,\"fast_steps\":%llu,\"misses\":%llu,"
       "\"retired_total\":%llu,\"retired_fast\":%llu,\"cycles\":%llu,"
       "\"placeholder_words\":%llu,\"fast_forwarded_pct\":%.4f,"
+      "\"fault\":{\"kind\":\"%s\",\"step\":%llu,\"pc\":%llu,"
+      "\"detail\":\"%s\"},"
+      "\"guard\":{\"enabled\":%s,\"faults\":%llu,\"corrupt_dropped\":%llu},"
+      "\"bypass\":{\"active\":%s,\"activations\":%llu,"
+      "\"bypassed_steps\":%llu},"
       "\"cache\":{\"lookups\":%llu,\"hits\":%llu,\"entries_created\":%llu,"
       "\"keys_interned\":%llu,\"clears\":%llu,\"evictions\":%llu,"
       "\"evicted_entries\":%llu,\"probe_total\":%llu,\"probe_max\":%llu,"
@@ -347,7 +353,15 @@ std::string FacileSim::statsJson() const {
       static_cast<unsigned long long>(S.RetiredFast),
       static_cast<unsigned long long>(S.Cycles),
       static_cast<unsigned long long>(S.PlaceholderWords),
-      S.fastForwardedPct(),
+      S.fastForwardedPct(), rt::faultKindName(F.Kind),
+      static_cast<unsigned long long>(F.Step),
+      static_cast<unsigned long long>(F.Pc), F.Detail.c_str(),
+      Sim.options().Guards ? "true" : "false",
+      static_cast<unsigned long long>(S.Faults),
+      static_cast<unsigned long long>(S.CorruptDropped),
+      Sim.bypassActive() ? "true" : "false",
+      static_cast<unsigned long long>(S.BypassActivations),
+      static_cast<unsigned long long>(S.BypassedSteps),
       static_cast<unsigned long long>(CS.Lookups),
       static_cast<unsigned long long>(CS.Hits),
       static_cast<unsigned long long>(CS.EntriesCreated),
@@ -380,7 +394,8 @@ std::string FacileSim::statsJson() const {
 uint64_t FacileSim::run(uint64_t MaxInstrs) {
   // Steps and instructions differ (the OOO simulator retires several
   // instructions per cycle-step); poll the retire counter in batches.
-  while (!Sim.halted() && Sim.stats().RetiredTotal < MaxInstrs)
+  while (!Sim.halted() && !Sim.faulted() &&
+         Sim.stats().RetiredTotal < MaxInstrs)
     Sim.run(256);
   return Sim.stats().RetiredTotal;
 }

@@ -63,9 +63,14 @@ public:
             rt::Simulation::Options Opts = {},
             PassMode Mode = PassMode::Optimized);
 
-  /// Runs until sim_halt() or at least \p MaxInstrs instructions retired.
-  /// Returns the number of instructions retired.
+  /// Runs until sim_halt(), a structured fault, or at least \p MaxInstrs
+  /// instructions retired. Returns the number of instructions retired;
+  /// check faulted()/fault() afterwards to distinguish the outcomes.
   uint64_t run(uint64_t MaxInstrs);
+
+  /// True once the simulation raised a structured fault; see fault().
+  bool faulted() const { return Sim.faulted(); }
+  const rt::SimFault &fault() const { return Sim.fault(); }
 
   /// One-line JSON object with the run's simulation and action-cache
   /// statistics, for machine-readable perf trajectories (no trailing

@@ -9,7 +9,7 @@ namespace snapshot {
 
 namespace {
 
-constexpr char Magic[8] = {'F', 'A', 'C', 'S', 'N', 'A', 'P', '1'};
+constexpr char Magic[8] = {'F', 'A', 'C', 'S', 'N', 'A', 'P', '2'};
 /// magic + version + kind + compat + section count + header crc.
 constexpr size_t HeaderSize = 8 + 4 + 4 + 8 + 4 + 4;
 /// A container never carries more sections than this; bounds the parse

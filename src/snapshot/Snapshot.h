@@ -21,7 +21,7 @@
 ///
 /// Layout (all integers little-endian):
 ///
-///   header:   magic "FACSNAP1" (8) | format version u32 | payload kind u32
+///   header:   magic "FACSNAP2" (8) | format version u32 | payload kind u32
 ///             | compat key u64 | section count u32 | header CRC-32 u32
 ///   sections: tag u32 | payload length u64 | payload CRC-32 u32 | payload
 ///
@@ -48,7 +48,7 @@ namespace facile {
 namespace snapshot {
 
 /// Bumped whenever the container or any payload layout changes.
-inline constexpr uint32_t FormatVersion = 1;
+inline constexpr uint32_t FormatVersion = 2;
 
 /// What a container holds.
 enum class PayloadKind : uint32_t {

@@ -70,8 +70,8 @@ void stressOne(SimKind Kind, rt::EvictionPolicy Policy, size_t Budget,
   uint64_t TotalSteps = 0;
   while (!Sim.sim().halted() && TotalSteps < 400'000) {
     uint64_t Chunk = 1 + R.below(997); // odd stride: desync from loop shapes
-    uint64_t Did = Sim.sim().run(Chunk);
-    uint64_t RefDid = Ref.sim().run(Chunk);
+    uint64_t Did = Sim.sim().run(Chunk).Steps;
+    uint64_t RefDid = Ref.sim().run(Chunk).Steps;
     TotalSteps += Did;
     ASSERT_EQ(Did, RefDid);
 

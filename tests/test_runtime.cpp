@@ -207,7 +207,7 @@ TEST(Runtime, HaltStopsRun) {
   )");
   isa::TargetImage Img = emptyImage();
   Simulation Sim(P, Img);
-  uint64_t Steps = Sim.run(1000);
+  uint64_t Steps = Sim.run(1000).Steps;
   EXPECT_EQ(Steps, 5u);
   EXPECT_TRUE(Sim.halted());
 }

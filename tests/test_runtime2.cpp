@@ -138,10 +138,10 @@ TEST(Runtime2, StepsAfterHaltAreHarmless) {
   )");
   isa::TargetImage Img = emptyImage();
   Simulation Sim(P, Img);
-  EXPECT_EQ(Sim.run(100), 2u);
+  EXPECT_EQ(Sim.run(100).Steps, 2u);
   EXPECT_TRUE(Sim.halted());
   // run() after halt performs no further steps.
-  EXPECT_EQ(Sim.run(100), 0u);
+  EXPECT_EQ(Sim.run(100).Steps, 0u);
 }
 
 TEST(Runtime2, MixedStaticDynamicExpressionPlaceholders) {

@@ -97,7 +97,7 @@ int runProgram(const CompiledProgram &P, const std::string &AsmPath,
     Sim.setGlobal("PC", Image->Entry);
   if (const ir::GlobalVar *R = P.findGlobal("R"); R && R->IsArray)
     Sim.setGlobalElem("R", isa::StackReg, isa::DefaultStackTop);
-  uint64_t Steps = Sim.run(MaxSteps);
+  uint64_t Steps = Sim.run(MaxSteps).Steps;
 
   const rt::Simulation::Stats &S = Sim.stats();
   std::printf("steps:            %llu (%s)\n",

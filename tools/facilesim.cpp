@@ -18,9 +18,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "src/inject/FaultInjector.h"
 #include "src/sims/SimHarness.h"
 #include "src/workload/Workloads.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,7 +52,19 @@ void usage(const char *Prog) {
       "  --load-cache=<file>            warm-start from a saved action cache\n"
       "  --require-warm                 exit 1 unless a cache was loaded and\n"
       "                                 fast replay actually ran\n"
-      "  --json                         print the stats JSON line\n",
+      "  --max-steps=<n>                step watchdog: fault (step-limit)\n"
+      "                                 after n simulation steps (default off)\n"
+      "  --mem-budget=<mb>              resident target-memory budget in MB;\n"
+      "                                 exceeding it faults (default off)\n"
+      "  --guards=on|off                guarded execution: bounds and seal\n"
+      "                                 checks on replay (default on)\n"
+      "  --fault-inject=<spec>          seeded corruption campaign, e.g.\n"
+      "                                 seed:42,mem:0.01,cache:0.05,\n"
+      "                                 extern:0.001,plan:0.0001\n"
+      "  --json                         print the stats JSON line\n"
+      "\n"
+      "exit status: 0 ok, 1 save/require-warm failure, 2 bad usage,\n"
+      "             3 structured simulation fault (see the diagnostic)\n",
       Prog);
 }
 
@@ -67,6 +81,8 @@ int main(int Argc, char **Argv) {
   rt::Simulation::Options Opts;
   std::string SaveCkpt, LoadCkpt, SaveCache, LoadCache;
   bool Json = false, RequireWarm = false;
+  bool Injecting = false;
+  inject::InjectSpec InjSpec;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -97,7 +113,31 @@ int main(int Argc, char **Argv) {
       SaveCache = V;
     else if (!(V = argValue(Arg, "--load-cache=")).empty())
       LoadCache = V;
-    else if (Arg == "--no-memo")
+    else if (!(V = argValue(Arg, "--max-steps=")).empty())
+      Opts.StepLimit = std::strtoull(V.c_str(), nullptr, 10);
+    else if (!(V = argValue(Arg, "--mem-budget=")).empty())
+      Opts.MemPageBudget = static_cast<size_t>(
+          (std::strtoull(V.c_str(), nullptr, 10) << 20) /
+          TargetMemory::PageSize);
+    else if (!(V = argValue(Arg, "--guards=")).empty()) {
+      if (V == "on")
+        Opts.Guards = true;
+      else if (V == "off")
+        Opts.Guards = false;
+      else {
+        std::fprintf(stderr, "error: --guards takes on or off, not '%s'\n",
+                     V.c_str());
+        return 2;
+      }
+    } else if (!(V = argValue(Arg, "--fault-inject=")).empty()) {
+      std::string Err;
+      if (!inject::InjectSpec::parse(V, InjSpec, Err)) {
+        std::fprintf(stderr, "error: bad --fault-inject spec: %s\n",
+                     Err.c_str());
+        return 2;
+      }
+      Injecting = true;
+    } else if (Arg == "--no-memo")
       Opts.Memoize = false;
     else if (Arg == "--json")
       Json = true;
@@ -134,9 +174,17 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // A corruption campaign must terminate even if an undetected flip sends
+  // the workload into an endless loop: give it a default step watchdog.
+  if (Injecting && Opts.StepLimit == 0)
+    Opts.StepLimit = Instrs * 16 + 1'000'000;
+
   // An effectively unbounded outer loop: runs stop on the --instrs budget.
   isa::TargetImage Image = workload::generate(*Spec, 1u << 30);
   FacileSim Sim(Kind, Image, Opts);
+  inject::FaultInjector Inj(Sim.sim(), InjSpec);
+  if (Injecting)
+    Inj.arm();
 
   // Restore order matters: the checkpoint rewinds the simulation to a
   // saved point, then the action cache pre-populates memoized actions for
@@ -152,8 +200,17 @@ int main(int Argc, char **Argv) {
                  (unsigned long long)Sim.snapshotStats().CacheEntriesLoaded);
 
   uint64_t Before = Sim.sim().stats().RetiredTotal;
-  if (Instrs > Before)
+  if (Injecting) {
+    // Interleave short run chunks with injection rolls so corruption lands
+    // mid-run, against warm state, not just at the boundaries.
+    while (!Sim.sim().halted() && !Sim.faulted() &&
+           Sim.sim().stats().RetiredTotal < Instrs) {
+      Sim.run(std::min(Instrs, Sim.sim().stats().RetiredTotal + 4096));
+      Inj.inject();
+    }
+  } else if (Instrs > Before) {
     Sim.run(Instrs);
+  }
   uint64_t Retired = Sim.sim().stats().RetiredTotal;
 
   std::string Err;
@@ -174,6 +231,30 @@ int main(int Argc, char **Argv) {
               Sim.sim().stats().fastForwardedPct());
   if (Json)
     std::printf("%s\n", Sim.statsJson().c_str());
+
+  // A structured fault is a clean, diagnosable stop — never a crash. It
+  // has its own exit status so harnesses can tell it from success (0) and
+  // usage/IO errors (1, 2).
+  if (Sim.faulted()) {
+    const rt::SimFault &F = Sim.fault();
+    std::fprintf(stderr,
+                 "facilesim: fault: %s at step %llu (pc 0x%llx): %s\n",
+                 rt::faultKindName(F.Kind), (unsigned long long)F.Step,
+                 (unsigned long long)F.Pc, F.Detail.c_str());
+    if (Injecting) {
+      const inject::FaultInjector::Counters &IC = Inj.counters();
+      std::fprintf(stderr,
+                   "facilesim: injected: %llu mem, %llu node, %llu seal, "
+                   "%llu pool, %llu extern, %llu plan\n",
+                   (unsigned long long)IC.MemFlips,
+                   (unsigned long long)IC.CacheNodeFlips,
+                   (unsigned long long)IC.CacheSealFlips,
+                   (unsigned long long)IC.CachePoolFlips,
+                   (unsigned long long)IC.ExternFails,
+                   (unsigned long long)IC.PlanTruncations);
+    }
+    return 3;
+  }
 
   if (RequireWarm) {
     const FacileSim::SnapshotStats &SS = Sim.snapshotStats();
