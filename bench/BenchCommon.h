@@ -16,8 +16,9 @@
 #ifndef FACILE_BENCH_BENCHCOMMON_H
 #define FACILE_BENCH_BENCHCOMMON_H
 
+#include "src/support/Json.h"
+
 #include <chrono>
-#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -86,8 +87,11 @@ inline uint64_t scaled(uint64_t Budget, double Scale) {
 /// `--json` prints each line to stdout prefixed "JSON " (the historical
 /// format, grep-friendly in CI logs); `--out=<file>` implies --json but
 /// writes the raw lines to \p file instead (one JSON object per line).
-/// When neither flag is present line() is a no-op, so harness code calls
-/// it unconditionally.
+///
+/// Each line is built with json::Writer: call begin(), fill the returned
+/// writer (field/rawField/objectField...), then commit(). When neither
+/// flag is present commit() drops the line, so harness code calls the
+/// pair unconditionally.
 class JsonSink {
 public:
   JsonSink(int Argc, char **Argv)
@@ -110,30 +114,31 @@ public:
 
   bool enabled() const { return Enabled; }
 
-  /// Appends one printf-formatted JSON line (pass the object body without
-  /// a trailing newline).
-  void line(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
-    if (!Enabled)
-      return;
-    va_list Ap, Ap2;
-    va_start(Ap, Fmt);
-    va_copy(Ap2, Ap);
-    int N = std::vsnprintf(nullptr, 0, Fmt, Ap);
-    va_end(Ap);
-    std::string Buf(N > 0 ? static_cast<size_t>(N) : 0, '\0');
-    if (N > 0)
-      std::vsnprintf(&Buf[0], Buf.size() + 1, Fmt, Ap2);
-    va_end(Ap2);
-    if (Path.empty())
-      std::printf("JSON %s\n", Buf.c_str());
-    else
-      Lines.push_back(std::move(Buf));
+  /// Starts a result line: resets the scratch writer and opens the
+  /// top-level object.
+  json::Writer &begin() {
+    W.clear();
+    return W.beginObject();
+  }
+
+  /// Closes the object opened by begin() and emits the line (or discards
+  /// it when the sink is disabled).
+  void commit() {
+    W.endObject();
+    if (Enabled) {
+      if (Path.empty())
+        std::printf("JSON %s\n", W.str().c_str());
+      else
+        Lines.push_back(W.take());
+    }
+    W.clear();
   }
 
 private:
   std::string Path;
   bool Enabled;
   std::vector<std::string> Lines;
+  json::Writer W;
 };
 
 /// Prints the standard harness banner.

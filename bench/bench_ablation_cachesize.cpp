@@ -54,10 +54,12 @@ int main(int Argc, char **Argv) {
                     static_cast<unsigned long long>(CS.Evictions),
                     static_cast<unsigned long long>(S.Misses),
                     Sim.sim().cache().entryCount());
-        Sink.line("{\"bench\":\"%s\",\"policy\":\"%s\","
-                  "\"budget_mb\":%zu,\"stats\":%s}",
-                  Spec->Name.c_str(), PolicyName, CacheMB,
-                  Sim.statsJson().c_str());
+        Sink.begin()
+            .field("bench", Spec->Name)
+            .field("policy", PolicyName)
+            .field("budget_mb", static_cast<uint64_t>(CacheMB))
+            .rawField("stats", Sim.statsJson());
+        Sink.commit();
       }
     }
   }

@@ -20,6 +20,8 @@
 #include "src/fastsim/FastSim.h"
 #include "src/simscalar/SimScalar.h"
 #include "src/sims/SimHarness.h"
+#include "src/telemetry/Profiler.h"
+#include "src/telemetry/Trace.h"
 #include "src/workload/Workloads.h"
 
 using namespace facile;
@@ -45,7 +47,8 @@ int main(int Argc, char **Argv) {
               "memo Kips", "nomemo Kips", "sscalar Kips", "memo/nom",
               "memo/sscal", "vs hand", "ff%");
 
-  std::vector<double> MemoSpeedups, VsScalar, VsHand, GuardOverheads;
+  std::vector<double> MemoSpeedups, VsScalar, VsHand, GuardOverheads,
+      TelemetryOverheads;
   for (const workload::WorkloadSpec &Spec : workload::spec95Suite()) {
     isa::TargetImage Image = workload::generate(Spec, 1u << 30);
 
@@ -55,6 +58,17 @@ int main(int Argc, char **Argv) {
 
     rt::Simulation::Options Guarded;
     Guarded.Guards = true;
+
+    // Warm-up: one discarded guarded run per benchmark. First-touch costs
+    // (page faults, allocator growth, the per-process compile cache) used
+    // to land entirely on the first timed configuration and skew the
+    // guarded-vs-unguarded comparison; its raw sample still goes in the
+    // JSON so the discarded data stays inspectable.
+    FacileSim Warmup(SimKind::OutOfOrder, Image, Guarded);
+    double TWarmup = timeIt([&] { Warmup.run(MemoBudget); });
+    double KipsWarmup =
+        static_cast<double>(Warmup.sim().stats().RetiredTotal) / TWarmup / 1e3;
+
     FacileSim MemoG(SimKind::OutOfOrder, Image, Guarded);
     double TMemoG = timeIt([&] { MemoG.run(MemoBudget); });
     double KipsMemoG =
@@ -70,6 +84,21 @@ int main(int Argc, char **Argv) {
     // Guard overhead: how much slower the guarded replay runs, in percent.
     double GuardOverheadPct = (KipsMemoU / KipsMemoG - 1.0) * 100.0;
     GuardOverheads.push_back(GuardOverheadPct);
+
+    // Telemetry overhead: guarded run with a tracer attached (spans merged
+    // in the ring, never written out) and the profiler attached but
+    // disabled — the cost of carrying the instrumentation, not of using it.
+    FacileSim MemoGT(SimKind::OutOfOrder, Image, Guarded);
+    telemetry::EventTracer Tracer;
+    telemetry::ActionProfiler Prof(MemoGT.sim().actionCount());
+    Prof.setEnabled(false);
+    MemoGT.setTracer(&Tracer);
+    MemoGT.setProfiler(&Prof);
+    double TMemoGT = timeIt([&] { MemoGT.run(MemoBudget); });
+    double KipsMemoGT =
+        static_cast<double>(MemoGT.sim().stats().RetiredTotal) / TMemoGT / 1e3;
+    double TelemetryOverheadPct = (KipsMemoG / KipsMemoGT - 1.0) * 100.0;
+    TelemetryOverheads.push_back(TelemetryOverheadPct);
 
     FacileSim &Memo = GuardsOn ? MemoG : MemoU;
     double KipsMemo = GuardsOn ? KipsMemoG : KipsMemoU;
@@ -99,18 +128,28 @@ int main(int Argc, char **Argv) {
                 Spec.Name.c_str(), KipsMemo, KipsNo, KipsSs, MemoSpeedup,
                 KipsMemo / KipsSs, KipsMemo / KipsHand,
                 Memo.sim().stats().fastForwardedPct());
-    Sink.line("{\"bench\":\"%s\",\"kips_memo\":%.1f,"
-              "\"kips_nomemo\":%.1f,\"kips_memo_guarded\":%.1f,"
-              "\"kips_memo_unguarded\":%.1f,\"guard_overhead_pct\":%.3f,"
-              "\"stats\":%s}",
-              Spec.Name.c_str(), KipsMemo, KipsNo, KipsMemoG, KipsMemoU,
-              GuardOverheadPct, Memo.statsJson().c_str());
+    Sink.begin()
+        .field("bench", Spec.Name)
+        .field("kips_memo", KipsMemo)
+        .field("kips_nomemo", KipsNo)
+        .field("kips_memo_guarded", KipsMemoG)
+        .field("kips_memo_unguarded", KipsMemoU)
+        .field("kips_memo_guarded_warmup", KipsWarmup)
+        .field("kips_memo_telemetry", KipsMemoGT)
+        .field("guard_overhead_pct", GuardOverheadPct)
+        .field("telemetry_overhead_pct", TelemetryOverheadPct)
+        .rawField("stats", Memo.statsJson());
+    Sink.commit();
   }
 
-  double MeanOverhead = 0.0;
-  for (double O : GuardOverheads)
-    MeanOverhead += O;
-  MeanOverhead /= static_cast<double>(GuardOverheads.size());
+  auto Mean = [](const std::vector<double> &V) {
+    double Sum = 0.0;
+    for (double O : V)
+      Sum += O;
+    return V.empty() ? 0.0 : Sum / static_cast<double>(V.size());
+  };
+  double MeanOverhead = Mean(GuardOverheads);
+  double MeanTelemetry = Mean(TelemetryOverheads);
 
   std::printf("\nharmonic means: memo/no-memo %.2fx (paper 2.8-23.8x, hmean "
               "8.3); memo vs SimpleScalar %.3fx (paper ~1.5x, see "
@@ -121,6 +160,19 @@ int main(int Argc, char **Argv) {
   std::printf("guarded replay overhead: %.2f%% mean across the suite "
               "(budget: <= 5%%)\n",
               MeanOverhead);
+  std::printf("attached-telemetry overhead: %.2f%% mean across the suite "
+              "(budget: <= 1%% at full scale)\n",
+              MeanTelemetry);
+  // One summary object for CI: the overhead budget asserts key off this
+  // line instead of re-averaging the per-benchmark rows.
+  Sink.begin()
+      .field("summary", true)
+      .field("mean_guard_overhead_pct", MeanOverhead)
+      .field("mean_telemetry_overhead_pct", MeanTelemetry)
+      .field("hmean_memo_speedup", harmonicMean(MemoSpeedups))
+      .field("hmean_vs_simplescalar", harmonicMean(VsScalar))
+      .field("hmean_vs_handcoded", harmonicMean(VsHand));
+  Sink.commit();
 
   // §6.2 line-count claims: simulator sizes in lines of Facile.
   std::printf("\nsimulator sizes (paper: functional 703, in-order 965, "

@@ -79,10 +79,14 @@ int main(int Argc, char **Argv) {
                 Cold.sim().stats().fastForwardedPct(),
                 Warm.sim().stats().fastForwardedPct(),
                 static_cast<double>(CacheSnap.size()) / (1u << 20));
-    Sink.line("{\"bench\":\"%s\",\"kips_cold\":%.1f,\"kips_warm\":%.1f,"
-              "\"ratio\":%.3f,\"snapshot_bytes\":%zu,\"stats\":%s}",
-              Spec.Name.c_str(), KipsCold, KipsWarm, Ratio, CacheSnap.size(),
-              Warm.statsJson().c_str());
+    Sink.begin()
+        .field("bench", Spec.Name)
+        .field("kips_cold", KipsCold)
+        .field("kips_warm", KipsWarm)
+        .field("ratio", Ratio)
+        .field("snapshot_bytes", static_cast<uint64_t>(CacheSnap.size()))
+        .rawField("stats", Warm.statsJson());
+    Sink.commit();
   }
 
   std::printf("\nharmonic mean warm/cold %.2fx; %zu/%zu entries at or above "

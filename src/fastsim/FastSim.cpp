@@ -2,6 +2,8 @@
 
 #include "src/fastsim/FastSim.h"
 
+#include "src/telemetry/Metrics.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -429,4 +431,26 @@ uint64_t FastSim::run(uint64_t MaxInstrs) {
   while (!Halted && S.Retired < MaxInstrs)
     stepCycle();
   return S.Retired;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void FastSim::Stats::exportMetrics(telemetry::MetricSink &Sink) const {
+  Sink.counter("cycles", Cycles);
+  Sink.counter("retired", Retired);
+  Sink.counter("retired_fast", RetiredFast);
+  Sink.counter("steps", Steps);
+  Sink.counter("fast_steps", FastSteps);
+  Sink.counter("misses", Misses);
+  Sink.counter("clears", Clears);
+  Sink.counter("cache_bytes", CacheBytes);
+  Sink.gauge("fast_forwarded_pct", fastForwardedPct());
+}
+
+void FastSim::registerMetrics(telemetry::MetricsRegistry &R) const {
+  R.add("", [this](telemetry::MetricSink &Sink) { S.exportMetrics(Sink); });
+  BU.registerMetrics(R, "branch");
+  MH.registerMetrics(R, "mem");
 }

@@ -46,6 +46,12 @@
 #include <vector>
 
 namespace facile {
+
+namespace telemetry {
+class MetricSink;
+class MetricsRegistry;
+} // namespace telemetry
+
 namespace fastsim {
 
 /// Microarchitecture parameters — must mirror src/sims/ooo.fac.
@@ -128,6 +134,9 @@ public:
                           : 100.0 * static_cast<double>(RetiredFast) /
                                 static_cast<double>(Retired);
     }
+
+    /// Pushes the counters plus fast_forwarded_pct into \p Sink.
+    void exportMetrics(telemetry::MetricSink &Sink) const;
   };
 
   FastSim(const isa::TargetImage &Image, Options Opts);
@@ -145,6 +154,12 @@ public:
   const ArchState &archState() const { return Arch; }
   TargetMemory &memory() { return Mem; }
   const BranchUnit &branchUnit() const { return BU; }
+  const MemoryHierarchy &memHierarchy() const { return MH; }
+
+  /// Registers the canonical metric groups: the Stats counters at the top
+  /// level, then "branch" and "mem". The registry must not outlive this
+  /// simulator.
+  void registerMetrics(telemetry::MetricsRegistry &R) const;
 
 private:
   struct Entry;

@@ -44,6 +44,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 namespace facile {
@@ -52,6 +53,11 @@ namespace snapshot {
 class Writer;
 class Reader;
 } // namespace snapshot
+
+namespace telemetry {
+class MetricSink;
+class MetricsRegistry;
+} // namespace telemetry
 
 namespace rt {
 
@@ -114,6 +120,11 @@ public:
     uint64_t PeakBytes = 0;
     uint64_t ProbeTotal = 0; ///< key-table probes beyond the home slot
     uint64_t ProbeMax = 0;   ///< longest probe sequence seen
+
+    /// Pushes the bookkeeping counters into \p Sink (RuntimeMetrics.cpp).
+    /// peak_bytes is appended by ActionCache::exportMetrics after the
+    /// geometry, matching the statsJson() key order.
+    void exportMetrics(telemetry::MetricSink &Sink) const;
   };
 
   explicit ActionCache(size_t BudgetBytes,
@@ -298,6 +309,16 @@ public:
   size_t entryCount() const { return Entries.size(); }
   EvictionPolicy policy() const { return Policy; }
   const Stats &stats() const { return S; }
+
+  //===-- Telemetry ----------------------------------------------------------
+
+  /// Pushes the bookkeeping counters plus the live geometry (entries,
+  /// keys, nodes, bytes, key_pool_bytes, peak_bytes) into \p Sink, in
+  /// the statsJson() "cache" key order (RuntimeMetrics.cpp).
+  void exportMetrics(telemetry::MetricSink &Sink) const;
+  /// Installs exportMetrics as a provider under \p Group.
+  void registerMetrics(telemetry::MetricsRegistry &R,
+                       std::string Group) const;
 
   //===-- Persistence --------------------------------------------------------
 

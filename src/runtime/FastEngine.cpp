@@ -27,6 +27,8 @@
 
 #include "src/runtime/Simulation.h"
 
+#include "src/telemetry/Profiler.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstring>
@@ -35,7 +37,7 @@ using namespace facile;
 using namespace facile::rt;
 using namespace facile::ir;
 
-template <bool Guarded>
+template <bool Guarded, bool Profiled>
 Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
   const ExecPlan &P = Plan;
   ReplayedStep Rp;
@@ -55,6 +57,7 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
   uint64_t IncomingTag = Guarded ? ActionCache::headTag(Key) : 0;
   bool ExecutedAny = false;
   uint32_t Walked = 0;
+  uint64_t ProfNodes = 0; ///< nodes walked this step (Profiled only)
   int64_t ArgBuf[16];
 
   // Routes a detected corruption: before any node executed the step can be
@@ -110,6 +113,11 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
     const XInst *End = P.actionEnd(N.ActionId);
     if (IP != End)
       ExecutedAny = true;
+    if (Profiled) {
+      Profiler->noteNode(static_cast<uint32_t>(N.ActionId),
+                         static_cast<uint64_t>(End - IP), N.DataLen);
+      ++ProfNodes;
+    }
     for (; IP != End; ++IP) {
       const XInst &I = *IP;
       auto readOperand = [&](uint32_t Slot, unsigned Pos) -> int64_t {
@@ -271,6 +279,8 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
     switch (N.K) {
     case ActionNode::Kind::End:
       PendingEndNode = NodeIdx;
+      if (Profiled)
+        Profiler->noteStep(ProfNodes, /*Replayed=*/true);
       return ReplayResult::Replayed;
     case ActionNode::Kind::Plain:
       Rp.Path.push_back({NodeIdx, 0});
@@ -291,6 +301,8 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
         Rp.Path.push_back({NodeIdx, TestValue});
         Rp.MissValue = TestValue;
         ++S.Misses;
+        if (Profiled)
+          Profiler->noteStep(ProfNodes, /*Replayed=*/false);
         runSlow(Entry, &Rp);
         return Fault ? ReplayResult::Faulted : ReplayResult::Recovered;
       }
@@ -306,6 +318,13 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
 }
 
 Simulation::ReplayResult Simulation::runFast(EntryId Entry, KeyId Key) {
-  return Opts.Guards ? runFastImpl<true>(Entry, Key)
-                     : runFastImpl<false>(Entry, Key);
+  // Four instantiations of one loop: guards and profiling are both
+  // compile-time branches, so the common <true, false> / <false, false>
+  // paths carry zero profiler cost and the unguarded unprofiled loop is
+  // byte-for-byte the paper's trusting replay.
+  if (ProfArmed)
+    return Opts.Guards ? runFastImpl<true, true>(Entry, Key)
+                       : runFastImpl<false, true>(Entry, Key);
+  return Opts.Guards ? runFastImpl<true, false>(Entry, Key)
+                     : runFastImpl<false, false>(Entry, Key);
 }

@@ -11,6 +11,8 @@
 
 #include "src/isa/Isa.h"
 #include "src/snapshot/Serializer.h"
+#include "src/telemetry/Profiler.h"
+#include "src/telemetry/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -213,6 +215,10 @@ void Simulation::raiseFault(FaultKind Kind, const char *Detail) {
   ++S.Faults;
   // The INDEX chain may point at a node recorded by the aborted step.
   PendingEndNode = ActionNode::NoNode;
+  if (Tracer) {
+    flushTraceSpan();
+    Tracer->instant("fault", faultKindName(Kind), "step", S.Steps);
+  }
 }
 
 void Simulation::clearFault() {
@@ -490,6 +496,8 @@ StepEngine Simulation::step() {
     WinEvictBase = Cache.stats().Clears + Cache.stats().Evictions;
   }
 
+  ProfArmed = Profiler && Profiler->armStep();
+
   serializeKeyInto(KeyBuf);
 
   // INDEX chain: verify the previous step's recorded next key against the
@@ -508,7 +516,7 @@ StepEngine Simulation::step() {
     Key = Cache.internKey(KeyBuf.data(), KeyBuf.size());
   EntryId Entry = Cache.lookup(Key);
 
-  StepEngine Engine;
+  StepEngine Engine = StepEngine::Faulted;
   if (Entry == NoId) {
     Entry = Cache.create(Key);
     runSlow(Entry, nullptr);
@@ -540,6 +548,10 @@ StepEngine Simulation::step() {
   if (Fault)
     return StepEngine::Faulted;
   if (Cache.overBudget()) {
+    if (Tracer) {
+      flushTraceSpan();
+      Tracer->instant("cache", "evict", "bytes", Cache.bytes());
+    }
     Cache.evict();
     PendingEndNode = ActionNode::NoNode;
   }
@@ -555,7 +567,64 @@ StepEngine Simulation::finishStep(StepEngine Engine) {
   if (!Fault && Mem.budgetExceeded())
     raiseFault(FaultKind::MemoryBudgetExceeded,
                "target memory resident-page budget exceeded");
-  return Fault ? StepEngine::Faulted : Engine;
+  Engine = Fault ? StepEngine::Faulted : Engine;
+  if (Tracer)
+    noteStepForTrace(Engine);
+  return Engine;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *engineSpanName(StepEngine E) {
+  switch (E) {
+  case StepEngine::Slow:
+    return "slow-record";
+  case StepEngine::Fast:
+    return "fast-replay";
+  case StepEngine::FastThenSlow:
+    return "miss-recover";
+  case StepEngine::Faulted:
+    return "faulted";
+  }
+  return "step";
+}
+
+} // namespace
+
+void Simulation::setTracer(telemetry::EventTracer *T) {
+  if (Tracer && !T)
+    flushTraceSpan();
+  Tracer = T;
+  OpenKind = NoOpenSpan;
+  OpenSteps = 0;
+}
+
+void Simulation::noteStepForTrace(StepEngine Engine) {
+  uint8_t K = static_cast<uint8_t>(Engine);
+  if (K == OpenKind) { // steady state: no clock read, no event
+    ++OpenSteps;
+    return;
+  }
+  uint64_t Now = Tracer->nowUs();
+  if (OpenKind != NoOpenSpan)
+    Tracer->span("engine", engineSpanName(static_cast<StepEngine>(OpenKind)),
+                 OpenStartUs, Now, OpenSteps);
+  OpenKind = K;
+  OpenStartUs = Now;
+  OpenSteps = 1;
+}
+
+void Simulation::flushTraceSpan() {
+  if (!Tracer || OpenKind == NoOpenSpan)
+    return;
+  Tracer->span("engine", engineSpanName(static_cast<StepEngine>(OpenKind)),
+               OpenStartUs, Tracer->nowUs(), OpenSteps);
+  OpenKind = NoOpenSpan;
+  OpenSteps = 0;
 }
 
 void Simulation::noteBypassWindow(StepEngine Engine) {
@@ -574,6 +643,11 @@ void Simulation::noteBypassWindow(StepEngine Engine) {
     ++S.BypassActivations;
     BypassUntil =
         S.Steps + (Opts.BypassCooldown << std::min<uint32_t>(BypassTrips, 6));
+    if (Tracer) {
+      flushTraceSpan();
+      Tracer->instant("bypass", "trip", "cooldown_steps",
+                      BypassUntil - S.Steps);
+    }
     if (BypassTrips < 31)
       ++BypassTrips;
     PendingEndNode = ActionNode::NoNode;

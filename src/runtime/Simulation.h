@@ -39,6 +39,14 @@
 #include <vector>
 
 namespace facile {
+
+namespace telemetry {
+class ActionProfiler;
+class EventTracer;
+class MetricSink;
+class MetricsRegistry;
+} // namespace telemetry
+
 namespace rt {
 
 /// Host-provided implementation of an `extern` function. Returning
@@ -114,6 +122,11 @@ public:
                  : 100.0 * static_cast<double>(RetiredFast) /
                        static_cast<double>(RetiredTotal);
     }
+
+    /// Pushes the step counters (steps, fast_steps, ... ,
+    /// fast_forwarded_pct) into \p Sink — the canonical export of this
+    /// struct (RuntimeMetrics.cpp).
+    void exportMetrics(telemetry::MetricSink &Sink) const;
   };
 
   /// \p Prog and \p Image must outlive the simulation.
@@ -175,11 +188,43 @@ public:
 
   const Stats &stats() const { return S; }
   const ActionCache &cache() const { return Cache; }
+
+  //===-- Telemetry ----------------------------------------------------------
+
+  /// Attaches \p T (null detaches, flushing the open span). Cost while
+  /// null: one pointer test per step. Enabled tracing reads the clock only
+  /// at engine transitions — consecutive same-engine steps merge into one
+  /// span — plus one read per instant (eviction, fault, bypass trip).
+  void setTracer(telemetry::EventTracer *T);
+  telemetry::EventTracer *tracer() const { return Tracer; }
+  /// Closes the currently open merged step span, if any. Hosts call this
+  /// before serializing the trace (and before emitting their own instants)
+  /// so every buffered step is covered and timestamps stay monotonic.
+  void flushTraceSpan();
+
+  /// Attaches \p P (null detaches). Sampled steps replay through a
+  /// separate loop instantiation; unsampled steps and detached runs
+  /// execute the original loop unchanged.
+  void setProfiler(telemetry::ActionProfiler *P) {
+    Profiler = P;
+    ProfArmed = false;
+  }
+  telemetry::ActionProfiler *profiler() const { return Profiler; }
+
+  /// Registers this simulation's canonical metric groups, in statsJson()
+  /// schema order: the top-level step counters (empty group), then
+  /// "fault", "guard", "bypass" and "cache". The registry must not
+  /// outlive this simulation (RuntimeMetrics.cpp).
+  void registerMetrics(telemetry::MetricsRegistry &R) const;
   /// Mutable internals for the fault injector (inject::FaultInjector) and
   /// white-box tests; production code never writes through these.
   ActionCache &mutableCache() { return Cache; }
   ExecPlan &mutablePlan() { return Plan; }
   const isa::TargetImage &image() const { return Image; }
+  /// Number of actions in the compiled program — sizes an ActionProfiler.
+  uint32_t actionCount() const {
+    return static_cast<uint32_t>(Plan.ActionOfs.size() - 1);
+  }
   TargetMemory &memory() { return Mem; }
   const TargetMemory &memory() const { return Mem; }
 
@@ -236,9 +281,11 @@ private:
   /// The slow / complete simulator: record and recovery (SlowEngine.cpp).
   void runSlow(EntryId Rec, const ReplayedStep *Recovery);
   /// The fast / residual simulator: replay (FastEngine.cpp). Guarded is
-  /// Options::Guards, lifted to a compile-time branch so the unguarded
-  /// replay loop stays exactly as tight as before.
-  template <bool Guarded> ReplayResult runFastImpl(EntryId Entry, KeyId Key);
+  /// Options::Guards and Profiled is this step's sampling decision, both
+  /// lifted to compile-time branches so the unguarded unprofiled replay
+  /// loop stays exactly as tight as before.
+  template <bool Guarded, bool Profiled>
+  ReplayResult runFastImpl(EntryId Entry, KeyId Key);
   ReplayResult runFast(EntryId Entry, KeyId Key);
   void serializeKeyInto(std::string &Out) const;
   void seedStaticFromKey(KeyId Key);
@@ -249,6 +296,8 @@ private:
   bool externCall(const XInst &I, const int64_t *Args, int64_t &Out);
   /// Per-window bypass accounting, called once per memoized step.
   void noteBypassWindow(StepEngine Engine);
+  /// Merges this step into the open trace span (Tracer is non-null).
+  void noteStepForTrace(StepEngine Engine);
   /// Post-step resource-guard check; may turn \p Engine into Faulted.
   StepEngine finishStep(StepEngine Engine);
 
@@ -277,6 +326,19 @@ private:
   Stats S;
   SimFault Fault;
   uint32_t PcGlobal = NoId; ///< "PC"/"pc" scalar global, for SimFault::Pc
+
+  // Telemetry: both pointers are null until a host attaches them, and
+  // every hot-path hook hides behind that one test. Consecutive steps run
+  // by the same engine merge into one open span (clock reads only at
+  // transitions); instants flush the open span first so timestamps stay
+  // monotonic in arrival order.
+  telemetry::EventTracer *Tracer = nullptr;
+  telemetry::ActionProfiler *Profiler = nullptr;
+  bool ProfArmed = false; ///< this step's replay is sampled
+  static constexpr uint8_t NoOpenSpan = 0xff;
+  uint8_t OpenKind = NoOpenSpan; ///< StepEngine of the open span
+  uint64_t OpenStartUs = 0;
+  uint64_t OpenSteps = 0;
 
   // Adaptive-bypass state machine (Options::AdaptiveBypass).
   bool BypassActive = false;

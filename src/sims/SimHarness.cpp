@@ -4,6 +4,9 @@
 
 #include "src/isa/Isa.h"
 #include "src/snapshot/Snapshot.h"
+#include "src/telemetry/Metrics.h"
+#include "src/telemetry/Profiler.h"
+#include "src/telemetry/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -244,6 +247,10 @@ bool FacileSim::loadCheckpointBytes(const std::vector<uint8_t> &Bytes,
   BU = std::move(NewBU);
   MH = std::move(NewMH);
   SnapStats.CheckpointLoaded = true;
+  if (telemetry::EventTracer *T = Sim.tracer()) {
+    Sim.flushTraceSpan();
+    T->instant("snapshot", "checkpoint-load", "bytes", Bytes.size());
+  }
   return true;
 }
 
@@ -276,6 +283,10 @@ bool FacileSim::loadCacheBytes(const std::vector<uint8_t> &Bytes,
   SnapStats.CacheLoaded = true;
   SnapStats.CacheEntriesLoaded = Sim.cache().entryCount();
   SnapStats.CacheNodesLoaded = Sim.cache().nodeCount();
+  if (telemetry::EventTracer *T = Sim.tracer()) {
+    Sim.flushTraceSpan();
+    T->instant("snapshot", "cache-load", "bytes", Bytes.size());
+  }
   return true;
 }
 
@@ -290,6 +301,10 @@ bool FacileSim::saveFile(const std::string &Path, std::vector<uint8_t> Bytes,
     return false;
   }
   SnapStats.BytesWritten += Bytes.size();
+  if (telemetry::EventTracer *T = Sim.tracer()) {
+    Sim.flushTraceSpan();
+    T->instant("snapshot", "save", "bytes", Bytes.size());
+  }
   return true;
 }
 
@@ -317,78 +332,69 @@ bool FacileSim::loadCache(const std::string &Path, std::string *Err) {
   return loadCacheBytes(Bytes, Err);
 }
 
+//===----------------------------------------------------------------------===//
+// Telemetry: the statsJson() schema as a metrics-registry walk
+//===----------------------------------------------------------------------===//
+
+void FacileSim::SnapshotStats::exportMetrics(
+    telemetry::MetricSink &Sink) const {
+  Sink.flag("checkpoint_loaded", CheckpointLoaded);
+  Sink.flag("cache_loaded", CacheLoaded);
+  Sink.counter("cache_entries_loaded", CacheEntriesLoaded);
+  Sink.counter("cache_nodes_loaded", CacheNodesLoaded);
+  Sink.counter("compat_mismatches", CompatMismatches);
+  Sink.counter("corrupt_inputs", CorruptInputs);
+  Sink.counter("cold_fallbacks", ColdFallbacks);
+  Sink.counter("bytes_read", BytesRead);
+  Sink.counter("bytes_written", BytesWritten);
+}
+
+void FacileSim::registerMetrics(telemetry::MetricsRegistry &R) const {
+  // Groups register in the historical statsJson() key order; additions
+  // since schema v1 (schema_version itself, branch, mem, profile,
+  // telemetry) only ever append or prepend — existing consumers key by
+  // name and must keep parsing.
+  R.add("", [](telemetry::MetricSink &Sink) {
+    Sink.counter("schema_version", 2);
+  });
+  Sim.registerMetrics(R); // steps..., fault, guard, bypass, cache
+  R.add("snapshot", [this](telemetry::MetricSink &Sink) {
+    SnapStats.exportMetrics(Sink);
+  });
+  R.add("passes", [this](telemetry::MetricSink &Sink) {
+    const PassPipelineStats &P = Prog.Passes;
+    Sink.counter("rounds", P.Rounds);
+    Sink.counter("insts_before", P.InstsBefore);
+    Sink.counter("insts_after", P.InstsAfter);
+    Sink.counter("blocks_before", P.BlocksBefore);
+    Sink.counter("blocks_after", P.BlocksAfter);
+    Sink.counter("folded", P.Folded);
+    Sink.counter("branches_folded", P.BranchesFolded);
+    Sink.counter("copies_propagated", P.CopiesPropagated);
+    Sink.counter("dead_removed", P.DeadRemoved);
+    Sink.counter("jumps_threaded", P.JumpsThreaded);
+    Sink.counter("blocks_merged", P.BlocksMerged);
+    Sink.counter("blocks_removed", P.BlocksRemoved);
+  });
+  BU.registerMetrics(R, "branch");
+  MH.registerMetrics(R, "mem");
+  if (const telemetry::ActionProfiler *P = Sim.profiler())
+    P->registerMetrics(R, "profile", TopActions);
+  if (telemetry::EventTracer *T = Sim.tracer()) {
+    R.add("telemetry", [T](telemetry::MetricSink &Sink) {
+      Sink.flag("tracing", T->enabled());
+      Sink.counter("trace_events", T->size());
+      Sink.counter("trace_dropped", T->dropped());
+    });
+  }
+}
+
 std::string FacileSim::statsJson() const {
-  const rt::Simulation::Stats &S = Sim.stats();
-  const rt::ActionCache &C = Sim.cache();
-  const rt::ActionCache::Stats &CS = C.stats();
-  const rt::SimFault &F = Sim.fault();
-  char Buf[6144];
-  std::snprintf(
-      Buf, sizeof(Buf),
-      "{\"steps\":%llu,\"fast_steps\":%llu,\"misses\":%llu,"
-      "\"retired_total\":%llu,\"retired_fast\":%llu,\"cycles\":%llu,"
-      "\"placeholder_words\":%llu,\"fast_forwarded_pct\":%.4f,"
-      "\"fault\":{\"kind\":\"%s\",\"step\":%llu,\"pc\":%llu,"
-      "\"detail\":\"%s\"},"
-      "\"guard\":{\"enabled\":%s,\"faults\":%llu,\"corrupt_dropped\":%llu},"
-      "\"bypass\":{\"active\":%s,\"activations\":%llu,"
-      "\"bypassed_steps\":%llu},"
-      "\"cache\":{\"lookups\":%llu,\"hits\":%llu,\"entries_created\":%llu,"
-      "\"keys_interned\":%llu,\"clears\":%llu,\"evictions\":%llu,"
-      "\"evicted_entries\":%llu,\"probe_total\":%llu,\"probe_max\":%llu,"
-      "\"entries\":%zu,\"keys\":%zu,\"nodes\":%zu,\"bytes\":%zu,"
-      "\"key_pool_bytes\":%zu,\"peak_bytes\":%llu},"
-      "\"snapshot\":{\"checkpoint_loaded\":%s,\"cache_loaded\":%s,"
-      "\"cache_entries_loaded\":%llu,\"cache_nodes_loaded\":%llu,"
-      "\"compat_mismatches\":%llu,\"corrupt_inputs\":%llu,"
-      "\"cold_fallbacks\":%llu,\"bytes_read\":%llu,\"bytes_written\":%llu},"
-      "\"passes\":{\"rounds\":%u,\"insts_before\":%u,\"insts_after\":%u,"
-      "\"blocks_before\":%u,\"blocks_after\":%u,\"folded\":%u,"
-      "\"branches_folded\":%u,\"copies_propagated\":%u,\"dead_removed\":%u,"
-      "\"jumps_threaded\":%u,\"blocks_merged\":%u,\"blocks_removed\":%u}}",
-      static_cast<unsigned long long>(S.Steps),
-      static_cast<unsigned long long>(S.FastSteps),
-      static_cast<unsigned long long>(S.Misses),
-      static_cast<unsigned long long>(S.RetiredTotal),
-      static_cast<unsigned long long>(S.RetiredFast),
-      static_cast<unsigned long long>(S.Cycles),
-      static_cast<unsigned long long>(S.PlaceholderWords),
-      S.fastForwardedPct(), rt::faultKindName(F.Kind),
-      static_cast<unsigned long long>(F.Step),
-      static_cast<unsigned long long>(F.Pc), F.Detail.c_str(),
-      Sim.options().Guards ? "true" : "false",
-      static_cast<unsigned long long>(S.Faults),
-      static_cast<unsigned long long>(S.CorruptDropped),
-      Sim.bypassActive() ? "true" : "false",
-      static_cast<unsigned long long>(S.BypassActivations),
-      static_cast<unsigned long long>(S.BypassedSteps),
-      static_cast<unsigned long long>(CS.Lookups),
-      static_cast<unsigned long long>(CS.Hits),
-      static_cast<unsigned long long>(CS.EntriesCreated),
-      static_cast<unsigned long long>(CS.KeysInterned),
-      static_cast<unsigned long long>(CS.Clears),
-      static_cast<unsigned long long>(CS.Evictions),
-      static_cast<unsigned long long>(CS.EvictedEntries),
-      static_cast<unsigned long long>(CS.ProbeTotal),
-      static_cast<unsigned long long>(CS.ProbeMax), C.entryCount(),
-      C.keyCount(), C.nodeCount(), C.bytes(), C.keyPoolBytes(),
-      static_cast<unsigned long long>(CS.PeakBytes),
-      SnapStats.CheckpointLoaded ? "true" : "false",
-      SnapStats.CacheLoaded ? "true" : "false",
-      static_cast<unsigned long long>(SnapStats.CacheEntriesLoaded),
-      static_cast<unsigned long long>(SnapStats.CacheNodesLoaded),
-      static_cast<unsigned long long>(SnapStats.CompatMismatches),
-      static_cast<unsigned long long>(SnapStats.CorruptInputs),
-      static_cast<unsigned long long>(SnapStats.ColdFallbacks),
-      static_cast<unsigned long long>(SnapStats.BytesRead),
-      static_cast<unsigned long long>(SnapStats.BytesWritten),
-      Prog.Passes.Rounds,
-      Prog.Passes.InstsBefore, Prog.Passes.InstsAfter,
-      Prog.Passes.BlocksBefore, Prog.Passes.BlocksAfter, Prog.Passes.Folded,
-      Prog.Passes.BranchesFolded, Prog.Passes.CopiesPropagated,
-      Prog.Passes.DeadRemoved, Prog.Passes.JumpsThreaded,
-      Prog.Passes.BlocksMerged, Prog.Passes.BlocksRemoved);
-  return Buf;
+  telemetry::MetricsRegistry R;
+  registerMetrics(R);
+  telemetry::JsonMetricSink Sink;
+  R.exportTo(Sink);
+  return Sink.finish();
 }
 
 uint64_t FacileSim::run(uint64_t MaxInstrs) {

@@ -75,7 +75,24 @@ public:
   /// One-line JSON object with the run's simulation and action-cache
   /// statistics, for machine-readable perf trajectories (no trailing
   /// newline). Keys are stable across releases; new ones may be added.
+  /// Since schema_version 2 this is a thin walk over registerMetrics()
+  /// rendered by telemetry::JsonMetricSink — every pre-v2 key survives.
   std::string statsJson() const;
+
+  //===-- Telemetry ----------------------------------------------------------
+
+  /// Registers the full statsJson() schema: schema_version, the
+  /// simulation's groups (fault/guard/bypass/cache), "snapshot", "passes",
+  /// the "branch" and "mem" uarch groups, and — when attached — "profile"
+  /// and "telemetry". The registry must not outlive this instance.
+  void registerMetrics(telemetry::MetricsRegistry &R) const;
+
+  /// Attaches a tracer/profiler to the underlying simulation; snapshot
+  /// load/save instants are emitted through the same tracer.
+  void setTracer(telemetry::EventTracer *T) { Sim.setTracer(T); }
+  void setProfiler(telemetry::ActionProfiler *P) { Sim.setProfiler(P); }
+  /// How many rows the "profile" block's top_actions table carries.
+  void setTopActions(size_t N) { TopActions = N; }
 
   //===-- Snapshot & warm start ----------------------------------------------
 
@@ -91,6 +108,9 @@ public:
     uint64_t BytesWritten = 0;       ///< snapshot bytes written
     bool CheckpointLoaded = false;
     bool CacheLoaded = false;
+
+    /// Pushes the counters into \p Sink in statsJson() key order.
+    void exportMetrics(telemetry::MetricSink &Sink) const;
   };
 
   /// Builds a checkpoint container: complete dynamic simulation state,
@@ -135,6 +155,7 @@ private:
   BranchUnit BU;
   MemoryHierarchy MH;
   SnapshotStats SnapStats;
+  size_t TopActions = 8; ///< "profile" block top_actions rows
 };
 
 } // namespace sims

@@ -2,6 +2,8 @@
 
 #include "src/simscalar/SimScalar.h"
 
+#include "src/telemetry/Metrics.h"
+
 #include <cassert>
 
 using namespace facile;
@@ -237,4 +239,22 @@ uint64_t SimScalar::run(uint64_t MaxInstrs) {
   while (!Halted && S.Retired < MaxInstrs)
     stepCycle();
   return S.Retired;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void SimScalar::Stats::exportMetrics(telemetry::MetricSink &Sink) const {
+  Sink.counter("cycles", Cycles);
+  Sink.counter("retired", Retired);
+  Sink.counter("fetched", Fetched);
+  Sink.counter("branch_mispredicts", BranchMispredicts);
+  Sink.gauge("ipc", ipc());
+}
+
+void SimScalar::registerMetrics(telemetry::MetricsRegistry &R) const {
+  R.add("", [this](telemetry::MetricSink &Sink) { S.exportMetrics(Sink); });
+  BU.registerMetrics(R, "branch");
+  MH.registerMetrics(R, "mem");
 }

@@ -34,6 +34,12 @@
 #include <vector>
 
 namespace facile {
+
+namespace telemetry {
+class MetricSink;
+class MetricsRegistry;
+} // namespace telemetry
+
 namespace simscalar {
 
 /// Machine configuration (defaults roughly match src/sims/ooo.fac so the
@@ -65,6 +71,9 @@ public:
                          : static_cast<double>(Retired) /
                                static_cast<double>(Cycles);
     }
+
+    /// Pushes the counters plus ipc into \p Sink.
+    void exportMetrics(telemetry::MetricSink &Sink) const;
   };
 
   SimScalar(const isa::TargetImage &Image, Config Cfg);
@@ -81,6 +90,13 @@ public:
   const Stats &stats() const { return S; }
   const ArchState &archState() const { return Arch; }
   TargetMemory &memory() { return Mem; }
+  const BranchUnit &branchUnit() const { return BU; }
+  const MemoryHierarchy &memHierarchy() const { return MH; }
+
+  /// Registers the canonical metric groups: the Stats counters at the top
+  /// level, then "branch" and "mem". The registry must not outlive this
+  /// simulator.
+  void registerMetrics(telemetry::MetricsRegistry &R) const;
 
 private:
   struct RuuEntry {

@@ -1,0 +1,99 @@
+//===- Json.cpp - Incremental JSON writer -----------------------------------===//
+
+#include "src/support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace facile;
+using namespace facile::json;
+
+void json::appendEscaped(std::string &Out, std::string_view V) {
+  for (char C : V) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+}
+
+void json::appendDouble(std::string &Out, double V) {
+  // JSON has no NaN/Infinity literals; clamp rather than emit garbage.
+  if (!std::isfinite(V))
+    V = 0.0;
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  Out += Buf;
+  // "%g" of an integral value prints no dot/exponent; that is still legal
+  // JSON (a number), so no fixup is needed.
+}
+
+void Writer::appendUnsigned(uint64_t V) {
+  char Buf[24];
+  char *P = Buf + sizeof(Buf);
+  do {
+    *--P = static_cast<char>('0' + V % 10);
+    V /= 10;
+  } while (V != 0);
+  Out.append(P, Buf + sizeof(Buf) - P);
+}
+
+Writer &Writer::key(std::string_view K) {
+  assert((Stack[Depth] == ObjFirst || Stack[Depth] == Obj) &&
+         "key() outside an object");
+  if (Stack[Depth] == Obj)
+    Out.push_back(',');
+  Out.push_back('"');
+  appendEscaped(Out, K);
+  Out += "\":";
+  Stack[Depth] = ObjValue;
+  return *this;
+}
+
+void Writer::preValue() {
+  switch (Stack[Depth]) {
+  case Top:
+    break;
+  case ObjValue:
+    Stack[Depth] = Obj; // the pending member's value is being written
+    break;
+  case ArrFirst:
+    Stack[Depth] = Arr;
+    break;
+  case Arr:
+    Out.push_back(',');
+    break;
+  case ObjFirst:
+  case Obj:
+    assert(false && "value inside an object requires key() first");
+    break;
+  }
+}

@@ -1,0 +1,181 @@
+//===- Json.h - Incremental JSON writer -------------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, allocation-light JSON writer: proper string escaping, automatic
+/// comma placement, nested objects/arrays, and careful number formatting
+/// (non-finite doubles are clamped to 0 so the output is always parseable).
+/// Every JSON string this repository emits — statsJson(), --metrics files,
+/// Chrome trace files, the bench harness result lines — is built with this
+/// writer instead of hand-concatenated printf formats.
+///
+/// Usage:
+///   json::Writer W;
+///   W.beginObject().field("steps", 42).key("cache").beginObject()
+///     .field("hits", 7).endObject().endObject();
+///   std::string S = W.take();
+///
+/// The writer does not validate call order exhaustively; balanced() lets
+/// tests assert structural sanity, and debug builds assert on the common
+/// misuses (value with a pending key missing, endObject inside an array).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SUPPORT_JSON_H
+#define FACILE_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace facile {
+namespace json {
+
+/// Appends \p V to \p Out with JSON escaping (quotes, backslash, control
+/// characters as \uXXXX), without surrounding quotes.
+void appendEscaped(std::string &Out, std::string_view V);
+
+/// Appends a JSON-legal formatting of \p V (non-finite values become 0).
+void appendDouble(std::string &Out, double V);
+
+class Writer {
+public:
+  Writer() { Stack[0] = Top; }
+
+  Writer &beginObject() {
+    preValue();
+    Out.push_back('{');
+    push(ObjFirst);
+    return *this;
+  }
+  Writer &endObject() {
+    Out.push_back('}');
+    pop(ObjFirst, Obj);
+    return *this;
+  }
+  Writer &beginArray() {
+    preValue();
+    Out.push_back('[');
+    push(ArrFirst);
+    return *this;
+  }
+  Writer &endArray() {
+    Out.push_back(']');
+    pop(ArrFirst, Arr);
+    return *this;
+  }
+
+  /// Emits the member key (with separators) inside an object; the next
+  /// value/begin* call writes its value.
+  Writer &key(std::string_view K);
+
+  Writer &value(std::string_view V) {
+    preValue();
+    Out.push_back('"');
+    appendEscaped(Out, V);
+    Out.push_back('"');
+    return *this;
+  }
+  Writer &value(const char *V) { return value(std::string_view(V)); }
+  Writer &value(bool V) {
+    preValue();
+    Out += V ? "true" : "false";
+    return *this;
+  }
+  Writer &value(double V) {
+    preValue();
+    appendDouble(Out, V);
+    return *this;
+  }
+  Writer &value(uint64_t V) {
+    preValue();
+    appendUnsigned(V);
+    return *this;
+  }
+  Writer &value(int64_t V) {
+    preValue();
+    if (V < 0) {
+      Out.push_back('-');
+      appendUnsigned(~static_cast<uint64_t>(V) + 1);
+    } else {
+      appendUnsigned(static_cast<uint64_t>(V));
+    }
+    return *this;
+  }
+  Writer &value(uint32_t V) { return value(static_cast<uint64_t>(V)); }
+  Writer &value(int32_t V) { return value(static_cast<int64_t>(V)); }
+  Writer &null() {
+    preValue();
+    Out += "null";
+    return *this;
+  }
+
+  /// Splices pre-serialized JSON (e.g. an embedded statsJson() object) as
+  /// the next value. The caller vouches for its validity.
+  Writer &rawValue(std::string_view Json) {
+    preValue();
+    Out += Json;
+    return *this;
+  }
+
+  template <typename T> Writer &field(std::string_view K, T V) {
+    key(K);
+    return value(V);
+  }
+  Writer &rawField(std::string_view K, std::string_view Json) {
+    key(K);
+    return rawValue(Json);
+  }
+  Writer &objectField(std::string_view K) {
+    key(K);
+    return beginObject();
+  }
+  Writer &arrayField(std::string_view K) {
+    key(K);
+    return beginArray();
+  }
+
+  /// True when every beginObject/beginArray has been closed and exactly
+  /// one top-level value was written.
+  bool balanced() const { return Depth == 0 && !Out.empty(); }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+  void clear() {
+    Out.clear();
+    Depth = 0;
+    Stack[0] = Top;
+  }
+
+private:
+  enum State : uint8_t { Top, ObjFirst, Obj, ArrFirst, Arr, ObjValue };
+
+  void appendUnsigned(uint64_t V);
+  void preValue();
+  void push(State S) {
+    if (Depth + 1 < MaxDepth)
+      Stack[++Depth] = S;
+  }
+  void pop(State First, State Rest) {
+    (void)First;
+    (void)Rest;
+    if (Depth > 0)
+      --Depth;
+    // Closing the value slot of an object member: the member is complete.
+    if (Stack[Depth] == ObjValue)
+      Stack[Depth] = Obj;
+  }
+
+  static constexpr unsigned MaxDepth = 64;
+  std::string Out;
+  State Stack[MaxDepth];
+  unsigned Depth = 0;
+};
+
+} // namespace json
+} // namespace facile
+
+#endif // FACILE_SUPPORT_JSON_H

@@ -1,0 +1,28 @@
+//===- Metrics.cpp - Metrics registry and export sinks -----------------------===//
+
+#include "src/telemetry/Metrics.h"
+
+#include <cstdio>
+
+using namespace facile;
+using namespace facile::telemetry;
+
+void JsonMetricSink::histogram(std::string_view Name, const Histogram &H) {
+  W.objectField(Name)
+      .field("count", H.Count)
+      .field("sum", H.Sum)
+      .field("min", H.Count == 0 ? 0 : H.Min)
+      .field("max", H.Max)
+      .field("mean", H.mean());
+  W.objectField("buckets");
+  for (unsigned B = 0; B != 65; ++B) {
+    if (H.Buckets[B] == 0)
+      continue;
+    char Key[24];
+    std::snprintf(Key, sizeof(Key), "%llu",
+                  static_cast<unsigned long long>(Histogram::bucketLo(B)));
+    W.field(Key, H.Buckets[B]);
+  }
+  W.endObject(); // buckets
+  W.endObject(); // the histogram object
+}

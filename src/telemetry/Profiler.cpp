@@ -1,0 +1,59 @@
+//===- Profiler.cpp - Hot-action replay profiler -----------------------------===//
+
+#include "src/telemetry/Profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace facile;
+using namespace facile::telemetry;
+
+std::vector<ActionProfiler::Entry> ActionProfiler::top(size_t N) const {
+  std::vector<Entry> All;
+  for (uint32_t Id = 0; Id != Rows.size(); ++Id) {
+    const Row &R = Rows[Id];
+    if (R.Nodes == 0)
+      continue;
+    All.push_back({Id, R.Nodes, R.Instrs, R.Bytes});
+  }
+  std::sort(All.begin(), All.end(), [](const Entry &A, const Entry &B) {
+    if (A.Instrs != B.Instrs)
+      return A.Instrs > B.Instrs;
+    if (A.Bytes != B.Bytes)
+      return A.Bytes > B.Bytes;
+    return A.ActionId < B.ActionId;
+  });
+  if (All.size() > N)
+    All.resize(N);
+  return All;
+}
+
+void ActionProfiler::exportMetrics(MetricSink &Sink, size_t TopN) const {
+  Sink.flag("enabled", Enabled);
+  Sink.counter("sample_period", Period);
+  Sink.counter("sampled_steps", SampledSteps);
+  Sink.counter("sampled_replays", SampledReplays);
+  Sink.histogram("step_nodes", SpanNodes);
+  // The hottest actions, as a nested group of per-action rows keyed by
+  // rank ("0" is hottest). JsonMetricSink renders this as an object; a
+  // tabular sink can treat each rank group as one row.
+  std::vector<Entry> Top = top(TopN);
+  Sink.beginGroup("top_actions");
+  for (size_t I = 0; I != Top.size(); ++I) {
+    char Rank[24];
+    std::snprintf(Rank, sizeof(Rank), "%u", static_cast<unsigned>(I));
+    Sink.beginGroup(Rank);
+    Sink.counter("action", Top[I].ActionId);
+    Sink.counter("nodes", Top[I].Nodes);
+    Sink.counter("instrs", Top[I].Instrs);
+    Sink.counter("bytes", Top[I].Bytes);
+    Sink.endGroup();
+  }
+  Sink.endGroup();
+}
+
+void ActionProfiler::reset() {
+  std::fill(Rows.begin(), Rows.end(), Row());
+  StepCounter = SampledSteps = SampledReplays = 0;
+  SpanNodes.reset();
+}

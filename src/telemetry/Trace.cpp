@@ -1,0 +1,126 @@
+//===- Trace.cpp - Ring-buffered Chrome trace-event tracer -------------------===//
+
+#include "src/telemetry/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace facile;
+using namespace facile::telemetry;
+
+namespace {
+
+uint64_t steadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+EventTracer::EventTracer(size_t Capacity)
+    : Ring(std::max<size_t>(Capacity, 16)), Epoch(steadyNs()) {}
+
+uint64_t EventTracer::nowUs() const { return (steadyNs() - Epoch) / 1000; }
+
+void EventTracer::push(const Event &E) {
+  if (Count == Ring.size()) {
+    Ring[Head] = E;
+    Head = (Head + 1) % Ring.size();
+    ++Dropped;
+    return;
+  }
+  Ring[(Head + Count) % Ring.size()] = E;
+  ++Count;
+}
+
+void EventTracer::span(const char *Cat, const char *Name, uint64_t StartUs,
+                       uint64_t EndUs, uint64_t Steps) {
+  if (!Enabled)
+    return;
+  if (EndUs < StartUs)
+    EndUs = StartUs;
+  push({Cat, Name, nullptr, StartUs, EndUs - StartUs, Steps, 0});
+}
+
+void EventTracer::instant(const char *Cat, const char *Name,
+                          const char *ArgName, uint64_t Arg) {
+  instantAt(Cat, Name, nowUs(), ArgName, Arg);
+}
+
+void EventTracer::instantAt(const char *Cat, const char *Name, uint64_t AtUs,
+                            const char *ArgName, uint64_t Arg) {
+  if (!Enabled)
+    return;
+  push({Cat, Name, ArgName, AtUs, 0, Arg, 1});
+}
+
+void EventTracer::writeTo(json::Writer &W) const {
+  W.beginObject();
+  W.arrayField("traceEvents");
+  for (size_t I = 0; I != Count; ++I) {
+    const Event &E = at(I);
+    if (E.Kind == 0) {
+      // Matched begin/end pair. Events arrive in completion order and
+      // spans never overlap, so emitting both here keeps ts monotonic.
+      W.beginObject()
+          .field("ph", "B")
+          .field("name", E.Name)
+          .field("cat", E.Cat)
+          .field("ts", E.Ts)
+          .field("pid", uint64_t(1))
+          .field("tid", uint64_t(1));
+      if (E.Arg != 0)
+        W.objectField("args").field("steps", E.Arg).endObject();
+      W.endObject();
+      W.beginObject()
+          .field("ph", "E")
+          .field("name", E.Name)
+          .field("cat", E.Cat)
+          .field("ts", E.Ts + E.Dur)
+          .field("pid", uint64_t(1))
+          .field("tid", uint64_t(1))
+          .endObject();
+    } else {
+      W.beginObject()
+          .field("ph", "i")
+          .field("name", E.Name)
+          .field("cat", E.Cat)
+          .field("ts", E.Ts)
+          .field("pid", uint64_t(1))
+          .field("tid", uint64_t(1))
+          .field("s", "t");
+      if (E.ArgName)
+        W.objectField("args").field(E.ArgName, E.Arg).endObject();
+      W.endObject();
+    }
+  }
+  W.endArray();
+  W.field("displayTimeUnit", "ms");
+  W.field("droppedEvents", Dropped);
+  W.endObject();
+}
+
+std::string EventTracer::toJson() const {
+  json::Writer W;
+  writeTo(W);
+  return W.take();
+}
+
+bool EventTracer::writeFile(const std::string &Path, std::string *Err) const {
+  std::string Json = toJson();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open trace file '" + Path + "' for writing";
+    return false;
+  }
+  size_t N = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = N == Json.size() && std::fputc('\n', F) != EOF;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok && Err)
+    *Err = "short write to trace file '" + Path + "'";
+  return Ok;
+}

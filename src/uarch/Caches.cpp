@@ -3,6 +3,7 @@
 #include "src/uarch/Caches.h"
 
 #include "src/snapshot/Serializer.h"
+#include "src/telemetry/Metrics.h"
 
 #include <cassert>
 #include <utility>
@@ -139,4 +140,35 @@ bool MemoryHierarchy::deserialize(snapshot::Reader &R) {
     return false;
   *this = std::move(Tmp);
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void Cache::Stats::exportMetrics(telemetry::MetricSink &Sink) const {
+  Sink.counter("accesses", Accesses);
+  Sink.counter("misses", Misses);
+  Sink.gauge("miss_rate_pct",
+             Accesses == 0 ? 0.0
+                           : 100.0 * static_cast<double>(Misses) /
+                                 static_cast<double>(Accesses));
+}
+
+void MemoryHierarchy::exportMetrics(telemetry::MetricSink &Sink) const {
+  Sink.beginGroup("l1i");
+  L1I.stats().exportMetrics(Sink);
+  Sink.endGroup();
+  Sink.beginGroup("l1d");
+  L1D.stats().exportMetrics(Sink);
+  Sink.endGroup();
+  Sink.beginGroup("l2");
+  L2.stats().exportMetrics(Sink);
+  Sink.endGroup();
+}
+
+void MemoryHierarchy::registerMetrics(telemetry::MetricsRegistry &R,
+                                      std::string Group) const {
+  R.add(std::move(Group),
+        [this](telemetry::MetricSink &Sink) { exportMetrics(Sink); });
 }

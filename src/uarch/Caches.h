@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace facile {
@@ -27,6 +28,11 @@ namespace snapshot {
 class Writer;
 class Reader;
 } // namespace snapshot
+
+namespace telemetry {
+class MetricSink;
+class MetricsRegistry;
+} // namespace telemetry
 
 /// Geometry and latency of one cache level.
 struct CacheConfig {
@@ -45,6 +51,9 @@ public:
   struct Stats {
     uint64_t Accesses = 0;
     uint64_t Misses = 0;
+
+    /// Pushes accesses, misses and the derived miss rate into \p Sink.
+    void exportMetrics(telemetry::MetricSink &Sink) const;
   };
 
   explicit Cache(const CacheConfig &Config);
@@ -108,6 +117,12 @@ public:
   const Cache &l1d() const { return L1D; }
   const Cache &l2() const { return L2; }
   unsigned memLatency() const { return Conf.MemLatency; }
+
+  /// Pushes the three levels as nested "l1i"/"l1d"/"l2" groups.
+  void exportMetrics(telemetry::MetricSink &Sink) const;
+  /// Installs exportMetrics as a provider under \p Group.
+  void registerMetrics(telemetry::MetricsRegistry &R,
+                       std::string Group) const;
 
   void clear();
 

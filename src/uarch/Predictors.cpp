@@ -10,6 +10,7 @@
 #include "src/uarch/Predictors.h"
 
 #include "src/snapshot/Serializer.h"
+#include "src/telemetry/Metrics.h"
 
 using namespace facile;
 
@@ -99,4 +100,21 @@ bool BranchUnit::deserialize(snapshot::Reader &R) {
     return false;
   *this = std::move(Tmp);
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void BranchUnit::Stats::exportMetrics(telemetry::MetricSink &Sink) const {
+  Sink.counter("cond_lookups", CondLookups);
+  Sink.counter("cond_mispredicts", CondMispredicts);
+  Sink.counter("indirect_lookups", IndirectLookups);
+  Sink.counter("indirect_mispredicts", IndirectMispredicts);
+}
+
+void BranchUnit::registerMetrics(telemetry::MetricsRegistry &R,
+                                 std::string Group) const {
+  R.add(std::move(Group),
+        [this](telemetry::MetricSink &Sink) { S.exportMetrics(Sink); });
 }

@@ -20,6 +20,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace facile {
@@ -28,6 +29,11 @@ namespace snapshot {
 class Writer;
 class Reader;
 } // namespace snapshot
+
+namespace telemetry {
+class MetricSink;
+class MetricsRegistry;
+} // namespace telemetry
 
 /// Saturating 2-bit counter table indexed by pc (bimodal) or pc^history
 /// (gshare).
@@ -135,6 +141,9 @@ public:
     uint64_t CondMispredicts = 0;
     uint64_t IndirectLookups = 0;
     uint64_t IndirectMispredicts = 0;
+
+    /// Pushes the lookup/mispredict counters into \p Sink.
+    void exportMetrics(telemetry::MetricSink &Sink) const;
   };
 
   explicit BranchUnit(DirectionPredictor::Kind K = DirectionPredictor::Kind::Bimodal)
@@ -168,6 +177,10 @@ public:
   }
 
   const Stats &stats() const { return S; }
+
+  /// Installs the Stats export as a provider under \p Group.
+  void registerMetrics(telemetry::MetricsRegistry &R,
+                       std::string Group) const;
 
   /// Checkpoint hooks: direction predictor, BTB, RAS and statistics. The
   /// paper keeps the branch predictor outside the memoized code, so warm

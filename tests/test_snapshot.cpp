@@ -13,6 +13,7 @@
 #include "src/sims/SimHarness.h"
 #include "src/snapshot/Snapshot.h"
 #include "src/workload/Workloads.h"
+#include "tests/TestJson.h"
 
 #include <gtest/gtest.h>
 
@@ -459,137 +460,9 @@ TEST(SnapshotFiles, SaveLoadRoundTripOnDisk) {
 // statsJson validity
 //===----------------------------------------------------------------------===//
 
-/// Minimal complete JSON recognizer (objects, arrays, strings, numbers,
-/// literals) — enough to reject any malformed statsJson() output.
-class JsonChecker {
-public:
-  explicit JsonChecker(const std::string &S)
-      : P(S.data()), End(S.data() + S.size()) {}
-
-  bool valid() {
-    bool V = value();
-    ws();
-    return V && P == End;
-  }
-
-private:
-  void ws() {
-    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
-      ++P;
-  }
-  bool lit(const char *S) {
-    size_t N = std::strlen(S);
-    if (size_t(End - P) < N || std::strncmp(P, S, N) != 0)
-      return false;
-    P += N;
-    return true;
-  }
-  bool string() {
-    if (P == End || *P != '"')
-      return false;
-    for (++P; P != End && *P != '"'; ++P)
-      if (*P == '\\' && ++P == End)
-        return false;
-    if (P == End)
-      return false;
-    ++P;
-    return true;
-  }
-  bool number() {
-    const char *Start = P;
-    if (P != End && *P == '-')
-      ++P;
-    while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
-      ++P;
-    if (P == Start || (*Start == '-' && P == Start + 1))
-      return false;
-    if (P != End && *P == '.') {
-      ++P;
-      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
-        return false;
-      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
-        ++P;
-    }
-    if (P != End && (*P == 'e' || *P == 'E')) {
-      ++P;
-      if (P != End && (*P == '+' || *P == '-'))
-        ++P;
-      if (P == End || !std::isdigit(static_cast<unsigned char>(*P)))
-        return false;
-      while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
-        ++P;
-    }
-    return true;
-  }
-  bool value() {
-    ws();
-    if (P == End)
-      return false;
-    if (*P == '{')
-      return object();
-    if (*P == '[')
-      return array();
-    if (*P == '"')
-      return string();
-    if (lit("true") || lit("false") || lit("null"))
-      return true;
-    return number();
-  }
-  bool object() {
-    ++P;
-    ws();
-    if (P != End && *P == '}') {
-      ++P;
-      return true;
-    }
-    for (;;) {
-      ws();
-      if (!string())
-        return false;
-      ws();
-      if (P == End || *P != ':')
-        return false;
-      ++P;
-      if (!value())
-        return false;
-      ws();
-      if (P != End && *P == ',') {
-        ++P;
-        continue;
-      }
-      if (P != End && *P == '}') {
-        ++P;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool array() {
-    ++P;
-    ws();
-    if (P != End && *P == ']') {
-      ++P;
-      return true;
-    }
-    for (;;) {
-      if (!value())
-        return false;
-      ws();
-      if (P != End && *P == ',') {
-        ++P;
-        continue;
-      }
-      if (P != End && *P == ']') {
-        ++P;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const char *P;
-  const char *End;
-};
+// The recognizer itself lives in tests/TestJson.h, shared with the
+// telemetry suite; the sanity checks stay here with its original users.
+using testjson::JsonChecker;
 
 TEST(StatsJson, RecognizerSanity) {
   EXPECT_TRUE(JsonChecker("{\"a\":1,\"b\":[1,2.5,-3e2],\"c\":\"x\"}").valid());

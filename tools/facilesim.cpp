@@ -20,13 +20,18 @@
 
 #include "src/inject/FaultInjector.h"
 #include "src/sims/SimHarness.h"
+#include "src/telemetry/Metrics.h"
+#include "src/telemetry/Profiler.h"
+#include "src/telemetry/Trace.h"
 #include "src/workload/Workloads.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace facile;
 using namespace facile::sims;
@@ -62,6 +67,15 @@ void usage(const char *Prog) {
       "                                 seed:42,mem:0.01,cache:0.05,\n"
       "                                 extern:0.001,plan:0.0001\n"
       "  --json                         print the stats JSON line\n"
+      "  --metrics=<file>               write the stats JSON to a file\n"
+      "  --trace=<file>                 write a Chrome trace-event JSON of\n"
+      "                                 the run (chrome://tracing, Perfetto)\n"
+      "  --trace-buffer=<n>             trace ring capacity in events\n"
+      "                                 (default 65536; oldest dropped)\n"
+      "  --top-actions=<n>              profile replay and print the n\n"
+      "                                 hottest actions (default off)\n"
+      "  --profile-period=<n>           sample every n-th memoized step\n"
+      "                                 (default 1 with --top-actions)\n"
       "\n"
       "exit status: 0 ok, 1 save/require-warm failure, 2 bad usage,\n"
       "             3 structured simulation fault (see the diagnostic)\n",
@@ -80,6 +94,9 @@ int main(int Argc, char **Argv) {
   uint64_t Instrs = 1'000'000;
   rt::Simulation::Options Opts;
   std::string SaveCkpt, LoadCkpt, SaveCache, LoadCache;
+  std::string TraceFile, MetricsFile;
+  uint64_t TraceBuffer = 1u << 16;
+  uint64_t TopActions = 0, ProfilePeriod = 1;
   bool Json = false, RequireWarm = false;
   bool Injecting = false;
   inject::InjectSpec InjSpec;
@@ -137,6 +154,20 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Injecting = true;
+    } else if (!(V = argValue(Arg, "--trace=")).empty())
+      TraceFile = V;
+    else if (!(V = argValue(Arg, "--trace-buffer=")).empty())
+      TraceBuffer = std::strtoull(V.c_str(), nullptr, 10);
+    else if (!(V = argValue(Arg, "--metrics=")).empty())
+      MetricsFile = V;
+    else if (!(V = argValue(Arg, "--top-actions=")).empty())
+      TopActions = std::strtoull(V.c_str(), nullptr, 10);
+    else if (!(V = argValue(Arg, "--profile-period=")).empty()) {
+      ProfilePeriod = std::strtoull(V.c_str(), nullptr, 10);
+      if (ProfilePeriod == 0) {
+        std::fprintf(stderr, "error: --profile-period must be at least 1\n");
+        return 2;
+      }
     } else if (Arg == "--no-memo")
       Opts.Memoize = false;
     else if (Arg == "--json")
@@ -186,6 +217,17 @@ int main(int Argc, char **Argv) {
   if (Injecting)
     Inj.arm();
 
+  telemetry::EventTracer Tracer(static_cast<size_t>(TraceBuffer));
+  if (!TraceFile.empty())
+    Sim.setTracer(&Tracer);
+  std::unique_ptr<telemetry::ActionProfiler> Prof;
+  if (TopActions > 0) {
+    Prof = std::make_unique<telemetry::ActionProfiler>(
+        Sim.sim().actionCount(), static_cast<uint32_t>(ProfilePeriod));
+    Sim.setProfiler(Prof.get());
+    Sim.setTopActions(static_cast<size_t>(TopActions));
+  }
+
   // Restore order matters: the checkpoint rewinds the simulation to a
   // saved point, then the action cache pre-populates memoized actions for
   // the run ahead. Failures fall back to a cold start (diagnostic on
@@ -223,6 +265,28 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // Telemetry output: close the open step span so the buffered trace and
+  // the exported metrics cover every simulated step.
+  Sim.sim().flushTraceSpan();
+  if (!TraceFile.empty() && !Tracer.writeFile(TraceFile, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!MetricsFile.empty()) {
+    std::string StatsLine = Sim.statsJson();
+    std::FILE *F = std::fopen(MetricsFile.c_str(), "wb");
+    bool Ok = F && std::fwrite(StatsLine.data(), 1, StatsLine.size(), F) ==
+                       StatsLine.size() &&
+              std::fputc('\n', F) != EOF;
+    if (F)
+      Ok = std::fclose(F) == 0 && Ok;
+    if (!Ok) {
+      std::fprintf(stderr, "error: cannot write metrics file '%s'\n",
+                   MetricsFile.c_str());
+      return 1;
+    }
+  }
+
   std::printf("facilesim: %s on %s: %llu instrs retired (%llu this run), "
               "%.3f%% fast-forwarded\n",
               SimName.c_str(), Spec->Name.c_str(),
@@ -231,6 +295,23 @@ int main(int Argc, char **Argv) {
               Sim.sim().stats().fastForwardedPct());
   if (Json)
     std::printf("%s\n", Sim.statsJson().c_str());
+
+  if (Prof) {
+    std::printf("facilesim: top %llu actions by replayed instructions "
+                "(%llu steps sampled, period %llu):\n",
+                (unsigned long long)TopActions,
+                (unsigned long long)Prof->sampledSteps(),
+                (unsigned long long)ProfilePeriod);
+    std::printf("  %5s %8s %12s %14s %14s\n", "rank", "action", "nodes",
+                "instrs", "bytes");
+    std::vector<telemetry::ActionProfiler::Entry> Top =
+        Prof->top(static_cast<size_t>(TopActions));
+    for (size_t I = 0; I != Top.size(); ++I)
+      std::printf("  %5zu %8u %12llu %14llu %14llu\n", I, Top[I].ActionId,
+                  (unsigned long long)Top[I].Nodes,
+                  (unsigned long long)Top[I].Instrs,
+                  (unsigned long long)Top[I].Bytes);
+  }
 
   // A structured fault is a clean, diagnosable stop — never a crash. It
   // has its own exit status so harnesses can tell it from success (0) and
