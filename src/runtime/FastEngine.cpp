@@ -39,7 +39,7 @@ using namespace facile::ir;
 
 template <bool Guarded, bool Profiled>
 Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
-  const ExecPlan &P = Plan;
+  const ExecPlan &P = *Plan;
   ReplayedStep Rp;
   Rp.Entry = Entry;
   Rp.Key = Key;

@@ -1,0 +1,10 @@
+//===- SharedProgram.cpp - Process-shared immutable program state ----------===//
+
+#include "src/runtime/SharedProgram.h"
+
+using namespace facile;
+using namespace facile::rt;
+
+SharedProgram::SharedProgram(const CompiledProgram &Prog,
+                             isa::TargetImage Image)
+    : Prog(Prog), Image(std::move(Image)), Plan(buildExecPlan(Prog)) {}

@@ -39,8 +39,29 @@ namespace {
 
 Simulation::Simulation(const CompiledProgram &Prog,
                        const isa::TargetImage &Image, Options Opts)
-    : Prog(Prog), Image(Image), Opts(Opts), Plan(buildExecPlan(Prog)),
-      Cache(Opts.CacheBudgetBytes, Opts.Eviction) {
+    : Prog(Prog), Image(Image), Opts(Opts),
+      OwnedPlan(std::make_unique<ExecPlan>(buildExecPlan(Prog))),
+      Plan(OwnedPlan.get()), Cache(Opts.CacheBudgetBytes, Opts.Eviction) {
+  initState();
+}
+
+Simulation::Simulation(const SharedProgram &Shared, Options Opts)
+    : Prog(Shared.program()), Image(Shared.image()), Opts(Opts),
+      Plan(&Shared.plan()), Cache(Opts.CacheBudgetBytes, Opts.Eviction) {
+  initState();
+}
+
+ExecPlan &Simulation::mutablePlan() {
+  if (!OwnedPlan) {
+    // Copy-on-write privatization: the shared plan stays untouched for
+    // sibling simulations; only this instance sees the mutation.
+    OwnedPlan = std::make_unique<ExecPlan>(*Plan);
+    Plan = OwnedPlan.get();
+  }
+  return *OwnedPlan;
+}
+
+void Simulation::initState() {
   // The budget applies to the image load too: an image that cannot fit is
   // detected on the first step (the latched flag faults immediately).
   Mem.setPageBudget(Opts.MemPageBudget);
@@ -295,13 +316,13 @@ uint64_t Simulation::compatKey() const {
 
   // The compiled program, via its packed execution form: action ids,
   // placeholder layout and key layout are all derived from it.
-  for (const XInst &I : Plan.Code)
+  for (const XInst &I : Plan->Code)
     H = hashXInst(H, I);
-  for (const XInst &I : Plan.Fast)
+  for (const XInst &I : Plan->Fast)
     H = hashXInst(H, I);
-  H = hashU32Vec(H, Plan.BlockOfs);
-  H = hashU32Vec(H, Plan.ActionOfs);
-  H = hashU32Vec(H, Plan.ArgPool);
+  H = hashU32Vec(H, Plan->BlockOfs);
+  H = hashU32Vec(H, Plan->ActionOfs);
+  H = hashU32Vec(H, Plan->ArgPool);
 
   // Storage layout: slots, globals (names and shapes), local arrays, the
   // init-global key order and the extern table.
@@ -454,7 +475,7 @@ void Simulation::serializeCache(snapshot::Writer &W) const {
 }
 
 bool Simulation::deserializeCache(snapshot::Reader &R) {
-  uint32_t NumActions = static_cast<uint32_t>(Plan.ActionOfs.size() - 1);
+  uint32_t NumActions = static_cast<uint32_t>(Plan->ActionOfs.size() - 1);
   if (!Cache.deserialize(R, NumActions))
     return false;
   PendingEndNode = ActionNode::NoNode;
@@ -468,7 +489,7 @@ bool Simulation::deserializeCache(snapshot::Reader &R) {
 StepEngine Simulation::step() {
   if (Fault)
     return StepEngine::Faulted; // frozen until clearFault()
-  if (Opts.Guards && !Plan.shapeOk()) {
+  if (Opts.Guards && !Plan->shapeOk()) {
     raiseFault(FaultKind::PlanCorrupt,
                "execution plan streams are truncated or misframed");
     return StepEngine::Faulted;

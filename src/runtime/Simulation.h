@@ -30,10 +30,12 @@
 #include "src/loader/TargetMemory.h"
 #include "src/runtime/ActionCache.h"
 #include "src/runtime/ExecPlan.h"
+#include "src/runtime/SharedProgram.h"
 #include "src/runtime/SimFault.h"
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -129,11 +131,18 @@ public:
     void exportMetrics(telemetry::MetricSink &Sink) const;
   };
 
-  /// \p Prog and \p Image must outlive the simulation.
+  /// \p Prog and \p Image must outlive the simulation. This constructor
+  /// builds (and owns) a private ExecPlan from \p Prog.
   Simulation(const CompiledProgram &Prog, const isa::TargetImage &Image,
              Options Opts);
   Simulation(const CompiledProgram &Prog, const isa::TargetImage &Image)
       : Simulation(Prog, Image, Options()) {}
+
+  /// Constructs over process-shared immutable state: the program, image
+  /// and pre-built ExecPlan are referenced from \p Shared, which must
+  /// outlive the simulation. Any number of simulations — across threads —
+  /// may share one SharedProgram; all mutable state stays private here.
+  Simulation(const SharedProgram &Shared, Options Opts);
 
   /// Installs the handler for extern \p Name. Returns false (installing
   /// nothing) when the name was not declared extern in the program — the
@@ -219,11 +228,17 @@ public:
   /// Mutable internals for the fault injector (inject::FaultInjector) and
   /// white-box tests; production code never writes through these.
   ActionCache &mutableCache() { return Cache; }
-  ExecPlan &mutablePlan() { return Plan; }
+  /// When the plan is shared (SharedProgram constructor), the first call
+  /// privatizes it with a copy-on-write clone, so mutations — a fault
+  /// injector truncating streams — never reach sibling simulations.
+  ExecPlan &mutablePlan();
+  /// True while this simulation still reads the SharedProgram's plan (no
+  /// mutablePlan() privatization happened).
+  bool planShared() const { return !OwnedPlan; }
   const isa::TargetImage &image() const { return Image; }
   /// Number of actions in the compiled program — sizes an ActionProfiler.
   uint32_t actionCount() const {
-    return static_cast<uint32_t>(Plan.ActionOfs.size() - 1);
+    return static_cast<uint32_t>(Plan->ActionOfs.size() - 1);
   }
   TargetMemory &memory() { return Mem; }
   const TargetMemory &memory() const { return Mem; }
@@ -301,10 +316,18 @@ private:
   /// Post-step resource-guard check; may turn \p Engine into Faulted.
   StepEngine finishStep(StepEngine Engine);
 
+  /// Shared per-simulation state initialisation for both constructors.
+  void initState();
+
   const CompiledProgram &Prog;
   const isa::TargetImage &Image;
   Options Opts;
-  ExecPlan Plan; ///< packed instruction streams both engines execute
+  /// The packed instruction streams both engines execute. OwnedPlan is
+  /// non-null when this simulation owns its plan (legacy constructor, or
+  /// after a mutablePlan() copy-on-write); Plan always points at what the
+  /// engines read — the owned copy or a SharedProgram's immutable plan.
+  std::unique_ptr<ExecPlan> OwnedPlan;
+  const ExecPlan *Plan;
   TargetMemory Mem;
 
   // Dynamic state: shared between the two simulators (and with the host).

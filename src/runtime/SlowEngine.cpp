@@ -28,7 +28,7 @@ using namespace facile::rt;
 using namespace facile::ir;
 
 void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
-  const ExecPlan &P = Plan;
+  const ExecPlan &P = *Plan;
   const bool Record = Rec != NoId;
   const bool Guards = Opts.Guards;
   const size_t NBlocks =

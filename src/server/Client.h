@@ -1,0 +1,75 @@
+//===- Client.h - facilesimd protocol client --------------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the facilesimd wire protocol: connect over
+/// TCP or a Unix socket, send one request line, read one response line.
+/// Used by the facilesim_client tool, the daemon's --selftest mode and the
+/// protocol test suite — all three drive the same code, so what the tests
+/// exercise is what ships.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SERVER_CLIENT_H
+#define FACILE_SERVER_CLIENT_H
+
+#include "src/support/JsonValue.h"
+
+#include <cstdint>
+#include <string>
+
+namespace facile {
+namespace server {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to 127.0.0.1:\p Port. False with a diagnostic on failure.
+  bool connectTcp(uint16_t Port, std::string *Err = nullptr);
+  /// Connects to the Unix socket at \p Path.
+  bool connectUnix(const std::string &Path, std::string *Err = nullptr);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends \p Line plus the terminating newline. False on socket errors.
+  bool sendLine(const std::string &Line);
+  /// Sends raw bytes with no framing — for tests exercising truncated and
+  /// unterminated input.
+  bool sendRaw(const std::string &Bytes);
+  /// Reads one newline-delimited line (newline stripped). False on EOF or
+  /// socket errors.
+  bool recvLine(std::string &Out);
+
+  /// One round trip: sends \p Request, reads one line, parses it into
+  /// \p Response. False (with a diagnostic) on transport or parse errors —
+  /// protocol-level errors still return true with Response["ok"] false.
+  bool rpc(const std::string &Request, json::Value &Response,
+           std::string *Err = nullptr);
+
+private:
+  int Fd = -1;
+  std::string Buf; ///< bytes received past the last returned line
+};
+
+/// Drives a complete create → run → inspect → snapshot round-trip →
+/// clear-fault → destroy → (optionally) shutdown conversation against a
+/// live server, asserting on every response — including that a warm
+/// snapshot resume reproduces the donor session's memory digest exactly.
+/// Returns true on success; on failure \p Err describes the first failing
+/// check. This is the daemon's --selftest and the client tool's selftest
+/// subcommand.
+bool runProtocolSelftest(Client &C, std::string &Err, bool SendShutdown);
+
+} // namespace server
+} // namespace facile
+
+#endif // FACILE_SERVER_CLIENT_H

@@ -1,0 +1,89 @@
+//===- Protocol.h - facilesimd wire protocol helpers ------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The facilesimd wire protocol: newline-delimited JSON over a TCP or Unix
+/// stream socket. One request object per line, one response object per
+/// line; pipelining is allowed and responses carry the request's "id"
+/// member verbatim (an int or a string), so a client may correlate
+/// out-of-order completions.
+///
+/// Request envelope:
+///   {"id": 7, "verb": "step", "session": 3, "count": 100}
+///
+/// Response envelope:
+///   {"id": 7, "ok": true, ...verb-specific members...}
+///   {"id": 7, "ok": false,
+///    "error": {"code": "unknown-session", "message": "..."}}
+///
+/// Error codes are stable kebab-case strings (see ErrCode). A structured
+/// SimFault is not a protocol error: run/step/inspect responses report it
+/// under "fault" with ok=true, because the session survives and stays
+/// resumable via the clear-fault verb.
+///
+/// Snapshot payloads (FACSNAP2 container bytes) cross the wire as base64
+/// in "bytes_b64", so the protocol stays line-delimited text end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SERVER_PROTOCOL_H
+#define FACILE_SERVER_PROTOCOL_H
+
+#include "src/support/Json.h"
+#include "src/support/JsonValue.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace facile {
+namespace server {
+
+/// Stable protocol error codes.
+namespace ErrCode {
+inline constexpr const char *ParseError = "parse-error";
+inline constexpr const char *BadRequest = "bad-request";
+inline constexpr const char *UnknownVerb = "unknown-verb";
+inline constexpr const char *UnknownSession = "unknown-session";
+inline constexpr const char *SessionLimit = "session-limit";
+inline constexpr const char *RequestLimit = "request-limit";
+inline constexpr const char *Oversized = "oversized";
+inline constexpr const char *BadSnapshot = "bad-snapshot";
+inline constexpr const char *ShuttingDown = "shutting-down";
+inline constexpr const char *Internal = "internal-error";
+} // namespace ErrCode
+
+/// The protocol's nesting bound for incoming requests. Requests are flat
+/// (options object, at most one level of arrays), so 16 is generous while
+/// keeping hostile deeply-nested input cheap to reject.
+inline constexpr unsigned MaxRequestDepth = 16;
+
+/// Standard base64 (RFC 4648, with padding).
+std::string base64Encode(const uint8_t *Data, size_t N);
+inline std::string base64Encode(const std::vector<uint8_t> &V) {
+  return base64Encode(V.data(), V.size());
+}
+/// Strict decode: rejects invalid characters, bad padding and embedded
+/// whitespace. Returns false leaving \p Out unspecified.
+bool base64Decode(std::string_view Text, std::vector<uint8_t> &Out);
+
+/// Writes the echoed "id" member into \p W from the request's id value
+/// (absent/unsupported types echo as null).
+void writeRequestId(json::Writer &W, const json::Value *Id);
+
+/// Builds a complete error-response line (no trailing newline).
+std::string errorResponse(const json::Value *Id, const char *Code,
+                          std::string_view Message);
+
+/// Opens a success-response object: {"id":..., "ok":true — caller appends
+/// verb members and calls endObject()/take().
+void beginOkResponse(json::Writer &W, const json::Value *Id);
+
+} // namespace server
+} // namespace facile
+
+#endif // FACILE_SERVER_PROTOCOL_H

@@ -1,0 +1,1084 @@
+//===- Server.cpp - Multi-session simulation server ------------------------===//
+//
+// Structure: an accept loop hands each connection to a reader thread that
+// only frames newline-delimited requests (and enforces the line-size and
+// per-connection request budgets); framed lines go into one bounded work
+// queue drained by the fixed worker pool, which parses, dispatches and
+// responds. Sessions serialize on a per-session mutex; everything read-only
+// (program, image, plan) lives in pooled SharedPrograms.
+//
+// All loops are poll-with-timeout against one atomic stop flag, so
+// shutdown never depends on waking a blocked syscall.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/server/Server.h"
+
+#include "src/inject/FaultInjector.h"
+#include "src/server/Protocol.h"
+#include "src/sims/SimHarness.h"
+#include "src/support/StringUtils.h"
+#include "src/telemetry/Metrics.h"
+#include "src/workload/Workloads.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace facile;
+using namespace facile::server;
+using facile::sims::FacileSim;
+using facile::sims::SimKind;
+
+namespace {
+
+/// Sends all of \p Data on \p Fd (MSG_NOSIGNAL: a closed peer is a lost
+/// response, not a SIGPIPE). Returns false on any send error.
+bool sendAll(int Fd, const char *Data, size_t N) {
+  while (N != 0) {
+    ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W <= 0)
+      return false;
+    Data += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+bool parseSimKind(const std::string &Name, SimKind &Out) {
+  if (Name == "functional")
+    Out = SimKind::Functional;
+  else if (Name == "inorder")
+    Out = SimKind::InOrder;
+  else if (Name == "ooo")
+    Out = SimKind::OutOfOrder;
+  else
+    return false;
+  return true;
+}
+
+const char *simKindName(SimKind K) {
+  switch (K) {
+  case SimKind::Functional:
+    return "functional";
+  case SimKind::InOrder:
+    return "inorder";
+  case SimKind::OutOfOrder:
+    return "ooo";
+  }
+  return "?";
+}
+
+void writeFault(json::Writer &W, const rt::SimFault &F) {
+  W.objectField("fault")
+      .field("kind", std::string_view(rt::faultKindName(F.Kind)))
+      .field("step", F.Step)
+      .field("pc", F.Pc)
+      .field("detail", std::string_view(F.Detail))
+      .endObject();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Impl data structures
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One accepted connection. The fd is owned here and closed by the
+/// destructor — never earlier — so a worker finishing a queued request
+/// after the reader is gone writes into a dead-but-valid socket instead of
+/// a recycled descriptor.
+struct Conn {
+  explicit Conn(int Fd) : Fd(Fd) {}
+  ~Conn() { ::close(Fd); }
+  const int Fd;
+  std::mutex WriteMu;
+  uint64_t Requests = 0; ///< reader-thread only
+};
+
+/// One live session: a private simulation plus a reference keeping its
+/// SharedProgram pool entry alive.
+struct SharedEntry;
+struct Session {
+  uint64_t Id = 0;
+  SimKind Kind = SimKind::Functional;
+  std::string WorkloadName;
+  std::shared_ptr<const SharedEntry> Shared;
+  std::unique_ptr<FacileSim> Sim;
+  std::unique_ptr<inject::FaultInjector> Injector; ///< after Sim: refs it
+  std::mutex Mu;       ///< per-session serialization: one verb at a time
+  uint64_t Verbs = 0;  ///< verbs serviced (under Mu)
+};
+
+/// One pooled (program, image, plan) bundle.
+struct SharedEntry {
+  SimKind Kind = SimKind::Functional;
+  std::string WorkloadName;
+  std::unique_ptr<rt::SharedProgram> Prog;
+};
+
+struct Work {
+  std::shared_ptr<Conn> C;
+  std::string Line;
+};
+
+} // namespace
+
+struct FacileServer::Impl {
+  explicit Impl(ServerOptions Opts) : Opts(std::move(Opts)) {}
+
+  const ServerOptions Opts;
+
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Stop{false};
+
+  std::thread AcceptThread;
+  std::vector<std::thread> Workers;
+  std::mutex ConnThreadsMu;
+  std::vector<std::thread> ConnThreads;
+  std::mutex JoinMu;
+  bool Joined = false;
+
+  std::mutex StopMu;
+  std::condition_variable StopCv;
+
+  // Work queue (readers produce, the fixed pool consumes).
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<Work> Queue;
+
+  // Session table and SharedProgram pool.
+  mutable std::mutex SessionsMu;
+  std::map<uint64_t, std::shared_ptr<Session>> Sessions;
+  uint64_t LastSessionId = 0;
+  uint64_t PeakSessions = 0;
+  std::mutex PoolMu;
+  std::map<std::string, std::shared_ptr<SharedEntry>> Pool;
+
+  // Daemon counters.
+  std::atomic<uint64_t> ConnectionsTotal{0};
+  std::atomic<uint64_t> ActiveConnections{0};
+  std::atomic<uint64_t> RequestsTotal{0};
+  std::atomic<uint64_t> ResponsesTotal{0};
+  std::atomic<uint64_t> ProtocolErrors{0};
+  std::atomic<uint64_t> SessionsCreated{0};
+  std::atomic<uint64_t> SessionsDestroyed{0};
+
+  bool start(std::string *Err);
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Conn> C);
+  void workerLoop();
+  void requestShutdown();
+  void joinAll();
+
+  void respond(Conn &C, std::string Line);
+  void respondError(Conn &C, const json::Value *Id, const char *Code,
+                    std::string_view Msg);
+  void processLine(const std::shared_ptr<Conn> &C, const std::string &Line);
+
+  std::shared_ptr<Session> findSession(uint64_t Id);
+  bool sessionArg(Conn &C, const json::Value &Req, const json::Value *Id,
+                  std::shared_ptr<Session> &Out);
+
+  void verbCreate(Conn &C, const json::Value &Req, const json::Value *Id);
+  void verbStep(Conn &C, const json::Value &Req, const json::Value *Id,
+                Session &S);
+  void verbRun(Conn &C, const json::Value &Req, const json::Value *Id,
+               Session &S);
+  void verbInspect(Conn &C, const json::Value &Req, const json::Value *Id,
+                   Session &S);
+  void verbClearFault(Conn &C, const json::Value &Req, const json::Value *Id,
+                      Session &S);
+  void verbSnapshotSave(Conn &C, const json::Value &Req,
+                        const json::Value *Id, Session &S);
+  void verbSnapshotLoad(Conn &C, const json::Value &Req,
+                        const json::Value *Id, Session &S);
+  void verbDestroy(Conn &C, const json::Value *Id, uint64_t SessionId);
+
+  std::string statsJson();
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle: sockets and threads
+//===----------------------------------------------------------------------===//
+
+bool FacileServer::Impl::start(std::string *Err) {
+  auto fail = [&](const char *What) {
+    if (Err)
+      *Err = std::string(What) + ": " + std::strerror(errno);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+
+  if (!Opts.UnixPath.empty()) {
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Opts.UnixPath.size() >= sizeof(Addr.sun_path)) {
+      if (Err)
+        *Err = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(Addr.sun_path, Opts.UnixPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return fail("socket");
+    ::unlink(Opts.UnixPath.c_str()); // stale socket from a previous run
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0)
+      return fail("bind");
+  } else {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return fail("socket");
+    int One = 1;
+    ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(Opts.TcpPort);
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0)
+      return fail("bind");
+    sockaddr_in Bound{};
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound), &Len) <
+        0)
+      return fail("getsockname");
+    BoundPort = ntohs(Bound.sin_port);
+  }
+  if (::listen(ListenFd, 128) < 0)
+    return fail("listen");
+
+  Started = true;
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  unsigned W = Opts.Workers == 0 ? 1 : Opts.Workers;
+  for (unsigned I = 0; I != W; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  return true;
+}
+
+void FacileServer::Impl::acceptLoop() {
+  while (!Stop.load(std::memory_order_acquire)) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int R = ::poll(&P, 1, 200);
+    if (R <= 0 || !(P.revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    ++ConnectionsTotal;
+    ++ActiveConnections;
+    auto C = std::make_shared<Conn>(Fd);
+    std::lock_guard<std::mutex> Lock(ConnThreadsMu);
+    ConnThreads.emplace_back([this, C] { readerLoop(C); });
+  }
+}
+
+void FacileServer::Impl::readerLoop(std::shared_ptr<Conn> C) {
+  std::string Buf;
+  char Tmp[1 << 16];
+  bool Close = false;
+  while (!Close && !Stop.load(std::memory_order_acquire)) {
+    pollfd P{C->Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, 200);
+    if (R <= 0)
+      continue;
+    if (!(P.revents & (POLLIN | POLLHUP)))
+      continue;
+    ssize_t N = ::recv(C->Fd, Tmp, sizeof(Tmp), 0);
+    if (N <= 0)
+      break; // EOF (a truncated in-flight request is silently discarded)
+    Buf.append(Tmp, static_cast<size_t>(N));
+    size_t Pos;
+    while (!Close && (Pos = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, Pos);
+      Buf.erase(0, Pos + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      if (Line.size() > Opts.MaxLineBytes) {
+        ++ProtocolErrors;
+        respond(*C, errorResponse(nullptr, ErrCode::Oversized,
+                                  "request exceeds line-size limit"));
+        Close = true;
+        break;
+      }
+      if (++C->Requests > Opts.MaxRequestsPerConn) {
+        ++ProtocolErrors;
+        respond(*C, errorResponse(nullptr, ErrCode::RequestLimit,
+                                  "per-connection request limit reached"));
+        Close = true;
+        break;
+      }
+      ++RequestsTotal;
+      {
+        std::lock_guard<std::mutex> Lock(QueueMu);
+        Queue.push_back(Work{C, std::move(Line)});
+      }
+      QueueCv.notify_one();
+    }
+    // An unterminated line larger than the limit is rejected without
+    // waiting for its newline — the peer may never send one.
+    if (!Close && Buf.size() > Opts.MaxLineBytes) {
+      ++ProtocolErrors;
+      respond(*C, errorResponse(nullptr, ErrCode::Oversized,
+                                "request exceeds line-size limit"));
+      Close = true;
+    }
+  }
+  // Stop reading; queued requests may still write responses through the
+  // still-open fd (closed by the last Conn reference).
+  ::shutdown(C->Fd, SHUT_RD);
+  --ActiveConnections;
+}
+
+void FacileServer::Impl::workerLoop() {
+  for (;;) {
+    Work W;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [this] {
+        return !Queue.empty() || Stop.load(std::memory_order_acquire);
+      });
+      if (Queue.empty())
+        return; // Stop set and nothing left to drain
+      W = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    processLine(W.C, W.Line);
+  }
+}
+
+void FacileServer::Impl::requestShutdown() {
+  bool Expected = false;
+  if (!Stop.compare_exchange_strong(Expected, true))
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(StopMu);
+  }
+  StopCv.notify_all();
+  QueueCv.notify_all();
+}
+
+void FacileServer::Impl::joinAll() {
+  std::lock_guard<std::mutex> Lock(JoinMu);
+  if (Joined)
+    return;
+  Joined = true;
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  for (std::thread &T : Workers)
+    if (T.joinable())
+      T.join();
+  // The acceptor is gone, so ConnThreads is stable now.
+  std::vector<std::thread> Readers;
+  {
+    std::lock_guard<std::mutex> CLock(ConnThreadsMu);
+    Readers.swap(ConnThreads);
+  }
+  for (std::thread &T : Readers)
+    if (T.joinable())
+      T.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (!Opts.UnixPath.empty())
+    ::unlink(Opts.UnixPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Request dispatch
+//===----------------------------------------------------------------------===//
+
+void FacileServer::Impl::respond(Conn &C, std::string Line) {
+  Line.push_back('\n');
+  std::lock_guard<std::mutex> Lock(C.WriteMu);
+  sendAll(C.Fd, Line.data(), Line.size());
+  ++ResponsesTotal;
+}
+
+void FacileServer::Impl::respondError(Conn &C, const json::Value *Id,
+                                      const char *Code,
+                                      std::string_view Msg) {
+  ++ProtocolErrors;
+  respond(C, errorResponse(Id, Code, Msg));
+}
+
+std::shared_ptr<Session> FacileServer::Impl::findSession(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(SessionsMu);
+  auto It = Sessions.find(Id);
+  return It == Sessions.end() ? nullptr : It->second;
+}
+
+bool FacileServer::Impl::sessionArg(Conn &C, const json::Value &Req,
+                                    const json::Value *Id,
+                                    std::shared_ptr<Session> &Out) {
+  const json::Value *S = Req.get("session");
+  if (!S || !S->isInt() || S->intOr(0) < 0) {
+    respondError(C, Id, ErrCode::BadRequest,
+                 "missing or non-integer 'session'");
+    return false;
+  }
+  Out = findSession(static_cast<uint64_t>(S->intOr(0)));
+  if (!Out) {
+    // Unknown and destroyed ids are indistinguishable on purpose: ids are
+    // never reused, so a stale handle can only ever fail.
+    respondError(C, Id, ErrCode::UnknownSession,
+                 strFormat("no session %lld",
+                           static_cast<long long>(S->intOr(0))));
+    return false;
+  }
+  return true;
+}
+
+void FacileServer::Impl::processLine(const std::shared_ptr<Conn> &C,
+                                     const std::string &Line) {
+  json::Value Req;
+  std::string PErr;
+  if (!json::parse(Line, Req, PErr, MaxRequestDepth)) {
+    respondError(*C, nullptr, ErrCode::ParseError, PErr);
+    return;
+  }
+  if (!Req.isObject()) {
+    respondError(*C, nullptr, ErrCode::BadRequest,
+                 "request must be a JSON object");
+    return;
+  }
+  const json::Value *Id = Req.get("id");
+  const json::Value *VerbV = Req.get("verb");
+  if (!VerbV || !VerbV->isStr()) {
+    respondError(*C, Id, ErrCode::BadRequest, "missing 'verb' string");
+    return;
+  }
+  const std::string &Verb = VerbV->str();
+
+  if (Verb == "ping") {
+    json::Writer W;
+    beginOkResponse(W, Id);
+    W.field("server", "facilesimd");
+    W.endObject();
+    respond(*C, W.take());
+    return;
+  }
+  if (Verb == "create") {
+    verbCreate(*C, Req, Id);
+    return;
+  }
+  if (Verb == "stats") {
+    json::Writer W;
+    beginOkResponse(W, Id);
+    W.rawField("stats", statsJson());
+    W.endObject();
+    respond(*C, W.take());
+    return;
+  }
+  if (Verb == "shutdown") {
+    json::Writer W;
+    beginOkResponse(W, Id);
+    W.field("shutting_down", true);
+    W.endObject();
+    respond(*C, W.take());
+    requestShutdown();
+    return;
+  }
+
+  // Everything below addresses one session.
+  bool Destroy = Verb == "destroy";
+  bool Known = Destroy || Verb == "step" || Verb == "run" ||
+               Verb == "inspect" || Verb == "clear-fault" ||
+               Verb == "snapshot-save" || Verb == "snapshot-load";
+  if (!Known) {
+    respondError(*C, Id, ErrCode::UnknownVerb,
+                 strFormat("unknown verb '%s'", Verb.c_str()));
+    return;
+  }
+  std::shared_ptr<Session> S;
+  if (!sessionArg(*C, Req, Id, S))
+    return;
+  if (Destroy) {
+    verbDestroy(*C, Id, S->Id);
+    return;
+  }
+  // Per-session serialization: no two verbs on one session concurrently.
+  std::lock_guard<std::mutex> Lock(S->Mu);
+  ++S->Verbs;
+  if (Verb == "step")
+    verbStep(*C, Req, Id, *S);
+  else if (Verb == "run")
+    verbRun(*C, Req, Id, *S);
+  else if (Verb == "inspect")
+    verbInspect(*C, Req, Id, *S);
+  else if (Verb == "clear-fault")
+    verbClearFault(*C, Req, Id, *S);
+  else if (Verb == "snapshot-save")
+    verbSnapshotSave(*C, Req, Id, *S);
+  else
+    verbSnapshotLoad(*C, Req, Id, *S);
+}
+
+//===----------------------------------------------------------------------===//
+// Verbs
+//===----------------------------------------------------------------------===//
+
+void FacileServer::Impl::verbCreate(Conn &C, const json::Value &Req,
+                                    const json::Value *Id) {
+  if (Stop.load(std::memory_order_acquire)) {
+    respondError(C, Id, ErrCode::ShuttingDown, "server is shutting down");
+    return;
+  }
+  SimKind Kind;
+  std::string SimName = "functional";
+  if (const json::Value *V = Req.get("sim"))
+    SimName = V->strOr(SimName);
+  if (!parseSimKind(SimName, Kind)) {
+    respondError(C, Id, ErrCode::BadRequest,
+                 "'sim' must be functional|inorder|ooo");
+    return;
+  }
+  std::string WorkloadName = "compress";
+  if (const json::Value *V = Req.get("workload"))
+    WorkloadName = V->strOr(WorkloadName);
+  const workload::WorkloadSpec *Found = workload::findSpec(WorkloadName);
+  if (!Found) {
+    respondError(C, Id, ErrCode::BadRequest,
+                 strFormat("unknown workload '%s'", WorkloadName.c_str()));
+    return;
+  }
+  workload::WorkloadSpec Spec = *Found;
+  uint64_t OuterIters = 2;
+  if (const json::Value *V = Req.get("outer_iters")) {
+    if (!V->isInt() || V->intOr(0) <= 0) {
+      respondError(C, Id, ErrCode::BadRequest,
+                   "'outer_iters' must be a positive integer");
+      return;
+    }
+    OuterIters = static_cast<uint64_t>(V->intOr(2));
+  }
+  // Optional footprint shrink knobs, mainly for tests and smoke runs.
+  if (const json::Value *V = Req.get("data_kwords"))
+    Spec.DataKWords = static_cast<unsigned>(V->intOr(Spec.DataKWords));
+  if (const json::Value *V = Req.get("num_kernels"))
+    Spec.NumKernels = static_cast<unsigned>(V->intOr(Spec.NumKernels));
+
+  rt::Simulation::Options SimOpts = Opts.DefaultSimOptions;
+  if (const json::Value *O = Req.get("options")) {
+    if (!O->isObject()) {
+      respondError(C, Id, ErrCode::BadRequest, "'options' must be an object");
+      return;
+    }
+    if (const json::Value *V = O->get("memoize"))
+      SimOpts.Memoize = V->boolOr(SimOpts.Memoize);
+    if (const json::Value *V = O->get("cache_budget_mb"))
+      SimOpts.CacheBudgetBytes =
+          static_cast<size_t>(V->intOr(256)) << 20;
+    if (const json::Value *V = O->get("guards"))
+      SimOpts.Guards = V->boolOr(SimOpts.Guards);
+    if (const json::Value *V = O->get("max_steps"))
+      SimOpts.StepLimit = static_cast<uint64_t>(V->intOr(0));
+    if (const json::Value *V = O->get("mem_budget_mb"))
+      SimOpts.MemPageBudget =
+          (static_cast<size_t>(V->intOr(0)) << 20) >> TargetMemory::PageBits;
+    if (const json::Value *V = O->get("adaptive_bypass"))
+      SimOpts.AdaptiveBypass = V->boolOr(SimOpts.AdaptiveBypass);
+    if (const json::Value *V = O->get("eviction")) {
+      const std::string &E = V->strOr("");
+      if (E == "clearall")
+        SimOpts.Eviction = rt::EvictionPolicy::ClearAll;
+      else if (E == "segmented")
+        SimOpts.Eviction = rt::EvictionPolicy::Segmented;
+      else {
+        respondError(C, Id, ErrCode::BadRequest,
+                     "'options.eviction' must be clearall|segmented");
+        return;
+      }
+    }
+  }
+  inject::InjectSpec InjSpec;
+  bool Injecting = false;
+  if (const json::Value *V = Req.get("fault_inject")) {
+    std::string SpecErr;
+    if (!V->isStr() ||
+        !inject::InjectSpec::parse(V->str(), InjSpec, SpecErr)) {
+      respondError(C, Id, ErrCode::BadRequest,
+                   "bad 'fault_inject' spec: " + SpecErr);
+      return;
+    }
+    Injecting = true;
+  }
+
+  // Pool lookup: one SharedProgram per (sim, workload-shape, length).
+  std::string Key = strFormat("%s|%s|%llu|%u|%u", SimName.c_str(),
+                              Spec.Name.c_str(),
+                              static_cast<unsigned long long>(OuterIters),
+                              Spec.DataKWords, Spec.NumKernels);
+  std::shared_ptr<SharedEntry> Entry;
+  bool PoolHit = false;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    std::shared_ptr<SharedEntry> &Slot = Pool[Key];
+    if (!Slot) {
+      Slot = std::make_shared<SharedEntry>();
+      Slot->Kind = Kind;
+      Slot->WorkloadName = Spec.Name;
+      Slot->Prog = std::make_unique<rt::SharedProgram>(
+          sims::simulatorProgram(Kind), workload::generate(Spec, OuterIters));
+    } else {
+      PoolHit = true;
+    }
+    Entry = Slot;
+  }
+
+  auto S = std::make_shared<Session>();
+  S->Kind = Kind;
+  S->WorkloadName = Spec.Name;
+  S->Shared = Entry;
+  S->Sim = std::make_unique<FacileSim>(Kind, *Entry->Prog, SimOpts);
+  if (Injecting) {
+    S->Injector =
+        std::make_unique<inject::FaultInjector>(S->Sim->sim(), InjSpec);
+    S->Injector->arm();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    if (Sessions.size() >= Opts.MaxSessions) {
+      respondError(C, Id, ErrCode::SessionLimit,
+                   strFormat("session limit (%u) reached", Opts.MaxSessions));
+      return;
+    }
+    S->Id = ++LastSessionId;
+    Sessions.emplace(S->Id, S);
+    if (Sessions.size() > PeakSessions)
+      PeakSessions = Sessions.size();
+  }
+  ++SessionsCreated;
+
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("session", S->Id);
+  W.field("sim", std::string_view(simKindName(Kind)));
+  W.field("workload", std::string_view(S->WorkloadName));
+  W.field("compat_key",
+          strFormat("%016llx", static_cast<unsigned long long>(
+                                   S->Sim->sim().compatKey())));
+  W.field("shared_program", PoolHit);
+  W.endObject();
+  respond(C, W.take());
+}
+
+namespace {
+
+/// Appends the common post-execution members: status, halt/fault state and
+/// headline counters.
+void writeRunState(json::Writer &W, const FacileSim &Sim) {
+  const rt::Simulation &S = Sim.sim();
+  const char *Status = S.faulted() ? "faulted" : S.halted() ? "halted"
+                                                            : "limit";
+  W.field("status", std::string_view(Status));
+  W.field("halted", S.halted());
+  W.field("faulted", S.faulted());
+  W.field("steps_total", S.stats().Steps);
+  W.field("retired_total", S.stats().RetiredTotal);
+  W.field("cycles", S.stats().Cycles);
+  if (S.faulted())
+    writeFault(W, S.fault());
+}
+
+} // namespace
+
+void FacileServer::Impl::verbStep(Conn &C, const json::Value &Req,
+                                  const json::Value *Id, Session &S) {
+  uint64_t Count = 1;
+  if (const json::Value *V = Req.get("count")) {
+    if (!V->isInt() || V->intOr(0) <= 0) {
+      respondError(C, Id, ErrCode::BadRequest,
+                   "'count' must be a positive integer");
+      return;
+    }
+    Count = static_cast<uint64_t>(V->intOr(1));
+  }
+  Count = std::min<uint64_t>(Count, Opts.MaxStepsPerRequest);
+
+  uint64_t Ran = 0, Slow = 0, Fast = 0, Recovered = 0;
+  rt::Simulation &Sim = S.Sim->sim();
+  while (Ran != Count && !Sim.halted() && !Sim.faulted()) {
+    switch (Sim.step()) {
+    case rt::StepEngine::Slow:
+      ++Slow;
+      break;
+    case rt::StepEngine::Fast:
+      ++Fast;
+      break;
+    case rt::StepEngine::FastThenSlow:
+      ++Recovered;
+      break;
+    case rt::StepEngine::Faulted:
+      break;
+    }
+    ++Ran;
+    if (S.Injector && (Ran & 255) == 0)
+      S.Injector->inject();
+  }
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("steps", Ran);
+  W.objectField("engines")
+      .field("slow", Slow)
+      .field("fast", Fast)
+      .field("recovered", Recovered)
+      .endObject();
+  writeRunState(W, *S.Sim);
+  W.endObject();
+  respond(C, W.take());
+}
+
+void FacileServer::Impl::verbRun(Conn &C, const json::Value &Req,
+                                 const json::Value *Id, Session &S) {
+  uint64_t MaxSteps = Opts.MaxStepsPerRequest;
+  uint64_t InstrTarget = 0;
+  if (const json::Value *V = Req.get("steps")) {
+    if (!V->isInt() || V->intOr(0) <= 0) {
+      respondError(C, Id, ErrCode::BadRequest,
+                   "'steps' must be a positive integer");
+      return;
+    }
+    MaxSteps = std::min<uint64_t>(static_cast<uint64_t>(V->intOr(1)),
+                                  Opts.MaxStepsPerRequest);
+  }
+  if (const json::Value *V = Req.get("instrs")) {
+    if (!V->isInt() || V->intOr(0) <= 0) {
+      respondError(C, Id, ErrCode::BadRequest,
+                   "'instrs' must be a positive integer");
+      return;
+    }
+    InstrTarget = static_cast<uint64_t>(V->intOr(1));
+  }
+
+  rt::Simulation &Sim = S.Sim->sim();
+  uint64_t Ran = 0;
+  while (Ran < MaxSteps && !Sim.halted() && !Sim.faulted() &&
+         (InstrTarget == 0 || Sim.stats().RetiredTotal < InstrTarget)) {
+    uint64_t Chunk = std::min<uint64_t>(256, MaxSteps - Ran);
+    rt::RunResult R = Sim.run(Chunk);
+    Ran += R.Steps;
+    if (R.Steps == 0)
+      break; // already halted/faulted; avoid spinning
+    if (S.Injector)
+      S.Injector->inject();
+  }
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("steps", Ran);
+  writeRunState(W, *S.Sim);
+  W.endObject();
+  respond(C, W.take());
+}
+
+void FacileServer::Impl::verbInspect(Conn &C, const json::Value &Req,
+                                     const json::Value *Id, Session &S) {
+  std::string What = "stats";
+  if (const json::Value *V = Req.get("what"))
+    What = V->strOr(What);
+  json::Writer W;
+
+  if (What == "stats") {
+    beginOkResponse(W, Id);
+    W.rawField("stats", S.Sim->statsJson());
+  } else if (What == "digest") {
+    beginOkResponse(W, Id);
+    W.field("digest",
+            strFormat("%016llx", static_cast<unsigned long long>(
+                                     S.Sim->sim().memory().digest())));
+  } else if (What == "global") {
+    const json::Value *N = Req.get("name");
+    int64_t Value = 0;
+    if (!N || !N->isStr() ||
+        !S.Sim->sim().tryGetGlobal(N->str(), Value)) {
+      respondError(C, Id, ErrCode::BadRequest,
+                   "'name' must name a scalar global");
+      return;
+    }
+    beginOkResponse(W, Id);
+    W.field("name", std::string_view(N->str()));
+    W.field("value", Value);
+  } else if (What == "registers") {
+    const ir::GlobalVar *R = S.Shared->Prog->program().findGlobal("R");
+    if (!R || !R->IsArray) {
+      respondError(C, Id, ErrCode::BadRequest,
+                   "program has no register file array 'R'");
+      return;
+    }
+    beginOkResponse(W, Id);
+    W.arrayField("registers");
+    for (uint32_t I = 0; I != R->Size; ++I)
+      W.value(S.Sim->sim().getGlobalElem("R", I));
+    W.endArray();
+  } else if (What == "memory") {
+    const json::Value *A = Req.get("addr");
+    if (!A || !A->isInt() || A->intOr(0) < 0) {
+      respondError(C, Id, ErrCode::BadRequest,
+                   "'addr' must be a non-negative integer");
+      return;
+    }
+    uint64_t Words = 1;
+    if (const json::Value *V = Req.get("words")) {
+      if (!V->isInt() || V->intOr(0) <= 0) {
+        respondError(C, Id, ErrCode::BadRequest,
+                     "'words' must be a positive integer");
+        return;
+      }
+      Words = static_cast<uint64_t>(V->intOr(1));
+    }
+    Words = std::min<uint64_t>(Words, Opts.MaxInspectWords);
+    uint32_t Addr = static_cast<uint32_t>(A->intOr(0));
+    beginOkResponse(W, Id);
+    W.field("addr", static_cast<uint64_t>(Addr));
+    W.arrayField("values");
+    for (uint64_t I = 0; I != Words; ++I)
+      W.value(static_cast<uint64_t>(
+          S.Sim->sim().memory().read32(Addr + static_cast<uint32_t>(I) * 4)));
+    W.endArray();
+  } else {
+    respondError(C, Id, ErrCode::BadRequest,
+                 "'what' must be stats|digest|global|registers|memory");
+    return;
+  }
+  writeRunState(W, *S.Sim);
+  W.endObject();
+  respond(C, W.take());
+}
+
+void FacileServer::Impl::verbClearFault(Conn &C, const json::Value &Req,
+                                        const json::Value *Id, Session &S) {
+  rt::Simulation &Sim = S.Sim->sim();
+  bool Was = Sim.faulted();
+  Sim.clearFault();
+  // A step-limit fault would re-fire immediately unless the watchdog is
+  // raised; the verb takes the new limit in the same round trip.
+  if (const json::Value *V = Req.get("max_steps"))
+    Sim.setStepLimit(static_cast<uint64_t>(V->intOr(0)));
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("cleared", Was);
+  W.field("faulted", Sim.faulted());
+  W.endObject();
+  respond(C, W.take());
+}
+
+void FacileServer::Impl::verbSnapshotSave(Conn &C, const json::Value &Req,
+                                          const json::Value *Id, Session &S) {
+  std::string Kind = "checkpoint";
+  if (const json::Value *V = Req.get("kind"))
+    Kind = V->strOr(Kind);
+  std::vector<uint8_t> Bytes;
+  if (Kind == "checkpoint")
+    Bytes = S.Sim->checkpointBytes();
+  else if (Kind == "cache")
+    Bytes = S.Sim->cacheBytes();
+  else {
+    respondError(C, Id, ErrCode::BadRequest,
+                 "'kind' must be checkpoint|cache");
+    return;
+  }
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("kind", std::string_view(Kind));
+  W.field("format", "FACSNAP2");
+  W.field("size", static_cast<uint64_t>(Bytes.size()));
+  W.field("bytes_b64", base64Encode(Bytes));
+  W.endObject();
+  respond(C, W.take());
+}
+
+void FacileServer::Impl::verbSnapshotLoad(Conn &C, const json::Value &Req,
+                                          const json::Value *Id, Session &S) {
+  std::string Kind = "checkpoint";
+  if (const json::Value *V = Req.get("kind"))
+    Kind = V->strOr(Kind);
+  if (Kind != "checkpoint" && Kind != "cache") {
+    respondError(C, Id, ErrCode::BadRequest,
+                 "'kind' must be checkpoint|cache");
+    return;
+  }
+  const json::Value *B = Req.get("bytes_b64");
+  std::vector<uint8_t> Bytes;
+  if (!B || !B->isStr() || !base64Decode(B->str(), Bytes)) {
+    respondError(C, Id, ErrCode::BadRequest,
+                 "'bytes_b64' must be valid base64");
+    return;
+  }
+  std::string LoadErr;
+  bool Ok = Kind == "checkpoint" ? S.Sim->loadCheckpointBytes(Bytes, &LoadErr)
+                                 : S.Sim->loadCacheBytes(Bytes, &LoadErr);
+  if (!Ok) {
+    // Rejected payloads leave the session exactly as it was (the loaders
+    // are all-or-nothing), so this is an error response, not a fault.
+    respondError(C, Id, ErrCode::BadSnapshot, LoadErr);
+    return;
+  }
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("kind", std::string_view(Kind));
+  W.field("loaded", true);
+  writeRunState(W, *S.Sim);
+  W.endObject();
+  respond(C, W.take());
+}
+
+void FacileServer::Impl::verbDestroy(Conn &C, const json::Value *Id,
+                                     uint64_t SessionId) {
+  std::shared_ptr<Session> S;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    auto It = Sessions.find(SessionId);
+    if (It != Sessions.end()) {
+      S = std::move(It->second);
+      Sessions.erase(It);
+    }
+  }
+  if (!S) {
+    respondError(C, Id, ErrCode::UnknownSession,
+                 strFormat("no session %llu",
+                           static_cast<unsigned long long>(SessionId)));
+    return;
+  }
+  // An in-flight verb on another worker still holds a shared_ptr; the
+  // session object dies when the last reference drops.
+  ++SessionsDestroyed;
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("destroyed", SessionId);
+  W.endObject();
+  respond(C, W.take());
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+std::string FacileServer::Impl::statsJson() {
+  // Snapshot the session table, then export: the registry providers must
+  // not hold SessionsMu while they lock individual sessions.
+  std::vector<std::shared_ptr<Session>> Live;
+  uint64_t Peak;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    Live.reserve(Sessions.size());
+    for (const auto &E : Sessions)
+      Live.push_back(E.second);
+    Peak = PeakSessions;
+  }
+  size_t Queued;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Queued = Queue.size();
+  }
+  size_t PoolSize;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    PoolSize = Pool.size();
+  }
+  uint64_t FaultedSessions = 0;
+
+  telemetry::MetricsRegistry R;
+  R.add("sessions", [&](telemetry::MetricSink &Sink) {
+    for (const std::shared_ptr<Session> &S : Live) {
+      std::lock_guard<std::mutex> Lock(S->Mu);
+      const rt::Simulation &Sim = S->Sim->sim();
+      if (Sim.faulted())
+        ++FaultedSessions;
+      Sink.beginGroup(strFormat("s%llu",
+                                static_cast<unsigned long long>(S->Id)));
+      Sink.text("sim", simKindName(S->Kind));
+      Sink.text("workload", S->WorkloadName);
+      Sink.counter("verbs", S->Verbs);
+      Sink.counter("steps", Sim.stats().Steps);
+      Sink.counter("fast_steps", Sim.stats().FastSteps);
+      Sink.counter("retired", Sim.stats().RetiredTotal);
+      Sink.counter("cycles", Sim.stats().Cycles);
+      Sink.counter("faults", Sim.stats().Faults);
+      Sink.flag("halted", Sim.halted());
+      Sink.flag("faulted", Sim.faulted());
+      if (Sim.faulted())
+        Sink.text("fault_kind", rt::faultKindName(Sim.fault().Kind));
+      if (S->Injector)
+        Sink.counter("injected_faults", S->Injector->counters().total());
+      Sink.endGroup();
+    }
+  });
+  // The sessions provider runs first during export, so the faulted count
+  // is final by the time the server group renders — registries walk in
+  // registration order, but JSON member order is irrelevant to consumers;
+  // keep "sessions" registered first regardless.
+  R.add("server", [&](telemetry::MetricSink &Sink) {
+    Sink.gauge("active_sessions", static_cast<int64_t>(Live.size()));
+    Sink.gauge("peak_sessions", static_cast<int64_t>(Peak));
+    Sink.counter("sessions_created", SessionsCreated.load());
+    Sink.counter("sessions_destroyed", SessionsDestroyed.load());
+    Sink.gauge("faulted_sessions", static_cast<int64_t>(FaultedSessions));
+    Sink.gauge("queued_requests", static_cast<int64_t>(Queued));
+    Sink.gauge("active_connections",
+               static_cast<int64_t>(ActiveConnections.load()));
+    Sink.counter("connections_total", ConnectionsTotal.load());
+    Sink.counter("requests_total", RequestsTotal.load());
+    Sink.counter("responses_total", ResponsesTotal.load());
+    Sink.counter("protocol_errors", ProtocolErrors.load());
+    Sink.gauge("shared_programs", static_cast<int64_t>(PoolSize));
+    Sink.gauge("workers", static_cast<int64_t>(Opts.Workers));
+    Sink.flag("shutting_down", Stop.load());
+  });
+  telemetry::JsonMetricSink Sink;
+  R.exportTo(Sink);
+  return Sink.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Public surface
+//===----------------------------------------------------------------------===//
+
+FacileServer::FacileServer(ServerOptions Opts)
+    : I(std::make_unique<Impl>(std::move(Opts))) {}
+
+FacileServer::~FacileServer() {
+  I->requestShutdown();
+  I->joinAll();
+}
+
+bool FacileServer::start(std::string *Err) { return I->start(Err); }
+
+uint16_t FacileServer::port() const { return I->BoundPort; }
+
+void FacileServer::requestShutdown() { I->requestShutdown(); }
+
+void FacileServer::wait() {
+  {
+    std::unique_lock<std::mutex> Lock(I->StopMu);
+    I->StopCv.wait(Lock, [this] { return I->Stop.load(); });
+  }
+  I->joinAll();
+}
+
+std::string FacileServer::statsJson() const { return I->statsJson(); }

@@ -1,0 +1,104 @@
+//===- Server.h - Multi-session simulation server ---------------*- C++ -*-===//
+//
+// Part of the Facile reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// facilesimd: a daemon hosting many concurrent simulation sessions over
+/// the newline-delimited JSON protocol (Protocol.h). The design splits a
+/// running simulation along the paper's own compile/run boundary:
+///
+///  - **SharedProgram pool.** The expensive, read-only state — the
+///    compiled Facile simulator, the generated workload image and the
+///    packed ExecPlan — is built once per (sim, workload, outer-iters)
+///    triple and shared immutably by every session created over it
+///    (rt::SharedProgram). Creating session #64 costs one Simulation's
+///    mutable state, not a recompilation.
+///  - **Sessions.** Each session owns one FacileSim: registers, target
+///    memory, action cache, uarch models, snapshot and telemetry state are
+///    all private. The existing guards/mem-budget/max-steps options act as
+///    per-session resource isolation; a faulted session reports its
+///    SimFault over the wire and stays resumable (clear-fault verb)
+///    without ever disturbing siblings or the daemon.
+///  - **Fixed worker pool.** Connection readers only frame lines and
+///    enqueue work; a fixed pool of workers parses, dispatches and
+///    responds. A per-session mutex serializes verbs on one session; verbs
+///    on different sessions run concurrently across workers.
+///
+/// Verbs: ping, create, step, run, inspect, clear-fault, snapshot-save,
+/// snapshot-load, destroy, stats, shutdown — see docs/INTERNALS.md for the
+/// full wire tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FACILE_SERVER_SERVER_H
+#define FACILE_SERVER_SERVER_H
+
+#include "src/runtime/Simulation.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace facile {
+namespace server {
+
+struct ServerOptions {
+  /// When non-empty, listen on this Unix-domain socket path; otherwise on
+  /// TCP 127.0.0.1:TcpPort (0 picks an ephemeral port, see port()).
+  std::string UnixPath;
+  uint16_t TcpPort = 0;
+
+  unsigned Workers = 4;          ///< fixed verb-execution pool size
+  unsigned MaxSessions = 256;    ///< concurrent session cap
+  uint64_t MaxRequestsPerConn = 1u << 20; ///< per-connection request budget
+  size_t MaxLineBytes = 8u << 20;         ///< request framing limit
+  uint64_t MaxStepsPerRequest = 1u << 24; ///< run/step bound per request
+  uint32_t MaxInspectWords = 4096;        ///< memory-inspect span cap
+
+  /// Session defaults; per-create "options" members override them. Guards
+  /// stay on by default — every session input is untrusted.
+  rt::Simulation::Options DefaultSimOptions;
+};
+
+/// The daemon. Construct, start(), then wait() until a shutdown verb or
+/// requestShutdown() stops it. All public methods are thread-safe.
+class FacileServer {
+public:
+  explicit FacileServer(ServerOptions Opts);
+  ~FacileServer();
+
+  /// Binds, listens and spawns the accept/worker threads. False (with a
+  /// diagnostic in \p Err) on socket errors; the object may be destroyed
+  /// but not restarted afterwards.
+  bool start(std::string *Err = nullptr);
+
+  /// The bound TCP port (meaningful after start() when listening on TCP;
+  /// resolves ephemeral port 0 to the real one).
+  uint16_t port() const;
+
+  /// Initiates shutdown: stop accepting, unblock workers, close
+  /// connections. Idempotent; returns immediately.
+  void requestShutdown();
+
+  /// Blocks until the server has fully stopped (all threads joined).
+  void wait();
+
+  /// Daemon-level metrics plus one summary per live session, rendered as
+  /// one JSON object: {"server": {...}, "sessions": {"s3": {...}, ...}}.
+  /// Also served over the wire by the stats verb.
+  std::string statsJson() const;
+
+  FacileServer(const FacileServer &) = delete;
+  FacileServer &operator=(const FacileServer &) = delete;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace server
+} // namespace facile
+
+#endif // FACILE_SERVER_SERVER_H

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <utility>
 
 using namespace facile;
@@ -58,9 +59,14 @@ std::string sims::simulatorSource(SimKind Kind) {
 }
 
 const CompiledProgram &sims::simulatorProgram(SimKind Kind, PassMode Mode) {
+  // Process-wide lazily-filled cache: the mutex makes concurrent sessions
+  // (e.g. facilesimd workers creating sims on first contact) safe. std::map
+  // node stability keeps returned references valid across later inserts.
+  static std::mutex Mu;
   static std::map<std::pair<SimKind, PassMode>,
                   std::unique_ptr<CompiledProgram>>
       Cache;
+  std::lock_guard<std::mutex> Lock(Mu);
   std::unique_ptr<CompiledProgram> &Slot = Cache[{Kind, Mode}];
   if (!Slot) {
     DiagnosticEngine Diag;
@@ -81,6 +87,14 @@ FacileSim::FacileSim(SimKind Kind, const isa::TargetImage &Image,
                      rt::Simulation::Options Opts, PassMode Mode)
     : Prog(simulatorProgram(Kind, Mode)), Sim(Prog, Image, Opts) {
   Sim.setGlobal("PC", Image.Entry);
+  Sim.setGlobalElem("R", isa::StackReg, isa::DefaultStackTop);
+  wireExterns(Kind);
+}
+
+FacileSim::FacileSim(SimKind Kind, const rt::SharedProgram &Shared,
+                     rt::Simulation::Options Opts)
+    : Prog(Shared.program()), Sim(Shared, Opts) {
+  Sim.setGlobal("PC", Shared.image().Entry);
   Sim.setGlobalElem("R", isa::StackReg, isa::DefaultStackTop);
   wireExterns(Kind);
 }

@@ -63,6 +63,13 @@ public:
             rt::Simulation::Options Opts = {},
             PassMode Mode = PassMode::Optimized);
 
+  /// Constructs over a process-shared immutable program/image/plan bundle
+  /// (see rt::SharedProgram). \p Shared must have been built from
+  /// simulatorProgram(Kind, ...) and must outlive this object; many
+  /// FacileSims — across threads — may share one bundle.
+  FacileSim(SimKind Kind, const rt::SharedProgram &Shared,
+            rt::Simulation::Options Opts = {});
+
   /// Runs until sim_halt(), a structured fault, or at least \p MaxInstrs
   /// instructions retired. Returns the number of instructions retired;
   /// check faulted()/fault() afterwards to distinguish the outcomes.

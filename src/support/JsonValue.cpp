@@ -1,0 +1,338 @@
+//===- JsonValue.cpp - Bounded-depth JSON parser ---------------------------===//
+
+#include "src/support/JsonValue.h"
+
+#include "src/support/StringUtils.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+using namespace facile;
+using namespace facile::json;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, unsigned MaxDepth)
+      : Begin(Text.data()), P(Text.data()), End(Text.data() + Text.size()),
+        MaxDepth(MaxDepth) {}
+
+  bool run(Value &Out, std::string &Err) {
+    skipWs();
+    if (!value(Out, 0))
+      return fail(Err);
+    skipWs();
+    if (P != End) {
+      Msg = "trailing content after JSON value";
+      return fail(Err);
+    }
+    return true;
+  }
+
+private:
+  bool fail(std::string &Err) {
+    if (Msg.empty())
+      return true;
+    Err = strFormat("at byte %zu: %s", static_cast<size_t>(P - Begin),
+                    Msg.c_str());
+    return false;
+  }
+  bool setError(const char *M) {
+    if (Msg.empty())
+      Msg = M;
+    return false;
+  }
+
+  void skipWs() {
+    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+  bool lit(const char *S) {
+    size_t N = std::strlen(S);
+    if (static_cast<size_t>(End - P) < N || std::memcmp(P, S, N) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+
+  bool value(Value &Out, unsigned Depth) {
+    if (P == End)
+      return setError("unexpected end of input");
+    switch (*P) {
+    case '{':
+      return object(Out, Depth);
+    case '[':
+      return array(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!string(S))
+        return false;
+      Out = Value::makeStr(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!lit("true"))
+        return setError("invalid literal");
+      Out = Value::makeBool(true);
+      return true;
+    case 'f':
+      if (!lit("false"))
+        return setError("invalid literal");
+      Out = Value::makeBool(false);
+      return true;
+    case 'n':
+      if (!lit("null"))
+        return setError("invalid literal");
+      Out = Value::makeNull();
+      return true;
+    default:
+      return number(Out);
+    }
+  }
+
+  bool object(Value &Out, unsigned Depth) {
+    if (Depth >= MaxDepth)
+      return setError("nesting depth limit exceeded");
+    ++P; // '{'
+    Out = Value::makeObject();
+    skipWs();
+    if (P != End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!string(Key))
+        return setError("expected object key string");
+      skipWs();
+      if (P == End || *P != ':')
+        return setError("expected ':' after object key");
+      ++P;
+      skipWs();
+      Value V;
+      if (!value(V, Depth + 1))
+        return false;
+      Out.mutableMembers().emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (P == End)
+        return setError("unterminated object");
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      return setError("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(Value &Out, unsigned Depth) {
+    if (Depth >= MaxDepth)
+      return setError("nesting depth limit exceeded");
+    ++P; // '['
+    Out = Value::makeArray();
+    skipWs();
+    if (P != End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      Value V;
+      if (!value(V, Depth + 1))
+        return false;
+      Out.mutableArray().push_back(std::move(V));
+      skipWs();
+      if (P == End)
+        return setError("unterminated array");
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      return setError("expected ',' or ']' in array");
+    }
+  }
+
+  /// Appends \p Cp to \p Out as UTF-8.
+  static void appendUtf8(std::string &Out, uint32_t Cp) {
+    if (Cp < 0x80) {
+      Out.push_back(static_cast<char>(Cp));
+    } else if (Cp < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (Cp >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    } else if (Cp < 0x10000) {
+      Out.push_back(static_cast<char>(0xE0 | (Cp >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xF0 | (Cp >> 18)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 12) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | ((Cp >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Cp & 0x3F)));
+    }
+  }
+
+  bool hex4(uint32_t &Out) {
+    if (End - P < 4)
+      return setError("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = *P++;
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return setError("invalid \\u escape digit");
+    }
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    if (P == End || *P != '"')
+      return setError("expected string");
+    ++P;
+    Out.clear();
+    while (P != End) {
+      unsigned char C = static_cast<unsigned char>(*P);
+      if (C == '"') {
+        ++P;
+        return true;
+      }
+      if (C < 0x20)
+        return setError("unescaped control character in string");
+      if (C != '\\') {
+        Out.push_back(static_cast<char>(C));
+        ++P;
+        continue;
+      }
+      if (++P == End)
+        return setError("unterminated escape");
+      switch (*P++) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '/':
+        Out.push_back('/');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        uint32_t Cp = 0;
+        if (!hex4(Cp))
+          return false;
+        if (Cp >= 0xD800 && Cp <= 0xDBFF) {
+          // High surrogate: require a following \uDC00..\uDFFF.
+          if (End - P < 2 || P[0] != '\\' || P[1] != 'u')
+            return setError("lone high surrogate");
+          P += 2;
+          uint32_t Lo = 0;
+          if (!hex4(Lo))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return setError("invalid low surrogate");
+          Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (Cp >= 0xDC00 && Cp <= 0xDFFF) {
+          return setError("lone low surrogate");
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return setError("invalid escape character");
+      }
+    }
+    return setError("unterminated string");
+  }
+
+  bool number(Value &Out) {
+    const char *Start = P;
+    if (P != End && *P == '-')
+      ++P;
+    if (P == End || *P < '0' || *P > '9')
+      return setError("invalid value");
+    // Leading zero may not be followed by more digits.
+    if (*P == '0' && P + 1 != End && P[1] >= '0' && P[1] <= '9')
+      return setError("leading zero in number");
+    while (P != End && *P >= '0' && *P <= '9')
+      ++P;
+    bool Integral = true;
+    if (P != End && *P == '.') {
+      Integral = false;
+      ++P;
+      if (P == End || *P < '0' || *P > '9')
+        return setError("digit required after decimal point");
+      while (P != End && *P >= '0' && *P <= '9')
+        ++P;
+    }
+    if (P != End && (*P == 'e' || *P == 'E')) {
+      Integral = false;
+      ++P;
+      if (P != End && (*P == '+' || *P == '-'))
+        ++P;
+      if (P == End || *P < '0' || *P > '9')
+        return setError("digit required in exponent");
+      while (P != End && *P >= '0' && *P <= '9')
+        ++P;
+    }
+    std::string Text(Start, P); // NUL-terminate for strtoll/strtod
+    if (Integral) {
+      errno = 0;
+      char *EndPtr = nullptr;
+      long long V = std::strtoll(Text.c_str(), &EndPtr, 10);
+      if (errno != ERANGE && EndPtr == Text.c_str() + Text.size()) {
+        Out = Value::makeInt(static_cast<int64_t>(V));
+        return true;
+      }
+      // Out-of-int64-range integers degrade to double, like most parsers.
+    }
+    errno = 0;
+    double D = std::strtod(Text.c_str(), nullptr);
+    if (!std::isfinite(D))
+      return setError("number out of range");
+    Out = Value::makeDouble(D);
+    return true;
+  }
+
+  const char *Begin;
+  const char *P;
+  const char *End;
+  unsigned MaxDepth;
+  std::string Msg;
+};
+
+} // namespace
+
+bool json::parse(std::string_view Text, Value &Out, std::string &Err,
+                 unsigned MaxDepth) {
+  return Parser(Text, MaxDepth).run(Out, Err);
+}

@@ -250,3 +250,58 @@ TEST(Differential, PassesOnOffBitIdentical) {
     }
   }
 }
+
+TEST(Differential, SharedPlanMatchesOwnedPlan) {
+  // The facilesimd refactor lets many simulations reference one immutable
+  // SharedProgram (program + image + pre-built ExecPlan) instead of each
+  // building a private plan. Sharing must be invisible: a simulation over
+  // the shared bundle computes exactly the final state of the legacy
+  // owned-plan constructor, memoized and not — and stays on the shared
+  // plan the whole run (no silent copy-on-write privatization).
+  for (SimKind Kind :
+       {SimKind::Functional, SimKind::InOrder, SimKind::OutOfOrder}) {
+    for (const workload::WorkloadSpec &Spec : testWorkloads()) {
+      isa::TargetImage Image = workload::generate(Spec, 2);
+      constexpr uint64_t MaxInstrs = 1'000'000;
+      rt::SharedProgram Shared(simulatorProgram(Kind),
+                               workload::generate(Spec, 2));
+
+      for (bool Memoize : {true, false}) {
+        rt::Simulation::Options Opts;
+        Opts.Memoize = Memoize;
+        FinalState Owned = runOne(Kind, Image, Opts, MaxInstrs);
+
+        FacileSim Sim(Kind, Shared, Opts);
+        Sim.run(MaxInstrs);
+        EXPECT_TRUE(Sim.sim().planShared());
+        FinalState S;
+        S.Halted = Sim.sim().halted();
+        S.RetiredTotal = Sim.sim().stats().RetiredTotal;
+        S.Cycles = Sim.sim().stats().Cycles;
+        S.MemDigest = Sim.sim().memory().digest();
+        for (const ir::GlobalVar &G : simulatorProgram(Kind).Globals) {
+          if (G.IsArray)
+            for (uint32_t E = 0; E != G.Size; ++E)
+              S.Globals.push_back(Sim.sim().getGlobalElem(G.Name, E));
+          else
+            S.Globals.push_back(Sim.sim().getGlobal(G.Name));
+        }
+        SCOPED_TRACE(std::string(kindName(Kind)) + " on " + Spec.Name +
+                     (Memoize ? " (memoized)" : " (slow)"));
+        EXPECT_EQ(S, Owned);
+        if (Memoize) {
+          EXPECT_GT(Sim.sim().stats().fastForwardedPct(), 0.0);
+        }
+      }
+
+      // mutablePlan() must privatize: mutating one sharer's plan leaves
+      // the shared bundle (and new sharers) untouched.
+      rt::Simulation Mutator(Shared, rt::Simulation::Options());
+      EXPECT_TRUE(Mutator.planShared());
+      Mutator.mutablePlan();
+      EXPECT_FALSE(Mutator.planShared());
+      rt::Simulation Fresh(Shared, rt::Simulation::Options());
+      EXPECT_TRUE(Fresh.planShared());
+    }
+  }
+}

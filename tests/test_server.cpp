@@ -1,0 +1,636 @@
+//===- test_server.cpp - facilesimd protocol and concurrency suite -----------===//
+//
+// Conformance and stress tests for the multi-session simulation server.
+// Every test starts a real in-process FacileServer on an ephemeral
+// loopback port and talks to it over the actual wire path — sockets,
+// framing, worker pool — not through internal calls, so what passes here
+// is what a remote client experiences.
+//
+// Three layers:
+//  - protocol conformance: happy-path round trips for every verb, and a
+//    battery of malformed, oversized, truncated and hostile inputs that
+//    must each produce a structured error response (never a crash, hang
+//    or silent close mid-request);
+//  - differential: sessions hosted by the daemon must finish bit-identical
+//    to a standalone FacileSim over the same workload and options, even
+//    with 64 sessions sharing one SharedProgram across client threads;
+//  - isolation: a fault-injected session faults alone; its siblings on the
+//    same shared plan stay byte-exact (the mutablePlan copy-on-write).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/server/Client.h"
+#include "src/server/Protocol.h"
+#include "src/server/Server.h"
+#include "src/sims/SimHarness.h"
+#include "src/support/StringUtils.h"
+#include "src/workload/Workloads.h"
+#include "tests/TestJson.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace facile;
+using namespace facile::server;
+
+namespace {
+
+/// Starts the server in SetUp and fully stops it in TearDown, so a test
+/// that fails cannot leak threads into the next one.
+class ServerTest : public ::testing::Test {
+protected:
+  void SetUp() override { startServer(ServerOptions()); }
+
+  void startServer(ServerOptions Opts) {
+    Opts.Workers = 4;
+    Server = std::make_unique<FacileServer>(std::move(Opts));
+    std::string Err;
+    ASSERT_TRUE(Server->start(&Err)) << Err;
+    ASSERT_NE(Server->port(), 0);
+  }
+
+  void TearDown() override {
+    Server->requestShutdown();
+    Server->wait();
+  }
+
+  Client connect() {
+    Client C;
+    std::string Err;
+    EXPECT_TRUE(C.connectTcp(Server->port(), &Err)) << Err;
+    return C;
+  }
+
+  /// One round trip that must transport-succeed; protocol-level failure is
+  /// left to the caller to inspect.
+  json::Value rpc(Client &C, const std::string &Req) {
+    json::Value R;
+    std::string Err;
+    EXPECT_TRUE(C.rpc(Req, R, &Err)) << Req << ": " << Err;
+    return R;
+  }
+
+  /// Expects ok=false with error.code == \p Code.
+  void expectError(const json::Value &R, const char *Code) {
+    const json::Value *Ok = R.get("ok");
+    ASSERT_TRUE(Ok && Ok->isBool());
+    EXPECT_FALSE(Ok->boolOr(true));
+    const json::Value *E = R.get("error");
+    ASSERT_TRUE(E && E->isObject());
+    ASSERT_TRUE(E->get("code") && E->get("code")->isStr());
+    EXPECT_EQ(E->get("code")->str(), Code);
+    EXPECT_TRUE(E->get("message") && E->get("message")->isStr());
+  }
+
+  bool isOk(const json::Value &R) {
+    const json::Value *Ok = R.get("ok");
+    return Ok && Ok->boolOr(false);
+  }
+
+  /// Creates a shrunk-compress functional session, returns its id.
+  int64_t createSession(Client &C, const std::string &Extra = "") {
+    json::Value R = rpc(
+        C, R"({"id":1,"verb":"create","sim":"functional",)"
+           R"("workload":"compress","data_kwords":2)" + Extra + "}");
+    EXPECT_TRUE(isOk(R));
+    EXPECT_TRUE(R.get("session") && R.get("session")->isInt());
+    return R.get("session") ? R.get("session")->intOr(-1) : -1;
+  }
+
+  std::unique_ptr<FacileServer> Server;
+};
+
+/// The shrunk-compress spec every differential check runs against.
+workload::WorkloadSpec stressSpec() {
+  workload::WorkloadSpec Spec = *workload::findSpec("compress");
+  Spec.DataKWords = 2;
+  return Spec;
+}
+
+/// What a finished session must agree on with its standalone twin.
+struct Outcome {
+  bool Halted = false;
+  uint64_t Retired = 0;
+  uint64_t Cycles = 0;
+  std::string Digest;
+};
+
+/// The ground truth: a standalone FacileSim over the same image/options.
+Outcome standaloneOutcome() {
+  isa::TargetImage Image = workload::generate(stressSpec(), 2);
+  sims::FacileSim Sim(sims::SimKind::Functional, Image);
+  Sim.run(1u << 26);
+  Outcome O;
+  O.Halted = Sim.sim().halted();
+  O.Retired = Sim.sim().stats().RetiredTotal;
+  O.Cycles = Sim.sim().stats().Cycles;
+  O.Digest = strFormat("%016llx", static_cast<unsigned long long>(
+                                      Sim.sim().memory().digest()));
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol conformance
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, PingEchoesIds) {
+  Client C = connect();
+  json::Value R = rpc(C, R"({"id":42,"verb":"ping"})");
+  EXPECT_TRUE(isOk(R));
+  ASSERT_TRUE(R.get("id"));
+  EXPECT_EQ(R.get("id")->intOr(-1), 42);
+
+  R = rpc(C, R"({"id":"req-a","verb":"ping"})");
+  EXPECT_TRUE(isOk(R));
+  ASSERT_TRUE(R.get("id"));
+  EXPECT_EQ(R.get("id")->str(), "req-a");
+
+  // No id: echoed as null, still a full response.
+  R = rpc(C, R"({"verb":"ping"})");
+  EXPECT_TRUE(isOk(R));
+  ASSERT_TRUE(R.get("id"));
+  EXPECT_TRUE(R.get("id")->isNull());
+}
+
+TEST_F(ServerTest, MalformedRequestsGetStructuredErrors) {
+  Client C = connect();
+  // Each hostile line must produce exactly one well-formed error response
+  // on the same connection; the connection stays usable afterwards.
+  struct Case {
+    const char *Line;
+    const char *Code;
+  };
+  const Case Cases[] = {
+      {"{not json", ErrCode::ParseError},
+      {"}{", ErrCode::ParseError},
+      {R"("just a string")", ErrCode::BadRequest},
+      {"[1,2,3]", ErrCode::BadRequest},
+      {"42", ErrCode::BadRequest},
+      {R"({"id":1})", ErrCode::BadRequest},              // no verb
+      {R"({"id":1,"verb":7})", ErrCode::BadRequest},     // non-string verb
+      {R"({"id":1,"verb":"frobnicate"})", ErrCode::UnknownVerb},
+      {R"({"id":1,"verb":"step"})", ErrCode::BadRequest}, // no session
+      {R"({"id":1,"verb":"step","session":"three"})", ErrCode::BadRequest},
+      {R"({"id":1,"verb":"step","session":999})", ErrCode::UnknownSession},
+      {R"({"id":1,"verb":"run","session":999})", ErrCode::UnknownSession},
+      {R"({"id":1,"verb":"destroy","session":999})", ErrCode::UnknownSession},
+  };
+  for (const Case &K : Cases) {
+    SCOPED_TRACE(K.Line);
+    json::Value R = rpc(C, K.Line);
+    expectError(R, K.Code);
+  }
+  // Hostile nesting: a depth bomb must come back as a parse error, not a
+  // stack overflow.
+  std::string Bomb(4096, '[');
+  json::Value R = rpc(C, Bomb + std::string(4096, ']'));
+  expectError(R, ErrCode::ParseError);
+
+  // Still alive and sane after the whole battery.
+  EXPECT_TRUE(isOk(rpc(C, R"({"id":99,"verb":"ping"})")));
+}
+
+TEST_F(ServerTest, BadCreateArgumentsAreRejected) {
+  Client C = connect();
+  expectError(rpc(C, R"({"id":1,"verb":"create","sim":"quantum"})"),
+              ErrCode::BadRequest);
+  expectError(rpc(C, R"({"id":2,"verb":"create","workload":"nope"})"),
+              ErrCode::BadRequest);
+  expectError(
+      rpc(C, R"({"id":3,"verb":"create","options":{"eviction":"lru"}})"),
+      ErrCode::BadRequest);
+  expectError(
+      rpc(C, R"({"id":4,"verb":"create","fault_inject":"bogus:1"})"),
+      ErrCode::BadRequest);
+  expectError(rpc(C, R"({"id":5,"verb":"create","outer_iters":-3})"),
+              ErrCode::BadRequest);
+  // None of those half-created anything.
+  json::Value R = rpc(C, R"({"id":6,"verb":"stats"})");
+  ASSERT_TRUE(isOk(R));
+  const json::Value *Srv = R.get("stats") ? R.get("stats")->get("server")
+                                          : nullptr;
+  ASSERT_TRUE(Srv);
+  EXPECT_EQ(Srv->get("active_sessions")->intOr(-1), 0);
+  EXPECT_EQ(Srv->get("sessions_created")->intOr(-1), 0);
+}
+
+TEST_F(ServerTest, TruncatedRequestIsDiscardedOnDisconnect) {
+  {
+    Client C = connect();
+    EXPECT_TRUE(isOk(rpc(C, R"({"id":1,"verb":"ping"})")));
+    // Half a request, no newline — then the client vanishes. The server
+    // must drop the partial silently, not parse or answer it.
+    ASSERT_TRUE(C.sendRaw(R"({"id":2,"verb":"create","workl)"));
+    C.close();
+  }
+  // Server must still be serving after the abrupt disconnect.
+  Client C2 = connect();
+  EXPECT_TRUE(isOk(rpc(C2, R"({"id":3,"verb":"ping"})")));
+}
+
+TEST_F(ServerTest, OversizedLineIsRejectedAndConnectionClosed) {
+  TearDown();
+  ServerOptions Opts;
+  Opts.MaxLineBytes = 1024;
+  startServer(std::move(Opts));
+
+  Client C = connect();
+  std::string Huge = R"({"id":1,"verb":"ping","pad":")" +
+                     std::string(4096, 'x') + "\"}";
+  ASSERT_TRUE(C.sendLine(Huge));
+  std::string Line;
+  ASSERT_TRUE(C.recvLine(Line));
+  json::Value R;
+  std::string PErr;
+  ASSERT_TRUE(json::parse(Line, R, PErr)) << PErr;
+  expectError(R, ErrCode::Oversized);
+  // The connection is closed after the error response.
+  EXPECT_FALSE(C.recvLine(Line));
+
+  // An unterminated flood (no newline at all) is also rejected, not
+  // buffered forever.
+  Client C2 = connect();
+  ASSERT_TRUE(C2.sendRaw(std::string(8192, 'y')));
+  ASSERT_TRUE(C2.recvLine(Line));
+  ASSERT_TRUE(json::parse(Line, R, PErr)) << PErr;
+  expectError(R, ErrCode::Oversized);
+
+  Client C3 = connect();
+  EXPECT_TRUE(isOk(rpc(C3, R"({"id":2,"verb":"ping"})")));
+}
+
+TEST_F(ServerTest, PerConnectionRequestLimit) {
+  TearDown();
+  ServerOptions Opts;
+  Opts.MaxRequestsPerConn = 3;
+  startServer(std::move(Opts));
+
+  Client C = connect();
+  for (int I = 0; I != 3; ++I)
+    EXPECT_TRUE(isOk(rpc(C, R"({"id":1,"verb":"ping"})")));
+  ASSERT_TRUE(C.sendLine(R"({"id":4,"verb":"ping"})"));
+  std::string Line;
+  ASSERT_TRUE(C.recvLine(Line));
+  json::Value R;
+  std::string PErr;
+  ASSERT_TRUE(json::parse(Line, R, PErr)) << PErr;
+  expectError(R, ErrCode::RequestLimit);
+  EXPECT_FALSE(C.recvLine(Line)); // closed
+
+  // Fresh connections get a fresh budget.
+  Client C2 = connect();
+  EXPECT_TRUE(isOk(rpc(C2, R"({"id":1,"verb":"ping"})")));
+}
+
+TEST_F(ServerTest, SessionLimit) {
+  TearDown();
+  ServerOptions Opts;
+  Opts.MaxSessions = 2;
+  startServer(std::move(Opts));
+
+  Client C = connect();
+  int64_t A = createSession(C);
+  int64_t B = createSession(C);
+  ASSERT_GT(A, 0);
+  ASSERT_GT(B, 0);
+  json::Value R = rpc(C, R"({"id":1,"verb":"create","sim":"functional",)"
+                         R"("workload":"compress","data_kwords":2})");
+  expectError(R, ErrCode::SessionLimit);
+  // Destroying one frees a slot.
+  EXPECT_TRUE(isOk(rpc(C, strFormat(
+      R"({"id":2,"verb":"destroy","session":%lld})",
+      static_cast<long long>(A)))));
+  EXPECT_GT(createSession(C), 0);
+}
+
+TEST_F(ServerTest, SessionIdsAreNeverReused) {
+  Client C = connect();
+  int64_t A = createSession(C);
+  ASSERT_GT(A, 0);
+  EXPECT_TRUE(isOk(rpc(C, strFormat(
+      R"({"id":1,"verb":"destroy","session":%lld})",
+      static_cast<long long>(A)))));
+  // Every verb on the dead id — including a second destroy — must say
+  // unknown-session.
+  for (const char *Verb : {"step", "run", "inspect", "clear-fault",
+                           "snapshot-save", "destroy"}) {
+    SCOPED_TRACE(Verb);
+    json::Value R = rpc(C, strFormat(
+        R"({"id":2,"verb":"%s","session":%lld})", Verb,
+        static_cast<long long>(A)));
+    expectError(R, ErrCode::UnknownSession);
+  }
+  // A new session gets a fresh id, not the recycled one.
+  int64_t B = createSession(C);
+  EXPECT_GT(B, A);
+}
+
+TEST_F(ServerTest, ProtocolSelftestPasses) {
+  // The same conversation `facilesimd --selftest` runs: covers the
+  // snapshot round-trip (digest restored, warm-started twin matches) and
+  // the watchdog fault + clear-fault resume path.
+  Client C = connect();
+  std::string Err;
+  EXPECT_TRUE(runProtocolSelftest(C, Err, /*SendShutdown=*/false)) << Err;
+}
+
+TEST_F(ServerTest, SnapshotLoadRejectsGarbage) {
+  Client C = connect();
+  int64_t S = createSession(C);
+  // Bad base64.
+  expectError(rpc(C, strFormat(
+                  R"({"id":1,"verb":"snapshot-load","session":%lld,)"
+                  R"("kind":"checkpoint","bytes_b64":"@@@not-base64@@@"})",
+                  static_cast<long long>(S))),
+              ErrCode::BadRequest);
+  // Valid base64, garbage container: structured rejection, session intact.
+  expectError(rpc(C, strFormat(
+                  R"({"id":2,"verb":"snapshot-load","session":%lld,)"
+                  R"("kind":"checkpoint","bytes_b64":"AAAAAAAAAAAAAAAA"})",
+                  static_cast<long long>(S))),
+              ErrCode::BadSnapshot);
+  json::Value R = rpc(C, strFormat(
+      R"({"id":3,"verb":"run","session":%lld,"steps":100})",
+      static_cast<long long>(S)));
+  EXPECT_TRUE(isOk(R));
+  EXPECT_EQ(R.get("steps")->intOr(0), 100);
+}
+
+TEST_F(ServerTest, InspectVariants) {
+  Client C = connect();
+  int64_t S = createSession(C);
+  auto req = [&](const char *Fmt) {
+    return rpc(C, strFormat(Fmt, static_cast<long long>(S)));
+  };
+  EXPECT_TRUE(isOk(req(
+      R"({"id":1,"verb":"run","session":%lld,"steps":500})")));
+
+  json::Value R = req(
+      R"({"id":2,"verb":"inspect","session":%lld,"what":"stats"})");
+  ASSERT_TRUE(isOk(R));
+  ASSERT_TRUE(R.get("stats"));
+  EXPECT_TRUE(R.get("stats")->get("steps"));
+
+  R = req(R"({"id":3,"verb":"inspect","session":%lld,"what":"digest"})");
+  ASSERT_TRUE(isOk(R));
+  EXPECT_EQ(R.get("digest")->str().size(), 16u);
+
+  R = req(R"({"id":4,"verb":"inspect","session":%lld,"what":"registers"})");
+  ASSERT_TRUE(isOk(R));
+  ASSERT_TRUE(R.get("registers") && R.get("registers")->isArray());
+  EXPECT_GT(R.get("registers")->array().size(), 0u);
+
+  R = req(R"({"id":5,"verb":"inspect","session":%lld,)"
+          R"("what":"global","name":"PC"})");
+  ASSERT_TRUE(isOk(R));
+  EXPECT_TRUE(R.get("value") && R.get("value")->isInt());
+
+  R = req(R"({"id":6,"verb":"inspect","session":%lld,)"
+          R"("what":"memory","addr":0,"words":4})");
+  ASSERT_TRUE(isOk(R));
+  ASSERT_TRUE(R.get("values") && R.get("values")->isArray());
+  EXPECT_EQ(R.get("values")->array().size(), 4u);
+
+  expectError(req(
+      R"({"id":7,"verb":"inspect","session":%lld,"what":"soul"})"),
+      ErrCode::BadRequest);
+  expectError(req(
+      R"({"id":8,"verb":"inspect","session":%lld,)"
+      R"("what":"global","name":"NOPE"})"),
+      ErrCode::BadRequest);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, StatsExposesDaemonAndSessionGroups) {
+  Client C = connect();
+  int64_t S = createSession(C);
+  EXPECT_TRUE(isOk(rpc(C, strFormat(
+      R"({"id":1,"verb":"run","session":%lld,"steps":300})",
+      static_cast<long long>(S)))));
+
+  std::string Raw = Server->statsJson();
+  EXPECT_TRUE(testjson::validJson(Raw));
+  for (const char *Key :
+       {"server", "sessions", "active_sessions", "peak_sessions",
+        "sessions_created", "sessions_destroyed", "faulted_sessions",
+        "queued_requests", "active_connections", "connections_total",
+        "requests_total", "responses_total", "protocol_errors",
+        "shared_programs", "workers", "shutting_down"}) {
+    SCOPED_TRACE(Key);
+    EXPECT_TRUE(testjson::hasKey(Raw, Key));
+  }
+  // Per-session group with its counters.
+  EXPECT_TRUE(testjson::hasKey(
+      Raw, strFormat("s%lld", static_cast<long long>(S))));
+  for (const char *Key : {"sim", "workload", "verbs", "steps", "fast_steps",
+                          "retired", "cycles", "halted", "faulted"}) {
+    SCOPED_TRACE(Key);
+    EXPECT_TRUE(testjson::hasKey(Raw, Key));
+  }
+
+  // The same document is served over the wire.
+  json::Value R = rpc(C, R"({"id":2,"verb":"stats"})");
+  ASSERT_TRUE(isOk(R));
+  const json::Value *Stats = R.get("stats");
+  ASSERT_TRUE(Stats && Stats->isObject());
+  ASSERT_TRUE(Stats->get("server"));
+  EXPECT_GE(Stats->get("server")->get("requests_total")->intOr(0), 2);
+  EXPECT_TRUE(Stats->get("sessions"));
+}
+
+//===----------------------------------------------------------------------===//
+// Fault isolation
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, InjectedFaultStaysInItsSession) {
+  Client C = connect();
+  // Two sessions over the same pooled SharedProgram: a victim with an
+  // aggressive plan-truncation campaign, and a clean sibling.
+  int64_t Victim =
+      createSession(C, R"(,"fault_inject":"seed:7,plan:1.0")");
+  int64_t Clean = createSession(C);
+  ASSERT_GT(Victim, 0);
+  ASSERT_GT(Clean, 0);
+
+  json::Value R = rpc(C, strFormat(
+      R"({"id":1,"verb":"run","session":%lld,"steps":100000})",
+      static_cast<long long>(Victim)));
+  ASSERT_TRUE(isOk(R));
+  // Plan truncation fires on every inject (p=1.0); the guarded engines
+  // must turn it into a structured plan-corrupt fault.
+  ASSERT_TRUE(R.get("status"));
+  EXPECT_EQ(R.get("status")->str(), "faulted");
+  ASSERT_TRUE(R.get("fault") && R.get("fault")->get("kind"));
+  EXPECT_EQ(R.get("fault")->get("kind")->str(), "plan-corrupt");
+
+  // The sibling — reading the same SharedProgram the victim's injector
+  // just mutated through its private copy — must finish exactly like a
+  // standalone run.
+  R = rpc(C, strFormat(
+      R"({"id":2,"verb":"run","session":%lld,"steps":16000000})",
+      static_cast<long long>(Clean)));
+  ASSERT_TRUE(isOk(R));
+  EXPECT_EQ(R.get("status")->str(), "halted");
+  Outcome Want = standaloneOutcome();
+  EXPECT_EQ(static_cast<uint64_t>(R.get("retired_total")->intOr(0)),
+            Want.Retired);
+  EXPECT_EQ(static_cast<uint64_t>(R.get("cycles")->intOr(0)), Want.Cycles);
+  R = rpc(C, strFormat(
+      R"({"id":3,"verb":"inspect","session":%lld,"what":"digest"})",
+      static_cast<long long>(Clean)));
+  ASSERT_TRUE(isOk(R));
+  EXPECT_EQ(R.get("digest")->str(), Want.Digest);
+
+  // Daemon-level accounting sees exactly one faulted session; the daemon
+  // itself never died.
+  std::string Raw = Server->statsJson();
+  EXPECT_TRUE(testjson::hasKey(Raw, "faulted_sessions"));
+  json::Value Stats;
+  std::string PErr;
+  ASSERT_TRUE(json::parse(Raw, Stats, PErr, 8)) << PErr;
+  EXPECT_EQ(Stats.get("server")->get("faulted_sessions")->intOr(-1), 1);
+  EXPECT_GE(Stats.get("sessions")
+                ->get(strFormat("s%lld", static_cast<long long>(Victim)))
+                ->get("injected_faults")
+                ->intOr(0),
+            1);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: 64 sessions, one SharedProgram, bit-identical results
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, SixtyFourConcurrentSessionsMatchStandalone) {
+  constexpr int NumThreads = 8;
+  constexpr int SessionsPerThread = 8;
+  Outcome Want = standaloneOutcome();
+  ASSERT_TRUE(Want.Halted);
+
+  std::atomic<int> PoolMisses{0};
+  std::atomic<int> Failures{0};
+  std::vector<std::string> Errors(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      auto failed = [&](const std::string &Why) {
+        Errors[T] = Why;
+        ++Failures;
+      };
+      Client C;
+      std::string Err;
+      if (!C.connectTcp(Server->port(), &Err))
+        return failed("connect: " + Err);
+      std::vector<int64_t> Mine;
+      for (int I = 0; I != SessionsPerThread; ++I) {
+        json::Value R;
+        if (!C.rpc(R"({"id":1,"verb":"create","sim":"functional",)"
+                   R"("workload":"compress","data_kwords":2})",
+                   R, &Err))
+          return failed("create rpc: " + Err);
+        const json::Value *Ok = R.get("ok");
+        if (!Ok || !Ok->boolOr(false))
+          return failed("create refused");
+        if (R.get("shared_program") &&
+            !R.get("shared_program")->boolOr(true))
+          ++PoolMisses;
+        Mine.push_back(R.get("session")->intOr(0));
+      }
+      // Interleave all of this thread's sessions through short step/run
+      // bursts so many sessions are mid-flight at once.
+      bool AllHalted = false;
+      while (!AllHalted) {
+        AllHalted = true;
+        for (int64_t S : Mine) {
+          json::Value R;
+          const char *Fmt =
+              (S & 1) ? R"({"id":2,"verb":"run","session":%lld,)"
+                        R"("steps":4000})"
+                      : R"({"id":2,"verb":"step","session":%lld,)"
+                        R"("count":4000})";
+          if (!C.rpc(strFormat(Fmt, static_cast<long long>(S)), R, &Err))
+            return failed("burst rpc: " + Err);
+          if (!R.get("ok")->boolOr(false))
+            return failed("burst refused");
+          if (!R.get("halted")->boolOr(false))
+            AllHalted = false;
+        }
+      }
+      // Every session must agree with the standalone oracle bit-for-bit.
+      for (int64_t S : Mine) {
+        json::Value R;
+        if (!C.rpc(strFormat(R"({"id":3,"verb":"inspect","session":%lld,)"
+                             R"("what":"digest"})",
+                             static_cast<long long>(S)),
+                   R, &Err))
+          return failed("digest rpc: " + Err);
+        if (R.get("digest")->str() != Want.Digest)
+          return failed("digest mismatch on session " + std::to_string(S));
+        if (!C.rpc(strFormat(R"({"id":4,"verb":"inspect","session":%lld,)"
+                             R"("what":"stats"})",
+                             static_cast<long long>(S)),
+                   R, &Err))
+          return failed("stats rpc: " + Err);
+        const json::Value *St = R.get("stats");
+        if (static_cast<uint64_t>(St->get("retired_total")->intOr(0)) !=
+                Want.Retired ||
+            static_cast<uint64_t>(St->get("cycles")->intOr(0)) !=
+                Want.Cycles)
+          return failed("counters mismatch on session " +
+                        std::to_string(S));
+      }
+      for (int64_t S : Mine) {
+        json::Value R;
+        if (!C.rpc(strFormat(R"({"id":5,"verb":"destroy","session":%lld})",
+                             static_cast<long long>(S)),
+                   R, &Err))
+          return failed("destroy rpc: " + Err);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (const std::string &E : Errors)
+    EXPECT_TRUE(E.empty()) << E;
+  ASSERT_EQ(Failures.load(), 0);
+  // All 64 sessions shared one pooled SharedProgram: exactly one create
+  // built it, the other 63 reused it.
+  EXPECT_EQ(PoolMisses.load(), 1);
+
+  json::Value Stats;
+  std::string PErr;
+  ASSERT_TRUE(json::parse(Server->statsJson(), Stats, PErr, 8)) << PErr;
+  const json::Value *Srv = Stats.get("server");
+  EXPECT_EQ(Srv->get("sessions_created")->intOr(0),
+            NumThreads * SessionsPerThread);
+  EXPECT_EQ(Srv->get("sessions_destroyed")->intOr(0),
+            NumThreads * SessionsPerThread);
+  EXPECT_EQ(Srv->get("active_sessions")->intOr(-1), 0);
+  EXPECT_GE(Srv->get("peak_sessions")->intOr(0), SessionsPerThread);
+  EXPECT_EQ(Srv->get("shared_programs")->intOr(0), 1);
+  EXPECT_EQ(Srv->get("protocol_errors")->intOr(-1), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Shutdown
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, ShutdownVerbStopsTheServer) {
+  Client C = connect();
+  int64_t S = createSession(C);
+  ASSERT_GT(S, 0);
+  json::Value R = rpc(C, R"({"id":1,"verb":"shutdown"})");
+  EXPECT_TRUE(isOk(R));
+  Server->wait(); // must return: the verb initiated a full stop
+  // New connections are refused once the listener is down.
+  Client C2;
+  EXPECT_FALSE(C2.connectTcp(Server->port()));
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- facilesim_client.cpp - facilesimd command-line client ----------------===//
+//
+// A thin command-line client for a running facilesimd: send one request
+// line (or a canned subcommand) and print the response line. Useful for
+// poking a daemon by hand and as the scriptable surface for smoke tests.
+//
+//   facilesim_client --port=7411 ping
+//   facilesim_client --port=7411 raw '{"id":1,"verb":"stats"}'
+//   facilesim_client --unix=/tmp/facile.sock selftest
+//   facilesim_client --port=7411 shutdown
+//
+// The selftest subcommand drives the same protocol conversation as
+// `facilesimd --selftest`, but against an already-running daemon (it does
+// not send shutdown).
+//
+// exit status: 0 ok (response had ok=true), 1 protocol error or failed
+// selftest, 2 bad usage, 3 connection error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/server/Client.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace facile;
+using namespace facile::server;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s (--port=<n> | --unix=<path>) <command>\n"
+               "commands:\n"
+               "  ping                liveness round trip\n"
+               "  stats               print the daemon stats response\n"
+               "  raw '<json-line>'   send one raw request line\n"
+               "  selftest            full protocol conversation (no shutdown)\n"
+               "  shutdown            ask the daemon to stop\n",
+               Prog);
+}
+
+/// Sends \p Req, prints the raw response line, returns 0 when ok=true.
+int oneShot(Client &C, const std::string &Req) {
+  if (!C.sendLine(Req)) {
+    std::fprintf(stderr, "facilesim_client: send failed\n");
+    return 3;
+  }
+  std::string Line;
+  if (!C.recvLine(Line)) {
+    std::fprintf(stderr, "facilesim_client: connection closed\n");
+    return 3;
+  }
+  std::printf("%s\n", Line.c_str());
+  json::Value R;
+  std::string PErr;
+  if (!json::parse(Line, R, PErr))
+    return 1;
+  const json::Value *Ok = R.get("ok");
+  return Ok && Ok->boolOr(false) ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint16_t Port = 0;
+  std::string UnixPath;
+  int I = 1;
+  for (; I < argc && std::strncmp(argv[I], "--", 2) == 0; ++I) {
+    if (std::strncmp(argv[I], "--port=", 7) == 0) {
+      Port = static_cast<uint16_t>(std::atoi(argv[I] + 7));
+    } else if (std::strncmp(argv[I], "--unix=", 7) == 0) {
+      UnixPath = argv[I] + 7;
+    } else if (std::strcmp(argv[I], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "facilesim_client: bad option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+  if (I >= argc || (Port == 0 && UnixPath.empty())) {
+    usage(argv[0]);
+    return 2;
+  }
+  std::string Cmd = argv[I++];
+
+  Client C;
+  std::string Err;
+  bool Connected = UnixPath.empty() ? C.connectTcp(Port, &Err)
+                                    : C.connectUnix(UnixPath, &Err);
+  if (!Connected) {
+    std::fprintf(stderr, "facilesim_client: %s\n", Err.c_str());
+    return 3;
+  }
+
+  if (Cmd == "ping")
+    return oneShot(C, R"({"id":0,"verb":"ping"})");
+  if (Cmd == "stats")
+    return oneShot(C, R"({"id":0,"verb":"stats"})");
+  if (Cmd == "shutdown")
+    return oneShot(C, R"({"id":0,"verb":"shutdown"})");
+  if (Cmd == "raw") {
+    if (I >= argc) {
+      std::fprintf(stderr, "facilesim_client: raw needs a request line\n");
+      return 2;
+    }
+    return oneShot(C, argv[I]);
+  }
+  if (Cmd == "selftest") {
+    if (!runProtocolSelftest(C, Err, /*SendShutdown=*/false)) {
+      std::fprintf(stderr, "facilesim_client: selftest FAILED: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    std::printf("facilesim_client: selftest ok\n");
+    return 0;
+  }
+  std::fprintf(stderr, "facilesim_client: unknown command '%s'\n",
+               Cmd.c_str());
+  usage(argv[0]);
+  return 2;
+}

@@ -1,0 +1,159 @@
+//===- facilesimd.cpp - Multi-session simulation server daemon --------------===//
+//
+// Hosts many concurrent simulation sessions over newline-delimited JSON
+// (src/server/). One process compiles each requested simulator once,
+// shares the immutable program/image/plan bundle across every session
+// created over it, and isolates per-session mutable state — so a fleet of
+// experiment clients pays one compilation, not one per run.
+//
+//   facilesimd --port=7411             # TCP on 127.0.0.1:7411
+//   facilesimd --unix=/tmp/facile.sock # Unix-domain socket
+//   facilesimd --selftest              # in-process protocol round-trip
+//
+// The daemon stops on the shutdown verb or SIGINT/SIGTERM. --selftest
+// starts an ephemeral in-process server, drives the full protocol
+// conversation against it (create, run, inspect, snapshot round-trip with
+// digest match, fault + clear-fault, destroy, shutdown) and exits 0 only
+// if every check passed — the CI smoke entry point.
+//
+// exit status: 0 ok, 1 selftest failure, 2 bad usage, 3 socket error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/server/Client.h"
+#include "src/server/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace facile;
+using namespace facile::server;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --port=<n>           listen on TCP 127.0.0.1:<n> (0 = ephemeral;\n"
+      "                       the bound port is printed on stdout)\n"
+      "  --unix=<path>        listen on a Unix-domain socket instead\n"
+      "  --workers=<n>        verb-execution worker threads (default 4)\n"
+      "  --max-sessions=<n>   concurrent session cap (default 256)\n"
+      "  --max-steps-per-request=<n>  run/step bound per request\n"
+      "  --selftest           run the protocol self-test in-process, exit\n"
+      "\n"
+      "exit status: 0 ok, 1 selftest failure, 2 bad usage, 3 socket error\n",
+      Prog);
+}
+
+bool parseU64(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End != S && *End == '\0';
+}
+
+FacileServer *SignalServer = nullptr;
+
+void onSignal(int) {
+  if (SignalServer)
+    SignalServer->requestShutdown();
+}
+
+int runSelftest() {
+  ServerOptions Opts;
+  Opts.Workers = 2;
+  FacileServer Server(std::move(Opts));
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "facilesimd: selftest start failed: %s\n",
+                 Err.c_str());
+    return 3;
+  }
+  Client C;
+  if (!C.connectTcp(Server.port(), &Err)) {
+    std::fprintf(stderr, "facilesimd: selftest connect failed: %s\n",
+                 Err.c_str());
+    return 3;
+  }
+  bool Ok = runProtocolSelftest(C, Err, /*SendShutdown=*/true);
+  C.close();
+  Server.wait();
+  if (!Ok) {
+    std::fprintf(stderr, "facilesimd: selftest FAILED: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("facilesimd: selftest ok\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerOptions Opts;
+  bool Selftest = false;
+  bool HaveEndpoint = false;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    uint64_t N;
+    if (std::strncmp(A, "--port=", 7) == 0 && parseU64(A + 7, N) &&
+        N <= 65535) {
+      Opts.TcpPort = static_cast<uint16_t>(N);
+      HaveEndpoint = true;
+    } else if (std::strncmp(A, "--unix=", 7) == 0) {
+      Opts.UnixPath = A + 7;
+      HaveEndpoint = true;
+    } else if (std::strncmp(A, "--workers=", 10) == 0 && parseU64(A + 10, N) &&
+               N >= 1 && N <= 256) {
+      Opts.Workers = static_cast<unsigned>(N);
+    } else if (std::strncmp(A, "--max-sessions=", 15) == 0 &&
+               parseU64(A + 15, N) && N >= 1) {
+      Opts.MaxSessions = static_cast<unsigned>(N);
+    } else if (std::strncmp(A, "--max-steps-per-request=", 24) == 0 &&
+               parseU64(A + 24, N) && N >= 1) {
+      Opts.MaxStepsPerRequest = N;
+    } else if (std::strcmp(A, "--selftest") == 0) {
+      Selftest = true;
+    } else if (std::strcmp(A, "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "facilesimd: bad argument '%s'\n", A);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (Selftest)
+    return runSelftest();
+  if (!HaveEndpoint) {
+    std::fprintf(stderr,
+                 "facilesimd: need --port=<n>, --unix=<path> or --selftest\n");
+    usage(argv[0]);
+    return 2;
+  }
+
+  FacileServer Server(std::move(Opts));
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "facilesimd: %s\n", Err.c_str());
+    return 3;
+  }
+  SignalServer = &Server;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The bound port on stdout lets wrappers use --port=0 ephemeral binds.
+  std::printf("facilesimd: listening on %s\n",
+              Server.port() != 0
+                  ? ("127.0.0.1:" + std::to_string(Server.port())).c_str()
+                  : "unix socket");
+  std::fflush(stdout);
+  Server.wait();
+  return 0;
+}
