@@ -23,15 +23,154 @@
 
 #include "bench/BenchCommon.h"
 #include "src/sims/SimHarness.h"
+#include "src/store/CacheStore.h"
 #include "src/workload/Workloads.h"
+
+#include <dirent.h>
+#include <memory>
+#include <unistd.h>
 
 using namespace facile;
 using namespace facile::bench;
 using namespace facile::sims;
 
+namespace {
+
+/// Resident set size in KB (0 if /proc is unavailable).
+uint64_t rssKb() {
+  std::FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Size = 0, Resident = 0;
+  int N = std::fscanf(F, "%llu %llu", &Size, &Resident);
+  std::fclose(F);
+  if (N != 2)
+    return 0;
+  return Resident * static_cast<uint64_t>(sysconf(_SC_PAGESIZE) / 1024);
+}
+
+void removeTree(const std::string &Dir) {
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ::unlink((Dir + "/" + Name).c_str());
+    }
+    ::closedir(D);
+  }
+  ::rmdir(Dir.c_str());
+}
+
+/// --store mode: K warm simulations sharing one mmap'd store file versus K
+/// private cache deserializations. The store side maps the promoted cache
+/// once (read-only, copy-on-write overlays per sim); the private side pays
+/// a full owned copy per sim. Reported per suite entry: wall-clock to
+/// bring all K sims to their first replayed instructions, and the RSS the
+/// K warm sims added.
+int runStoreMode(double Scale, JsonSink &Sink, size_t K) {
+  banner("Shared cache store — one mapping vs. K private caches",
+         "(beyond the paper: §4.2's cache as a shared, mmap'd artifact)",
+         "time and resident memory to warm-start K sims from one store "
+         "file vs. K private deserializations, OOO simulator");
+  std::printf("sessions per entry: %zu\n\n", K);
+  std::printf("%-14s %10s %10s %9s %9s %9s %6s\n", "benchmark", "store s",
+              "priv s", "store MB", "priv MB", "snap MB", "maps");
+
+  char Tmpl[] = "/tmp/facile-bench-store-XXXXXX";
+  if (!::mkdtemp(Tmpl)) {
+    std::fprintf(stderr, "error: cannot create a temporary store dir\n");
+    return 1;
+  }
+  std::string StoreDirPath = Tmpl;
+
+  for (const workload::WorkloadSpec &Spec : workload::spec95Suite()) {
+    isa::TargetImage Image = workload::generate(Spec, 1u << 30);
+    uint64_t Budget = scaled(300'000, Scale);
+
+    // Builder: populate once, promote into the store (untimed).
+    store::CacheStoreDir Store(StoreDirPath);
+    FacileSim Builder(SimKind::OutOfOrder, Image);
+    Builder.run(Budget);
+    std::vector<uint8_t> CacheSnap = Builder.cacheBytes();
+    std::string Err;
+    if (!Builder.promoteStore(Store, nullptr, &Err)) {
+      std::printf("%-14s promote failed: %s\n", Spec.Name.c_str(),
+                  Err.c_str());
+      continue;
+    }
+
+    // K sims over the one mapping; run a sliver so the clock covers
+    // time-to-first-replay, not just the attach.
+    std::vector<std::unique_ptr<FacileSim>> StoreSims;
+    int64_t RssBase = static_cast<int64_t>(rssKb());
+    double TStore = timeIt([&] {
+      for (size_t S = 0; S != K; ++S) {
+        auto Sim = std::make_unique<FacileSim>(SimKind::OutOfOrder, Image);
+        if (!Sim->attachStore(Store, &Err)) {
+          std::fprintf(stderr, "%s: attach failed: %s\n", Spec.Name.c_str(),
+                       Err.c_str());
+          return;
+        }
+        Sim->run(1000);
+        StoreSims.push_back(std::move(Sim));
+      }
+    });
+    int64_t RssStoreKb = static_cast<int64_t>(rssKb()) - RssBase;
+    size_t Mappings = Store.mappedCount();
+    StoreSims.clear();
+
+    // K private copies of the same cache.
+    std::vector<std::unique_ptr<FacileSim>> PrivSims;
+    RssBase = static_cast<int64_t>(rssKb());
+    double TPriv = timeIt([&] {
+      for (size_t S = 0; S != K; ++S) {
+        auto Sim = std::make_unique<FacileSim>(SimKind::OutOfOrder, Image);
+        if (!Sim->loadCacheBytes(CacheSnap, &Err)) {
+          std::fprintf(stderr, "%s: load failed: %s\n", Spec.Name.c_str(),
+                       Err.c_str());
+          return;
+        }
+        Sim->run(1000);
+        PrivSims.push_back(std::move(Sim));
+      }
+    });
+    int64_t RssPrivKb = static_cast<int64_t>(rssKb()) - RssBase;
+    PrivSims.clear();
+
+    std::printf("%-14s %10.3f %10.3f %9.2f %9.2f %9.2f %6zu\n",
+                Spec.Name.c_str(), TStore, TPriv,
+                static_cast<double>(RssStoreKb) / 1024.0,
+                static_cast<double>(RssPrivKb) / 1024.0,
+                static_cast<double>(CacheSnap.size()) / (1u << 20), Mappings);
+    Sink.begin()
+        .field("bench", Spec.Name)
+        .field("mode", "store")
+        .field("sessions", static_cast<uint64_t>(K))
+        .field("t_first_replay_store_s", TStore)
+        .field("t_first_replay_private_s", TPriv)
+        .field("rss_store_kb", static_cast<int64_t>(RssStoreKb))
+        .field("rss_private_kb", static_cast<int64_t>(RssPrivKb))
+        .field("store_mappings", static_cast<uint64_t>(Mappings))
+        .field("snapshot_bytes", static_cast<uint64_t>(CacheSnap.size()));
+    Sink.commit();
+  }
+
+  removeTree(StoreDirPath);
+  return 0;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
   JsonSink Sink(Argc, Argv);
+  if (hasFlag(Argc, Argv, "--store")) {
+    std::string SessArg = parseArg(Argc, Argv, "--sessions=");
+    size_t K = SessArg.empty() ? 8 : std::strtoull(SessArg.c_str(), nullptr, 10);
+    if (K == 0)
+      K = 1;
+    return runStoreMode(Scale, Sink, K);
+  }
   banner("Warm start — persistent action cache vs. cold start",
          "(beyond the paper: §4.2's cache persisted across processes)",
          "cold/warm Ksim-instr/s per benchmark, OOO simulator, and the "

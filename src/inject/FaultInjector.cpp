@@ -117,12 +117,17 @@ void FaultInjector::flipMemoryBit() {
 
 void FaultInjector::flipCacheBit() {
   rt::ActionCache &AC = Sim.mutableCache();
-  size_t N = AC.nodeCount();
+  // Only the private overlay is writable: with a store base attached the
+  // base arenas live in a PROT_READ mapping, so the campaign corrupts
+  // what this session owns (which is also the honest model — the base is
+  // CRC-checked at open and immutable thereafter).
+  size_t N = AC.overlayNodeCount();
   if (N == 0)
     return;
   switch (R.below(3)) {
   case 0: { // node record: links, action id, kind, data span
-    uint32_t Idx = static_cast<uint32_t>(R.below(N));
+    uint32_t Idx =
+        static_cast<uint32_t>(AC.baseNodeCount() + R.below(N));
     auto *Bytes = reinterpret_cast<uint8_t *>(&AC.node(Idx));
     Bytes[R.below(sizeof(rt::ActionNode))] ^=
         static_cast<uint8_t>(1u << R.below(8));
@@ -132,15 +137,15 @@ void FaultInjector::flipCacheBit() {
     ++C.CacheNodeFlips;
     break;
   }
-  case 1: { // integrity seal itself
+  case 1: { // integrity seal itself (overlay-relative index)
     AC.mutableSeals()[R.below(N)] ^= 1ULL << R.below(64);
     ++C.CacheSealFlips;
     break;
   }
-  default: { // placeholder data pool
-    if (AC.dataSize() == 0)
+  default: { // placeholder data pool (overlay-relative index)
+    if (AC.overlayDataWords() == 0)
       return;
-    AC.mutableData()[R.below(AC.dataSize())] ^= 1LL << R.below(64);
+    AC.mutableData()[R.below(AC.overlayDataWords())] ^= 1LL << R.below(64);
     ++C.CachePoolFlips;
     break;
   }

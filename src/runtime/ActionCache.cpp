@@ -14,13 +14,13 @@ using namespace facile::rt;
 // Key interning
 //===----------------------------------------------------------------------===//
 
-void ActionCache::growTable() {
+std::vector<uint32_t>
+ActionCache::buildProbeTable(const std::vector<KeyRecord> &Keys) {
   // Smallest power of two keeping the load factor below ~2/3.
   size_t NewSize = 64;
   while (NewSize * 2 < (Keys.size() + 1) * 3)
     NewSize *= 2;
-  NewSize = std::max(NewSize, Table.size() * 2);
-  Table.assign(NewSize, NoId);
+  std::vector<uint32_t> Table(NewSize, NoId);
   size_t Mask = NewSize - 1;
   for (KeyId K = 0; K != Keys.size(); ++K) {
     size_t I = static_cast<size_t>(Keys[K].Hash) & Mask;
@@ -28,14 +28,59 @@ void ActionCache::growTable() {
       I = (I + 1) & Mask;
     Table[I] = K;
   }
+  return Table;
+}
+
+void ActionCache::growTable() {
+  // Smallest power of two keeping the load factor below ~2/3; never
+  // shrink an already-grown table.
+  size_t NewSize = 64;
+  while (NewSize * 2 < (Keys.size() + 1) * 3)
+    NewSize *= 2;
+  NewSize = std::max(NewSize, Table.size() * 2);
+  Table.assign(NewSize, NoId);
+  size_t Mask = NewSize - 1;
+  // Slots store global ids; only overlay keys live in this table.
+  for (KeyId K = 0; K != Keys.size(); ++K) {
+    size_t I = static_cast<size_t>(Keys[K].Hash) & Mask;
+    while (Table[I] != NoId)
+      I = (I + 1) & Mask;
+    Table[I] = static_cast<KeyId>(Base.NumKeys + K);
+  }
 }
 
 KeyId ActionCache::internKey(const char *Data, size_t Len) {
+  uint64_t H = hashBytes(Data, Len);
+
+  // Level one: the read-only base table (mapped store file). Hits return
+  // the base key id; misses fall through to the private overlay table —
+  // the base is immutable, so nothing is ever inserted here.
+  if (HasBase && Base.TableSize != 0) {
+    size_t Mask = static_cast<size_t>(Base.TableSize) - 1;
+    size_t I = static_cast<size_t>(H) & Mask;
+    uint64_t Probes = 0;
+    for (;;) {
+      uint32_t Slot = Base.Table[I];
+      if (Slot == NoId)
+        break;
+      const KeyRecord &R = Base.Keys[Slot];
+      if (R.Hash == H && R.Len == Len &&
+          std::memcmp(Base.KeyPool + R.Ofs, Data, Len) == 0) {
+        S.ProbeTotal += Probes;
+        S.ProbeMax = std::max(S.ProbeMax, Probes);
+        return Slot;
+      }
+      I = (I + 1) & Mask;
+      ++Probes;
+    }
+    S.ProbeTotal += Probes;
+    S.ProbeMax = std::max(S.ProbeMax, Probes);
+  }
+
   // Keep the load factor below ~2/3 so probe sequences stay short.
   if (Table.empty() || (Keys.size() + 1) * 3 > Table.size() * 2)
     growTable();
 
-  uint64_t H = hashBytes(Data, Len);
   size_t Mask = Table.size() - 1;
   size_t I = static_cast<size_t>(H) & Mask;
   uint64_t Probes = 0;
@@ -43,7 +88,7 @@ KeyId ActionCache::internKey(const char *Data, size_t Len) {
     uint32_t Slot = Table[I];
     if (Slot == NoId)
       break;
-    const KeyRecord &R = Keys[Slot];
+    const KeyRecord &R = Keys[Slot - Base.NumKeys];
     if (R.Hash == H && R.Len == Len &&
         std::memcmp(KeyPool.data() + R.Ofs, Data, Len) == 0) {
       S.ProbeTotal += Probes;
@@ -56,7 +101,7 @@ KeyId ActionCache::internKey(const char *Data, size_t Len) {
   S.ProbeTotal += Probes;
   S.ProbeMax = std::max(S.ProbeMax, Probes);
 
-  KeyId K = static_cast<KeyId>(Keys.size());
+  KeyId K = static_cast<KeyId>(Base.NumKeys + Keys.size());
   KeyRecord R;
   R.Ofs = static_cast<uint32_t>(KeyPool.size());
   R.Len = static_cast<uint32_t>(Len);
@@ -87,10 +132,78 @@ EntryId ActionCache::create(KeyId K) {
 }
 
 //===----------------------------------------------------------------------===//
+// Base layer
+//===----------------------------------------------------------------------===//
+
+bool ActionCache::attachBase(const BaseArenas &B) {
+  if (HasBase || !Keys.empty() || !Entries.empty() || !NodeArena.empty() ||
+      !DataPool.empty() || !KeyPool.empty())
+    return false;
+  Base = B;
+  HasBase = true;
+  KeyToEntry.clear();
+  if (B.NumKeys != 0)
+    KeyToEntry.assign(B.KeyToEntry, B.KeyToEntry + B.NumKeys);
+  Entries.clear();
+  if (B.NumEntries != 0)
+    Entries.assign(B.Entries, B.Entries + B.NumEntries);
+  BaseVerified.assign(B.NumNodes, 0);
+  Table.clear();
+  Tick = std::max(Tick, B.Tick);
+  ++Epoch;
+  PendingXor = 0;
+  notePeak();
+  return true;
+}
+
+void ActionCache::detachBase() {
+  HasBase = false;
+  Base = BaseArenas{};
+  BaseVerified.clear();
+  Patches.clear();
+  KeyPool.clear();
+  Keys.clear();
+  KeyToEntry.clear();
+  Table.clear();
+  Entries.clear();
+  NodeArena.clear();
+  NodeSeal.clear();
+  VerifyMark.clear();
+  ++Epoch;
+  DataPool.clear();
+  PendingXor = 0;
+}
+
+void ActionCache::resetToBase() {
+  KeyPool.clear();
+  Keys.clear();
+  Table.clear();
+  NodeArena.clear();
+  NodeSeal.clear();
+  VerifyMark.clear();
+  Patches.clear();
+  DataPool.clear();
+  PendingXor = 0;
+  KeyToEntry.clear();
+  if (Base.NumKeys != 0)
+    KeyToEntry.assign(Base.KeyToEntry, Base.KeyToEntry + Base.NumKeys);
+  Entries.clear();
+  if (Base.NumEntries != 0)
+    Entries.assign(Base.Entries, Base.Entries + Base.NumEntries);
+  // BaseVerified survives: the base mapping did not change.
+  ++Epoch;
+}
+
+//===----------------------------------------------------------------------===//
 // Eviction
 //===----------------------------------------------------------------------===//
 
 void ActionCache::clear() {
+  if (HasBase) {
+    resetToBase();
+    ++S.Clears;
+    return;
+  }
   KeyPool.clear();
   Keys.clear();
   KeyToEntry.clear();
@@ -107,7 +220,9 @@ void ActionCache::clear() {
 
 void ActionCache::evict() {
   notePeak();
-  if (Policy == EvictionPolicy::Segmented && Entries.size() >= 2) {
+  // A mapped base cannot be compacted in place; both policies degenerate
+  // to dropping the overlay and re-seeding from the base image.
+  if (!HasBase && Policy == EvictionPolicy::Segmented && Entries.size() >= 2) {
     evictSegmented();
     // Compaction keeps the hot half; if even that half exceeds the budget
     // (one giant working set), fall back to the wholesale clear.
@@ -124,11 +239,24 @@ void ActionCache::evict() {
 
 void ActionCache::serialize(snapshot::Writer &W) const {
   W.u64(Tick);
-  W.charVec(KeyPool);
-  W.u64(Keys.size());
-  for (const KeyRecord &R : Keys) {
-    W.u32(R.Ofs);
-    W.u32(R.Len); // hashes are recomputed on load
+  // Key pool, base bytes below overlay bytes (charVec wire layout). With
+  // no base attached this is byte-identical to the historical format.
+  W.u64(keyPoolBytes());
+  if (Base.KeyPoolBytes != 0)
+    W.bytes(Base.KeyPool, static_cast<size_t>(Base.KeyPoolBytes));
+  W.bytes(KeyPool.data(), KeyPool.size());
+  W.u64(keyCount());
+  for (KeyId K = 0; K != keyCount(); ++K) {
+    // Global pool offsets: base spans already live below Base.KeyPoolBytes;
+    // overlay spans shift up past them.
+    if (K < Base.NumKeys) {
+      W.u32(Base.Keys[K].Ofs);
+      W.u32(Base.Keys[K].Len);
+    } else {
+      const KeyRecord &R = Keys[K - Base.NumKeys];
+      W.u32(static_cast<uint32_t>(Base.KeyPoolBytes) + R.Ofs);
+      W.u32(R.Len); // hashes are recomputed on load
+    }
   }
   W.u32Vec(KeyToEntry);
   W.u64(Entries.size());
@@ -137,20 +265,34 @@ void ActionCache::serialize(snapshot::Writer &W) const {
     W.u32(E.Key);
     W.u64(E.LastUse);
   }
-  W.u64(NodeArena.size());
-  for (size_t I = 0; I != NodeArena.size(); ++I) {
-    const ActionNode &N = NodeArena[I];
+  W.u64(nodeCount());
+  for (uint32_t I = 0; I != nodeCount(); ++I) {
+    const ActionNode &N = node(I);
+    // Edge patches are applied in the written image: a snapshot is a
+    // self-contained merge of base and overlay.
+    uint32_t On0 = N.OnValue[0];
+    uint32_t On1 = N.OnValue[1];
+    if (I < Base.NumNodes && N.K == ActionNode::Kind::Test) {
+      if (On0 == ActionNode::NoNode)
+        On0 = patchedSuccessor(edgeTag(I, 0));
+      if (On1 == ActionNode::NoNode)
+        On1 = patchedSuccessor(edgeTag(I, 1));
+    }
     W.u32(static_cast<uint32_t>(N.ActionId));
     W.u8(static_cast<uint8_t>(N.K));
     W.u32(N.DataOfs);
     W.u32(N.DataLen);
     W.u32(N.Next);
-    W.u32(N.OnValue[0]);
-    W.u32(N.OnValue[1]);
+    W.u32(On0);
+    W.u32(On1);
     W.u32(N.NextKey);
-    W.u64(NodeSeal[I]);
+    W.u64(nodeSeal(I));
   }
-  W.i64Vec(DataPool);
+  // Data pool, base words below overlay words (i64Vec wire layout).
+  W.u64(dataSize());
+  if (Base.DataWords != 0)
+    W.bytes(Base.Data, static_cast<size_t>(Base.DataWords) * 8);
+  W.bytes(DataPool.data(), DataPool.size() * 8);
 }
 
 bool ActionCache::deserialize(snapshot::Reader &R, uint32_t NumActions) {
@@ -249,55 +391,47 @@ bool ActionCache::deserialize(snapshot::Reader &R, uint32_t NumActions) {
       return false;
   }
 
-  KeyPool = std::move(NewKeyPool);
-  Keys = std::move(NewKeys);
-  KeyToEntry = std::move(NewKeyToEntry);
-  Entries = std::move(NewEntries);
-  NodeArena = std::move(NewNodes);
-  NodeSeal = std::move(NewSeals);
-  VerifyMark.assign(NodeSeal.size(), 0);
-  ++Epoch;
-  DataPool = std::move(NewData);
-  PendingXor = 0;
-  Tick = NewTick;
-  Table.clear();
-  growTable();
+  FlatImage Img;
+  Img.Tick = NewTick;
+  Img.KeyPool = std::move(NewKeyPool);
+  Img.Keys = std::move(NewKeys);
+  Img.KeyToEntry = std::move(NewKeyToEntry);
+  Img.Entries = std::move(NewEntries);
+  Img.Nodes = std::move(NewNodes);
+  Img.Seals = std::move(NewSeals);
+  Img.Data = std::move(NewData);
+  // A loaded snapshot replaces everything, including any attached base:
+  // the cache comes back private and owned (adoptImage drops the base).
+  adoptImage(std::move(Img));
   notePeak();
   return true;
 }
 
-void ActionCache::evictSegmented() {
-  // Retain the most-recently-used half: entries whose LastUse is at or
-  // above the median tick.
-  std::vector<uint64_t> Uses;
-  Uses.reserve(Entries.size());
-  for (const CacheEntry &E : Entries)
-    Uses.push_back(E.LastUse);
-  std::nth_element(Uses.begin(), Uses.begin() + Uses.size() / 2, Uses.end());
-  uint64_t Threshold = Uses[Uses.size() / 2];
+//===----------------------------------------------------------------------===//
+// Compaction
+//===----------------------------------------------------------------------===//
 
-  std::vector<char> NewKeyPool;
-  std::vector<KeyRecord> NewKeys;
-  std::vector<EntryId> NewKeyToEntry;
-  std::vector<CacheEntry> NewEntries;
-  std::vector<ActionNode> NewNodes;
-  std::vector<int64_t> NewData;
+ActionCache::FlatImage ActionCache::compactImage(uint64_t KeepThreshold,
+                                                 bool DropDetached) const {
+  FlatImage Img;
+  Img.Tick = Tick;
 
   // Copies key \p Old into the new pool once, returning its new id.
-  std::vector<KeyId> KeyRemap(Keys.size(), NoId);
+  std::vector<KeyId> KeyRemap(keyCount(), NoId);
   auto remapKey = [&](KeyId Old) -> KeyId {
     if (Old == NoId)
       return NoId;
     if (KeyRemap[Old] != NoId)
       return KeyRemap[Old];
-    const KeyRecord &R = Keys[Old];
-    KeyId New = static_cast<KeyId>(NewKeys.size());
-    KeyRecord C = R;
-    C.Ofs = static_cast<uint32_t>(NewKeyPool.size());
-    NewKeyPool.insert(NewKeyPool.end(), KeyPool.begin() + R.Ofs,
-                      KeyPool.begin() + R.Ofs + R.Len);
-    NewKeys.push_back(C);
-    NewKeyToEntry.push_back(NoId);
+    KeyId New = static_cast<KeyId>(Img.Keys.size());
+    KeyRecord C;
+    C.Ofs = static_cast<uint32_t>(Img.KeyPool.size());
+    C.Len = keyLen(Old);
+    C.Hash = keyHash(Old);
+    const char *D = keyData(Old);
+    Img.KeyPool.insert(Img.KeyPool.end(), D, D + C.Len);
+    Img.Keys.push_back(C);
+    Img.KeyToEntry.push_back(NoId);
     KeyRemap[Old] = New;
     return New;
   };
@@ -311,17 +445,18 @@ void ActionCache::evictSegmented() {
     int8_t Edge;
   };
   std::vector<WorkItem> Work;
-  std::vector<uint64_t> NewSeals;
 
   for (const CacheEntry &E : Entries) {
-    if (E.LastUse < Threshold)
+    if (E.LastUse < KeepThreshold)
       continue;
-    EntryId NewE = static_cast<EntryId>(NewEntries.size());
-    NewEntries.emplace_back();
-    CacheEntry &C = NewEntries.back();
+    if (DropDetached && E.Head == ActionNode::NoNode)
+      continue;
+    EntryId NewE = static_cast<EntryId>(Img.Entries.size());
+    Img.Entries.emplace_back();
+    CacheEntry &C = Img.Entries.back();
     C.Key = remapKey(E.Key);
     C.LastUse = E.LastUse;
-    NewKeyToEntry[C.Key] = NewE;
+    Img.KeyToEntry[C.Key] = NewE;
 
     if (E.Head == ActionNode::NoNode)
       continue;
@@ -329,13 +464,13 @@ void ActionCache::evictSegmented() {
     while (!Work.empty()) {
       WorkItem W = Work.back();
       Work.pop_back();
-      const ActionNode &Src = NodeArena[W.Old];
-      uint32_t NewIdx = static_cast<uint32_t>(NewNodes.size());
-      NewNodes.push_back(Src);
-      ActionNode &Dst = NewNodes.back();
-      Dst.DataOfs = static_cast<uint32_t>(NewData.size());
-      NewData.insert(NewData.end(), DataPool.begin() + Src.DataOfs,
-                     DataPool.begin() + Src.DataOfs + Src.DataLen);
+      const ActionNode &Src = node(W.Old);
+      uint32_t NewIdx = static_cast<uint32_t>(Img.Nodes.size());
+      Img.Nodes.push_back(Src);
+      ActionNode &Dst = Img.Nodes.back();
+      Dst.DataOfs = static_cast<uint32_t>(Img.Data.size());
+      const int64_t *Span = spanData(Src.DataOfs);
+      Img.Data.insert(Img.Data.end(), Span, Span + Src.DataLen);
       Dst.Next = ActionNode::NoNode;
       Dst.OnValue[0] = Dst.OnValue[1] = ActionNode::NoNode;
       if (Dst.K == ActionNode::Kind::End)
@@ -348,39 +483,63 @@ void ActionCache::evictSegmented() {
         OldTag = headTag(E.Key);
         NewTag = headTag(C.Key);
       } else if (W.Edge < 0) {
-        NewNodes[W.ParentNew].Next = NewIdx;
+        Img.Nodes[W.ParentNew].Next = NewIdx;
         OldTag = edgeTag(W.ParentOld, -1);
         NewTag = edgeTag(W.ParentNew, -1);
       } else {
-        NewNodes[W.ParentNew].OnValue[W.Edge] = NewIdx;
+        Img.Nodes[W.ParentNew].OnValue[W.Edge] = NewIdx;
         OldTag = edgeTag(W.ParentOld, W.Edge);
         NewTag = edgeTag(W.ParentNew, W.Edge);
       }
-      NewSeals.push_back(NodeSeal[W.Old] ^ OldTag ^ NewTag);
+      Img.Seals.push_back(nodeSeal(W.Old) ^ OldTag ^ NewTag);
       if (Src.K == ActionNode::Kind::Plain &&
           Src.Next != ActionNode::NoNode)
         Work.push_back({Src.Next, W.Old, NewIdx, -1});
       if (Src.K == ActionNode::Kind::Test)
-        for (int V = 0; V != 2; ++V)
-          if (Src.OnValue[V] != ActionNode::NoNode)
-            Work.push_back({Src.OnValue[V], W.Old, NewIdx,
-                            static_cast<int8_t>(V)});
+        for (int V = 0; V != 2; ++V) {
+          // testSuccessor folds the edge-patch table in, so an overlay
+          // extension of a base test survives compaction/promotion.
+          uint32_t Succ = testSuccessor(W.Old, V);
+          if (Succ != ActionNode::NoNode)
+            Work.push_back({Succ, W.Old, NewIdx, static_cast<int8_t>(V)});
+        }
     }
   }
+  return Img;
+}
 
-  S.EvictedEntries += Entries.size() - NewEntries.size();
-  ++S.Evictions;
-
-  KeyPool = std::move(NewKeyPool);
-  Keys = std::move(NewKeys);
-  KeyToEntry = std::move(NewKeyToEntry);
-  Entries = std::move(NewEntries);
-  NodeArena = std::move(NewNodes);
-  NodeSeal = std::move(NewSeals);
+void ActionCache::adoptImage(FlatImage Img) {
+  HasBase = false;
+  Base = BaseArenas{};
+  BaseVerified.clear();
+  Patches.clear();
+  KeyPool = std::move(Img.KeyPool);
+  Keys = std::move(Img.Keys);
+  KeyToEntry = std::move(Img.KeyToEntry);
+  Entries = std::move(Img.Entries);
+  NodeArena = std::move(Img.Nodes);
+  NodeSeal = std::move(Img.Seals);
   VerifyMark.assign(NodeSeal.size(), 0);
   ++Epoch;
-  DataPool = std::move(NewData);
+  DataPool = std::move(Img.Data);
   PendingXor = 0;
+  Tick = Img.Tick;
   Table.clear();
   growTable();
+}
+
+void ActionCache::evictSegmented() {
+  // Retain the most-recently-used half: entries whose LastUse is at or
+  // above the median tick.
+  std::vector<uint64_t> Uses;
+  Uses.reserve(Entries.size());
+  for (const CacheEntry &E : Entries)
+    Uses.push_back(E.LastUse);
+  std::nth_element(Uses.begin(), Uses.begin() + Uses.size() / 2, Uses.end());
+  uint64_t Threshold = Uses[Uses.size() / 2];
+
+  FlatImage Img = compactImage(Threshold, /*DropDetached=*/false);
+  S.EvictedEntries += Entries.size() - Img.Entries.size();
+  ++S.Evictions;
+  adoptImage(std::move(Img));
 }

@@ -7,6 +7,15 @@
 // missing Test successor the replayed prefix is handed to the slow engine
 // for recovery (SlowEngine.cpp).
 //
+// The cache may be layered: an immutable base (a read-only mapped store
+// file) below a private overlay. The loop resolves each global node id
+// and data span against the split once per node — a predictable compare
+// against the base extent — and then runs relative to a per-node span
+// pointer, so the per-instruction cost is identical to the single-arena
+// loop (and with no base attached the extents are zero and every compare
+// folds to the overlay side). Successors recorded for base Test nodes
+// live in a private patch table consulted only on the would-be miss path.
+//
 // The loop is compiled twice from one template. The unguarded instance is
 // the trusting hot loop of the paper. The guarded instance (the default;
 // Options::Guards) verifies each node BEFORE executing it: bounds-checks
@@ -46,9 +55,14 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
 
   // Raw arena bases: replay never grows the cache, so these stay valid
   // until a miss hands the step to the slow simulator (after which they
-  // are not touched again).
-  const ActionNode *Nodes = Cache.nodes();
-  const int64_t *Pool = Cache.data();
+  // are not touched again). Global ids resolve against the base extents:
+  // [0, BaseN) in the mapping, the rest in the private overlay.
+  const ActionNode *BNodes = Cache.baseNodes();
+  const ActionNode *ONodes = Cache.overlayNodes();
+  const uint32_t BaseN = Cache.baseNodeCount();
+  const int64_t *BData = Cache.baseData();
+  const int64_t *OData = Cache.overlayData();
+  const uint64_t BaseD = Cache.baseDataWords();
   const uint32_t NumNodes = static_cast<uint32_t>(Cache.nodeCount());
   const uint32_t NumActions = static_cast<uint32_t>(P.ActionOfs.size() - 1);
   const uint64_t PoolSize = Cache.dataSize();
@@ -82,7 +96,8 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
         return corrupt("node link outside the arena");
       if (++Walked > NumNodes)
         return corrupt("replay chain does not terminate");
-      const ActionNode &C = Nodes[NodeIdx];
+      const ActionNode &C =
+          NodeIdx < BaseN ? BNodes[NodeIdx] : ONodes[NodeIdx - BaseN];
       if (static_cast<uint32_t>(C.ActionId) >= NumActions)
         return corrupt("node action id outside the plan");
       if (static_cast<uint8_t>(C.K) >
@@ -90,23 +105,33 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
         return corrupt("illegal node kind");
       const uint64_t Lo = C.DataOfs;
       const uint64_t Hi = Lo + C.DataLen;
-      if (Hi > PoolSize)
+      // Spans never straddle the base/overlay boundary: overlay nodes
+      // allocate at the global end, and store validation pins base spans
+      // below the base extent. A straddling span is corruption.
+      if (Hi > PoolSize || (Lo < BaseD && Hi > BaseD))
         return corrupt("node data span outside the pool");
       // The expensive part — xoring the whole placeholder span — runs once
       // per mutation epoch per (node, incoming link); arriving through a
       // flipped edge never matches the mark and forces the full sweep.
       if (!Cache.nodeVerified(NodeIdx, IncomingTag)) {
+        const int64_t *Span =
+            Lo < BaseD ? BData + Lo : OData + (Lo - BaseD);
         uint64_t Xor = 0;
-        for (uint64_t W = Lo; W != Hi; ++W)
-          Xor ^= static_cast<uint64_t>(Pool[W]);
+        for (uint32_t W = 0; W != C.DataLen; ++W)
+          Xor ^= static_cast<uint64_t>(Span[W]);
         if ((Xor ^ ActionCache::identityMix(C) ^ IncomingTag) !=
             Cache.nodeSeal(NodeIdx))
           return corrupt("node integrity seal mismatch");
         Cache.markVerified(NodeIdx, IncomingTag);
       }
     }
-    const ActionNode &N = Nodes[NodeIdx];
-    size_t DataPos = N.DataOfs;
+    const ActionNode &N =
+        NodeIdx < BaseN ? BNodes[NodeIdx] : ONodes[NodeIdx - BaseN];
+    // One span-base resolution per node; the instruction loop below runs
+    // relative to it, exactly as it used to run relative to the pool base.
+    const int64_t *Span =
+        N.DataOfs < BaseD ? BData + N.DataOfs : OData + (N.DataOfs - BaseD);
+    size_t DataPos = 0;
 
     int64_t TestValue = 0;
     const XInst *IP = P.actionBegin(N.ActionId);
@@ -122,7 +147,7 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
       const XInst &I = *IP;
       auto readOperand = [&](uint32_t Slot, unsigned Pos) -> int64_t {
         if (I.StaticOperands & (1u << Pos))
-          return Pool[DataPos++];
+          return Span[DataPos++];
         return DynSlots[Slot];
       };
 
@@ -242,14 +267,14 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
         std::printf("%lld\n", static_cast<long long>(readOperand(I.A, 0)));
         break;
       case XOp::SyncSlot:
-        DynSlots[I.Dst] = Pool[DataPos++];
+        DynSlots[I.Dst] = Span[DataPos++];
         break;
       case XOp::SyncGlobal:
-        DynGlobals[I.Id] = Pool[DataPos++];
+        DynGlobals[I.Id] = Span[DataPos++];
         break;
       case XOp::SyncArray: {
         std::vector<int64_t> &Dst = DynArrays[I.Id];
-        std::memcpy(Dst.data(), Pool + DataPos, Dst.size() * 8);
+        std::memcpy(Dst.data(), Span + DataPos, Dst.size() * 8);
         DataPos += Dst.size();
         break;
       }
@@ -269,11 +294,10 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
     // placeholders this action reads (a mutated plan the shape check
     // cannot frame).
     if (Guarded) {
-      if (DataPos != static_cast<size_t>(N.DataOfs) + N.DataLen)
+      if (DataPos != static_cast<size_t>(N.DataLen))
         return corrupt("placeholder stream desynced from the plan");
     } else {
-      assert(DataPos == N.DataOfs + N.DataLen &&
-             "placeholder stream desynced");
+      assert(DataPos == N.DataLen && "placeholder stream desynced");
     }
 
     switch (N.K) {
@@ -295,6 +319,12 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
       break;
     case ActionNode::Kind::Test: {
       uint32_t Succ = N.OnValue[TestValue];
+      if (Succ == ActionNode::NoNode && NodeIdx < BaseN)
+        // Base nodes are immutable: a successor recorded by this session
+        // for a base test lives in the private patch table. Only this
+        // would-be-miss path pays the lookup.
+        Succ = Cache.patchedSuccessor(
+            ActionCache::edgeTag(NodeIdx, static_cast<int>(TestValue)));
       if (Succ == ActionNode::NoNode) {
         // Action cache miss: this control path was never recorded. Hand
         // the replayed prefix to the slow simulator for recovery.

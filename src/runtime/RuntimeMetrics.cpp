@@ -71,6 +71,10 @@ void ActionCache::exportMetrics(telemetry::MetricSink &Sink) const {
   Sink.counter("bytes", bytes());
   Sink.counter("key_pool_bytes", keyPoolBytes());
   Sink.counter("peak_bytes", S.PeakBytes);
+  Sink.flag("base_attached", hasBase());
+  Sink.counter("base_nodes", baseNodeCount());
+  Sink.counter("base_bytes", baseBytes());
+  Sink.counter("overlay_bytes", overlayBytes());
 }
 
 void ActionCache::registerMetrics(telemetry::MetricsRegistry &R,

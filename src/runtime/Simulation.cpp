@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 using namespace facile;
 using namespace facile::rt;
@@ -478,8 +479,48 @@ bool Simulation::deserializeCache(snapshot::Reader &R) {
   uint32_t NumActions = static_cast<uint32_t>(Plan->ActionOfs.size() - 1);
   if (!Cache.deserialize(R, NumActions))
     return false;
+  // deserialize() privatizes: the loaded image is owned, any base dropped.
+  CacheBaseKeepalive.reset();
   PendingEndNode = ActionNode::NoNode;
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared cache store
+//===----------------------------------------------------------------------===//
+
+bool Simulation::attachCacheBase(const ActionCache::BaseArenas &B,
+                                 std::shared_ptr<const void> Keepalive,
+                                 std::string *Err) {
+  if (!Opts.Memoize) {
+    if (Err)
+      *Err = "cannot attach a cache base with memoization disabled";
+    return false;
+  }
+  uint32_t NumActions = static_cast<uint32_t>(Plan->ActionOfs.size() - 1);
+  for (uint32_t I = 0; I != B.NumNodes; ++I) {
+    if (B.Nodes[I].ActionId >= NumActions) {
+      if (Err)
+        *Err = "base arenas reference actions beyond this program";
+      return false;
+    }
+  }
+  if (!Cache.attachBase(B)) {
+    if (Err)
+      *Err = "cache is not empty; attach before the first step";
+    return false;
+  }
+  CacheBaseKeepalive = std::move(Keepalive);
+  PendingEndNode = ActionNode::NoNode;
+  return true;
+}
+
+void Simulation::detachCacheBase() {
+  if (!Cache.hasBase())
+    return;
+  Cache.detachBase();
+  CacheBaseKeepalive.reset();
+  PendingEndNode = ActionNode::NoNode;
 }
 
 //===----------------------------------------------------------------------===//
@@ -527,7 +568,8 @@ StepEngine Simulation::step() {
   // INDEX_ACTION).
   KeyId Key = NoId;
   if (PendingEndNode != ActionNode::NoNode) {
-    KeyId Next = Cache.node(PendingEndNode).NextKey;
+    // Const access: the chained End node may live in a read-only store base.
+    KeyId Next = std::as_const(Cache).node(PendingEndNode).NextKey;
     if (Next != NoId && Next < Cache.keyCount() &&
         Cache.keyEquals(Next, KeyBuf.data(), KeyBuf.size()))
       Key = Next;

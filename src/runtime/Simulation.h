@@ -265,9 +265,28 @@ public:
   /// Persistent action cache: save/load the whole cache. Loading resets
   /// the INDEX chain (the next step re-interns its key) and validates all
   /// node links against this program's action count; on failure the cache
-  /// is untouched and false is returned.
+  /// is untouched and false is returned. Loading privatizes: any attached
+  /// store base is dropped and the loaded contents are owned outright.
   void serializeCache(snapshot::Writer &W) const;
   bool deserializeCache(snapshot::Reader &R);
+
+  //===-- Shared cache store -------------------------------------------------
+
+  /// Attaches read-only base arenas (typically a mapped store file — see
+  /// src/store/) under this simulation's cache. Requires memoization on
+  /// and an empty cache (attach before the first step, or after a clear);
+  /// otherwise returns false with a diagnostic in \p Err. \p Keepalive
+  /// pins whatever owns the arena memory (e.g. a store mapping) for as
+  /// long as the base is attached; the arenas themselves must stay valid
+  /// and unmodified for that lifetime. New recordings land in a private
+  /// copy-on-write overlay; the base is never written.
+  bool attachCacheBase(const ActionCache::BaseArenas &B,
+                       std::shared_ptr<const void> Keepalive,
+                       std::string *Err = nullptr);
+  /// Drops the attached base (and the whole overlay): the cache is empty
+  /// and fully owned afterwards. No-op without an attached base.
+  void detachCacheBase();
+  bool cacheBaseAttached() const { return Cache.hasBase(); }
 
 private:
   /// Recovery input: the replayed prefix of a cache entry up to (and
@@ -345,6 +364,8 @@ private:
   std::vector<ExternHandler> Externs;
   std::function<bool(uint32_t)> ExternFaultHook;
   ActionCache Cache;
+  /// Pins the memory behind an attached cache base (store mapping).
+  std::shared_ptr<const void> CacheBaseKeepalive;
   bool HaltFlag = false;
   Stats S;
   SimFault Fault;

@@ -22,6 +22,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 using namespace facile;
 using namespace facile::rt;
@@ -60,7 +61,11 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
   // The link tag of the node currently being recorded (sealed with it).
   uint64_t NodeTag = 0;
 
-  // Appends a new arena node linked at the current attach point.
+  // Appends a new arena node linked at the current attach point. The
+  // attach point may be a base node (miss recovery extends a mapped
+  // entry's Test), so links go through the cache's setters: overlay
+  // parents are written in place, base parents get an edge patch. The
+  // seal tag is the same either way — tags are over global ids.
   auto appendNode = [&](int32_t ActionId) -> uint32_t {
     uint32_t Idx = Cache.appendNode(ActionId);
     if (PrevNode == ActionNode::NoNode) {
@@ -69,12 +74,10 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
       Cache.entry(Rec).Head = Idx;
       NodeTag = ActionCache::headTag(Cache.entry(Rec).Key);
     } else if (PrevEdge < 0) {
-      Cache.node(PrevNode).Next = Idx;
+      Cache.setNext(PrevNode, Idx);
       NodeTag = ActionCache::edgeTag(PrevNode, -1);
     } else {
-      assert(Cache.node(PrevNode).OnValue[PrevEdge] == ActionNode::NoNode &&
-             "successor already recorded");
-      Cache.node(PrevNode).OnValue[PrevEdge] = Idx;
+      Cache.setTestSuccessor(PrevNode, PrevEdge, Idx);
       NodeTag = ActionCache::edgeTag(PrevNode, PrevEdge);
     }
     PrevNode = Idx;
@@ -97,7 +100,8 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
           return fail(FaultKind::CacheCorrupt,
                       "recovery walked past the recorded prefix");
         const ReplayedStep::Item &Item = Recovery->Path[RecoveryIdx];
-        if (Cache.node(Item.Node).ActionId != AI.ActionId)
+        // Const access: the replayed prefix may run through base nodes.
+        if (std::as_const(Cache).node(Item.Node).ActionId != AI.ActionId)
           return fail(FaultKind::CacheCorrupt,
                       "slow and fast simulators disagree on the control path");
         MissBlock = RecoveryIdx + 1 == Recovery->Path.size();

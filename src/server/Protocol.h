@@ -62,6 +62,10 @@ inline constexpr const char *Internal = "internal-error";
 /// keeping hostile deeply-nested input cheap to reject.
 inline constexpr unsigned MaxRequestDepth = 16;
 
+/// Cap on sub-requests inside one batch envelope. Bounds worst-case
+/// per-line work the same way MaxLineBytes bounds per-line parsing.
+inline constexpr size_t MaxBatchRequests = 256;
+
 /// Standard base64 (RFC 4648, with padding).
 std::string base64Encode(const uint8_t *Data, size_t N);
 inline std::string base64Encode(const std::vector<uint8_t> &V) {

@@ -17,6 +17,7 @@
 #include "src/inject/FaultInjector.h"
 #include "src/server/Protocol.h"
 #include "src/sims/SimHarness.h"
+#include "src/store/CacheStore.h"
 #include "src/support/StringUtils.h"
 #include "src/telemetry/Metrics.h"
 #include "src/workload/Workloads.h"
@@ -141,9 +142,17 @@ struct Work {
 } // namespace
 
 struct FacileServer::Impl {
-  explicit Impl(ServerOptions Opts) : Opts(std::move(Opts)) {}
+  explicit Impl(ServerOptions O) : Opts(std::move(O)) {
+    if (!Opts.CacheStorePath.empty())
+      StoreDir = std::make_unique<store::CacheStoreDir>(Opts.CacheStorePath);
+  }
 
   const ServerOptions Opts;
+
+  /// Shared action-cache store (null unless CacheStorePath is set). The
+  /// CacheStoreDir dedupes mappings process-wide, so 64 sessions over one
+  /// compatible cache share a single read-only mapping.
+  std::unique_ptr<store::CacheStoreDir> StoreDir;
 
   int ListenFd = -1;
   uint16_t BoundPort = 0;
@@ -190,28 +199,33 @@ struct FacileServer::Impl {
   void joinAll();
 
   void respond(Conn &C, std::string Line);
-  void respondError(Conn &C, const json::Value *Id, const char *Code,
-                    std::string_view Msg);
   void processLine(const std::shared_ptr<Conn> &C, const std::string &Line);
 
   std::shared_ptr<Session> findSession(uint64_t Id);
-  bool sessionArg(Conn &C, const json::Value &Req, const json::Value *Id,
-                  std::shared_ptr<Session> &Out);
 
-  void verbCreate(Conn &C, const json::Value &Req, const json::Value *Id);
-  void verbStep(Conn &C, const json::Value &Req, const json::Value *Id,
-                Session &S);
-  void verbRun(Conn &C, const json::Value &Req, const json::Value *Id,
-               Session &S);
-  void verbInspect(Conn &C, const json::Value &Req, const json::Value *Id,
-                   Session &S);
-  void verbClearFault(Conn &C, const json::Value &Req, const json::Value *Id,
+  // Every verb handler builds and returns one complete response line (no
+  // trailing newline) instead of writing to the connection itself; that is
+  // what lets the batch verb collect sub-replies into one envelope.
+  std::string errorLine(const json::Value *Id, const char *Code,
+                        std::string_view Msg);
+  std::string executeSessionVerb(const json::Value &Req,
+                                 const std::string &Verb,
+                                 const json::Value *Id);
+  std::string verbBatch(const json::Value &Req, const json::Value *Id);
+  std::string verbCreate(const json::Value &Req, const json::Value *Id);
+  std::string verbStep(const json::Value &Req, const json::Value *Id,
+                       Session &S);
+  std::string verbRun(const json::Value &Req, const json::Value *Id,
                       Session &S);
-  void verbSnapshotSave(Conn &C, const json::Value &Req,
-                        const json::Value *Id, Session &S);
-  void verbSnapshotLoad(Conn &C, const json::Value &Req,
-                        const json::Value *Id, Session &S);
-  void verbDestroy(Conn &C, const json::Value *Id, uint64_t SessionId);
+  std::string verbInspect(const json::Value &Req, const json::Value *Id,
+                          Session &S);
+  std::string verbClearFault(const json::Value &Req, const json::Value *Id,
+                             Session &S);
+  std::string verbSnapshotSave(const json::Value &Req, const json::Value *Id,
+                               Session &S);
+  std::string verbSnapshotLoad(const json::Value &Req, const json::Value *Id,
+                               Session &S);
+  std::string verbDestroy(const json::Value *Id, uint64_t SessionId);
 
   std::string statsJson();
 };
@@ -421,11 +435,11 @@ void FacileServer::Impl::respond(Conn &C, std::string Line) {
   ++ResponsesTotal;
 }
 
-void FacileServer::Impl::respondError(Conn &C, const json::Value *Id,
-                                      const char *Code,
-                                      std::string_view Msg) {
+std::string FacileServer::Impl::errorLine(const json::Value *Id,
+                                          const char *Code,
+                                          std::string_view Msg) {
   ++ProtocolErrors;
-  respond(C, errorResponse(Id, Code, Msg));
+  return errorResponse(Id, Code, Msg);
 }
 
 std::shared_ptr<Session> FacileServer::Impl::findSession(uint64_t Id) {
@@ -434,44 +448,23 @@ std::shared_ptr<Session> FacileServer::Impl::findSession(uint64_t Id) {
   return It == Sessions.end() ? nullptr : It->second;
 }
 
-bool FacileServer::Impl::sessionArg(Conn &C, const json::Value &Req,
-                                    const json::Value *Id,
-                                    std::shared_ptr<Session> &Out) {
-  const json::Value *S = Req.get("session");
-  if (!S || !S->isInt() || S->intOr(0) < 0) {
-    respondError(C, Id, ErrCode::BadRequest,
-                 "missing or non-integer 'session'");
-    return false;
-  }
-  Out = findSession(static_cast<uint64_t>(S->intOr(0)));
-  if (!Out) {
-    // Unknown and destroyed ids are indistinguishable on purpose: ids are
-    // never reused, so a stale handle can only ever fail.
-    respondError(C, Id, ErrCode::UnknownSession,
-                 strFormat("no session %lld",
-                           static_cast<long long>(S->intOr(0))));
-    return false;
-  }
-  return true;
-}
-
 void FacileServer::Impl::processLine(const std::shared_ptr<Conn> &C,
                                      const std::string &Line) {
   json::Value Req;
   std::string PErr;
   if (!json::parse(Line, Req, PErr, MaxRequestDepth)) {
-    respondError(*C, nullptr, ErrCode::ParseError, PErr);
+    respond(*C, errorLine(nullptr, ErrCode::ParseError, PErr));
     return;
   }
   if (!Req.isObject()) {
-    respondError(*C, nullptr, ErrCode::BadRequest,
-                 "request must be a JSON object");
+    respond(*C, errorLine(nullptr, ErrCode::BadRequest,
+                          "request must be a JSON object"));
     return;
   }
   const json::Value *Id = Req.get("id");
   const json::Value *VerbV = Req.get("verb");
   if (!VerbV || !VerbV->isStr()) {
-    respondError(*C, Id, ErrCode::BadRequest, "missing 'verb' string");
+    respond(*C, errorLine(Id, ErrCode::BadRequest, "missing 'verb' string"));
     return;
   }
   const std::string &Verb = VerbV->str();
@@ -485,7 +478,7 @@ void FacileServer::Impl::processLine(const std::shared_ptr<Conn> &C,
     return;
   }
   if (Verb == "create") {
-    verbCreate(*C, Req, Id);
+    respond(*C, verbCreate(Req, Id));
     return;
   }
   if (Verb == "stats") {
@@ -505,77 +498,123 @@ void FacileServer::Impl::processLine(const std::shared_ptr<Conn> &C,
     requestShutdown();
     return;
   }
+  if (Verb == "batch") {
+    respond(*C, verbBatch(Req, Id));
+    return;
+  }
+  respond(*C, executeSessionVerb(Req, Verb, Id));
+}
 
-  // Everything below addresses one session.
+std::string FacileServer::Impl::executeSessionVerb(const json::Value &Req,
+                                                   const std::string &Verb,
+                                                   const json::Value *Id) {
   bool Destroy = Verb == "destroy";
   bool Known = Destroy || Verb == "step" || Verb == "run" ||
                Verb == "inspect" || Verb == "clear-fault" ||
                Verb == "snapshot-save" || Verb == "snapshot-load";
-  if (!Known) {
-    respondError(*C, Id, ErrCode::UnknownVerb,
-                 strFormat("unknown verb '%s'", Verb.c_str()));
-    return;
+  if (!Known)
+    return errorLine(Id, ErrCode::UnknownVerb,
+                     strFormat("unknown verb '%s'", Verb.c_str()));
+  const json::Value *SV = Req.get("session");
+  if (!SV || !SV->isInt() || SV->intOr(0) < 0)
+    return errorLine(Id, ErrCode::BadRequest,
+                     "missing or non-integer 'session'");
+  std::shared_ptr<Session> S =
+      findSession(static_cast<uint64_t>(SV->intOr(0)));
+  if (!S) {
+    // Unknown and destroyed ids are indistinguishable on purpose: ids are
+    // never reused, so a stale handle can only ever fail.
+    return errorLine(Id, ErrCode::UnknownSession,
+                     strFormat("no session %lld",
+                               static_cast<long long>(SV->intOr(0))));
   }
-  std::shared_ptr<Session> S;
-  if (!sessionArg(*C, Req, Id, S))
-    return;
-  if (Destroy) {
-    verbDestroy(*C, Id, S->Id);
-    return;
-  }
+  if (Destroy)
+    return verbDestroy(Id, S->Id);
   // Per-session serialization: no two verbs on one session concurrently.
   std::lock_guard<std::mutex> Lock(S->Mu);
   ++S->Verbs;
   if (Verb == "step")
-    verbStep(*C, Req, Id, *S);
-  else if (Verb == "run")
-    verbRun(*C, Req, Id, *S);
-  else if (Verb == "inspect")
-    verbInspect(*C, Req, Id, *S);
-  else if (Verb == "clear-fault")
-    verbClearFault(*C, Req, Id, *S);
-  else if (Verb == "snapshot-save")
-    verbSnapshotSave(*C, Req, Id, *S);
-  else
-    verbSnapshotLoad(*C, Req, Id, *S);
+    return verbStep(Req, Id, *S);
+  if (Verb == "run")
+    return verbRun(Req, Id, *S);
+  if (Verb == "inspect")
+    return verbInspect(Req, Id, *S);
+  if (Verb == "clear-fault")
+    return verbClearFault(Req, Id, *S);
+  if (Verb == "snapshot-save")
+    return verbSnapshotSave(Req, Id, *S);
+  return verbSnapshotLoad(Req, Id, *S);
+}
+
+std::string FacileServer::Impl::verbBatch(const json::Value &Req,
+                                          const json::Value *Id) {
+  const json::Value *Reqs = Req.get("requests");
+  if (!Reqs || !Reqs->isArray())
+    return errorLine(Id, ErrCode::BadRequest, "'requests' must be an array");
+  if (Reqs->array().size() > MaxBatchRequests)
+    return errorLine(
+        Id, ErrCode::Oversized,
+        strFormat("batch exceeds %llu sub-requests",
+                  static_cast<unsigned long long>(MaxBatchRequests)));
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("count", static_cast<uint64_t>(Reqs->array().size()));
+  W.arrayField("replies");
+  for (const json::Value &Sub : Reqs->array()) {
+    // Sub-requests fail independently: a bad element yields its own error
+    // object in the replies array and the rest of the batch proceeds.
+    std::string Reply;
+    const json::Value *SubId = Sub.get("id");
+    const json::Value *SubVerb = Sub.get("verb");
+    if (!Sub.isObject())
+      Reply = errorLine(nullptr, ErrCode::BadRequest,
+                        "batch element must be a request object");
+    else if (!SubVerb || !SubVerb->isStr())
+      Reply = errorLine(SubId, ErrCode::BadRequest, "missing 'verb' string");
+    else if (SubVerb->str() == "batch")
+      Reply = errorLine(SubId, ErrCode::BadRequest, "'batch' cannot nest");
+    else if (SubVerb->str() == "ping" || SubVerb->str() == "create" ||
+             SubVerb->str() == "stats" || SubVerb->str() == "shutdown")
+      Reply = errorLine(SubId, ErrCode::BadRequest,
+                        strFormat("verb '%s' is not allowed in a batch",
+                                  SubVerb->str().c_str()));
+    else
+      Reply = executeSessionVerb(Sub, SubVerb->str(), SubId);
+    W.rawValue(Reply);
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
 }
 
 //===----------------------------------------------------------------------===//
 // Verbs
 //===----------------------------------------------------------------------===//
 
-void FacileServer::Impl::verbCreate(Conn &C, const json::Value &Req,
-                                    const json::Value *Id) {
-  if (Stop.load(std::memory_order_acquire)) {
-    respondError(C, Id, ErrCode::ShuttingDown, "server is shutting down");
-    return;
-  }
+std::string FacileServer::Impl::verbCreate(const json::Value &Req,
+                                           const json::Value *Id) {
+  if (Stop.load(std::memory_order_acquire))
+    return errorLine(Id, ErrCode::ShuttingDown, "server is shutting down");
   SimKind Kind;
   std::string SimName = "functional";
   if (const json::Value *V = Req.get("sim"))
     SimName = V->strOr(SimName);
-  if (!parseSimKind(SimName, Kind)) {
-    respondError(C, Id, ErrCode::BadRequest,
-                 "'sim' must be functional|inorder|ooo");
-    return;
-  }
+  if (!parseSimKind(SimName, Kind))
+    return errorLine(Id, ErrCode::BadRequest,
+                     "'sim' must be functional|inorder|ooo");
   std::string WorkloadName = "compress";
   if (const json::Value *V = Req.get("workload"))
     WorkloadName = V->strOr(WorkloadName);
   const workload::WorkloadSpec *Found = workload::findSpec(WorkloadName);
-  if (!Found) {
-    respondError(C, Id, ErrCode::BadRequest,
-                 strFormat("unknown workload '%s'", WorkloadName.c_str()));
-    return;
-  }
+  if (!Found)
+    return errorLine(Id, ErrCode::BadRequest,
+                     strFormat("unknown workload '%s'", WorkloadName.c_str()));
   workload::WorkloadSpec Spec = *Found;
   uint64_t OuterIters = 2;
   if (const json::Value *V = Req.get("outer_iters")) {
-    if (!V->isInt() || V->intOr(0) <= 0) {
-      respondError(C, Id, ErrCode::BadRequest,
-                   "'outer_iters' must be a positive integer");
-      return;
-    }
+    if (!V->isInt() || V->intOr(0) <= 0)
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'outer_iters' must be a positive integer");
     OuterIters = static_cast<uint64_t>(V->intOr(2));
   }
   // Optional footprint shrink knobs, mainly for tests and smoke runs.
@@ -586,10 +625,8 @@ void FacileServer::Impl::verbCreate(Conn &C, const json::Value &Req,
 
   rt::Simulation::Options SimOpts = Opts.DefaultSimOptions;
   if (const json::Value *O = Req.get("options")) {
-    if (!O->isObject()) {
-      respondError(C, Id, ErrCode::BadRequest, "'options' must be an object");
-      return;
-    }
+    if (!O->isObject())
+      return errorLine(Id, ErrCode::BadRequest, "'options' must be an object");
     if (const json::Value *V = O->get("memoize"))
       SimOpts.Memoize = V->boolOr(SimOpts.Memoize);
     if (const json::Value *V = O->get("cache_budget_mb"))
@@ -610,11 +647,9 @@ void FacileServer::Impl::verbCreate(Conn &C, const json::Value &Req,
         SimOpts.Eviction = rt::EvictionPolicy::ClearAll;
       else if (E == "segmented")
         SimOpts.Eviction = rt::EvictionPolicy::Segmented;
-      else {
-        respondError(C, Id, ErrCode::BadRequest,
-                     "'options.eviction' must be clearall|segmented");
-        return;
-      }
+      else
+        return errorLine(Id, ErrCode::BadRequest,
+                         "'options.eviction' must be clearall|segmented");
     }
   }
   inject::InjectSpec InjSpec;
@@ -622,11 +657,9 @@ void FacileServer::Impl::verbCreate(Conn &C, const json::Value &Req,
   if (const json::Value *V = Req.get("fault_inject")) {
     std::string SpecErr;
     if (!V->isStr() ||
-        !inject::InjectSpec::parse(V->str(), InjSpec, SpecErr)) {
-      respondError(C, Id, ErrCode::BadRequest,
-                   "bad 'fault_inject' spec: " + SpecErr);
-      return;
-    }
+        !inject::InjectSpec::parse(V->str(), InjSpec, SpecErr))
+      return errorLine(Id, ErrCode::BadRequest,
+                       "bad 'fault_inject' spec: " + SpecErr);
     Injecting = true;
   }
 
@@ -657,6 +690,18 @@ void FacileServer::Impl::verbCreate(Conn &C, const json::Value &Req,
   S->WorkloadName = Spec.Name;
   S->Shared = Entry;
   S->Sim = std::make_unique<FacileSim>(Kind, *Entry->Prog, SimOpts);
+  // Attach the shared cache base before the first step. A miss keeps the
+  // session cold; a rejected file is diagnosed in the harness's snapshot
+  // stats but is likewise not a create error.
+  bool StoreAttached = false;
+  uint64_t StoreGeneration = 0;
+  if (StoreDir && SimOpts.Memoize) {
+    std::string StoreErr;
+    if (S->Sim->attachStore(*StoreDir, &StoreErr)) {
+      StoreAttached = true;
+      StoreGeneration = S->Sim->storeMapping()->generation();
+    }
+  }
   if (Injecting) {
     S->Injector =
         std::make_unique<inject::FaultInjector>(S->Sim->sim(), InjSpec);
@@ -664,11 +709,10 @@ void FacileServer::Impl::verbCreate(Conn &C, const json::Value &Req,
   }
   {
     std::lock_guard<std::mutex> Lock(SessionsMu);
-    if (Sessions.size() >= Opts.MaxSessions) {
-      respondError(C, Id, ErrCode::SessionLimit,
-                   strFormat("session limit (%u) reached", Opts.MaxSessions));
-      return;
-    }
+    if (Sessions.size() >= Opts.MaxSessions)
+      return errorLine(Id, ErrCode::SessionLimit,
+                       strFormat("session limit (%u) reached",
+                                 Opts.MaxSessions));
     S->Id = ++LastSessionId;
     Sessions.emplace(S->Id, S);
     if (Sessions.size() > PeakSessions)
@@ -685,8 +729,11 @@ void FacileServer::Impl::verbCreate(Conn &C, const json::Value &Req,
           strFormat("%016llx", static_cast<unsigned long long>(
                                    S->Sim->sim().compatKey())));
   W.field("shared_program", PoolHit);
+  W.field("store_attached", StoreAttached);
+  if (StoreAttached)
+    W.field("store_generation", StoreGeneration);
   W.endObject();
-  respond(C, W.take());
+  return W.take();
 }
 
 namespace {
@@ -709,15 +756,13 @@ void writeRunState(json::Writer &W, const FacileSim &Sim) {
 
 } // namespace
 
-void FacileServer::Impl::verbStep(Conn &C, const json::Value &Req,
-                                  const json::Value *Id, Session &S) {
+std::string FacileServer::Impl::verbStep(const json::Value &Req,
+                                         const json::Value *Id, Session &S) {
   uint64_t Count = 1;
   if (const json::Value *V = Req.get("count")) {
-    if (!V->isInt() || V->intOr(0) <= 0) {
-      respondError(C, Id, ErrCode::BadRequest,
-                   "'count' must be a positive integer");
-      return;
-    }
+    if (!V->isInt() || V->intOr(0) <= 0)
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'count' must be a positive integer");
     Count = static_cast<uint64_t>(V->intOr(1));
   }
   Count = std::min<uint64_t>(Count, Opts.MaxStepsPerRequest);
@@ -752,28 +797,24 @@ void FacileServer::Impl::verbStep(Conn &C, const json::Value &Req,
       .endObject();
   writeRunState(W, *S.Sim);
   W.endObject();
-  respond(C, W.take());
+  return W.take();
 }
 
-void FacileServer::Impl::verbRun(Conn &C, const json::Value &Req,
-                                 const json::Value *Id, Session &S) {
+std::string FacileServer::Impl::verbRun(const json::Value &Req,
+                                        const json::Value *Id, Session &S) {
   uint64_t MaxSteps = Opts.MaxStepsPerRequest;
   uint64_t InstrTarget = 0;
   if (const json::Value *V = Req.get("steps")) {
-    if (!V->isInt() || V->intOr(0) <= 0) {
-      respondError(C, Id, ErrCode::BadRequest,
-                   "'steps' must be a positive integer");
-      return;
-    }
+    if (!V->isInt() || V->intOr(0) <= 0)
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'steps' must be a positive integer");
     MaxSteps = std::min<uint64_t>(static_cast<uint64_t>(V->intOr(1)),
                                   Opts.MaxStepsPerRequest);
   }
   if (const json::Value *V = Req.get("instrs")) {
-    if (!V->isInt() || V->intOr(0) <= 0) {
-      respondError(C, Id, ErrCode::BadRequest,
-                   "'instrs' must be a positive integer");
-      return;
-    }
+    if (!V->isInt() || V->intOr(0) <= 0)
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'instrs' must be a positive integer");
     InstrTarget = static_cast<uint64_t>(V->intOr(1));
   }
 
@@ -794,11 +835,12 @@ void FacileServer::Impl::verbRun(Conn &C, const json::Value &Req,
   W.field("steps", Ran);
   writeRunState(W, *S.Sim);
   W.endObject();
-  respond(C, W.take());
+  return W.take();
 }
 
-void FacileServer::Impl::verbInspect(Conn &C, const json::Value &Req,
-                                     const json::Value *Id, Session &S) {
+std::string FacileServer::Impl::verbInspect(const json::Value &Req,
+                                            const json::Value *Id,
+                                            Session &S) {
   std::string What = "stats";
   if (const json::Value *V = Req.get("what"))
     What = V->strOr(What);
@@ -816,21 +858,17 @@ void FacileServer::Impl::verbInspect(Conn &C, const json::Value &Req,
     const json::Value *N = Req.get("name");
     int64_t Value = 0;
     if (!N || !N->isStr() ||
-        !S.Sim->sim().tryGetGlobal(N->str(), Value)) {
-      respondError(C, Id, ErrCode::BadRequest,
-                   "'name' must name a scalar global");
-      return;
-    }
+        !S.Sim->sim().tryGetGlobal(N->str(), Value))
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'name' must name a scalar global");
     beginOkResponse(W, Id);
     W.field("name", std::string_view(N->str()));
     W.field("value", Value);
   } else if (What == "registers") {
     const ir::GlobalVar *R = S.Shared->Prog->program().findGlobal("R");
-    if (!R || !R->IsArray) {
-      respondError(C, Id, ErrCode::BadRequest,
-                   "program has no register file array 'R'");
-      return;
-    }
+    if (!R || !R->IsArray)
+      return errorLine(Id, ErrCode::BadRequest,
+                       "program has no register file array 'R'");
     beginOkResponse(W, Id);
     W.arrayField("registers");
     for (uint32_t I = 0; I != R->Size; ++I)
@@ -838,18 +876,14 @@ void FacileServer::Impl::verbInspect(Conn &C, const json::Value &Req,
     W.endArray();
   } else if (What == "memory") {
     const json::Value *A = Req.get("addr");
-    if (!A || !A->isInt() || A->intOr(0) < 0) {
-      respondError(C, Id, ErrCode::BadRequest,
-                   "'addr' must be a non-negative integer");
-      return;
-    }
+    if (!A || !A->isInt() || A->intOr(0) < 0)
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'addr' must be a non-negative integer");
     uint64_t Words = 1;
     if (const json::Value *V = Req.get("words")) {
-      if (!V->isInt() || V->intOr(0) <= 0) {
-        respondError(C, Id, ErrCode::BadRequest,
-                     "'words' must be a positive integer");
-        return;
-      }
+      if (!V->isInt() || V->intOr(0) <= 0)
+        return errorLine(Id, ErrCode::BadRequest,
+                         "'words' must be a positive integer");
       Words = static_cast<uint64_t>(V->intOr(1));
     }
     Words = std::min<uint64_t>(Words, Opts.MaxInspectWords);
@@ -862,17 +896,17 @@ void FacileServer::Impl::verbInspect(Conn &C, const json::Value &Req,
           S.Sim->sim().memory().read32(Addr + static_cast<uint32_t>(I) * 4)));
     W.endArray();
   } else {
-    respondError(C, Id, ErrCode::BadRequest,
-                 "'what' must be stats|digest|global|registers|memory");
-    return;
+    return errorLine(Id, ErrCode::BadRequest,
+                     "'what' must be stats|digest|global|registers|memory");
   }
   writeRunState(W, *S.Sim);
   W.endObject();
-  respond(C, W.take());
+  return W.take();
 }
 
-void FacileServer::Impl::verbClearFault(Conn &C, const json::Value &Req,
-                                        const json::Value *Id, Session &S) {
+std::string FacileServer::Impl::verbClearFault(const json::Value &Req,
+                                               const json::Value *Id,
+                                               Session &S) {
   rt::Simulation &Sim = S.Sim->sim();
   bool Was = Sim.faulted();
   Sim.clearFault();
@@ -885,11 +919,12 @@ void FacileServer::Impl::verbClearFault(Conn &C, const json::Value &Req,
   W.field("cleared", Was);
   W.field("faulted", Sim.faulted());
   W.endObject();
-  respond(C, W.take());
+  return W.take();
 }
 
-void FacileServer::Impl::verbSnapshotSave(Conn &C, const json::Value &Req,
-                                          const json::Value *Id, Session &S) {
+std::string FacileServer::Impl::verbSnapshotSave(const json::Value &Req,
+                                                 const json::Value *Id,
+                                                 Session &S) {
   std::string Kind = "checkpoint";
   if (const json::Value *V = Req.get("kind"))
     Kind = V->strOr(Kind);
@@ -898,11 +933,9 @@ void FacileServer::Impl::verbSnapshotSave(Conn &C, const json::Value &Req,
     Bytes = S.Sim->checkpointBytes();
   else if (Kind == "cache")
     Bytes = S.Sim->cacheBytes();
-  else {
-    respondError(C, Id, ErrCode::BadRequest,
-                 "'kind' must be checkpoint|cache");
-    return;
-  }
+  else
+    return errorLine(Id, ErrCode::BadRequest,
+                     "'kind' must be checkpoint|cache");
   json::Writer W;
   beginOkResponse(W, Id);
   W.field("kind", std::string_view(Kind));
@@ -910,34 +943,30 @@ void FacileServer::Impl::verbSnapshotSave(Conn &C, const json::Value &Req,
   W.field("size", static_cast<uint64_t>(Bytes.size()));
   W.field("bytes_b64", base64Encode(Bytes));
   W.endObject();
-  respond(C, W.take());
+  return W.take();
 }
 
-void FacileServer::Impl::verbSnapshotLoad(Conn &C, const json::Value &Req,
-                                          const json::Value *Id, Session &S) {
+std::string FacileServer::Impl::verbSnapshotLoad(const json::Value &Req,
+                                                 const json::Value *Id,
+                                                 Session &S) {
   std::string Kind = "checkpoint";
   if (const json::Value *V = Req.get("kind"))
     Kind = V->strOr(Kind);
-  if (Kind != "checkpoint" && Kind != "cache") {
-    respondError(C, Id, ErrCode::BadRequest,
-                 "'kind' must be checkpoint|cache");
-    return;
-  }
+  if (Kind != "checkpoint" && Kind != "cache")
+    return errorLine(Id, ErrCode::BadRequest,
+                     "'kind' must be checkpoint|cache");
   const json::Value *B = Req.get("bytes_b64");
   std::vector<uint8_t> Bytes;
-  if (!B || !B->isStr() || !base64Decode(B->str(), Bytes)) {
-    respondError(C, Id, ErrCode::BadRequest,
-                 "'bytes_b64' must be valid base64");
-    return;
-  }
+  if (!B || !B->isStr() || !base64Decode(B->str(), Bytes))
+    return errorLine(Id, ErrCode::BadRequest,
+                     "'bytes_b64' must be valid base64");
   std::string LoadErr;
   bool Ok = Kind == "checkpoint" ? S.Sim->loadCheckpointBytes(Bytes, &LoadErr)
                                  : S.Sim->loadCacheBytes(Bytes, &LoadErr);
   if (!Ok) {
     // Rejected payloads leave the session exactly as it was (the loaders
     // are all-or-nothing), so this is an error response, not a fault.
-    respondError(C, Id, ErrCode::BadSnapshot, LoadErr);
-    return;
+    return errorLine(Id, ErrCode::BadSnapshot, LoadErr);
   }
   json::Writer W;
   beginOkResponse(W, Id);
@@ -945,11 +974,11 @@ void FacileServer::Impl::verbSnapshotLoad(Conn &C, const json::Value &Req,
   W.field("loaded", true);
   writeRunState(W, *S.Sim);
   W.endObject();
-  respond(C, W.take());
+  return W.take();
 }
 
-void FacileServer::Impl::verbDestroy(Conn &C, const json::Value *Id,
-                                     uint64_t SessionId) {
+std::string FacileServer::Impl::verbDestroy(const json::Value *Id,
+                                            uint64_t SessionId) {
   std::shared_ptr<Session> S;
   {
     std::lock_guard<std::mutex> Lock(SessionsMu);
@@ -959,12 +988,10 @@ void FacileServer::Impl::verbDestroy(Conn &C, const json::Value *Id,
       Sessions.erase(It);
     }
   }
-  if (!S) {
-    respondError(C, Id, ErrCode::UnknownSession,
-                 strFormat("no session %llu",
-                           static_cast<unsigned long long>(SessionId)));
-    return;
-  }
+  if (!S)
+    return errorLine(Id, ErrCode::UnknownSession,
+                     strFormat("no session %llu",
+                               static_cast<unsigned long long>(SessionId)));
   // An in-flight verb on another worker still holds a shared_ptr; the
   // session object dies when the last reference drops.
   ++SessionsDestroyed;
@@ -972,7 +999,7 @@ void FacileServer::Impl::verbDestroy(Conn &C, const json::Value *Id,
   beginOkResponse(W, Id);
   W.field("destroyed", SessionId);
   W.endObject();
-  respond(C, W.take());
+  return W.take();
 }
 
 //===----------------------------------------------------------------------===//
@@ -1020,6 +1047,14 @@ std::string FacileServer::Impl::statsJson() {
       Sink.counter("retired", Sim.stats().RetiredTotal);
       Sink.counter("cycles", Sim.stats().Cycles);
       Sink.counter("faults", Sim.stats().Faults);
+      Sink.flag("store_attached", static_cast<bool>(S->Sim->storeMapping()));
+      if (S->Sim->storeMapping()) {
+        Sink.counter("store_generation", S->Sim->storeMapping()->generation());
+        Sink.counter("base_bytes",
+                     static_cast<uint64_t>(Sim.cache().baseBytes()));
+      }
+      Sink.counter("overlay_bytes",
+                   static_cast<uint64_t>(Sim.cache().overlayBytes()));
       Sink.flag("halted", Sim.halted());
       Sink.flag("faulted", Sim.faulted());
       if (Sim.faulted())
@@ -1047,6 +1082,10 @@ std::string FacileServer::Impl::statsJson() {
     Sink.counter("responses_total", ResponsesTotal.load());
     Sink.counter("protocol_errors", ProtocolErrors.load());
     Sink.gauge("shared_programs", static_cast<int64_t>(PoolSize));
+    // How many distinct store files this process has mapped right now; N
+    // warm sessions over one store report 1 here.
+    Sink.gauge("store_mappings",
+               static_cast<int64_t>(StoreDir ? StoreDir->mappedCount() : 0));
     Sink.gauge("workers", static_cast<int64_t>(Opts.Workers));
     Sink.flag("shutting_down", Stop.load());
   });

@@ -27,8 +27,10 @@
 ///    on different sessions run concurrently across workers.
 ///
 /// Verbs: ping, create, step, run, inspect, clear-fault, snapshot-save,
-/// snapshot-load, destroy, stats, shutdown — see docs/INTERNALS.md for the
-/// full wire tables.
+/// snapshot-load, destroy, stats, shutdown, batch — see docs/INTERNALS.md
+/// for the full wire tables. batch carries an array of session-scoped
+/// sub-requests and returns their replies in order, one round trip for a
+/// step+inspect pair that would otherwise cost two.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +62,15 @@ struct ServerOptions {
   /// Session defaults; per-create "options" members override them. Guards
   /// stay on by default — every session input is untrusted.
   rt::Simulation::Options DefaultSimOptions;
+
+  /// When non-empty, a content-addressed action-cache store directory
+  /// (FACSTOR1 files, see src/store/CacheStore.h). Every session created
+  /// with memoization enabled attaches the newest compatible generation as
+  /// its shared read-only cache base — N sessions over one store map the
+  /// file once and record only private overlays. A store miss is a cold
+  /// session, not an error. The daemon only reads; promotion is the
+  /// populating tool's job (facilesim --store-promote).
+  std::string CacheStorePath;
 };
 
 /// The daemon. Construct, start(), then wait() until a shutdown verb or

@@ -347,6 +347,48 @@ bool FacileSim::loadCache(const std::string &Path, std::string *Err) {
 }
 
 //===----------------------------------------------------------------------===//
+// Shared cache store
+//===----------------------------------------------------------------------===//
+
+bool FacileSim::attachStore(store::CacheStoreDir &Store, std::string *Err) {
+  std::string Detail;
+  std::shared_ptr<const store::StoreMap> M =
+      Store.lookup(Sim.compatKey(), Sim.actionCount(), &Detail);
+  if (!M) {
+    if (!Detail.empty()) {
+      ++SnapStats.CorruptInputs;
+      return noteLoadFailure("cache store rejected", Detail, Err);
+    }
+    // Clean miss: nothing persisted for this configuration — stay cold.
+    if (Err)
+      Err->clear();
+    return false;
+  }
+  if (!Sim.attachCacheBase(M->arenas(), M, &Detail))
+    return noteLoadFailure("cache store rejected", Detail, Err);
+  Mapping = std::move(M);
+  // A mapped base is a warm start: report it through the same snapshot
+  // stats the byte-level loads use (--require-warm and monitoring key off
+  // these).
+  SnapStats.CacheLoaded = true;
+  SnapStats.CacheEntriesLoaded = Sim.cache().entryCount();
+  SnapStats.CacheNodesLoaded = Sim.cache().nodeCount();
+  if (telemetry::EventTracer *T = Sim.tracer()) {
+    Sim.flushTraceSpan();
+    T->instant("snapshot", "store-attach", "bytes", Mapping->mappedBytes());
+  }
+  return true;
+}
+
+bool FacileSim::promoteStore(store::CacheStoreDir &Store,
+                             uint64_t *OutGeneration, std::string *Err) {
+  rt::ActionCache::FlatImage Img =
+      Sim.cache().compactImage(/*KeepThreshold=*/0, /*DropDetached=*/true);
+  return Store.promote(Img, Sim.compatKey(), Sim.actionCount(), OutGeneration,
+                       Err);
+}
+
+//===----------------------------------------------------------------------===//
 // Telemetry: the statsJson() schema as a metrics-registry walk
 //===----------------------------------------------------------------------===//
 
@@ -374,6 +416,12 @@ void FacileSim::registerMetrics(telemetry::MetricsRegistry &R) const {
   Sim.registerMetrics(R); // steps..., fault, guard, bypass, cache
   R.add("snapshot", [this](telemetry::MetricSink &Sink) {
     SnapStats.exportMetrics(Sink);
+  });
+  R.add("store", [this](telemetry::MetricSink &Sink) {
+    Sink.flag("attached", Mapping != nullptr);
+    Sink.counter("generation", Mapping ? Mapping->generation() : 0);
+    Sink.counter("mapped_bytes", Mapping ? Mapping->mappedBytes() : 0);
+    Sink.counter("overlay_bytes", Sim.cache().overlayBytes());
   });
   R.add("passes", [this](telemetry::MetricSink &Sink) {
     const PassPipelineStats &P = Prog.Passes;

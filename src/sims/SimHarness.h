@@ -18,6 +18,7 @@
 
 #include "src/facile/Compiler.h"
 #include "src/runtime/Simulation.h"
+#include "src/store/CacheStore.h"
 #include "src/uarch/Caches.h"
 #include "src/uarch/Predictors.h"
 
@@ -145,6 +146,32 @@ public:
 
   const SnapshotStats &snapshotStats() const { return SnapStats; }
 
+  //===-- Shared cache store -------------------------------------------------
+
+  /// Maps the newest compatible generation from \p Store and attaches it
+  /// as this simulation's read-only cache base (new recordings go to a
+  /// private overlay). A clean miss — no store file for this
+  /// configuration — returns false with \p Err empty and the simulation
+  /// cold, exactly like a missing snapshot; validation failures are
+  /// counted and diagnosed like corrupt snapshots. Call before the first
+  /// step. On success the mapping is pinned for this instance's lifetime
+  /// and the run counts as warm (snapshot stats report the base entries).
+  bool attachStore(store::CacheStoreDir &Store, std::string *Err = nullptr);
+
+  /// Writes this instance's merged cache — base plus overlay, compacted
+  /// and patches applied, detached entries dropped — as the next store
+  /// generation for this configuration. Existing mappings (including this
+  /// instance's own base) are untouched. Typically called on clean
+  /// shutdown of a populating run.
+  bool promoteStore(store::CacheStoreDir &Store,
+                    uint64_t *OutGeneration = nullptr,
+                    std::string *Err = nullptr);
+
+  /// The mapping this instance shares, or null when none is attached.
+  const std::shared_ptr<const store::StoreMap> &storeMapping() const {
+    return Mapping;
+  }
+
   rt::Simulation &sim() { return Sim; }
   const rt::Simulation &sim() const { return Sim; }
   const BranchUnit &branchUnit() const { return BU; }
@@ -162,6 +189,7 @@ private:
   BranchUnit BU;
   MemoryHierarchy MH;
   SnapshotStats SnapStats;
+  std::shared_ptr<const store::StoreMap> Mapping; ///< attached store base
   size_t TopActions = 8; ///< "profile" block top_actions rows
 };
 

@@ -13,11 +13,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "src/sims/SimHarness.h"
+#include "src/store/CacheStore.h"
 #include "src/workload/Workloads.h"
 
 #include <gtest/gtest.h>
 
 #include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
 
 using namespace facile;
 using namespace facile::sims;
@@ -304,4 +308,75 @@ TEST(Differential, SharedPlanMatchesOwnedPlan) {
       EXPECT_TRUE(Fresh.planShared());
     }
   }
+}
+
+TEST(Differential, StoreBackedMatchesOwnedCache) {
+  // The mmap-shared store is a third way to reach the same cache contents:
+  // a sim replaying through a read-only base mapping (with its private
+  // copy-on-write overlay) must compute exactly what the private
+  // deserialized copy computes, which in turn must equal the
+  // no-memoization oracle. Both warm paths must actually replay
+  // (FastSteps > 0), or the comparison is vacuous.
+  std::string StoreDirPath = ::testing::TempDir() + "facile_diff_store";
+  for (SimKind Kind :
+       {SimKind::Functional, SimKind::InOrder, SimKind::OutOfOrder}) {
+    for (const workload::WorkloadSpec &Spec : testWorkloads()) {
+      SCOPED_TRACE(std::string(kindName(Kind)) + " on " + Spec.Name);
+      isa::TargetImage Image = workload::generate(Spec, 2);
+      constexpr uint64_t MaxInstrs = 500'000;
+
+      rt::Simulation::Options Off;
+      Off.Memoize = false;
+      FinalState Oracle = runOne(Kind, Image, Off, MaxInstrs);
+
+      FacileSim Builder(Kind, Image);
+      Builder.run(MaxInstrs);
+      std::vector<uint8_t> CacheSnap = Builder.cacheBytes();
+      store::CacheStoreDir Store(StoreDirPath);
+      std::string Err;
+      ASSERT_TRUE(Builder.promoteStore(Store, nullptr, &Err)) << Err;
+
+      auto capture = [&](FacileSim &Sim) {
+        Sim.run(MaxInstrs);
+        FinalState F;
+        F.Halted = Sim.sim().halted();
+        F.RetiredTotal = Sim.sim().stats().RetiredTotal;
+        F.Cycles = Sim.sim().stats().Cycles;
+        F.MemDigest = Sim.sim().memory().digest();
+        for (const ir::GlobalVar &G : simulatorProgram(Kind).Globals) {
+          if (G.IsArray)
+            for (uint32_t E = 0; E != G.Size; ++E)
+              F.Globals.push_back(Sim.sim().getGlobalElem(G.Name, E));
+          else
+            F.Globals.push_back(Sim.sim().getGlobal(G.Name));
+        }
+        return F;
+      };
+
+      FacileSim WarmOwned(Kind, Image);
+      ASSERT_TRUE(WarmOwned.loadCacheBytes(CacheSnap, &Err)) << Err;
+      FinalState Owned = capture(WarmOwned);
+      EXPECT_GT(WarmOwned.sim().stats().FastSteps, 0u);
+      EXPECT_EQ(Owned, Oracle);
+
+      FacileSim WarmStore(Kind, Image);
+      ASSERT_TRUE(WarmStore.attachStore(Store, &Err)) << Err;
+      ASSERT_TRUE(WarmStore.sim().cacheBaseAttached());
+      FinalState Mapped = capture(WarmStore);
+      EXPECT_GT(WarmStore.sim().stats().FastSteps, 0u);
+      EXPECT_EQ(Mapped, Oracle);
+      EXPECT_EQ(Mapped.MemDigest, Owned.MemDigest);
+    }
+  }
+  // Content addressing keyed every (simulator, workload) pair separately;
+  // sweep the shared directory now that all of them are done.
+  if (DIR *D = ::opendir(StoreDirPath.c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ::unlink((StoreDirPath + "/" + Name).c_str());
+    }
+    ::closedir(D);
+  }
+  ::rmdir(StoreDirPath.c_str());
 }

@@ -23,6 +23,7 @@
 #include "src/server/Protocol.h"
 #include "src/server/Server.h"
 #include "src/sims/SimHarness.h"
+#include "src/store/CacheStore.h"
 #include "src/support/StringUtils.h"
 #include "src/workload/Workloads.h"
 #include "tests/TestJson.h"
@@ -422,7 +423,7 @@ TEST_F(ServerTest, StatsExposesDaemonAndSessionGroups) {
         "sessions_created", "sessions_destroyed", "faulted_sessions",
         "queued_requests", "active_connections", "connections_total",
         "requests_total", "responses_total", "protocol_errors",
-        "shared_programs", "workers", "shutting_down"}) {
+        "shared_programs", "store_mappings", "workers", "shutting_down"}) {
     SCOPED_TRACE(Key);
     EXPECT_TRUE(testjson::hasKey(Raw, Key));
   }
@@ -430,7 +431,8 @@ TEST_F(ServerTest, StatsExposesDaemonAndSessionGroups) {
   EXPECT_TRUE(testjson::hasKey(
       Raw, strFormat("s%lld", static_cast<long long>(S))));
   for (const char *Key : {"sim", "workload", "verbs", "steps", "fast_steps",
-                          "retired", "cycles", "halted", "faulted"}) {
+                          "retired", "cycles", "halted", "faulted",
+                          "store_attached", "overlay_bytes"}) {
     SCOPED_TRACE(Key);
     EXPECT_TRUE(testjson::hasKey(Raw, Key));
   }
@@ -620,6 +622,181 @@ TEST_F(ServerTest, SixtyFourConcurrentSessionsMatchStandalone) {
 //===----------------------------------------------------------------------===//
 // Shutdown
 //===----------------------------------------------------------------------===//
+
+//===----------------------------------------------------------------------===//
+// Batch verb
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, BatchExecutesSubRequestsInOrder) {
+  Client C = connect();
+  int64_t S = createSession(C);
+  json::Value R = rpc(
+      C, strFormat(R"({"id":9,"verb":"batch","requests":[)"
+                   R"({"id":10,"verb":"step","session":%lld,"count":100},)"
+                   R"({"id":11,"verb":"inspect","session":%lld,"what":"digest"},)"
+                   R"({"id":12,"verb":"run","session":%lld,"steps":100}]})",
+                   static_cast<long long>(S), static_cast<long long>(S),
+                   static_cast<long long>(S)));
+  ASSERT_TRUE(isOk(R));
+  EXPECT_EQ(R.get("id")->intOr(-1), 9);
+  EXPECT_EQ(R.get("count")->intOr(-1), 3);
+  const json::Value *Replies = R.get("replies");
+  ASSERT_TRUE(Replies && Replies->isArray());
+  ASSERT_EQ(Replies->array().size(), size_t(3));
+  // Replies come back in request order with the sub-ids echoed.
+  for (size_t I = 0; I != 3; ++I) {
+    SCOPED_TRACE("reply " + std::to_string(I));
+    const json::Value &Sub = Replies->array()[I];
+    EXPECT_TRUE(isOk(Sub));
+    EXPECT_EQ(Sub.get("id")->intOr(-1), static_cast<int64_t>(10 + I));
+  }
+  EXPECT_TRUE(Replies->array()[1].get("digest"));
+  EXPECT_EQ(Replies->array()[0].get("steps")->intOr(0), 100);
+}
+
+TEST_F(ServerTest, BatchIsolatesBadElements) {
+  Client C = connect();
+  int64_t S = createSession(C);
+  // One good element surrounded by every way an element can be bad: a
+  // non-object, an unknown verb, a nested batch, a control verb, and a
+  // dead session. Each must fail alone without sinking the rest.
+  json::Value R = rpc(
+      C, strFormat(R"({"id":1,"verb":"batch","requests":[)"
+                   R"(5,)"
+                   R"({"id":20,"verb":"step","session":%lld,"count":10},)"
+                   R"({"id":21,"verb":"bogus","session":%lld},)"
+                   R"({"id":22,"verb":"batch","requests":[]},)"
+                   R"({"id":23,"verb":"create","sim":"functional"},)"
+                   R"({"id":24,"verb":"step","session":999999,"count":1}]})",
+                   static_cast<long long>(S), static_cast<long long>(S)));
+  ASSERT_TRUE(isOk(R));
+  const json::Value *Replies = R.get("replies");
+  ASSERT_TRUE(Replies && Replies->isArray());
+  ASSERT_EQ(Replies->array().size(), size_t(6));
+  expectError(Replies->array()[0], ErrCode::BadRequest);
+  EXPECT_TRUE(isOk(Replies->array()[1]));
+  expectError(Replies->array()[2], ErrCode::UnknownVerb);
+  expectError(Replies->array()[3], ErrCode::BadRequest);
+  expectError(Replies->array()[4], ErrCode::BadRequest);
+  expectError(Replies->array()[5], ErrCode::UnknownSession);
+  // The good sub-request really ran.
+  json::Value Stats = rpc(
+      C, strFormat(R"({"id":2,"verb":"inspect","session":%lld})",
+                   static_cast<long long>(S)));
+  ASSERT_TRUE(isOk(Stats));
+}
+
+TEST_F(ServerTest, BatchShapeAndLimits) {
+  Client C = connect();
+  expectError(rpc(C, R"({"id":1,"verb":"batch"})"), ErrCode::BadRequest);
+  expectError(rpc(C, R"({"id":2,"verb":"batch","requests":5})"),
+              ErrCode::BadRequest);
+
+  // An empty batch is a well-formed no-op.
+  json::Value Empty = rpc(C, R"({"id":3,"verb":"batch","requests":[]})");
+  ASSERT_TRUE(isOk(Empty));
+  EXPECT_EQ(Empty.get("count")->intOr(-1), 0);
+  ASSERT_TRUE(Empty.get("replies") && Empty.get("replies")->isArray());
+  EXPECT_TRUE(Empty.get("replies")->array().empty());
+
+  // One element over the cap is rejected outright — nothing runs.
+  std::string Big = R"({"id":4,"verb":"batch","requests":[)";
+  for (size_t I = 0; I != MaxBatchRequests + 1; ++I) {
+    if (I)
+      Big += ',';
+    Big += R"({"id":1,"verb":"step","session":0,"count":1})";
+  }
+  Big += "]}";
+  expectError(rpc(C, Big), ErrCode::Oversized);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared cache store: N sessions, one mapping
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, SixteenSessionsShareOneStoreMapping) {
+  // Populate a store from a standalone builder, then restart the server
+  // over it: sixteen memoizing sessions must every one attach the same
+  // promoted generation — one mapping process-wide, per-session bytes only
+  // in the copy-on-write overlays — and finish bit-identical to the
+  // standalone oracle.
+  std::string Dir = ::testing::TempDir() + "facile_server_store";
+  isa::TargetImage Image = workload::generate(stressSpec(), 2);
+  sims::FacileSim Builder(sims::SimKind::Functional, Image);
+  Builder.run(1u << 26);
+  {
+    store::CacheStoreDir Store(Dir);
+    std::string Err;
+    ASSERT_TRUE(Builder.promoteStore(Store, nullptr, &Err)) << Err;
+  }
+  Outcome Want = standaloneOutcome();
+
+  TearDown();
+  ServerOptions Opts;
+  Opts.CacheStorePath = Dir;
+  startServer(std::move(Opts));
+
+  constexpr int NumSessions = 16;
+  Client C = connect();
+  std::vector<int64_t> Sessions;
+  for (int I = 0; I != NumSessions; ++I) {
+    json::Value R = rpc(
+        C, R"({"id":1,"verb":"create","sim":"functional",)"
+           R"("workload":"compress","data_kwords":2})");
+    ASSERT_TRUE(isOk(R));
+    ASSERT_TRUE(R.get("store_attached"));
+    EXPECT_TRUE(R.get("store_attached")->boolOr(false));
+    ASSERT_TRUE(R.get("store_generation"));
+    EXPECT_EQ(R.get("store_generation")->intOr(0), 1);
+    Sessions.push_back(R.get("session")->intOr(-1));
+  }
+
+  for (int64_t S : Sessions) {
+    bool Halted = false;
+    for (int Burst = 0; Burst != 64 && !Halted; ++Burst) {
+      json::Value R = rpc(
+          C, strFormat(R"({"id":1,"verb":"run","session":%lld,)"
+                       R"("steps":1000000})",
+                       static_cast<long long>(S)));
+      ASSERT_TRUE(isOk(R));
+      Halted = R.get("halted")->boolOr(false);
+    }
+    ASSERT_TRUE(Halted);
+    json::Value D = rpc(
+        C, strFormat(R"({"id":2,"verb":"inspect","session":%lld,)"
+                     R"("what":"digest"})",
+                     static_cast<long long>(S)));
+    ASSERT_TRUE(isOk(D));
+    EXPECT_EQ(D.get("digest")->str(), Want.Digest);
+  }
+
+  // One mapping serves all sixteen sessions; warm replay really happened;
+  // every session carries its own overlay accounting.
+  json::Value Stats = rpc(C, R"({"id":3,"verb":"stats"})");
+  ASSERT_TRUE(isOk(Stats));
+  const json::Value *Srv = Stats.get("stats")->get("server");
+  ASSERT_TRUE(Srv);
+  EXPECT_EQ(Srv->get("store_mappings")->intOr(-1), 1);
+  const json::Value *Sess = Stats.get("stats")->get("sessions");
+  ASSERT_TRUE(Sess && Sess->isObject());
+  for (int64_t S : Sessions) {
+    SCOPED_TRACE("session " + std::to_string(S));
+    const json::Value *G =
+        Sess->get(strFormat("s%lld", static_cast<long long>(S)));
+    ASSERT_TRUE(G && G->isObject());
+    EXPECT_TRUE(G->get("store_attached")->boolOr(false));
+    EXPECT_EQ(G->get("store_generation")->intOr(-1), 1);
+    EXPECT_GT(G->get("base_bytes")->intOr(0), 0);
+    ASSERT_TRUE(G->get("overlay_bytes"));
+    EXPECT_GT(G->get("fast_steps")->intOr(0), 0);
+  }
+
+  // Sweep the store directory (content addressing keyed one file).
+  std::remove((Dir + "/" +
+               store::CacheStoreDir::fileName(Builder.sim().compatKey(), 1))
+                  .c_str());
+  ::rmdir(Dir.c_str());
+}
 
 TEST_F(ServerTest, ShutdownVerbStopsTheServer) {
   Client C = connect();

@@ -20,6 +20,7 @@
 
 #include "src/inject/FaultInjector.h"
 #include "src/sims/SimHarness.h"
+#include "src/store/CacheStore.h"
 #include "src/telemetry/Metrics.h"
 #include "src/telemetry/Profiler.h"
 #include "src/telemetry/Trace.h"
@@ -55,6 +56,15 @@ void usage(const char *Prog) {
       "  --load-checkpoint=<file>       resume state before the run\n"
       "  --save-cache=<file>            write the action cache after the run\n"
       "  --load-cache=<file>            warm-start from a saved action cache\n"
+      "  --cache-store=<dir>            shared action-cache store: map the\n"
+      "                                 newest compatible generation as a\n"
+      "                                 read-only base, record new work to a\n"
+      "                                 private overlay (miss = cold start)\n"
+      "  --store-promote                after the run, write base+overlay as\n"
+      "                                 the next store generation (requires\n"
+      "                                 --cache-store)\n"
+      "  --digest                       print the final memory digest as\n"
+      "                                 'facilesim: digest <16 hex>'\n"
       "  --require-warm                 exit 1 unless a cache was loaded and\n"
       "                                 fast replay actually ran\n"
       "  --max-steps=<n>                step watchdog: fault (step-limit)\n"
@@ -94,10 +104,12 @@ int main(int Argc, char **Argv) {
   uint64_t Instrs = 1'000'000;
   rt::Simulation::Options Opts;
   std::string SaveCkpt, LoadCkpt, SaveCache, LoadCache;
+  std::string CacheStorePath;
   std::string TraceFile, MetricsFile;
   uint64_t TraceBuffer = 1u << 16;
   uint64_t TopActions = 0, ProfilePeriod = 1;
   bool Json = false, RequireWarm = false;
+  bool StorePromote = false, PrintDigest = false;
   bool Injecting = false;
   inject::InjectSpec InjSpec;
 
@@ -130,6 +142,8 @@ int main(int Argc, char **Argv) {
       SaveCache = V;
     else if (!(V = argValue(Arg, "--load-cache=")).empty())
       LoadCache = V;
+    else if (!(V = argValue(Arg, "--cache-store=")).empty())
+      CacheStorePath = V;
     else if (!(V = argValue(Arg, "--max-steps=")).empty())
       Opts.StepLimit = std::strtoull(V.c_str(), nullptr, 10);
     else if (!(V = argValue(Arg, "--mem-budget=")).empty())
@@ -174,6 +188,10 @@ int main(int Argc, char **Argv) {
       Json = true;
     else if (Arg == "--require-warm")
       RequireWarm = true;
+    else if (Arg == "--store-promote")
+      StorePromote = true;
+    else if (Arg == "--digest")
+      PrintDigest = true;
     else if (Arg == "--help" || Arg == "-h") {
       usage(Argv[0]);
       return 0;
@@ -182,6 +200,11 @@ int main(int Argc, char **Argv) {
       usage(Argv[0]);
       return 2;
     }
+  }
+
+  if (StorePromote && CacheStorePath.empty()) {
+    std::fprintf(stderr, "error: --store-promote requires --cache-store\n");
+    return 2;
   }
 
   SimKind Kind;
@@ -241,6 +264,19 @@ int main(int Argc, char **Argv) {
                  LoadCache.c_str(),
                  (unsigned long long)Sim.snapshotStats().CacheEntriesLoaded);
 
+  // The shared store maps read-only underneath any cache a --load-cache
+  // already privatized, so only attach when the cache is still empty.
+  std::unique_ptr<store::CacheStoreDir> StoreDir;
+  if (!CacheStorePath.empty())
+    StoreDir = std::make_unique<store::CacheStoreDir>(CacheStorePath);
+  if (StoreDir && !Sim.snapshotStats().CacheLoaded &&
+      Sim.attachStore(*StoreDir))
+    std::fprintf(stderr,
+                 "facilesim: attached cache store %s gen %llu (%llu entries)\n",
+                 CacheStorePath.c_str(),
+                 (unsigned long long)Sim.storeMapping()->generation(),
+                 (unsigned long long)Sim.snapshotStats().CacheEntriesLoaded);
+
   uint64_t Before = Sim.sim().stats().RetiredTotal;
   if (Injecting) {
     // Interleave short run chunks with injection rolls so corruption lands
@@ -263,6 +299,15 @@ int main(int Argc, char **Argv) {
   if (!SaveCache.empty() && !Sim.saveCache(SaveCache, &Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
+  }
+  if (StorePromote) {
+    uint64_t Gen = 0;
+    if (!Sim.promoteStore(*StoreDir, &Gen, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "facilesim: promoted action cache to %s gen %llu\n",
+                 CacheStorePath.c_str(), (unsigned long long)Gen);
   }
 
   // Telemetry output: close the open step span so the buffered trace and
@@ -293,6 +338,9 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Retired,
               (unsigned long long)(Retired - Before),
               Sim.sim().stats().fastForwardedPct());
+  if (PrintDigest)
+    std::printf("facilesim: digest %016llx\n",
+                (unsigned long long)Sim.sim().memory().digest());
   if (Json)
     std::printf("%s\n", Sim.statsJson().c_str());
 

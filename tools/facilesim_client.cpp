@@ -104,6 +104,7 @@ int main(int argc, char **argv) {
   if (Cmd == "raw") {
     if (I >= argc) {
       std::fprintf(stderr, "facilesim_client: raw needs a request line\n");
+      usage(argv[0]);
       return 2;
     }
     return oneShot(C, argv[I]);

@@ -44,6 +44,10 @@ void usage(const char *Prog) {
       "  --workers=<n>        verb-execution worker threads (default 4)\n"
       "  --max-sessions=<n>   concurrent session cap (default 256)\n"
       "  --max-steps-per-request=<n>  run/step bound per request\n"
+      "  --cache-store=<dir>  shared action-cache store: memoizing sessions\n"
+      "                       attach the newest compatible generation as a\n"
+      "                       read-only base (one mapping per store file,\n"
+      "                       shared by every session)\n"
       "  --selftest           run the protocol self-test in-process, exit\n"
       "\n"
       "exit status: 0 ok, 1 selftest failure, 2 bad usage, 3 socket error\n",
@@ -116,6 +120,8 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(A, "--max-steps-per-request=", 24) == 0 &&
                parseU64(A + 24, N) && N >= 1) {
       Opts.MaxStepsPerRequest = N;
+    } else if (std::strncmp(A, "--cache-store=", 14) == 0) {
+      Opts.CacheStorePath = A + 14;
     } else if (std::strcmp(A, "--selftest") == 0) {
       Selftest = true;
     } else if (std::strcmp(A, "--help") == 0) {
