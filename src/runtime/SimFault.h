@@ -34,6 +34,8 @@ enum class FaultKind : uint8_t {
   ExternFailure,        ///< extern call unregistered or reported failure
   CacheCorrupt,         ///< action-cache node/span/link integrity violated
   PlanCorrupt,          ///< ExecPlan stream truncated or opcode illegal
+  DeadlineExceeded,     ///< cooperative deadline hook fired (see
+                        ///< Simulation::setDeadlineHook); cleanly resumable
 };
 
 /// Stable diagnostic name of a fault kind ("cache-corrupt", ...).

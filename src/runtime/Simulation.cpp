@@ -221,6 +221,8 @@ const char *facile::rt::faultKindName(FaultKind K) {
     return "extern-failure";
   case FaultKind::CacheCorrupt:
     return "cache-corrupt";
+  case FaultKind::DeadlineExceeded:
+    return "deadline-exceeded";
   case FaultKind::PlanCorrupt:
     return "plan-corrupt";
   }
@@ -523,6 +525,17 @@ void Simulation::detachCacheBase() {
   PendingEndNode = ActionNode::NoNode;
 }
 
+void Simulation::evictCacheNow() {
+  if (Cache.overlayBytes() == 0)
+    return; // nothing recorded since the last reset: keep the warm base
+  if (Tracer) {
+    flushTraceSpan();
+    Tracer->instant("cache", "evict", "bytes", Cache.bytes());
+  }
+  Cache.evict();
+  PendingEndNode = ActionNode::NoNode;
+}
+
 //===----------------------------------------------------------------------===//
 // Stepping
 //===----------------------------------------------------------------------===//
@@ -538,6 +551,18 @@ StepEngine Simulation::step() {
   if (Opts.StepLimit && S.Steps >= Opts.StepLimit) {
     raiseFault(FaultKind::StepLimit, "step watchdog limit reached");
     return StepEngine::Faulted;
+  }
+  // Cooperative deadline, sharing the step watchdog's check point: consult
+  // the hook on installation and every DeadlineCheckPeriod steps so the
+  // clock read stays off the per-step hot path. The fault fires before the
+  // step executes — state is exactly what the previous step left.
+  if (DeadlineHook &&
+      (DeadlineArmCheck || S.Steps % DeadlineCheckPeriod == 0)) {
+    DeadlineArmCheck = false;
+    if (DeadlineHook()) {
+      raiseFault(FaultKind::DeadlineExceeded, "cooperative deadline expired");
+      return StepEngine::Faulted;
+    }
   }
   ++S.Steps;
   if (!Opts.Memoize) {

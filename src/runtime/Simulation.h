@@ -195,6 +195,30 @@ public:
     ExternFaultHook = std::move(Hook);
   }
 
+  /// Cooperative deadline: \p Hook is consulted at the step-watchdog check
+  /// point every DeadlineCheckPeriod steps (plus on the first step after
+  /// installation); returning true raises a DeadlineExceeded fault before
+  /// the step executes, so the simulation state is exactly what the
+  /// previous step left — cleanly resumable with clearFault(). Null
+  /// detaches (the common idle state: one pointer test per step). Hosts
+  /// typically install a wall-clock comparison for the duration of one
+  /// request and detach afterwards.
+  void setDeadlineHook(std::function<bool()> Hook) {
+    DeadlineHook = std::move(Hook);
+    DeadlineArmCheck = true;
+  }
+  /// Steps between two consultations of the deadline hook — cheap enough
+  /// for a clock read, frequent enough that a deadline is honored within
+  /// microseconds of work.
+  static constexpr uint64_t DeadlineCheckPeriod = 64;
+
+  /// Out-of-band cache eviction preserving the engine invariants: flushes
+  /// the open trace span, runs the configured eviction policy (resetting a
+  /// store-backed cache to its read-only base) and resets the INDEX chain.
+  /// For host-side resource control (e.g. a daemon bounding aggregate
+  /// overlay growth); a no-op on an empty cache.
+  void evictCacheNow();
+
   const Stats &stats() const { return S; }
   const ActionCache &cache() const { return Cache; }
 
@@ -363,6 +387,8 @@ private:
 
   std::vector<ExternHandler> Externs;
   std::function<bool(uint32_t)> ExternFaultHook;
+  std::function<bool()> DeadlineHook;
+  bool DeadlineArmCheck = false; ///< force a hook consult on the next step
   ActionCache Cache;
   /// Pins the memory behind an attached cache base (store mapping).
   std::shared_ptr<const void> CacheBaseKeepalive;

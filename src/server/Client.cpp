@@ -6,10 +6,14 @@
 #include "src/support/Json.h"
 #include "src/support/StringUtils.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -17,16 +21,35 @@
 using namespace facile;
 using namespace facile::server;
 
+namespace {
+
+uint64_t monoMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
 Client::~Client() { close(); }
 
 Client::Client(Client &&Other) noexcept
-    : Fd(std::exchange(Other.Fd, -1)), Buf(std::move(Other.Buf)) {}
+    : Fd(std::exchange(Other.Fd, -1)), Buf(std::move(Other.Buf)),
+      Policy(Other.Policy), LastAttempts(Other.LastAttempts), Rng(Other.Rng),
+      Ep(Other.Ep), EpPort(Other.EpPort), EpPath(std::move(Other.EpPath)) {}
 
 Client &Client::operator=(Client &&Other) noexcept {
   if (this != &Other) {
     close();
     Fd = std::exchange(Other.Fd, -1);
     Buf = std::move(Other.Buf);
+    Policy = Other.Policy;
+    LastAttempts = Other.LastAttempts;
+    Rng = Other.Rng;
+    Ep = Other.Ep;
+    EpPort = Other.EpPort;
+    EpPath = std::move(Other.EpPath);
   }
   return *this;
 }
@@ -58,6 +81,8 @@ bool Client::connectTcp(uint16_t Port, std::string *Err) {
     close();
     return fail(Err, "connect");
   }
+  Ep = Endpoint::Tcp;
+  EpPort = Port;
   return true;
 }
 
@@ -78,7 +103,25 @@ bool Client::connectUnix(const std::string &Path, std::string *Err) {
     close();
     return fail(Err, "connect");
   }
+  Ep = Endpoint::Unix;
+  EpPath = Path;
   return true;
+}
+
+bool Client::reconnect(std::string *Err) {
+  switch (Ep) {
+  case Endpoint::Tcp:
+    return connectTcp(EpPort, Err);
+  case Endpoint::Unix: {
+    std::string Path = EpPath; // connectUnix reassigns EpPath
+    return connectUnix(Path, Err);
+  }
+  case Endpoint::None:
+    break;
+  }
+  if (Err)
+    *Err = "reconnect before any connect";
+  return false;
 }
 
 bool Client::sendRaw(const std::string &Bytes) {
@@ -102,6 +145,8 @@ bool Client::recvLine(std::string &Out) {
   if (Fd < 0)
     return false;
   char Tmp[1 << 14];
+  const uint64_t Deadline =
+      Policy.TimeoutMs == 0 ? 0 : monoMs() + Policy.TimeoutMs;
   for (;;) {
     size_t Pos = Buf.find('\n');
     if (Pos != std::string::npos) {
@@ -110,6 +155,18 @@ bool Client::recvLine(std::string &Out) {
       if (!Out.empty() && Out.back() == '\r')
         Out.pop_back();
       return true;
+    }
+    if (Deadline) {
+      uint64_t Now = monoMs();
+      if (Now >= Deadline)
+        return false; // per-call timeout: treated as a transport failure
+      pollfd P{Fd, POLLIN, 0};
+      int R = ::poll(&P, 1,
+                     static_cast<int>(std::min<uint64_t>(Deadline - Now, 200)));
+      if (R < 0)
+        return false;
+      if (R == 0)
+        continue;
     }
     ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
     if (N <= 0)
@@ -137,7 +194,78 @@ bool Client::rpc(const std::string &Request, json::Value &Response,
       *Err = "unparseable response: " + PErr;
     return false;
   }
+  LastLine = std::move(Line);
   return true;
+}
+
+uint64_t Client::backoffMs(unsigned Attempt) {
+  uint64_t Base = Policy.BaseBackoffMs << std::min(Attempt, 10u);
+  Base = std::min(std::max<uint64_t>(Base, 1), Policy.MaxBackoffMs);
+  if (Policy.JitterPct != 0) {
+    uint64_t Span = Base * Policy.JitterPct / 100;
+    if (Span != 0)
+      Base = Base - Span / 2 + Rng() % (Span + 1);
+  }
+  return std::max<uint64_t>(Base, 1);
+}
+
+bool Client::rpcRetry(const std::string &Request, json::Value &Response,
+                      std::string *Err) {
+  // Classify the request once; an unparseable request is sent as-is with
+  // no retry (the server will reject it deterministically).
+  json::Value Req;
+  std::string Verb;
+  bool HasId = false, HasSession = false;
+  {
+    std::string PErr;
+    if (json::parse(Request, Req, PErr) && Req.isObject()) {
+      if (const json::Value *V = Req.get("verb"))
+        Verb = V->strOr("");
+      const json::Value *Id = Req.get("id");
+      HasId = Id && (Id->isInt() || Id->isStr());
+      HasSession = Req.get("session") != nullptr;
+    }
+  }
+  bool Idempotent = Verb == "ping" || Verb == "stats" || Verb == "inspect" ||
+                    Verb == "snapshot-save";
+  bool Dedupable = (Verb == "step" || Verb == "run" ||
+                    Verb == "clear-fault" || Verb == "snapshot-load") &&
+                   HasId && HasSession;
+  bool RetryOnTransport = Idempotent || Dedupable;
+
+  const unsigned Attempts = std::max(1u, Policy.MaxAttempts);
+  std::string LocalErr;
+  for (unsigned A = 0;; ++A) {
+    LastAttempts = A + 1;
+    bool Ok = connected() || reconnect(&LocalErr);
+    if (Ok)
+      Ok = rpc(Request, Response, &LocalErr);
+    if (Ok) {
+      // An admission rejection was never executed, so *any* verb may wait
+      // out the server's hint and try again.
+      const json::Value *E = Response.get("error");
+      const json::Value *Code = E ? E->get("code") : nullptr;
+      if (Code && Code->isStr() && Code->str() == ErrCode::Overloaded &&
+          A + 1 < Attempts) {
+        uint64_t Wait = backoffMs(A);
+        if (const json::Value *RA = E->get("retry_after_ms"))
+          Wait = std::max<uint64_t>(Wait, static_cast<uint64_t>(
+                                              std::max<int64_t>(0, RA->intOr(0))));
+        std::this_thread::sleep_for(std::chrono::milliseconds(Wait));
+        continue;
+      }
+      return true;
+    }
+    // Transport failure (send error, timeout, EOF): the connection state
+    // is unknown — drop it either way so the next attempt redials.
+    close();
+    if (!RetryOnTransport || A + 1 >= Attempts) {
+      if (Err)
+        *Err = LocalErr;
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs(A)));
+  }
 }
 
 //===----------------------------------------------------------------------===//

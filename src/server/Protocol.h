@@ -55,6 +55,16 @@ inline constexpr const char *Oversized = "oversized";
 inline constexpr const char *BadSnapshot = "bad-snapshot";
 inline constexpr const char *ShuttingDown = "shutting-down";
 inline constexpr const char *Internal = "internal-error";
+/// Admission control: the worker queue is full. The error object carries
+/// "retry_after_ms", a backoff hint scaled by queue pressure; the request
+/// was never executed, so any verb is safe to retry after waiting.
+inline constexpr const char *Overloaded = "overloaded";
+/// Slowloris guard: the connection sat idle (no bytes, no in-flight
+/// request) past the server's idle timeout and is being closed.
+inline constexpr const char *IdleTimeout = "idle-timeout";
+/// create with a "resume_token" that names no spilled session (expired,
+/// evicted, or lost to a daemon restart — re-create from scratch).
+inline constexpr const char *UnknownToken = "unknown-resume-token";
 } // namespace ErrCode
 
 /// The protocol's nesting bound for incoming requests. Requests are flat

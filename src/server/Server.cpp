@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -93,6 +94,59 @@ void writeFault(json::Writer &W, const rt::SimFault &F) {
       .endObject();
 }
 
+/// Monotonic wall time, for deadlines, idle timers and TTLs.
+uint64_t nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Canonical dedup key of a request id: type-tagged so the int 7 and the
+/// string "7" stay distinct. Empty = no id, never deduped.
+std::string requestIdKey(const json::Value *Id) {
+  if (!Id)
+    return std::string();
+  if (Id->isInt())
+    return strFormat("i%lld", static_cast<long long>(Id->intOr(0)));
+  if (Id->isStr())
+    return "s" + Id->str();
+  return std::string();
+}
+
+/// The admission-control rejection: an error envelope whose error object
+/// carries "retry_after_ms". The request was never executed, so the client
+/// may retry any verb after the hinted wait.
+std::string overloadedResponse(const json::Value *Id, uint64_t RetryAfterMs) {
+  json::Writer W;
+  W.beginObject();
+  writeRequestId(W, Id);
+  W.field("ok", false);
+  W.objectField("error")
+      .field("code", std::string_view(ErrCode::Overloaded))
+      .field("message", "worker queue is full")
+      .field("retry_after_ms", RetryAfterMs)
+      .endObject();
+  W.endObject();
+  return W.take();
+}
+
+/// Parses \p Line just far enough to echo its request id on a rejection
+/// path (framing otherwise never parses JSON). \p Req owns the storage.
+const json::Value *lineRequestId(const std::string &Line, json::Value &Req) {
+  std::string PErr;
+  if (json::parse(Line, Req, PErr, MaxRequestDepth) && Req.isObject())
+    return Req.get("id");
+  return nullptr;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -111,6 +165,11 @@ struct Conn {
   const int Fd;
   std::mutex WriteMu;
   uint64_t Requests = 0; ///< reader-thread only
+  /// Idle-timeout bookkeeping: last byte received or response written, and
+  /// how many of this connection's requests are queued or executing (an
+  /// idle timer never fires under an in-flight request).
+  std::atomic<uint64_t> LastActiveMs{0};
+  std::atomic<int64_t> InFlight{0};
 };
 
 /// One live session: a private simulation plus a reference keeping its
@@ -125,6 +184,22 @@ struct Session {
   std::unique_ptr<inject::FaultInjector> Injector; ///< after Sim: refs it
   std::mutex Mu;       ///< per-session serialization: one verb at a time
   uint64_t Verbs = 0;  ///< verbs serviced (under Mu)
+
+  /// Creation parameters, kept so a reaped session can be rebuilt.
+  workload::WorkloadSpec Spec;
+  uint64_t OuterIters = 2;
+  rt::Simulation::Options SimOpts;
+  std::string PoolKey;
+  std::string ResumeToken;
+  uint64_t StepDelayUs = 0; ///< test knob: sleep per executed chunk
+
+  std::atomic<uint64_t> LastVerbMs{0}; ///< TTL / LRU recency
+  bool Reaped = false; ///< under Mu: detached from the table by the reaper
+
+  /// Request-id dedup of the last completed mutating verb: an identical
+  /// retry replays the stored response instead of re-executing.
+  std::string LastCompletedId; ///< under Mu; requestIdKey form
+  std::string LastResponse;    ///< under Mu
 };
 
 /// One pooled (program, image, plan) bundle.
@@ -137,6 +212,21 @@ struct SharedEntry {
 struct Work {
   std::shared_ptr<Conn> C;
   std::string Line;
+};
+
+/// A reaped session's warm state, restorable by create + resume_token.
+struct Spilled {
+  SimKind Kind = SimKind::Functional;
+  workload::WorkloadSpec Spec;
+  uint64_t OuterIters = 2;
+  rt::Simulation::Options SimOpts;
+  std::string PoolKey;
+  uint64_t StepDelayUs = 0;
+  std::vector<uint8_t> Checkpoint; ///< FACSNAP2 checkpoint container
+  std::vector<uint8_t> CacheBytes; ///< FACSNAP2 cache container (memoizing)
+  uint64_t Seq = 0;                ///< spill order, oldest dropped first
+
+  size_t bytes() const { return Checkpoint.size() + CacheBytes.size(); }
 };
 
 } // namespace
@@ -158,8 +248,20 @@ struct FacileServer::Impl {
   uint16_t BoundPort = 0;
   std::atomic<bool> Started{false};
   std::atomic<bool> Stop{false};
+  bool AddressInUse = false; ///< set by a failed unix-socket start()
+
+  // Drain state machine (see reaperLoop): requestDrain() only sets the
+  // flag — async-signal-safe — and the housekeeping thread advances
+  // Requested -> Draining -> promoted -> Stop.
+  std::atomic<bool> DrainRequested{false};
+  std::atomic<bool> Draining{false};
+  uint64_t DrainStartMs = 0; ///< reaper thread only
+  std::atomic<uint64_t> DrainDurationMs{0};
+  std::atomic<uint64_t> DrainPromoted{0};
+  std::atomic<uint64_t> DrainSkipped{0};
 
   std::thread AcceptThread;
+  std::thread ReaperThread;
   std::vector<std::thread> Workers;
   std::mutex ConnThreadsMu;
   std::vector<std::thread> ConnThreads;
@@ -169,10 +271,24 @@ struct FacileServer::Impl {
   std::mutex StopMu;
   std::condition_variable StopCv;
 
-  // Work queue (readers produce, the fixed pool consumes).
+  // Work queue (readers produce, the fixed pool consumes). Bounded by
+  // Opts.MaxQueueDepth at admission; QueueDepthHist records the depth seen
+  // by every accepted request (guarded by QueueMu like the deque).
   std::mutex QueueMu;
   std::condition_variable QueueCv;
   std::deque<Work> Queue;
+  telemetry::Histogram QueueDepthHist;
+  std::atomic<uint64_t> InFlight{0}; ///< requests being executed right now
+
+  // Spilled (reaped) sessions, by resume token.
+  std::mutex SpillMu;
+  std::map<std::string, Spilled> Spills;
+  size_t SpillBytes = 0; ///< under SpillMu
+  uint64_t SpillSeq = 0; ///< under SpillMu
+
+  // Request service-time distribution (worker-side, microseconds).
+  std::mutex HistMu;
+  telemetry::Histogram ServiceUsHist;
 
   // Session table and SharedProgram pool.
   mutable std::mutex SessionsMu;
@@ -191,10 +307,26 @@ struct FacileServer::Impl {
   std::atomic<uint64_t> SessionsCreated{0};
   std::atomic<uint64_t> SessionsDestroyed{0};
 
+  // Resilience counters.
+  std::atomic<uint64_t> AdmissionRejects{0};
+  std::atomic<uint64_t> DeadlineFaults{0};
+  std::atomic<uint64_t> DedupedRequests{0};
+  std::atomic<uint64_t> IdleClosedConns{0};
+  std::atomic<uint64_t> ReapedSessions{0};
+  std::atomic<uint64_t> ResumedSessions{0};
+  std::atomic<uint64_t> SpillsDropped{0};
+  std::atomic<uint64_t> OverlaysEvicted{0};
+  std::atomic<uint64_t> StoreGcUnlinked{0};
+
   bool start(std::string *Err);
   void acceptLoop();
   void readerLoop(std::shared_ptr<Conn> C);
   void workerLoop();
+  void reaperLoop();
+  void reapIdleSessions(uint64_t Now);
+  void boundOverlayBytes();
+  void promoteDirtyOverlays();
+  void dropSpillOverBudget(); ///< call with SpillMu held
   void requestShutdown();
   void joinAll();
 
@@ -213,6 +345,7 @@ struct FacileServer::Impl {
                                  const json::Value *Id);
   std::string verbBatch(const json::Value &Req, const json::Value *Id);
   std::string verbCreate(const json::Value &Req, const json::Value *Id);
+  std::string resumeSession(const std::string &Token, const json::Value *Id);
   std::string verbStep(const json::Value &Req, const json::Value *Id,
                        Session &S);
   std::string verbRun(const json::Value &Req, const json::Value *Id,
@@ -258,10 +391,37 @@ bool FacileServer::Impl::start(std::string *Err) {
     ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (ListenFd < 0)
       return fail("socket");
-    ::unlink(Opts.UnixPath.c_str()); // stale socket from a previous run
     if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-        0)
-      return fail("bind");
+        0) {
+      if (errno != EADDRINUSE)
+        return fail("bind");
+      // The path exists. Probe-connect to tell a live daemon apart from a
+      // socket file left behind by a crashed one: only a listener accepts
+      // the connection (EAGAIN on a full backlog still means listener).
+      int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      int ProbeRc = -1;
+      if (Probe >= 0) {
+        ProbeRc = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                            sizeof(Addr));
+        if (ProbeRc < 0 && errno == EAGAIN)
+          ProbeRc = 0;
+        ::close(Probe);
+      }
+      if (ProbeRc == 0) {
+        AddressInUse = true;
+        if (Err)
+          *Err = "socket path '" + Opts.UnixPath +
+                 "' is in use by a live daemon";
+        ::close(ListenFd);
+        ListenFd = -1;
+        return false;
+      }
+      // Nobody listening: unlink the stale socket and rebind once.
+      ::unlink(Opts.UnixPath.c_str());
+      if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                 sizeof(Addr)) < 0)
+        return fail("bind");
+    }
   } else {
     ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (ListenFd < 0)
@@ -287,6 +447,7 @@ bool FacileServer::Impl::start(std::string *Err) {
 
   Started = true;
   AcceptThread = std::thread([this] { acceptLoop(); });
+  ReaperThread = std::thread([this] { reaperLoop(); });
   unsigned W = Opts.Workers == 0 ? 1 : Opts.Workers;
   for (unsigned I = 0; I != W; ++I)
     Workers.emplace_back([this] { workerLoop(); });
@@ -302,6 +463,10 @@ void FacileServer::Impl::acceptLoop() {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       continue;
+    if (Draining.load(std::memory_order_acquire)) {
+      ::close(Fd); // draining: existing work finishes, new peers bounce
+      continue;
+    }
     ++ConnectionsTotal;
     ++ActiveConnections;
     auto C = std::make_shared<Conn>(Fd);
@@ -314,16 +479,31 @@ void FacileServer::Impl::readerLoop(std::shared_ptr<Conn> C) {
   std::string Buf;
   char Tmp[1 << 16];
   bool Close = false;
+  C->LastActiveMs.store(nowMs(), std::memory_order_relaxed);
   while (!Close && !Stop.load(std::memory_order_acquire)) {
     pollfd P{C->Fd, POLLIN, 0};
     int R = ::poll(&P, 1, 200);
-    if (R <= 0)
+    if (R <= 0) {
+      // Slowloris guard: a connection with no received bytes and nothing
+      // queued or executing for the idle window is told why and closed. A
+      // long-running request keeps InFlight high, so it never trips this.
+      if (Opts.ConnIdleTimeoutMs != 0 &&
+          C->InFlight.load(std::memory_order_acquire) == 0 &&
+          nowMs() - C->LastActiveMs.load(std::memory_order_relaxed) >
+              Opts.ConnIdleTimeoutMs) {
+        ++IdleClosedConns;
+        respond(*C, errorResponse(nullptr, ErrCode::IdleTimeout,
+                                  "connection idle timeout"));
+        break;
+      }
       continue;
+    }
     if (!(P.revents & (POLLIN | POLLHUP)))
       continue;
     ssize_t N = ::recv(C->Fd, Tmp, sizeof(Tmp), 0);
     if (N <= 0)
       break; // EOF (a truncated in-flight request is silently discarded)
+    C->LastActiveMs.store(nowMs(), std::memory_order_relaxed);
     Buf.append(Tmp, static_cast<size_t>(N));
     size_t Pos;
     while (!Close && (Pos = Buf.find('\n')) != std::string::npos) {
@@ -348,11 +528,43 @@ void FacileServer::Impl::readerLoop(std::shared_ptr<Conn> C) {
         break;
       }
       ++RequestsTotal;
+      if (Draining.load(std::memory_order_acquire)) {
+        ++ProtocolErrors;
+        json::Value IdOwner;
+        respond(*C, errorResponse(lineRequestId(Line, IdOwner),
+                                  ErrCode::ShuttingDown,
+                                  "server is draining"));
+        continue;
+      }
+      // Admission control: a full queue rejects instead of buffering
+      // unboundedly. InFlight rises before the push so the idle timer
+      // can never fire under a queued request.
+      C->InFlight.fetch_add(1, std::memory_order_acq_rel);
+      bool Enqueued = false;
       {
         std::lock_guard<std::mutex> Lock(QueueMu);
-        Queue.push_back(Work{C, std::move(Line)});
+        if (Queue.size() < Opts.MaxQueueDepth) {
+          Queue.push_back(Work{C, std::move(Line)});
+          QueueDepthHist.record(Queue.size());
+          Enqueued = true;
+        }
       }
-      QueueCv.notify_one();
+      if (Enqueued) {
+        QueueCv.notify_one();
+        continue;
+      }
+      C->InFlight.fetch_sub(1, std::memory_order_acq_rel);
+      ++AdmissionRejects;
+      ++ProtocolErrors;
+      // The hint grows with how much backlog each worker would have to
+      // clear first, capped at 2 s.
+      uint64_t Hint = std::min<uint64_t>(
+          2000, static_cast<uint64_t>(Opts.RetryAfterMs) *
+                    std::max<uint64_t>(1, Opts.MaxQueueDepth /
+                                             std::max(1u, Opts.Workers) /
+                                             8));
+      json::Value IdOwner;
+      respond(*C, overloadedResponse(lineRequestId(Line, IdOwner), Hint));
     }
     // An unterminated line larger than the limit is rejected without
     // waiting for its newline — the peer may never send one.
@@ -381,8 +593,19 @@ void FacileServer::Impl::workerLoop() {
         return; // Stop set and nothing left to drain
       W = std::move(Queue.front());
       Queue.pop_front();
+      // Under QueueMu, so "queue empty and nothing in flight" is an
+      // atomic observation for the drain state machine.
+      InFlight.fetch_add(1, std::memory_order_acq_rel);
     }
+    uint64_t T0 = nowUs();
     processLine(W.C, W.Line);
+    uint64_t Elapsed = nowUs() - T0;
+    {
+      std::lock_guard<std::mutex> Lock(HistMu);
+      ServiceUsHist.record(Elapsed);
+    }
+    W.C->InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
@@ -404,6 +627,8 @@ void FacileServer::Impl::joinAll() {
   Joined = true;
   if (AcceptThread.joinable())
     AcceptThread.join();
+  if (ReaperThread.joinable())
+    ReaperThread.join();
   for (std::thread &T : Workers)
     if (T.joinable())
       T.join();
@@ -532,18 +757,46 @@ std::string FacileServer::Impl::executeSessionVerb(const json::Value &Req,
     return verbDestroy(Id, S->Id);
   // Per-session serialization: no two verbs on one session concurrently.
   std::lock_guard<std::mutex> Lock(S->Mu);
+  if (S->Reaped) {
+    // The reaper spilled this session between our table lookup and the
+    // lock; its resume token is the way back in.
+    return errorLine(Id, ErrCode::UnknownSession,
+                     strFormat("no session %lld (reaped)",
+                               static_cast<long long>(SV->intOr(0))));
+  }
+  S->LastVerbMs.store(nowMs(), std::memory_order_relaxed);
   ++S->Verbs;
+  // Request-id dedup: retrying the last completed mutating verb replays
+  // its stored response instead of executing twice — the client retry
+  // policy's at-most-once guarantee for step/run rides on this.
+  bool Mutating = Verb == "step" || Verb == "run" || Verb == "clear-fault" ||
+                  Verb == "snapshot-load";
+  std::string IdKey = requestIdKey(Id);
+  if (Mutating && !IdKey.empty() && IdKey == S->LastCompletedId) {
+    ++DedupedRequests;
+    return S->LastResponse;
+  }
+  std::string Reply;
   if (Verb == "step")
-    return verbStep(Req, Id, *S);
-  if (Verb == "run")
-    return verbRun(Req, Id, *S);
-  if (Verb == "inspect")
-    return verbInspect(Req, Id, *S);
-  if (Verb == "clear-fault")
-    return verbClearFault(Req, Id, *S);
-  if (Verb == "snapshot-save")
-    return verbSnapshotSave(Req, Id, *S);
-  return verbSnapshotLoad(Req, Id, *S);
+    Reply = verbStep(Req, Id, *S);
+  else if (Verb == "run")
+    Reply = verbRun(Req, Id, *S);
+  else if (Verb == "inspect")
+    Reply = verbInspect(Req, Id, *S);
+  else if (Verb == "clear-fault")
+    Reply = verbClearFault(Req, Id, *S);
+  else if (Verb == "snapshot-save")
+    Reply = verbSnapshotSave(Req, Id, *S);
+  else
+    Reply = verbSnapshotLoad(Req, Id, *S);
+  // The substring probe is sound: '"' never appears unescaped inside a
+  // JSON string, so "ok":true can only be the envelope's own member.
+  if (Mutating && !IdKey.empty() &&
+      Reply.find("\"ok\":true") != std::string::npos) {
+    S->LastCompletedId = IdKey;
+    S->LastResponse = Reply;
+  }
+  return Reply;
 }
 
 std::string FacileServer::Impl::verbBatch(const json::Value &Req,
@@ -560,13 +813,24 @@ std::string FacileServer::Impl::verbBatch(const json::Value &Req,
   beginOkResponse(W, Id);
   W.field("count", static_cast<uint64_t>(Reqs->array().size()));
   W.arrayField("replies");
+  // Aggregate reply budget: 256 memory inspects at MaxInspectWords each
+  // would otherwise balloon the one response line far past what framing
+  // budgets assume. Elements past the budget are skipped *before*
+  // executing (never execute-then-drop a mutation's reply); the element
+  // whose reply crosses the line is kept, so the overrun is bounded by
+  // one element's reply.
+  size_t ReplyBytes = 0;
+  bool Truncated = false;
   for (const json::Value &Sub : Reqs->array()) {
     // Sub-requests fail independently: a bad element yields its own error
     // object in the replies array and the rest of the batch proceeds.
     std::string Reply;
     const json::Value *SubId = Sub.get("id");
     const json::Value *SubVerb = Sub.get("verb");
-    if (!Sub.isObject())
+    if (Truncated)
+      Reply = errorLine(SubId, ErrCode::Oversized,
+                        "batch reply budget exhausted");
+    else if (!Sub.isObject())
       Reply = errorLine(nullptr, ErrCode::BadRequest,
                         "batch element must be a request object");
     else if (!SubVerb || !SubVerb->isStr())
@@ -580,9 +844,13 @@ std::string FacileServer::Impl::verbBatch(const json::Value &Req,
                                   SubVerb->str().c_str()));
     else
       Reply = executeSessionVerb(Sub, SubVerb->str(), SubId);
+    ReplyBytes += Reply.size();
+    if (!Truncated && ReplyBytes > Opts.MaxBatchReplyBytes)
+      Truncated = true;
     W.rawValue(Reply);
   }
   W.endArray();
+  W.field("truncated", Truncated);
   W.endObject();
   return W.take();
 }
@@ -595,6 +863,21 @@ std::string FacileServer::Impl::verbCreate(const json::Value &Req,
                                            const json::Value *Id) {
   if (Stop.load(std::memory_order_acquire))
     return errorLine(Id, ErrCode::ShuttingDown, "server is shutting down");
+  if (const json::Value *V = Req.get("resume_token")) {
+    if (!V->isStr())
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'resume_token' must be a string");
+    return resumeSession(V->str(), Id);
+  }
+  {
+    // Cheap early reject; re-checked at insert, but a full table should
+    // not cost a workload build first.
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    if (Sessions.size() >= Opts.MaxSessions)
+      return errorLine(Id, ErrCode::SessionLimit,
+                       strFormat("session limit (%u) reached",
+                                 Opts.MaxSessions));
+  }
   SimKind Kind;
   std::string SimName = "functional";
   if (const json::Value *V = Req.get("sim"))
@@ -624,9 +907,15 @@ std::string FacileServer::Impl::verbCreate(const json::Value &Req,
     Spec.NumKernels = static_cast<unsigned>(V->intOr(Spec.NumKernels));
 
   rt::Simulation::Options SimOpts = Opts.DefaultSimOptions;
+  uint64_t StepDelayUs = 0;
   if (const json::Value *O = Req.get("options")) {
     if (!O->isObject())
       return errorLine(Id, ErrCode::BadRequest, "'options' must be an object");
+    // Test knob: an artificial per-chunk sleep, so deadline and overload
+    // behavior can be exercised deterministically without huge workloads.
+    if (const json::Value *V = O->get("step_delay_us"))
+      StepDelayUs = std::min<uint64_t>(
+          static_cast<uint64_t>(std::max<int64_t>(0, V->intOr(0))), 1u << 20);
     if (const json::Value *V = O->get("memoize"))
       SimOpts.Memoize = V->boolOr(SimOpts.Memoize);
     if (const json::Value *V = O->get("cache_budget_mb"))
@@ -690,6 +979,12 @@ std::string FacileServer::Impl::verbCreate(const json::Value &Req,
   S->WorkloadName = Spec.Name;
   S->Shared = Entry;
   S->Sim = std::make_unique<FacileSim>(Kind, *Entry->Prog, SimOpts);
+  S->Spec = Spec;
+  S->OuterIters = OuterIters;
+  S->SimOpts = SimOpts;
+  S->PoolKey = Key;
+  S->StepDelayUs = StepDelayUs;
+  S->LastVerbMs.store(nowMs(), std::memory_order_relaxed);
   // Attach the shared cache base before the first step. A miss keeps the
   // session cold; a rejected file is diagnosed in the harness's snapshot
   // stats but is likewise not a create error.
@@ -714,6 +1009,12 @@ std::string FacileServer::Impl::verbCreate(const json::Value &Req,
                        strFormat("session limit (%u) reached",
                                  Opts.MaxSessions));
     S->Id = ++LastSessionId;
+    // Tokens only need to be unguessed by accident, not by an adversary —
+    // the daemon trusts its socket. Uniqueness comes from the session id.
+    // Set before the session becomes visible: the reaper reads it.
+    S->ResumeToken = strFormat("rt-%llu-%llx",
+                               static_cast<unsigned long long>(S->Id),
+                               static_cast<unsigned long long>(nowUs()));
     Sessions.emplace(S->Id, S);
     if (Sessions.size() > PeakSessions)
       PeakSessions = Sessions.size();
@@ -725,6 +1026,7 @@ std::string FacileServer::Impl::verbCreate(const json::Value &Req,
   W.field("session", S->Id);
   W.field("sim", std::string_view(simKindName(Kind)));
   W.field("workload", std::string_view(S->WorkloadName));
+  W.field("resume_token", std::string_view(S->ResumeToken));
   W.field("compat_key",
           strFormat("%016llx", static_cast<unsigned long long>(
                                    S->Sim->sim().compatKey())));
@@ -732,6 +1034,85 @@ std::string FacileServer::Impl::verbCreate(const json::Value &Req,
   W.field("store_attached", StoreAttached);
   if (StoreAttached)
     W.field("store_generation", StoreGeneration);
+  W.endObject();
+  return W.take();
+}
+
+std::string FacileServer::Impl::resumeSession(const std::string &Token,
+                                              const json::Value *Id) {
+  Spilled Sp;
+  {
+    std::lock_guard<std::mutex> Lock(SpillMu);
+    auto It = Spills.find(Token);
+    if (It == Spills.end())
+      return errorLine(Id, ErrCode::UnknownToken,
+                       "resume token names no spilled session");
+    Sp = std::move(It->second);
+    SpillBytes -= Sp.bytes();
+    Spills.erase(It);
+  }
+  // Rebuild the shared bundle. Pool entries are never pruned, so this is
+  // a hit whenever the original create happened in this process.
+  std::shared_ptr<SharedEntry> Entry;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    std::shared_ptr<SharedEntry> &Slot = Pool[Sp.PoolKey];
+    if (!Slot) {
+      Slot = std::make_shared<SharedEntry>();
+      Slot->Kind = Sp.Kind;
+      Slot->WorkloadName = Sp.Spec.Name;
+      Slot->Prog = std::make_unique<rt::SharedProgram>(
+          sims::simulatorProgram(Sp.Kind),
+          workload::generate(Sp.Spec, Sp.OuterIters));
+    }
+    Entry = Slot;
+  }
+  auto S = std::make_shared<Session>();
+  S->Kind = Sp.Kind;
+  S->WorkloadName = Sp.Spec.Name;
+  S->Shared = Entry;
+  S->Sim = std::make_unique<FacileSim>(Sp.Kind, *Entry->Prog, Sp.SimOpts);
+  S->Spec = Sp.Spec;
+  S->OuterIters = Sp.OuterIters;
+  S->SimOpts = Sp.SimOpts;
+  S->PoolKey = Sp.PoolKey;
+  S->StepDelayUs = Sp.StepDelayUs;
+  S->ResumeToken = Token;
+  S->LastVerbMs.store(nowMs(), std::memory_order_relaxed);
+  // The spilled cache supersedes the store's shared base: it holds the
+  // base's entries plus whatever the session recorded before reaping, so
+  // no attachStore here. Fault injectors are not restored — injection is
+  // a test harness feature, re-arm by creating afresh.
+  std::string LoadErr;
+  if (!S->Sim->loadCheckpointBytes(Sp.Checkpoint, &LoadErr))
+    return errorLine(Id, ErrCode::Internal,
+                     "spilled checkpoint failed to restore: " + LoadErr);
+  if (!Sp.CacheBytes.empty() &&
+      !S->Sim->loadCacheBytes(Sp.CacheBytes, &LoadErr))
+    return errorLine(Id, ErrCode::Internal,
+                     "spilled cache failed to restore: " + LoadErr);
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    if (Sessions.size() >= Opts.MaxSessions)
+      return errorLine(Id, ErrCode::SessionLimit,
+                       strFormat("session limit (%u) reached",
+                                 Opts.MaxSessions));
+    S->Id = ++LastSessionId;
+    Sessions.emplace(S->Id, S);
+    if (Sessions.size() > PeakSessions)
+      PeakSessions = Sessions.size();
+  }
+  ++SessionsCreated;
+  ++ResumedSessions;
+
+  json::Writer W;
+  beginOkResponse(W, Id);
+  W.field("session", S->Id);
+  W.field("sim", std::string_view(simKindName(S->Kind)));
+  W.field("workload", std::string_view(S->WorkloadName));
+  W.field("resume_token", std::string_view(S->ResumeToken));
+  W.field("resumed", true);
+  W.field("steps_total", S->Sim->sim().stats().Steps);
   W.endObject();
   return W.take();
 }
@@ -766,9 +1147,20 @@ std::string FacileServer::Impl::verbStep(const json::Value &Req,
     Count = static_cast<uint64_t>(V->intOr(1));
   }
   Count = std::min<uint64_t>(Count, Opts.MaxStepsPerRequest);
+  uint64_t DeadlineMs = Opts.DefaultDeadlineMs;
+  if (const json::Value *V = Req.get("deadline_ms")) {
+    if (!V->isInt() || V->intOr(0) < 0)
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'deadline_ms' must be a non-negative integer");
+    DeadlineMs = static_cast<uint64_t>(V->intOr(0));
+  }
 
   uint64_t Ran = 0, Slow = 0, Fast = 0, Recovered = 0;
   rt::Simulation &Sim = S.Sim->sim();
+  bool WasFaulted = Sim.faulted();
+  const uint64_t DeadlineAt = DeadlineMs == 0 ? 0 : nowMs() + DeadlineMs;
+  if (DeadlineAt)
+    Sim.setDeadlineHook([DeadlineAt] { return nowMs() >= DeadlineAt; });
   while (Ran != Count && !Sim.halted() && !Sim.faulted()) {
     switch (Sim.step()) {
     case rt::StepEngine::Slow:
@@ -784,9 +1176,16 @@ std::string FacileServer::Impl::verbStep(const json::Value &Req,
       break;
     }
     ++Ran;
+    if (S.StepDelayUs && (Ran & 63) == 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(S.StepDelayUs));
     if (S.Injector && (Ran & 255) == 0)
       S.Injector->inject();
   }
+  if (DeadlineAt)
+    Sim.setDeadlineHook(nullptr);
+  if (!WasFaulted && Sim.faulted() &&
+      Sim.fault().Kind == rt::FaultKind::DeadlineExceeded)
+    ++DeadlineFaults;
   json::Writer W;
   beginOkResponse(W, Id);
   W.field("steps", Ran);
@@ -817,8 +1216,21 @@ std::string FacileServer::Impl::verbRun(const json::Value &Req,
                        "'instrs' must be a positive integer");
     InstrTarget = static_cast<uint64_t>(V->intOr(1));
   }
+  uint64_t DeadlineMs = Opts.DefaultDeadlineMs;
+  if (const json::Value *V = Req.get("deadline_ms")) {
+    if (!V->isInt() || V->intOr(0) < 0)
+      return errorLine(Id, ErrCode::BadRequest,
+                       "'deadline_ms' must be a non-negative integer");
+    DeadlineMs = static_cast<uint64_t>(V->intOr(0));
+  }
 
   rt::Simulation &Sim = S.Sim->sim();
+  bool WasFaulted = Sim.faulted();
+  // The hook is consulted inside step() every DeadlineCheckPeriod steps,
+  // so the deadline binds within a chunk, not only between chunks.
+  const uint64_t DeadlineAt = DeadlineMs == 0 ? 0 : nowMs() + DeadlineMs;
+  if (DeadlineAt)
+    Sim.setDeadlineHook([DeadlineAt] { return nowMs() >= DeadlineAt; });
   uint64_t Ran = 0;
   while (Ran < MaxSteps && !Sim.halted() && !Sim.faulted() &&
          (InstrTarget == 0 || Sim.stats().RetiredTotal < InstrTarget)) {
@@ -827,9 +1239,16 @@ std::string FacileServer::Impl::verbRun(const json::Value &Req,
     Ran += R.Steps;
     if (R.Steps == 0)
       break; // already halted/faulted; avoid spinning
+    if (S.StepDelayUs)
+      std::this_thread::sleep_for(std::chrono::microseconds(S.StepDelayUs));
     if (S.Injector)
       S.Injector->inject();
   }
+  if (DeadlineAt)
+    Sim.setDeadlineHook(nullptr);
+  if (!WasFaulted && Sim.faulted() &&
+      Sim.fault().Kind == rt::FaultKind::DeadlineExceeded)
+    ++DeadlineFaults;
   json::Writer W;
   beginOkResponse(W, Id);
   W.field("steps", Ran);
@@ -1003,6 +1422,187 @@ std::string FacileServer::Impl::verbDestroy(const json::Value *Id,
 }
 
 //===----------------------------------------------------------------------===//
+// Housekeeping: drain state machine, TTL reap, overlay bound, store GC
+//===----------------------------------------------------------------------===//
+
+void FacileServer::Impl::reaperLoop() {
+  uint64_t LastGcMs = nowMs();
+  while (!Stop.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> Lock(StopMu);
+      StopCv.wait_for(Lock, std::chrono::milliseconds(Opts.ReaperPeriodMs),
+                      [this] { return Stop.load(std::memory_order_acquire); });
+    }
+    if (Stop.load(std::memory_order_acquire))
+      break;
+    uint64_t Now = nowMs();
+
+    // Drain: Requested -> Draining (readers and the acceptor start
+    // refusing) -> queue and in-flight work finish (bounded by the drain
+    // deadline) -> dirty overlays promoted -> Stop. requestDrain() itself
+    // only set one atomic, so it is safe from a signal handler.
+    if (DrainRequested.load(std::memory_order_acquire) &&
+        !Draining.load(std::memory_order_acquire)) {
+      DrainStartMs = Now;
+      Draining.store(true, std::memory_order_release);
+    }
+    if (Draining.load(std::memory_order_acquire)) {
+      bool Idle;
+      {
+        std::lock_guard<std::mutex> Lock(QueueMu);
+        Idle = Queue.empty() && InFlight.load(std::memory_order_acquire) == 0;
+      }
+      if (Idle || Now - DrainStartMs >= Opts.DrainDeadlineMs) {
+        promoteDirtyOverlays();
+        DrainDurationMs.store(nowMs() - DrainStartMs,
+                              std::memory_order_release);
+        requestShutdown();
+      }
+      continue; // no TTL/GC churn while draining
+    }
+
+    if (Opts.SessionIdleTtlMs != 0)
+      reapIdleSessions(Now);
+    if (Opts.MaxOverlayBytes != 0)
+      boundOverlayBytes();
+    if (Opts.StoreGcKeep != 0 && StoreDir && Now - LastGcMs >= 5000) {
+      LastGcMs = Now;
+      StoreGcUnlinked += StoreDir->gc(static_cast<size_t>(Opts.StoreGcKeep));
+    }
+  }
+}
+
+void FacileServer::Impl::reapIdleSessions(uint64_t Now) {
+  std::vector<std::shared_ptr<Session>> Live;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    Live.reserve(Sessions.size());
+    for (const auto &E : Sessions)
+      Live.push_back(E.second);
+  }
+  for (const std::shared_ptr<Session> &S : Live) {
+    if (Now - S->LastVerbMs.load(std::memory_order_relaxed) <
+        Opts.SessionIdleTtlMs)
+      continue;
+    // try_lock: a session mid-verb is busy, not idle.
+    std::unique_lock<std::mutex> SLock(S->Mu, std::try_to_lock);
+    if (!SLock.owns_lock())
+      continue;
+    if (S->Reaped || Now - S->LastVerbMs.load(std::memory_order_relaxed) <
+                         Opts.SessionIdleTtlMs)
+      continue; // a verb finished between the scan and the lock
+    // Detach from the table first so no new lookup finds it; a worker
+    // already holding a shared_ptr re-checks Reaped under Mu.
+    {
+      std::lock_guard<std::mutex> TLock(SessionsMu);
+      auto It = Sessions.find(S->Id);
+      if (It == Sessions.end() || It->second != S)
+        continue; // destroyed concurrently
+      Sessions.erase(It);
+    }
+    S->Reaped = true;
+    Spilled Sp;
+    Sp.Kind = S->Kind;
+    Sp.Spec = S->Spec;
+    Sp.OuterIters = S->OuterIters;
+    Sp.SimOpts = S->SimOpts;
+    Sp.PoolKey = S->PoolKey;
+    Sp.StepDelayUs = S->StepDelayUs;
+    Sp.Checkpoint = S->Sim->checkpointBytes();
+    if (S->SimOpts.Memoize)
+      Sp.CacheBytes = S->Sim->cacheBytes();
+    {
+      std::lock_guard<std::mutex> Lock(SpillMu);
+      Sp.Seq = ++SpillSeq;
+      SpillBytes += Sp.bytes();
+      Spills[S->ResumeToken] = std::move(Sp);
+      dropSpillOverBudget();
+    }
+    ++ReapedSessions;
+    ++SessionsDestroyed;
+  }
+}
+
+void FacileServer::Impl::dropSpillOverBudget() {
+  while (SpillBytes > Opts.MaxSpillBytes && !Spills.empty()) {
+    auto Oldest = Spills.begin();
+    for (auto It = std::next(Spills.begin()); It != Spills.end(); ++It)
+      if (It->second.Seq < Oldest->second.Seq)
+        Oldest = It;
+    SpillBytes -= Oldest->second.bytes();
+    Spills.erase(Oldest);
+    ++SpillsDropped;
+  }
+}
+
+void FacileServer::Impl::boundOverlayBytes() {
+  std::vector<std::shared_ptr<Session>> Live;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    Live.reserve(Sessions.size());
+    for (const auto &E : Sessions)
+      Live.push_back(E.second);
+  }
+  // Oldest-first by verb recency, so eviction is LRU over sessions.
+  std::sort(Live.begin(), Live.end(),
+            [](const std::shared_ptr<Session> &A,
+               const std::shared_ptr<Session> &B) {
+              return A->LastVerbMs.load(std::memory_order_relaxed) <
+                     B->LastVerbMs.load(std::memory_order_relaxed);
+            });
+  size_t Total = 0;
+  for (const std::shared_ptr<Session> &S : Live) {
+    std::unique_lock<std::mutex> SLock(S->Mu, std::try_to_lock);
+    if (!SLock.owns_lock())
+      continue;
+    Total += S->Sim->sim().cache().overlayBytes();
+  }
+  for (const std::shared_ptr<Session> &S : Live) {
+    if (Total <= Opts.MaxOverlayBytes)
+      return;
+    std::unique_lock<std::mutex> SLock(S->Mu, std::try_to_lock);
+    if (!SLock.owns_lock() || S->Reaped)
+      continue;
+    size_t Overlay = S->Sim->sim().cache().overlayBytes();
+    if (Overlay == 0)
+      continue;
+    // Resets to the shared read-only base (or empty when cold); recorded
+    // work is lost, correctness is not — the cache is a memo, not state.
+    S->Sim->sim().evictCacheNow();
+    Total -= std::min(Total, Overlay);
+    ++OverlaysEvicted;
+  }
+}
+
+void FacileServer::Impl::promoteDirtyOverlays() {
+  if (!StoreDir)
+    return;
+  std::vector<std::shared_ptr<Session>> Live;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    Live.reserve(Sessions.size());
+    for (const auto &E : Sessions)
+      Live.push_back(E.second);
+  }
+  for (const std::shared_ptr<Session> &S : Live) {
+    // try_lock: past the drain deadline a wedged session forfeits its
+    // promotion rather than hanging shutdown.
+    std::unique_lock<std::mutex> SLock(S->Mu, std::try_to_lock);
+    if (!SLock.owns_lock()) {
+      ++DrainSkipped;
+      continue;
+    }
+    if (!S->SimOpts.Memoize || S->Sim->sim().cache().overlayBytes() == 0)
+      continue; // nothing recorded: nothing worth a new generation
+    std::string PErr;
+    if (S->Sim->promoteStore(*StoreDir, nullptr, &PErr))
+      ++DrainPromoted;
+    else
+      ++DrainSkipped;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Telemetry
 //===----------------------------------------------------------------------===//
 
@@ -1019,9 +1619,22 @@ std::string FacileServer::Impl::statsJson() {
     Peak = PeakSessions;
   }
   size_t Queued;
+  telemetry::Histogram QDHist;
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
     Queued = Queue.size();
+    QDHist = QueueDepthHist;
+  }
+  telemetry::Histogram SvcHist;
+  {
+    std::lock_guard<std::mutex> Lock(HistMu);
+    SvcHist = ServiceUsHist;
+  }
+  size_t SpilledCount, SpilledBytes;
+  {
+    std::lock_guard<std::mutex> Lock(SpillMu);
+    SpilledCount = Spills.size();
+    SpilledBytes = SpillBytes;
   }
   size_t PoolSize;
   {
@@ -1088,6 +1701,26 @@ std::string FacileServer::Impl::statsJson() {
                static_cast<int64_t>(StoreDir ? StoreDir->mappedCount() : 0));
     Sink.gauge("workers", static_cast<int64_t>(Opts.Workers));
     Sink.flag("shutting_down", Stop.load());
+    // Resilience layer (docs/INTERNALS.md "Resilience").
+    Sink.counter("admission_rejects", AdmissionRejects.load());
+    Sink.counter("deadline_faults", DeadlineFaults.load());
+    Sink.counter("deduped_requests", DedupedRequests.load());
+    Sink.counter("idle_closed_connections", IdleClosedConns.load());
+    Sink.counter("reaped_sessions", ReapedSessions.load());
+    Sink.counter("resumed_sessions", ResumedSessions.load());
+    Sink.counter("spills_dropped", SpillsDropped.load());
+    Sink.counter("overlays_evicted", OverlaysEvicted.load());
+    Sink.counter("store_gc_unlinked", StoreGcUnlinked.load());
+    Sink.counter("drain_promoted", DrainPromoted.load());
+    Sink.counter("drain_skipped", DrainSkipped.load());
+    Sink.gauge("spilled_sessions", static_cast<int64_t>(SpilledCount));
+    Sink.gauge("spilled_bytes", static_cast<int64_t>(SpilledBytes));
+    Sink.gauge("max_queue_depth", static_cast<int64_t>(Opts.MaxQueueDepth));
+    Sink.gauge("drain_duration_ms",
+               static_cast<int64_t>(DrainDurationMs.load()));
+    Sink.flag("draining", Draining.load());
+    Sink.histogram("queue_depth", QDHist);
+    Sink.histogram("service_us", SvcHist);
   });
   telemetry::JsonMetricSink Sink;
   R.exportTo(Sink);
@@ -1111,6 +1744,18 @@ bool FacileServer::start(std::string *Err) { return I->start(Err); }
 uint16_t FacileServer::port() const { return I->BoundPort; }
 
 void FacileServer::requestShutdown() { I->requestShutdown(); }
+
+// One relaxed-ordering-free atomic store: safe from a signal handler. The
+// reaper thread notices within its period and runs the state machine.
+void FacileServer::requestDrain() {
+  I->DrainRequested.store(true, std::memory_order_release);
+}
+
+bool FacileServer::addressInUse() const { return I->AddressInUse; }
+
+uint64_t FacileServer::drainDurationMs() const {
+  return I->DrainDurationMs.load(std::memory_order_acquire);
+}
 
 void FacileServer::wait() {
   {

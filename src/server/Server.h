@@ -59,6 +59,45 @@ struct ServerOptions {
   uint64_t MaxStepsPerRequest = 1u << 24; ///< run/step bound per request
   uint32_t MaxInspectWords = 4096;        ///< memory-inspect span cap
 
+  // Resilience layer (see docs/INTERNALS.md "Resilience").
+
+  /// Daemon-wide default for per-request deadlines on step/run. A request
+  /// may override with its own "deadline_ms" (0 disables). An expired
+  /// deadline raises a structured deadline-exceeded SimFault — the session
+  /// stays resumable via clear-fault.
+  uint64_t DefaultDeadlineMs = 0;
+  /// Admission control: a framed request arriving while this many are
+  /// already queued is rejected with "overloaded" + retry_after_ms instead
+  /// of queued unboundedly.
+  uint32_t MaxQueueDepth = 1024;
+  /// Base of the retry_after_ms hint; scaled up with queue pressure.
+  uint32_t RetryAfterMs = 50;
+  /// Slowloris guard: close a connection with no received bytes and no
+  /// in-flight request for this long ("idle-timeout" error first). 0 off.
+  uint64_t ConnIdleTimeoutMs = 300000;
+  /// Idle-session reap: a session with no verb for this long is spilled to
+  /// a FACSNAP2 snapshot (checkpoint + cache) and destroyed; a later
+  /// create with its "resume_token" restores it warm. 0 disables.
+  uint64_t SessionIdleTtlMs = 0;
+  /// Byte budget for spilled sessions; the oldest spills are dropped first.
+  size_t MaxSpillBytes = 256u << 20;
+  /// Graceful drain (requestDrain / SIGTERM in facilesimd): stop admitting,
+  /// wait up to this long for queued and in-flight requests, promote dirty
+  /// overlays to the cache store, then stop.
+  uint64_t DrainDeadlineMs = 5000;
+  /// Periodic store GC: keep this many newest generations per compat key,
+  /// unlink the rest (safe while mapped). 0 disables the sweep.
+  uint64_t StoreGcKeep = 0;
+  /// LRU bound on aggregate session overlay bytes: when exceeded, the
+  /// least-recently-used sessions' overlays are evicted (reset to the
+  /// shared base) until back under. 0 = unbounded.
+  size_t MaxOverlayBytes = 0;
+  /// Aggregate byte cap on one batch envelope's replies; elements past the
+  /// budget are skipped with an "oversized" per-element error.
+  size_t MaxBatchReplyBytes = 6u << 20;
+  /// Housekeeping cadence (reaper, overlay bound, drain progress checks).
+  uint64_t ReaperPeriodMs = 100;
+
   /// Session defaults; per-create "options" members override them. Guards
   /// stay on by default — every session input is untrusted.
   rt::Simulation::Options DefaultSimOptions;
@@ -92,6 +131,24 @@ public:
   /// Initiates shutdown: stop accepting, unblock workers, close
   /// connections. Idempotent; returns immediately.
   void requestShutdown();
+
+  /// Initiates a graceful drain: new requests are rejected with
+  /// shutting-down, queued and in-flight requests finish (bounded by
+  /// ServerOptions::DrainDeadlineMs), dirty session overlays are promoted
+  /// to the cache store, then the server stops as if requestShutdown() had
+  /// been called. Idempotent, async-signal-safe (sets one atomic flag;
+  /// the housekeeping thread does the work), returns immediately.
+  void requestDrain();
+
+  /// After a failed start() on a Unix socket: true when the path is owned
+  /// by a *live* daemon (probe-connect succeeded), as opposed to a socket
+  /// error. Stale socket files are unlinked and rebound automatically.
+  bool addressInUse() const;
+
+  /// Milliseconds a completed drain took (0 until one finishes) — the
+  /// "drain completed under its deadline" observability hook, also
+  /// exported as server.drain_duration_ms.
+  uint64_t drainDurationMs() const;
 
   /// Blocks until the server has fully stopped (all threads joined).
   void wait();

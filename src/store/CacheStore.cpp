@@ -504,6 +504,49 @@ bool CacheStoreDir::promote(const ActionCache::FlatImage &Img,
   return true;
 }
 
+size_t CacheStoreDir::gc(size_t KeepPerKey, std::string *Err) {
+  if (Err)
+    Err->clear();
+  if (KeepPerKey == 0)
+    KeepPerKey = 1; // the newest generation is never collected
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D) {
+    // A store directory that was never created has nothing to collect.
+    if (errno != ENOENT && Err)
+      *Err = "cannot open store directory '" + Dir +
+             "': " + std::strerror(errno);
+    return 0;
+  }
+  std::map<uint64_t, std::vector<uint64_t>> Generations;
+  while (struct dirent *E = ::readdir(D)) {
+    uint64_t Key, Gen;
+    if (parseFileName(E->d_name, Key, Gen))
+      Generations[Key].push_back(Gen);
+  }
+  ::closedir(D);
+
+  size_t Unlinked = 0;
+  for (auto &KV : Generations) {
+    std::vector<uint64_t> &Gens = KV.second;
+    if (Gens.size() <= KeepPerKey)
+      continue;
+    std::sort(Gens.begin(), Gens.end());
+    for (size_t I = 0; I + KeepPerKey < Gens.size(); ++I) {
+      std::string Path = Dir + "/" + fileName(KV.first, Gens[I]);
+      if (::unlink(Path.c_str()) == 0)
+        ++Unlinked;
+      else if (Err && Err->empty())
+        *Err = "cannot unlink '" + Path + "': " + std::strerror(errno);
+    }
+  }
+  // Drop cache slots whose mappings already expired so a future lookup of
+  // a collected name cannot hit a dead weak_ptr.
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto It = Maps.begin(); It != Maps.end();)
+    It = It->second.expired() ? Maps.erase(It) : std::next(It);
+  return Unlinked;
+}
+
 size_t CacheStoreDir::mappedCount() const {
   std::lock_guard<std::mutex> Lock(Mu);
   size_t N = 0;

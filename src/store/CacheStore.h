@@ -155,6 +155,14 @@ public:
   /// pruned first).
   size_t mappedCount() const;
 
+  /// Generation GC: unlinks every store file that is not among the newest
+  /// \p KeepPerKey generations of its compat key. POSIX unlink semantics
+  /// make this safe while any generation — including an unlinked one — is
+  /// mapped: the pages stay valid until the last mapping drops. Returns
+  /// the number of files unlinked; \p KeepPerKey of 0 is treated as 1
+  /// (never delete the newest generation).
+  size_t gc(size_t KeepPerKey, std::string *Err = nullptr);
+
 private:
   uint64_t latestGeneration(uint64_t CompatKey) const;
 

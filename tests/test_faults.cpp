@@ -384,6 +384,40 @@ TEST(Guards, StepLimitFaultsAndResumes) {
   EXPECT_EQ(Sim.stats().Steps, 150u);
 }
 
+TEST(Guards, DeadlineHookFaultsAndResumes) {
+  CompiledProgram P = compileOk(campaignSource());
+  isa::TargetImage Img = emptyImage();
+  Simulation Sim(P, Img);
+
+  // An immediately-expired deadline is consulted on the very next step
+  // (arming forces a check before the 64-step period elapses).
+  Sim.setDeadlineHook([] { return true; });
+  RunResult R = Sim.run(1'000);
+  ASSERT_EQ(R.Status, RunStatus::Faulted);
+  EXPECT_EQ(R.Fault.Kind, FaultKind::DeadlineExceeded);
+  uint64_t StepsAtFault = Sim.stats().Steps;
+  EXPECT_LT(StepsAtFault, Simulation::DeadlineCheckPeriod);
+
+  // A deadline is a budget, not a corruption: drop the hook, clear the
+  // fault, and the run continues from exactly where it stopped.
+  Sim.setDeadlineHook(nullptr);
+  Sim.clearFault();
+  EXPECT_EQ(Sim.run(50).Status, RunStatus::Limit);
+  EXPECT_EQ(Sim.stats().Steps, StepsAtFault + 50);
+
+  // An unexpired deadline costs a check at most every DeadlineCheckPeriod
+  // steps and never fires.
+  uint64_t Calls = 0;
+  Sim.setDeadlineHook([&Calls] {
+    ++Calls;
+    return false;
+  });
+  EXPECT_EQ(Sim.run(256).Status, RunStatus::Limit);
+  EXPECT_GE(Calls, 1u);
+  EXPECT_LE(Calls, 256 / Simulation::DeadlineCheckPeriod + 1);
+  EXPECT_FALSE(Sim.faulted());
+}
+
 TEST(Guards, MemoryBudgetFaultsAndResumes) {
   CompiledProgram P = compileOk(campaignSource());
   isa::TargetImage Img = emptyImage();

@@ -31,9 +31,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace facile;
 using namespace facile::server;
@@ -46,8 +51,9 @@ class ServerTest : public ::testing::Test {
 protected:
   void SetUp() override { startServer(ServerOptions()); }
 
+  /// Callers that don't care get the 4-worker default; resilience tests
+  /// preset Workers/queue bounds and are respected.
   void startServer(ServerOptions Opts) {
-    Opts.Workers = 4;
     Server = std::make_unique<FacileServer>(std::move(Opts));
     std::string Err;
     ASSERT_TRUE(Server->start(&Err)) << Err;
@@ -545,18 +551,22 @@ TEST_F(ServerTest, SixtyFourConcurrentSessionsMatchStandalone) {
         Mine.push_back(R.get("session")->intOr(0));
       }
       // Interleave all of this thread's sessions through short step/run
-      // bursts so many sessions are mid-flight at once.
+      // bursts so many sessions are mid-flight at once. Ids on mutating
+      // verbs identify logical requests (the server dedups retransmitted
+      // duplicates), so each burst gets a fresh one.
       bool AllHalted = false;
+      long long NextId = 100;
       while (!AllHalted) {
         AllHalted = true;
         for (int64_t S : Mine) {
           json::Value R;
           const char *Fmt =
-              (S & 1) ? R"({"id":2,"verb":"run","session":%lld,)"
+              (S & 1) ? R"({"id":%lld,"verb":"run","session":%lld,)"
                         R"("steps":4000})"
-                      : R"({"id":2,"verb":"step","session":%lld,)"
+                      : R"({"id":%lld,"verb":"step","session":%lld,)"
                         R"("count":4000})";
-          if (!C.rpc(strFormat(Fmt, static_cast<long long>(S)), R, &Err))
+          if (!C.rpc(strFormat(Fmt, ++NextId, static_cast<long long>(S)), R,
+                     &Err))
             return failed("burst rpc: " + Err);
           if (!R.get("ok")->boolOr(false))
             return failed("burst refused");
@@ -808,6 +818,363 @@ TEST_F(ServerTest, ShutdownVerbStopsTheServer) {
   // New connections are refused once the listener is down.
   Client C2;
   EXPECT_FALSE(C2.connectTcp(Server->port()));
+}
+
+//===----------------------------------------------------------------------===//
+// Resilience: deadlines, backpressure, reaping, dedup, drain
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, DeadlineExceededSessionStaysResumable) {
+  Client C = connect();
+  // 1 ms per 256-step chunk makes a 5 ms budget certain to expire inside
+  // the run without a huge workload.
+  int64_t S = createSession(C, R"(,"options":{"step_delay_us":1000})");
+  ASSERT_GT(S, 0);
+  json::Value R = rpc(
+      C, strFormat(R"({"id":1,"verb":"run","session":%lld,)"
+                   R"("steps":100000,"deadline_ms":5})",
+                   static_cast<long long>(S)));
+  ASSERT_TRUE(isOk(R)); // the envelope is ok; the *session* faulted
+  ASSERT_TRUE(R.get("faulted"));
+  EXPECT_TRUE(R.get("faulted")->boolOr(false));
+  ASSERT_TRUE(R.get("fault") && R.get("fault")->get("kind"));
+  EXPECT_EQ(R.get("fault")->get("kind")->str(), "deadline-exceeded");
+  uint64_t StepsAtFault =
+      static_cast<uint64_t>(R.get("steps_total")->intOr(0));
+  EXPECT_GT(StepsAtFault, 0u);
+
+  // The fault is cooperative, not fatal: clear it and the session steps on
+  // from exactly where it stopped.
+  R = rpc(C, strFormat(R"({"id":2,"verb":"clear-fault","session":%lld})",
+                       static_cast<long long>(S)));
+  EXPECT_TRUE(isOk(R));
+  R = rpc(C, strFormat(R"({"id":3,"verb":"step","session":%lld,"count":64})",
+                       static_cast<long long>(S)));
+  ASSERT_TRUE(isOk(R));
+  EXPECT_FALSE(R.get("faulted")->boolOr(true));
+  EXPECT_EQ(static_cast<uint64_t>(R.get("steps_total")->intOr(0)),
+            StepsAtFault + 64);
+
+  json::Value Stats = rpc(C, R"({"id":4,"verb":"stats"})");
+  ASSERT_TRUE(isOk(Stats));
+  const json::Value *Srv = Stats.get("stats")->get("server");
+  ASSERT_TRUE(Srv && Srv->get("deadline_faults"));
+  EXPECT_GE(Srv->get("deadline_faults")->intOr(0), 1);
+}
+
+TEST_F(ServerTest, SaturatedQueueRejectsWithRetryAfter) {
+  TearDown();
+  ServerOptions Opts;
+  Opts.Workers = 1;
+  Opts.MaxQueueDepth = 1;
+  startServer(std::move(Opts));
+
+  // A slow session pins the single worker for hundreds of milliseconds...
+  Client Hog = connect();
+  int64_t S = createSession(Hog, R"(,"options":{"step_delay_us":5000})");
+  ASSERT_GT(S, 0);
+  ASSERT_TRUE(Hog.sendLine(
+      strFormat(R"({"id":1,"verb":"run","session":%lld,"steps":20000})",
+                static_cast<long long>(S))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // ...so a burst can hold at most one queue slot; the rest must be
+  // rejected immediately with the admission-control error, not buffered.
+  Client Burst = connect();
+  for (int I = 0; I != 4; ++I)
+    ASSERT_TRUE(Burst.sendLine(strFormat(R"({"id":%d,"verb":"ping"})", I)));
+  int Overloaded = 0, Ok = 0;
+  for (int I = 0; I != 4; ++I) {
+    std::string Line;
+    ASSERT_TRUE(Burst.recvLine(Line));
+    json::Value R;
+    std::string PErr;
+    ASSERT_TRUE(json::parse(Line, R, PErr)) << Line;
+    if (isOk(R)) {
+      ++Ok;
+      continue;
+    }
+    expectError(R, ErrCode::Overloaded);
+    ASSERT_TRUE(R.get("error")->get("retry_after_ms"));
+    EXPECT_GT(R.get("error")->get("retry_after_ms")->intOr(0), 0);
+    ++Overloaded;
+  }
+  EXPECT_GE(Overloaded, 1);
+  EXPECT_GE(Ok, 1); // the queued ping is served once the hog finishes
+  std::string HogReply;
+  EXPECT_TRUE(Hog.recvLine(HogReply)); // the hog run itself completed
+
+  json::Value Stats = rpc(Burst, R"({"id":9,"verb":"stats"})");
+  ASSERT_TRUE(isOk(Stats));
+  EXPECT_GE(Stats.get("stats")->get("server")->get("admission_rejects")
+                ->intOr(0),
+            Overloaded);
+}
+
+TEST_F(ServerTest, ClientBackoffConformance) {
+  // Retry-safe requests: MaxAttempts dials with exponential backoff
+  // between them. Against a dead server every attempt transport-fails, so
+  // the elapsed time bounds the waits from below (jitter is -12.5% worst
+  // case: 40 + 80 ms nominal -> at least 105 ms for two sleeps).
+  Client C = connect();
+  uint16_t Port = Server->port();
+  Server->requestShutdown();
+  Server->wait();
+
+  RetryPolicy P;
+  P.MaxAttempts = 3;
+  P.BaseBackoffMs = 40;
+  C.setRetryPolicy(P);
+  json::Value R;
+  auto T0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(C.rpcRetry(R"({"id":1,"verb":"ping"})", R));
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_EQ(C.lastAttempts(), 3u);
+  EXPECT_GE(ElapsedMs, 100);
+
+  // A mutating request without id+session must never be retried: one
+  // attempt, no backoff sleeps.
+  T0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(C.rpcRetry(R"({"verb":"run","session":1})", R));
+  ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  EXPECT_EQ(C.lastAttempts(), 1u);
+  EXPECT_LT(ElapsedMs, 100);
+
+  // Restart on the old port is not guaranteed; re-point TearDown at a
+  // fresh server so the fixture teardown has something to stop.
+  ServerOptions Opts;
+  startServer(std::move(Opts));
+  (void)Port;
+}
+
+TEST_F(ServerTest, DuplicateMutatingRequestIsDeduped) {
+  Client C = connect();
+  int64_t S = createSession(C);
+  ASSERT_GT(S, 0);
+  std::string Step =
+      strFormat(R"({"id":77,"verb":"step","session":%lld,"count":1})",
+                static_cast<long long>(S));
+  json::Value R1 = rpc(C, Step);
+  ASSERT_TRUE(isOk(R1));
+  EXPECT_EQ(R1.get("steps_total")->intOr(-1), 1);
+  // The retry (same id, same session) must replay the stored response, not
+  // execute a second step.
+  json::Value R2 = rpc(C, Step);
+  ASSERT_TRUE(isOk(R2));
+  EXPECT_EQ(R2.get("steps_total")->intOr(-1), 1);
+
+  json::Value Stats = rpc(C, R"({"id":78,"verb":"stats"})");
+  EXPECT_GE(Stats.get("stats")->get("server")->get("deduped_requests")
+                ->intOr(0),
+            1);
+
+  // A different id on the same session executes normally.
+  json::Value R3 = rpc(
+      C, strFormat(R"({"id":79,"verb":"step","session":%lld,"count":1})",
+                   static_cast<long long>(S)));
+  ASSERT_TRUE(isOk(R3));
+  EXPECT_EQ(R3.get("steps_total")->intOr(-1), 2);
+}
+
+TEST_F(ServerTest, IdleConnectionToldAndClosed) {
+  TearDown();
+  ServerOptions Opts;
+  Opts.ConnIdleTimeoutMs = 100; // reader polls at 200 ms granularity
+  startServer(std::move(Opts));
+
+  Client C = connect();
+  // Say nothing: the slowloris guard must first explain, then close.
+  std::string Line;
+  ASSERT_TRUE(C.recvLine(Line));
+  json::Value R;
+  std::string PErr;
+  ASSERT_TRUE(json::parse(Line, R, PErr)) << Line;
+  expectError(R, ErrCode::IdleTimeout);
+  EXPECT_FALSE(C.recvLine(Line)); // EOF follows the diagnostic
+
+  // An active connection with the same timeout survives its own idleness
+  // while a request is in flight (InFlight holds the timer off).
+  Client C2 = connect();
+  int64_t S = createSession(C2, R"(,"options":{"step_delay_us":2000})");
+  ASSERT_GT(S, 0);
+  json::Value R2 = rpc(
+      C2, strFormat(R"({"id":1,"verb":"run","session":%lld,"steps":40000})",
+                    static_cast<long long>(S)));
+  EXPECT_TRUE(isOk(R2)); // took ~300 ms > idle window, yet not closed
+}
+
+TEST_F(ServerTest, IdleSessionReapedAndResumedByToken) {
+  TearDown();
+  ServerOptions Opts;
+  Opts.SessionIdleTtlMs = 150;
+  startServer(std::move(Opts));
+
+  Client C = connect();
+  json::Value R = rpc(
+      C, R"({"id":1,"verb":"create","sim":"functional",)"
+         R"("workload":"compress","data_kwords":2})");
+  ASSERT_TRUE(isOk(R));
+  int64_t S = R.get("session")->intOr(-1);
+  ASSERT_TRUE(R.get("resume_token"));
+  std::string Token = R.get("resume_token")->str();
+  ASSERT_FALSE(Token.empty());
+
+  R = rpc(C, strFormat(R"({"id":2,"verb":"run","session":%lld,)"
+                       R"("steps":5000})",
+                       static_cast<long long>(S)));
+  ASSERT_TRUE(isOk(R));
+  uint64_t Steps = static_cast<uint64_t>(R.get("steps_total")->intOr(0));
+  json::Value D = rpc(
+      C, strFormat(R"({"id":3,"verb":"inspect","session":%lld,)"
+                   R"("what":"digest"})",
+                   static_cast<long long>(S)));
+  std::string Digest = D.get("digest")->str();
+
+  // Idle past the TTL: the reaper spills the session to a snapshot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  R = rpc(C, strFormat(R"({"id":4,"verb":"step","session":%lld})",
+                       static_cast<long long>(S)));
+  expectError(R, ErrCode::UnknownSession);
+
+  // The token brings it back: same step count, same memory, and stepping
+  // continues as if nothing happened.
+  R = rpc(C, strFormat(R"({"id":5,"verb":"create","resume_token":"%s"})",
+                       Token.c_str()));
+  ASSERT_TRUE(isOk(R)) << "resume failed";
+  EXPECT_TRUE(R.get("resumed")->boolOr(false));
+  EXPECT_EQ(static_cast<uint64_t>(R.get("steps_total")->intOr(0)), Steps);
+  int64_t S2 = R.get("session")->intOr(-1);
+  D = rpc(C, strFormat(R"({"id":6,"verb":"inspect","session":%lld,)"
+                       R"("what":"digest"})",
+                       static_cast<long long>(S2)));
+  EXPECT_EQ(D.get("digest")->str(), Digest);
+  R = rpc(C, strFormat(R"({"id":7,"verb":"step","session":%lld,"count":1})",
+                       static_cast<long long>(S2)));
+  EXPECT_TRUE(isOk(R));
+
+  // An unknown token is a structured error, not a blind cold create.
+  R = rpc(C, R"({"id":8,"verb":"create","resume_token":"rt-bogus"})");
+  expectError(R, ErrCode::UnknownToken);
+
+  json::Value Stats = rpc(C, R"({"id":9,"verb":"stats"})");
+  const json::Value *Srv = Stats.get("stats")->get("server");
+  EXPECT_GE(Srv->get("reaped_sessions")->intOr(0), 1);
+  EXPECT_GE(Srv->get("resumed_sessions")->intOr(0), 1);
+}
+
+TEST_F(ServerTest, BatchReplyBytesAreCapped) {
+  TearDown();
+  ServerOptions Opts;
+  Opts.MaxBatchReplyBytes = 1024;
+  startServer(std::move(Opts));
+
+  Client C = connect();
+  int64_t S = createSession(C);
+  ASSERT_GT(S, 0);
+  // snapshot-save's base64 checkpoint alone blows the 1 KiB budget, so the
+  // elements after it must be skipped (never executed) with their own
+  // errors, and the envelope must say so.
+  json::Value R = rpc(
+      C, strFormat(R"({"id":1,"verb":"batch","requests":[)"
+                   R"({"id":10,"verb":"snapshot-save","session":%lld,)"
+                   R"("what":"checkpoint"},)"
+                   R"({"id":11,"verb":"inspect","session":%lld,)"
+                   R"("what":"digest"},)"
+                   R"({"id":12,"verb":"step","session":%lld}]})",
+                   static_cast<long long>(S), static_cast<long long>(S),
+                   static_cast<long long>(S)));
+  ASSERT_TRUE(isOk(R));
+  ASSERT_TRUE(R.get("truncated"));
+  EXPECT_TRUE(R.get("truncated")->boolOr(false));
+  const auto &Replies = R.get("replies")->array();
+  ASSERT_EQ(Replies.size(), 3u);
+  EXPECT_TRUE(Replies[0].get("ok")->boolOr(false)); // crossing element kept
+  for (size_t I = 1; I != 3; ++I) {
+    SCOPED_TRACE("reply " + std::to_string(I));
+    expectError(Replies[I], ErrCode::Oversized);
+  }
+  // The skipped step never executed.
+  json::Value St = rpc(
+      C, strFormat(R"({"id":2,"verb":"inspect","session":%lld})",
+                   static_cast<long long>(S)));
+  EXPECT_TRUE(isOk(St));
+}
+
+TEST_F(ServerTest, DrainRequestFinishesInFlightAndStops) {
+  Client C = connect();
+  int64_t S = createSession(C, R"(,"options":{"step_delay_us":2000})");
+  ASSERT_GT(S, 0);
+  // Launch a slow run, then request the drain while it is in flight: the
+  // run must complete normally, the drain must then stop the server.
+  ASSERT_TRUE(C.sendLine(
+      strFormat(R"({"id":1,"verb":"run","session":%lld,"steps":20000})",
+                static_cast<long long>(S))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Server->requestDrain();
+
+  std::string Line;
+  ASSERT_TRUE(C.recvLine(Line)); // the in-flight run's reply
+  json::Value R;
+  std::string PErr;
+  ASSERT_TRUE(json::parse(Line, R, PErr)) << Line;
+  EXPECT_TRUE(isOk(R));
+
+  Server->wait(); // drain completes on its own; no requestShutdown needed
+  Client C2;
+  EXPECT_FALSE(C2.connectTcp(Server->port()));
+}
+
+TEST(ServerUnixSocket, LiveSocketRefusedStaleSocketRebound) {
+  std::string Path =
+      "/tmp/facile-test-sock-" + std::to_string(::getpid());
+  ::unlink(Path.c_str());
+
+  ServerOptions O1;
+  O1.UnixPath = Path;
+  FacileServer S1{std::move(O1)};
+  std::string Err;
+  ASSERT_TRUE(S1.start(&Err)) << Err;
+
+  // A second daemon on a *live* socket is an operator mistake, not a
+  // stale-file cleanup situation: refuse, and say which.
+  ServerOptions O2;
+  O2.UnixPath = Path;
+  FacileServer S2{std::move(O2)};
+  EXPECT_FALSE(S2.start(&Err));
+  EXPECT_TRUE(S2.addressInUse()) << Err;
+
+  // Clean shutdown unlinks the socket.
+  S1.requestShutdown();
+  S1.wait();
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0);
+
+  // A stale file (bound then abandoned, as after SIGKILL) is probed,
+  // found dead, unlinked and rebound.
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Path.c_str());
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  ::close(Fd); // no listen, no unlink: exactly what a killed daemon leaves
+
+  ServerOptions O3;
+  O3.UnixPath = Path;
+  FacileServer S3{std::move(O3)};
+  ASSERT_TRUE(S3.start(&Err)) << Err;
+  Client C;
+  ASSERT_TRUE(C.connectUnix(Path, &Err)) << Err;
+  json::Value R;
+  ASSERT_TRUE(C.rpc(R"({"id":1,"verb":"ping"})", R, &Err)) << Err;
+  EXPECT_TRUE(R.get("ok")->boolOr(false));
+  C.close();
+  S3.requestShutdown();
+  S3.wait();
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0);
 }
 
 } // namespace

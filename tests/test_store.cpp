@@ -408,3 +408,86 @@ TEST(CacheStore, CrossProcessRunsAreBitIdentical) {
   EXPECT_EQ(Reports[0].Digest, Reports[1].Digest);
   removeTree(Dir);
 }
+
+//===----------------------------------------------------------------------===//
+// Generation garbage collection
+//===----------------------------------------------------------------------===//
+
+TEST(CacheStore, GcKeepsNewestGenerationsPerKey) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  FacileSim Builder(SimKind::OutOfOrder, Image);
+  Builder.run(kBudget);
+
+  std::string Dir = freshDir("gc");
+  store::CacheStoreDir Store(Dir);
+  std::string Err;
+  for (int I = 0; I != 3; ++I)
+    ASSERT_TRUE(Builder.promoteStore(Store, nullptr, &Err)) << Err;
+  uint64_t CK = Builder.sim().compatKey();
+  for (uint64_t G = 1; G <= 3; ++G)
+    EXPECT_EQ(::access((Dir + "/" + store::CacheStoreDir::fileName(CK, G))
+                           .c_str(),
+                       F_OK),
+              0);
+
+  // keep=2 collects only the oldest; keep=1 (and the 0 alias) leaves
+  // exactly the newest, which must still be mappable afterwards.
+  EXPECT_EQ(Store.gc(2, &Err), 1u) << Err;
+  EXPECT_TRUE(Err.empty());
+  EXPECT_NE(::access((Dir + "/" + store::CacheStoreDir::fileName(CK, 1))
+                         .c_str(),
+                     F_OK),
+            0);
+  EXPECT_EQ(Store.gc(0, &Err), 1u) << Err; // 0 means keep the newest
+  EXPECT_EQ(::access((Dir + "/" + store::CacheStoreDir::fileName(CK, 3))
+                         .c_str(),
+                     F_OK),
+            0);
+  EXPECT_EQ(Store.gc(1, &Err), 0u); // already collected: idempotent
+
+  uint32_t NA = static_cast<uint32_t>(Builder.sim().actionCount());
+  std::shared_ptr<const store::StoreMap> Map = Store.lookup(CK, NA, &Err);
+  ASSERT_TRUE(Map) << Err;
+  EXPECT_EQ(Map->generation(), 3u);
+  Map.reset();
+  removeTree(Dir);
+}
+
+TEST(CacheStore, GcIsSafeWhileGenerationIsMapped) {
+  isa::TargetImage Image = workload::generate(testSpec(), 2);
+  FacileSim Cold(SimKind::OutOfOrder, Image);
+  Cold.run(kBudget);
+  FacileSim Builder(SimKind::OutOfOrder, Image);
+  Builder.run(kBudget);
+
+  std::string Dir = freshDir("gc_mapped");
+  store::CacheStoreDir Store(Dir);
+  std::string Err;
+  ASSERT_TRUE(Builder.promoteStore(Store, nullptr, &Err)) << Err;
+
+  // Attach generation 1, then promote a newer one and collect: POSIX keeps
+  // the mapped pages alive after the unlink, so the attached run must
+  // finish exactly like the cold one even though its file is gone.
+  FacileSim Warm(SimKind::OutOfOrder, Image);
+  ASSERT_TRUE(Warm.attachStore(Store, &Err)) << Err;
+  EXPECT_EQ(Warm.storeMapping()->generation(), 1u);
+  ASSERT_TRUE(Builder.promoteStore(Store, nullptr, &Err)) << Err;
+  EXPECT_EQ(Store.gc(1, &Err), 1u) << Err;
+  uint64_t CK = Builder.sim().compatKey();
+  EXPECT_NE(::access((Dir + "/" + store::CacheStoreDir::fileName(CK, 1))
+                         .c_str(),
+                     F_OK),
+            0);
+
+  Warm.run(kBudget);
+  EXPECT_GT(Warm.sim().stats().FastSteps, 0u);
+  EXPECT_EQ(Warm.sim().memory().digest(), Cold.sim().memory().digest());
+  removeTree(Dir);
+}
+
+TEST(CacheStore, GcOnMissingDirectoryIsANoOp) {
+  store::CacheStoreDir Store("/nonexistent/facile-gc-nowhere");
+  std::string Err;
+  EXPECT_EQ(Store.gc(1, &Err), 0u);
+  EXPECT_TRUE(Err.empty());
+}

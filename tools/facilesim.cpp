@@ -63,6 +63,10 @@ void usage(const char *Prog) {
       "  --store-promote                after the run, write base+overlay as\n"
       "                                 the next store generation (requires\n"
       "                                 --cache-store)\n"
+      "  --store-gc[=<keep>]            maintenance mode: unlink all but the\n"
+      "                                 newest <keep> generations per compat\n"
+      "                                 key (default 1) and exit without\n"
+      "                                 simulating (requires --cache-store)\n"
       "  --digest                       print the final memory digest as\n"
       "                                 'facilesim: digest <16 hex>'\n"
       "  --require-warm                 exit 1 unless a cache was loaded and\n"
@@ -110,6 +114,8 @@ int main(int Argc, char **Argv) {
   uint64_t TopActions = 0, ProfilePeriod = 1;
   bool Json = false, RequireWarm = false;
   bool StorePromote = false, PrintDigest = false;
+  bool StoreGc = false;
+  uint64_t StoreGcKeep = 1;
   bool Injecting = false;
   inject::InjectSpec InjSpec;
 
@@ -190,6 +196,16 @@ int main(int Argc, char **Argv) {
       RequireWarm = true;
     else if (Arg == "--store-promote")
       StorePromote = true;
+    else if (Arg == "--store-gc")
+      StoreGc = true;
+    else if (!(V = argValue(Arg, "--store-gc=")).empty()) {
+      StoreGc = true;
+      StoreGcKeep = std::strtoull(V.c_str(), nullptr, 10);
+      if (StoreGcKeep == 0) {
+        std::fprintf(stderr, "error: --store-gc keep count must be >= 1\n");
+        return 2;
+      }
+    }
     else if (Arg == "--digest")
       PrintDigest = true;
     else if (Arg == "--help" || Arg == "-h") {
@@ -205,6 +221,24 @@ int main(int Argc, char **Argv) {
   if (StorePromote && CacheStorePath.empty()) {
     std::fprintf(stderr, "error: --store-promote requires --cache-store\n");
     return 2;
+  }
+  if (StoreGc) {
+    if (CacheStorePath.empty()) {
+      std::fprintf(stderr, "error: --store-gc requires --cache-store\n");
+      return 2;
+    }
+    store::CacheStoreDir Dir(CacheStorePath);
+    std::string Err;
+    size_t Unlinked = Dir.gc(static_cast<size_t>(StoreGcKeep), &Err);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "error: store gc: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("facilesim: store gc unlinked %zu generation%s (kept newest "
+                "%llu per key)\n",
+                Unlinked, Unlinked == 1 ? "" : "s",
+                (unsigned long long)StoreGcKeep);
+    return 0;
   }
 
   SimKind Kind;

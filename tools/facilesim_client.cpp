@@ -21,6 +21,7 @@
 #include "src/server/Client.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -31,7 +32,12 @@ namespace {
 
 void usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s (--port=<n> | --unix=<path>) <command>\n"
+               "usage: %s (--port=<n> | --unix=<path>) [options] <command>\n"
+               "options:\n"
+               "  --timeout-ms=<n>    per-call receive timeout (0 = block)\n"
+               "  --retries=<n>       attempts for retry-safe requests\n"
+               "                      (default 4; see Client::rpcRetry)\n"
+               "  --backoff-ms=<n>    base exponential backoff (default 20)\n"
                "commands:\n"
                "  ping                liveness round trip\n"
                "  stats               print the daemon stats response\n"
@@ -41,22 +47,19 @@ void usage(const char *Prog) {
                Prog);
 }
 
-/// Sends \p Req, prints the raw response line, returns 0 when ok=true.
+/// Sends \p Req through the retry policy, prints the response line,
+/// returns 0 when ok=true. Idempotency gating lives in Client::rpcRetry —
+/// a raw mutating request without id+session gets exactly one attempt.
 int oneShot(Client &C, const std::string &Req) {
-  if (!C.sendLine(Req)) {
-    std::fprintf(stderr, "facilesim_client: send failed\n");
-    return 3;
-  }
-  std::string Line;
-  if (!C.recvLine(Line)) {
-    std::fprintf(stderr, "facilesim_client: connection closed\n");
-    return 3;
-  }
-  std::printf("%s\n", Line.c_str());
   json::Value R;
-  std::string PErr;
-  if (!json::parse(Line, R, PErr))
-    return 1;
+  std::string Err;
+  if (!C.rpcRetry(Req, R, &Err)) {
+    std::fprintf(stderr, "facilesim_client: %s (after %u attempt%s)\n",
+                 Err.c_str(), C.lastAttempts(),
+                 C.lastAttempts() == 1 ? "" : "s");
+    return 3;
+  }
+  std::printf("%s\n", C.lastResponseLine().c_str());
   const json::Value *Ok = R.get("ok");
   return Ok && Ok->boolOr(false) ? 0 : 1;
 }
@@ -66,12 +69,22 @@ int oneShot(Client &C, const std::string &Req) {
 int main(int argc, char **argv) {
   uint16_t Port = 0;
   std::string UnixPath;
+  RetryPolicy Policy;
   int I = 1;
   for (; I < argc && std::strncmp(argv[I], "--", 2) == 0; ++I) {
     if (std::strncmp(argv[I], "--port=", 7) == 0) {
       Port = static_cast<uint16_t>(std::atoi(argv[I] + 7));
     } else if (std::strncmp(argv[I], "--unix=", 7) == 0) {
       UnixPath = argv[I] + 7;
+    } else if (std::strncmp(argv[I], "--timeout-ms=", 13) == 0) {
+      Policy.TimeoutMs = std::strtoull(argv[I] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[I], "--retries=", 10) == 0) {
+      Policy.MaxAttempts =
+          static_cast<unsigned>(std::strtoul(argv[I] + 10, nullptr, 10));
+      if (Policy.MaxAttempts == 0)
+        Policy.MaxAttempts = 1;
+    } else if (std::strncmp(argv[I], "--backoff-ms=", 13) == 0) {
+      Policy.BaseBackoffMs = std::strtoull(argv[I] + 13, nullptr, 10);
     } else if (std::strcmp(argv[I], "--help") == 0) {
       usage(argv[0]);
       return 0;
@@ -87,6 +100,7 @@ int main(int argc, char **argv) {
   std::string Cmd = argv[I++];
 
   Client C;
+  C.setRetryPolicy(Policy);
   std::string Err;
   bool Connected = UnixPath.empty() ? C.connectTcp(Port, &Err)
                                     : C.connectUnix(UnixPath, &Err);

@@ -1,0 +1,657 @@
+//===- facilesim_soak.cpp - Crash-recovery soak harness for facilesimd ------===//
+//
+// Hammers a real facilesimd process from many client threads, kills it with
+// SIGKILL mid-load, restarts it on the same endpoint, and proves the fleet
+// rides through: every session recreated after the crash comes back warm
+// from the shared cache store and finishes with a memory digest bit-identical
+// to an in-process reference run. Along the way it exercises the resilience
+// surface end to end:
+//
+//   - per-request deadlines (deadline_ms) raise deadline-exceeded faults and
+//     the faulted sessions are proved resumable (clear-fault, then step ok);
+//   - admission control under a saturated worker queue returns overloaded
+//     with a retry_after_ms hint;
+//   - SIGTERM triggers a graceful drain that promotes dirty memoization
+//     overlays to a new store generation and exits 0 within the deadline;
+//   - a stale Unix socket left by the SIGKILL is detected and rebound.
+//
+// A global watchdog aborts the whole harness with exit 2 if anything hangs.
+//
+//   facilesim_soak [--daemon=<path>] [--threads=<k>] [--sessions=<n>]
+//                  [--dir=<tmpdir>] [--watchdog-ms=<n>]
+//
+// exit status: 0 all checks passed, 1 a check failed, 2 watchdog fired or
+// setup error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/server/Client.h"
+#include "src/sims/SimHarness.h"
+#include "src/store/CacheStore.h"
+#include "src/workload/Workloads.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <libgen.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace facile;
+using namespace facile::server;
+
+namespace {
+
+struct Config {
+  std::string DaemonPath;
+  unsigned Threads = 8;
+  unsigned SessionsPerThread = 5;
+  std::string Dir;          // temp root (socket, store, logs)
+  uint64_t WatchdogMs = 120000;
+};
+
+// Shared tallies across client threads; the final report requires most of
+// these to be nonzero and DigestMismatches to stay zero.
+struct Tallies {
+  std::atomic<uint64_t> SessionsCompleted{0};
+  std::atomic<uint64_t> DigestMismatches{0};
+  std::atomic<uint64_t> DeadlineFaults{0};
+  std::atomic<uint64_t> ResumeProofs{0};
+  std::atomic<uint64_t> StoreAttached{0};
+  std::atomic<uint64_t> PostRestartWarm{0};
+  std::atomic<uint64_t> TransportRetries{0};
+  std::atomic<uint64_t> ThreadFailures{0};
+  std::atomic<uint64_t> Epoch{0}; // bumped when the daemon is restarted
+};
+
+uint64_t monoMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The workload every digest-checked session runs: tiny on purpose so a
+// run-to-halt takes milliseconds, leaving the interesting time in the
+// protocol and scheduler paths rather than simulation.
+constexpr unsigned kDataKWords = 1;
+constexpr unsigned kNumKernels = 2;
+constexpr uint64_t kOuterIters = 1;
+
+/// Runs the reference simulation in-process (same spec the sessions ask the
+/// daemon for) and seeds the cache store with its promoted cache, so
+/// daemon sessions attach warm from the very first create.
+bool referenceDigest(const std::string &StoreDir, std::string &DigestHex,
+                     std::string &Err) {
+  const workload::WorkloadSpec *Found = workload::findSpec("compress");
+  if (!Found) {
+    Err = "no 'compress' workload";
+    return false;
+  }
+  workload::WorkloadSpec Spec = *Found;
+  Spec.DataKWords = kDataKWords;
+  Spec.NumKernels = kNumKernels;
+  rt::SharedProgram Shared(sims::simulatorProgram(sims::SimKind::Functional),
+                           workload::generate(Spec, kOuterIters));
+  sims::FacileSim Sim(sims::SimKind::Functional, Shared);
+  Sim.run(~0ull);
+  if (Sim.faulted() || !Sim.sim().halted()) {
+    Err = "reference run did not halt cleanly";
+    return false;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                (unsigned long long)Sim.sim().memory().digest());
+  DigestHex = Buf;
+  store::CacheStoreDir Store(StoreDir);
+  uint64_t Gen = 0;
+  if (!Sim.promoteStore(Store, &Gen, &Err))
+    return false;
+  return true;
+}
+
+size_t countGenerations(const std::string &StoreDir) {
+  DIR *D = ::opendir(StoreDir.c_str());
+  if (!D)
+    return 0;
+  size_t N = 0;
+  while (struct dirent *E = ::readdir(D)) {
+    const char *Name = E->d_name;
+    size_t Len = std::strlen(Name);
+    if (Len > 9 && std::strcmp(Name + Len - 9, ".facstore") == 0)
+      ++N;
+  }
+  ::closedir(D);
+  return N;
+}
+
+pid_t spawnDaemon(const Config &Cfg, const std::string &Sock,
+                  const std::string &Store, const std::string &Log) {
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  // Child: route daemon output to the log, exec facilesimd with a small
+  // worker pool and queue so admission control is actually reachable.
+  int Fd = ::open(Log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (Fd >= 0) {
+    ::dup2(Fd, 1);
+    ::dup2(Fd, 2);
+    ::close(Fd);
+  }
+  std::string UnixArg = "--unix=" + Sock;
+  std::string StoreArg = "--cache-store=" + Store;
+  const char *Argv[] = {Cfg.DaemonPath.c_str(), UnixArg.c_str(),
+                        StoreArg.c_str(),       "--workers=2",
+                        "--max-queue=4",        "--drain-ms=3000",
+                        nullptr};
+  ::execv(Cfg.DaemonPath.c_str(), const_cast<char **>(Argv));
+  std::fprintf(stderr, "facilesim_soak: exec %s failed: %s\n",
+               Cfg.DaemonPath.c_str(), std::strerror(errno));
+  ::_exit(127);
+}
+
+bool waitForDaemon(const std::string &Sock, uint64_t TimeoutMs) {
+  uint64_t Deadline = monoMs() + TimeoutMs;
+  while (monoMs() < Deadline) {
+    Client C;
+    if (C.connectUnix(Sock)) {
+      json::Value R;
+      if (C.rpc(R"({"id":0,"verb":"ping"})", R))
+        return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+/// Waits up to \p TimeoutMs for \p Pid to exit; returns true with the raw
+/// wait status in \p Status.
+bool waitPidMs(pid_t Pid, uint64_t TimeoutMs, int &Status) {
+  uint64_t Deadline = monoMs() + TimeoutMs;
+  while (monoMs() < Deadline) {
+    pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+    if (R == Pid)
+      return true;
+    if (R < 0)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return false;
+}
+
+/// One client thread: drives SessionsPerThread digest-checked sessions plus
+/// interleaved deadline probes, reconnecting and recreating sessions from
+/// scratch whenever the daemon dies underneath it.
+void clientThread(unsigned ThreadIdx, const Config &Cfg,
+                  const std::string &Sock, const std::string &RefDigest,
+                  Tallies &T) {
+  Client C;
+  RetryPolicy Policy;
+  Policy.MaxAttempts = 8;
+  Policy.TimeoutMs = 30000;
+  Policy.BaseBackoffMs = 10;
+  C.setRetryPolicy(Policy);
+  uint64_t NextId = uint64_t(ThreadIdx) << 32;
+
+  // Connect (or reconnect after a crash) with patience: the restarted
+  // daemon recompiles the simulator program on its first create.
+  auto connect = [&]() -> bool {
+    uint64_t Deadline = monoMs() + 30000;
+    while (monoMs() < Deadline) {
+      if (C.connectUnix(Sock))
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return false;
+  };
+  // rpcRetry with crash handling: a transport-level failure abandons the
+  // current session (the daemon that owned it is gone) and reports false so
+  // the caller restarts its session loop iteration.
+  auto request = [&](const std::string &Req, json::Value &R) -> bool {
+    std::string Err;
+    if (C.rpcRetry(Req, R, &Err))
+      return true;
+    ++T.TransportRetries;
+    C.close();
+    if (!connect())
+      return false;
+    return C.rpcRetry(Req, R, &Err);
+  };
+  auto okOf = [](const json::Value &R) {
+    const json::Value *Ok = R.get("ok");
+    return Ok && Ok->boolOr(false);
+  };
+
+  if (!connect()) {
+    ++T.ThreadFailures;
+    return;
+  }
+
+  unsigned Done = 0;
+  unsigned Attempts = 0;
+  while (Done < Cfg.SessionsPerThread && Attempts < Cfg.SessionsPerThread * 8) {
+    ++Attempts;
+    bool Probe = (Done % 3) == 2; // every third session is a deadline probe
+    uint64_t EpochAtCreate = T.Epoch.load();
+    char Req[512];
+    std::snprintf(Req, sizeof(Req),
+                  "{\"id\":%llu,\"verb\":\"create\",\"sim\":\"functional\","
+                  "\"workload\":\"compress\",\"data_kwords\":%u,"
+                  "\"num_kernels\":%u,\"outer_iters\":%llu%s}",
+                  (unsigned long long)++NextId, kDataKWords, kNumKernels,
+                  (unsigned long long)kOuterIters,
+                  Probe ? ",\"options\":{\"step_delay_us\":1000}" : "");
+    json::Value R;
+    if (!request(Req, R) || !okOf(R))
+      continue; // daemon died or create raced a restart; try again
+    const json::Value *Sess = R.get("session");
+    if (!Sess)
+      continue;
+    uint64_t Session = (uint64_t)Sess->intOr(0);
+    if (const json::Value *SA = R.get("store_attached");
+        SA && SA->boolOr(false)) {
+      ++T.StoreAttached;
+      if (EpochAtCreate > 0)
+        ++T.PostRestartWarm;
+    }
+
+    bool SessionOk = true;
+    if (Probe) {
+      // Deadline probe: a 1 ms/chunk artificial delay makes a 5 ms budget
+      // certain to expire mid-run; the fault must be deadline-exceeded and
+      // the session must keep working after clear-fault.
+      std::snprintf(Req, sizeof(Req),
+                    "{\"id\":%llu,\"verb\":\"run\",\"session\":%llu,"
+                    "\"steps\":40000,\"deadline_ms\":5}",
+                    (unsigned long long)++NextId, (unsigned long long)Session);
+      if (!request(Req, R) || !okOf(R)) {
+        SessionOk = false;
+      } else {
+        const json::Value *F = R.get("fault");
+        const json::Value *K = F ? F->get("kind") : nullptr;
+        if (K && K->strOr("") == "deadline-exceeded") {
+          ++T.DeadlineFaults;
+          std::snprintf(Req, sizeof(Req),
+                        "{\"id\":%llu,\"verb\":\"clear-fault\","
+                        "\"session\":%llu}",
+                        (unsigned long long)++NextId,
+                        (unsigned long long)Session);
+          json::Value R2;
+          if (request(Req, R2) && okOf(R2)) {
+            std::snprintf(Req, sizeof(Req),
+                          "{\"id\":%llu,\"verb\":\"step\",\"session\":%llu,"
+                          "\"count\":1}",
+                          (unsigned long long)++NextId,
+                          (unsigned long long)Session);
+            json::Value R3;
+            if (request(Req, R3) && okOf(R3)) {
+              const json::Value *Faulted = R3.get("faulted");
+              if (Faulted && !Faulted->boolOr(true))
+                ++T.ResumeProofs;
+            }
+          }
+        }
+        // A probe that missed its deadline (machine hiccup) is not a
+        // failure; the aggregate count check catches systemic breakage.
+      }
+    } else {
+      // Digest-checked session: run to halt, compare against the
+      // in-process reference.
+      bool Halted = false;
+      for (int Round = 0; Round < 64 && !Halted && SessionOk; ++Round) {
+        std::snprintf(Req, sizeof(Req),
+                      "{\"id\":%llu,\"verb\":\"run\",\"session\":%llu,"
+                      "\"steps\":4000000}",
+                      (unsigned long long)++NextId,
+                      (unsigned long long)Session);
+        if (!request(Req, R) || !okOf(R)) {
+          SessionOk = false;
+          break;
+        }
+        const json::Value *H = R.get("halted");
+        Halted = H && H->boolOr(false);
+        const json::Value *F = R.get("faulted");
+        if (F && F->boolOr(false)) {
+          SessionOk = false; // unexpected fault in a clean run
+          ++T.ThreadFailures;
+        }
+      }
+      if (SessionOk && Halted) {
+        std::snprintf(Req, sizeof(Req),
+                      "{\"id\":%llu,\"verb\":\"inspect\",\"session\":%llu,"
+                      "\"what\":\"digest\"}",
+                      (unsigned long long)++NextId,
+                      (unsigned long long)Session);
+        if (request(Req, R) && okOf(R)) {
+          const json::Value *D = R.get("digest");
+          if (!D || D->strOr("") != RefDigest)
+            ++T.DigestMismatches;
+        } else {
+          SessionOk = false;
+        }
+      } else if (SessionOk) {
+        SessionOk = false; // never halted within the round budget
+      }
+    }
+
+    if (SessionOk) {
+      std::snprintf(Req, sizeof(Req),
+                    "{\"id\":%llu,\"verb\":\"destroy\",\"session\":%llu}",
+                    (unsigned long long)++NextId, (unsigned long long)Session);
+      request(Req, R); // best-effort; the daemon may have restarted
+      ++Done;
+      ++T.SessionsCompleted;
+    }
+    // A failed session (daemon crash) is simply retried: the next create
+    // lands on the restarted daemon and attaches the store warm.
+  }
+  if (Done < Cfg.SessionsPerThread)
+    ++T.ThreadFailures;
+  C.close();
+}
+
+/// Saturates the restarted daemon's 2-worker/4-deep queue: two hog sessions
+/// occupy both workers for hundreds of milliseconds while a burst of pings
+/// overflows the queue. Returns how many overloaded rejections (with a
+/// retry_after_ms hint) the burst observed.
+uint64_t overloadBurst(const std::string &Sock) {
+  Client Hog1, Hog2, Burst;
+  if (!Hog1.connectUnix(Sock) || !Hog2.connectUnix(Sock) ||
+      !Burst.connectUnix(Sock))
+    return 0;
+  json::Value R;
+  uint64_t S1 = 0, S2 = 0;
+  const char *CreateSlow =
+      "{\"id\":1,\"verb\":\"create\",\"sim\":\"functional\","
+      "\"workload\":\"compress\",\"data_kwords\":1,\"num_kernels\":2,"
+      "\"outer_iters\":1,\"options\":{\"step_delay_us\":5000}}";
+  if (Hog1.rpc(CreateSlow, R) && R.get("session"))
+    S1 = (uint64_t)R.get("session")->intOr(0);
+  if (Hog2.rpc(CreateSlow, R) && R.get("session"))
+    S2 = (uint64_t)R.get("session")->intOr(0);
+  if (!S1 || !S2)
+    return 0;
+  char Line[256];
+  std::snprintf(Line, sizeof(Line),
+                "{\"id\":2,\"verb\":\"run\",\"session\":%llu,\"steps\":20000}",
+                (unsigned long long)S1);
+  Hog1.sendLine(Line);
+  std::snprintf(Line, sizeof(Line),
+                "{\"id\":2,\"verb\":\"run\",\"session\":%llu,\"steps\":20000}",
+                (unsigned long long)S2);
+  Hog2.sendLine(Line);
+  // Let the hogs reach the workers so the burst below contends only for
+  // queue slots.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  constexpr int kBurst = 8;
+  for (int I = 0; I < kBurst; ++I) {
+    std::snprintf(Line, sizeof(Line), "{\"id\":%d,\"verb\":\"ping\"}",
+                  100 + I);
+    Burst.sendLine(Line);
+  }
+  uint64_t Overloaded = 0;
+  for (int I = 0; I < kBurst; ++I) {
+    std::string Reply;
+    if (!Burst.recvLine(Reply))
+      break;
+    json::Value V;
+    std::string PErr;
+    if (!json::parse(Reply, V, PErr))
+      continue;
+    const json::Value *E = V.get("error");
+    const json::Value *Code = E ? E->get("code") : nullptr;
+    if (Code && Code->strOr("") == "overloaded" && E->get("retry_after_ms"))
+      ++Overloaded;
+  }
+  std::string Drop;
+  Hog1.recvLine(Drop); // collect the hog replies so the runs finish cleanly
+  Hog2.recvLine(Drop);
+  Hog1.close();
+  Hog2.close();
+  Burst.close();
+  return Overloaded;
+}
+
+void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--daemon=<path>] [--threads=<k>] [--sessions=<n>]\n"
+               "          [--dir=<tmpdir>] [--watchdog-ms=<n>]\n",
+               Prog);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Config Cfg;
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (std::strncmp(A, "--daemon=", 9) == 0)
+      Cfg.DaemonPath = A + 9;
+    else if (std::strncmp(A, "--threads=", 10) == 0)
+      Cfg.Threads = (unsigned)std::strtoul(A + 10, nullptr, 10);
+    else if (std::strncmp(A, "--sessions=", 11) == 0)
+      Cfg.SessionsPerThread = (unsigned)std::strtoul(A + 11, nullptr, 10);
+    else if (std::strncmp(A, "--dir=", 6) == 0)
+      Cfg.Dir = A + 6;
+    else if (std::strncmp(A, "--watchdog-ms=", 14) == 0)
+      Cfg.WatchdogMs = std::strtoull(A + 14, nullptr, 10);
+    else if (std::strcmp(A, "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "facilesim_soak: bad argument '%s'\n", A);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (Cfg.Threads < 1 || Cfg.SessionsPerThread < 1) {
+    std::fprintf(stderr, "facilesim_soak: need at least 1 thread/session\n");
+    return 2;
+  }
+  if (Cfg.DaemonPath.empty()) {
+    // Default: facilesimd next to this binary.
+    std::vector<char> Self(argv[0], argv[0] + std::strlen(argv[0]) + 1);
+    Cfg.DaemonPath = std::string(::dirname(Self.data())) + "/facilesimd";
+  }
+  if (::access(Cfg.DaemonPath.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "facilesim_soak: daemon binary '%s' not executable\n",
+                 Cfg.DaemonPath.c_str());
+    return 2;
+  }
+  if (Cfg.Dir.empty()) {
+    char Tmpl[] = "/tmp/facile-soak-XXXXXX";
+    if (!::mkdtemp(Tmpl)) {
+      std::fprintf(stderr, "facilesim_soak: mkdtemp failed\n");
+      return 2;
+    }
+    Cfg.Dir = Tmpl;
+  } else {
+    ::mkdir(Cfg.Dir.c_str(), 0755);
+  }
+  std::string Sock = Cfg.Dir + "/sock";
+  std::string Store = Cfg.Dir + "/store";
+  std::string Log = Cfg.Dir + "/daemon.log";
+  ::mkdir(Store.c_str(), 0755);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Global watchdog: a hang anywhere (protocol deadlock, drain that never
+  // finishes, waitpid that never returns) turns into exit 2, not a stuck CI
+  // job.
+  std::atomic<bool> WatchdogArmed{true};
+  std::thread Watchdog([&] {
+    uint64_t Deadline = monoMs() + Cfg.WatchdogMs;
+    while (monoMs() < Deadline) {
+      if (!WatchdogArmed.load())
+        return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::fprintf(stderr, "facilesim_soak: WATCHDOG fired after %llu ms\n",
+                 (unsigned long long)Cfg.WatchdogMs);
+    ::_exit(2);
+  });
+
+  uint64_t T0 = monoMs();
+  std::printf("facilesim_soak: dir=%s threads=%u sessions/thread=%u\n",
+              Cfg.Dir.c_str(), Cfg.Threads, Cfg.SessionsPerThread);
+
+  // Phase 1: in-process reference digest + warm store seed.
+  std::string RefDigest, Err;
+  if (!referenceDigest(Store, RefDigest, Err)) {
+    std::fprintf(stderr, "facilesim_soak: reference run failed: %s\n",
+                 Err.c_str());
+    return 2;
+  }
+  std::printf("facilesim_soak: reference digest %s, store seeded (%zu gen)\n",
+              RefDigest.c_str(), countGenerations(Store));
+
+  // Phase 2: first daemon.
+  pid_t PidA = spawnDaemon(Cfg, Sock, Store, Log);
+  if (PidA <= 0 || !waitForDaemon(Sock, 20000)) {
+    std::fprintf(stderr, "facilesim_soak: daemon A did not come up\n");
+    return 2;
+  }
+  std::printf("facilesim_soak: daemon A up (pid %d)\n", (int)PidA);
+
+  // Phase 3: the fleet.
+  Tallies T;
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < Cfg.Threads; ++I)
+    Threads.emplace_back(clientThread, I, std::cref(Cfg), std::cref(Sock),
+                         std::cref(RefDigest), std::ref(T));
+
+  // Phase 4: SIGKILL mid-load, once roughly a third of the work is done.
+  uint64_t Total = uint64_t(Cfg.Threads) * Cfg.SessionsPerThread;
+  uint64_t KillAt = std::max<uint64_t>(1, Total / 3);
+  uint64_t KillDeadline = monoMs() + Cfg.WatchdogMs / 2;
+  while (T.SessionsCompleted.load() < KillAt && monoMs() < KillDeadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ::kill(PidA, SIGKILL);
+  int Status = 0;
+  waitPidMs(PidA, 10000, Status);
+  // Daemon A is dead: every create from here on lands on daemon B, so warm
+  // attaches observed after this point prove post-restart store recovery.
+  T.Epoch.fetch_add(1);
+  bool StaleSocketLeft = ::access(Sock.c_str(), F_OK) == 0;
+  std::printf("facilesim_soak: SIGKILL after %llu sessions; stale socket %s\n",
+              (unsigned long long)T.SessionsCompleted.load(),
+              StaleSocketLeft ? "left behind" : "missing (unexpected)");
+
+  pid_t PidB = spawnDaemon(Cfg, Sock, Store, Log);
+  bool Rebound = PidB > 0 && waitForDaemon(Sock, 20000);
+  if (!Rebound)
+    std::fprintf(stderr, "facilesim_soak: daemon B did not rebind\n");
+  std::printf("facilesim_soak: daemon B %s (pid %d)\n",
+              Rebound ? "rebound over stale socket" : "FAILED", (int)PidB);
+
+  for (auto &Th : Threads)
+    Th.join();
+  std::printf("facilesim_soak: fleet done: %llu/%llu sessions, "
+              "%llu deadline faults, %llu resume proofs, %llu warm creates "
+              "(%llu post-restart), %llu digest mismatches\n",
+              (unsigned long long)T.SessionsCompleted.load(),
+              (unsigned long long)Total,
+              (unsigned long long)T.DeadlineFaults.load(),
+              (unsigned long long)T.ResumeProofs.load(),
+              (unsigned long long)T.StoreAttached.load(),
+              (unsigned long long)T.PostRestartWarm.load(),
+              (unsigned long long)T.DigestMismatches.load());
+
+  // Phase 5: saturate the queue and observe admission control.
+  uint64_t Overloaded = Rebound ? overloadBurst(Sock) : 0;
+  std::printf("facilesim_soak: overload burst observed %llu rejections\n",
+              (unsigned long long)Overloaded);
+
+  // Phase 6: leave one dirty session (different program shape, so a new
+  // compat key misses the store and builds a fresh overlay), then SIGTERM
+  // and require a clean drain: exit 0, within the deadline, with the
+  // overlay promoted as a new store generation.
+  size_t GenBefore = countGenerations(Store);
+  bool DrainOk = false;
+  uint64_t DrainObservedMs = 0;
+  if (Rebound) {
+    Client Ctl;
+    if (Ctl.connectUnix(Sock)) {
+      json::Value R;
+      Ctl.rpc("{\"id\":1,\"verb\":\"create\",\"sim\":\"functional\","
+              "\"workload\":\"compress\",\"data_kwords\":1,"
+              "\"num_kernels\":3,\"outer_iters\":1}",
+              R);
+      if (const json::Value *S = R.get("session")) {
+        char Line[256];
+        std::snprintf(Line, sizeof(Line),
+                      "{\"id\":2,\"verb\":\"run\",\"session\":%llu,"
+                      "\"steps\":20000}",
+                      (unsigned long long)S->intOr(0));
+        json::Value R2;
+        Ctl.rpc(Line, R2);
+      }
+      Ctl.close();
+    }
+    uint64_t DrainT0 = monoMs();
+    ::kill(PidB, SIGTERM);
+    if (waitPidMs(PidB, 3000 + 7000, Status)) {
+      DrainObservedMs = monoMs() - DrainT0;
+      DrainOk = WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+    }
+  }
+  size_t GenAfter = countGenerations(Store);
+  std::printf("facilesim_soak: drain %s in %llu ms (exit status %d), store "
+              "generations %zu -> %zu\n",
+              DrainOk ? "clean" : "FAILED",
+              (unsigned long long)DrainObservedMs, Status, GenBefore,
+              GenAfter);
+
+  // Verdict.
+  bool Pass = true;
+  auto check = [&](bool Cond, const char *What) {
+    if (!Cond) {
+      std::fprintf(stderr, "facilesim_soak: FAIL: %s\n", What);
+      Pass = false;
+    }
+  };
+  check(T.SessionsCompleted.load() >= Total, "all sessions completed");
+  check(T.DigestMismatches.load() == 0, "bit-identical digests");
+  check(T.DeadlineFaults.load() > 0, "deadline-exceeded observed");
+  check(T.ResumeProofs.load() > 0, "faulted sessions proved resumable");
+  check(T.StoreAttached.load() > 0, "warm store attach observed");
+  check(T.PostRestartWarm.load() > 0, "post-restart warm attach observed");
+  check(T.ThreadFailures.load() == 0, "no thread-level failures");
+  check(StaleSocketLeft && Rebound, "stale socket rebound after SIGKILL");
+  check(Overloaded > 0, "overloaded + retry_after_ms observed");
+  check(DrainOk, "SIGTERM drain exited 0 within deadline");
+  check(GenAfter > GenBefore, "drain promoted a new store generation");
+
+  // Machine-readable summary for CI logs.
+  std::printf("{\"soak\":{\"pass\":%s,\"elapsed_ms\":%llu,"
+              "\"sessions\":%llu,\"digest_mismatches\":%llu,"
+              "\"deadline_faults\":%llu,\"resume_proofs\":%llu,"
+              "\"warm_creates\":%llu,\"post_restart_warm\":%llu,"
+              "\"transport_retries\":%llu,\"overloaded\":%llu,"
+              "\"drain_ms\":%llu,\"store_generations\":%zu}}\n",
+              Pass ? "true" : "false",
+              (unsigned long long)(monoMs() - T0),
+              (unsigned long long)T.SessionsCompleted.load(),
+              (unsigned long long)T.DigestMismatches.load(),
+              (unsigned long long)T.DeadlineFaults.load(),
+              (unsigned long long)T.ResumeProofs.load(),
+              (unsigned long long)T.StoreAttached.load(),
+              (unsigned long long)T.PostRestartWarm.load(),
+              (unsigned long long)T.TransportRetries.load(),
+              (unsigned long long)Overloaded,
+              (unsigned long long)DrainObservedMs, GenAfter);
+
+  WatchdogArmed.store(false);
+  Watchdog.join();
+  return Pass ? 0 : 1;
+}

@@ -10,13 +10,16 @@
 //   facilesimd --unix=/tmp/facile.sock # Unix-domain socket
 //   facilesimd --selftest              # in-process protocol round-trip
 //
-// The daemon stops on the shutdown verb or SIGINT/SIGTERM. --selftest
-// starts an ephemeral in-process server, drives the full protocol
-// conversation against it (create, run, inspect, snapshot round-trip with
-// digest match, fault + clear-fault, destroy, shutdown) and exits 0 only
-// if every check passed — the CI smoke entry point.
+// The daemon stops on the shutdown verb or SIGINT; SIGTERM triggers a
+// graceful drain (finish in-flight work up to --drain-ms, promote dirty
+// memoization overlays to the cache store, exit 0). --selftest starts an
+// ephemeral in-process server, drives the full protocol conversation
+// against it (create, run, inspect, snapshot round-trip with digest match,
+// fault + clear-fault, destroy, shutdown) and exits 0 only if every check
+// passed — the CI smoke entry point.
 //
-// exit status: 0 ok, 1 selftest failure, 2 bad usage, 3 socket error.
+// exit status: 0 ok, 1 selftest failure, 2 bad usage or socket path owned
+// by a live daemon, 3 socket error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,9 +51,23 @@ void usage(const char *Prog) {
       "                       attach the newest compatible generation as a\n"
       "                       read-only base (one mapping per store file,\n"
       "                       shared by every session)\n"
+      "  --default-deadline-ms=<n>  default per-request deadline on step/run\n"
+      "                       (0 = none; requests may override)\n"
+      "  --max-queue=<n>      admission control: queued-request cap before\n"
+      "                       rejecting with overloaded (default 1024)\n"
+      "  --conn-idle-ms=<n>   close connections idle this long (0 = never;\n"
+      "                       default 300000)\n"
+      "  --session-ttl-ms=<n> spill sessions idle this long to a snapshot,\n"
+      "                       restorable via create+resume_token (0 = never)\n"
+      "  --drain-ms=<n>       SIGTERM drain deadline (default 5000)\n"
+      "  --store-gc-keep=<n>  periodically unlink all but the newest <n>\n"
+      "                       store generations per compat key (0 = off)\n"
+      "  --max-overlay-mb=<n> LRU bound on aggregate session overlay bytes\n"
+      "                       (0 = unbounded)\n"
       "  --selftest           run the protocol self-test in-process, exit\n"
       "\n"
-      "exit status: 0 ok, 1 selftest failure, 2 bad usage, 3 socket error\n",
+      "exit status: 0 ok, 1 selftest failure, 2 bad usage or socket owned\n"
+      "by a live daemon, 3 socket error\n",
       Prog);
 }
 
@@ -62,8 +79,13 @@ bool parseU64(const char *S, uint64_t &Out) {
 
 FacileServer *SignalServer = nullptr;
 
-void onSignal(int) {
-  if (SignalServer)
+void onSignal(int Sig) {
+  // Both paths are async-signal-safe: each only stores an atomic flag.
+  if (!SignalServer)
+    return;
+  if (Sig == SIGTERM)
+    SignalServer->requestDrain(); // graceful: finish, promote, exit 0
+  else
     SignalServer->requestShutdown();
 }
 
@@ -122,6 +144,26 @@ int main(int argc, char **argv) {
       Opts.MaxStepsPerRequest = N;
     } else if (std::strncmp(A, "--cache-store=", 14) == 0) {
       Opts.CacheStorePath = A + 14;
+    } else if (std::strncmp(A, "--default-deadline-ms=", 22) == 0 &&
+               parseU64(A + 22, N)) {
+      Opts.DefaultDeadlineMs = N;
+    } else if (std::strncmp(A, "--max-queue=", 12) == 0 && parseU64(A + 12, N) &&
+               N >= 1) {
+      Opts.MaxQueueDepth = static_cast<uint32_t>(N);
+    } else if (std::strncmp(A, "--conn-idle-ms=", 15) == 0 &&
+               parseU64(A + 15, N)) {
+      Opts.ConnIdleTimeoutMs = N;
+    } else if (std::strncmp(A, "--session-ttl-ms=", 17) == 0 &&
+               parseU64(A + 17, N)) {
+      Opts.SessionIdleTtlMs = N;
+    } else if (std::strncmp(A, "--drain-ms=", 11) == 0 && parseU64(A + 11, N)) {
+      Opts.DrainDeadlineMs = N;
+    } else if (std::strncmp(A, "--store-gc-keep=", 16) == 0 &&
+               parseU64(A + 16, N)) {
+      Opts.StoreGcKeep = N;
+    } else if (std::strncmp(A, "--max-overlay-mb=", 17) == 0 &&
+               parseU64(A + 17, N)) {
+      Opts.MaxOverlayBytes = static_cast<size_t>(N) << 20;
     } else if (std::strcmp(A, "--selftest") == 0) {
       Selftest = true;
     } else if (std::strcmp(A, "--help") == 0) {
@@ -147,7 +189,9 @@ int main(int argc, char **argv) {
   std::string Err;
   if (!Server.start(&Err)) {
     std::fprintf(stderr, "facilesimd: %s\n", Err.c_str());
-    return 3;
+    // A socket path held by a live daemon is an operator mistake (running
+    // twice), not a socket error; stale sockets are rebound silently.
+    return Server.addressInUse() ? 2 : 3;
   }
   SignalServer = &Server;
   std::signal(SIGINT, onSignal);
