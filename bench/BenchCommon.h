@@ -16,6 +16,7 @@
 #ifndef FACILE_BENCH_BENCHCOMMON_H
 #define FACILE_BENCH_BENCHCOMMON_H
 
+#include "src/support/ArgParse.h"
 #include "src/support/Json.h"
 
 #include <chrono>
@@ -50,43 +51,47 @@ inline double harmonicMean(const std::vector<double> &Values) {
   return static_cast<double>(Values.size()) / Denominator;
 }
 
-/// Returns the value of "<prefix><value>" in argv, or "" when absent.
-inline std::string parseArg(int Argc, char **Argv, const char *Prefix) {
-  size_t N = std::string(Prefix).size();
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg.rfind(Prefix, 0) == 0)
-      return Arg.substr(N);
-  }
-  return "";
-}
-
-/// Parses "--scale=<f>" from argv (default 1.0): multiplies every
-/// instruction budget, so `--scale=0.1` smoke-runs a table and
-/// `--scale=10` approaches paper-length runs.
-inline double parseScale(int Argc, char **Argv) {
-  std::string V = parseArg(Argc, Argv, "--scale=");
-  return V.empty() ? 1.0 : std::atof(V.c_str());
-}
-
-/// True when \p Name (e.g. "--json") appears in argv.
-inline bool hasFlag(int Argc, char **Argv, const char *Name) {
-  for (int I = 1; I < Argc; ++I)
-    if (std::string(Argv[I]) == Name)
-      return true;
-  return false;
-}
-
 inline uint64_t scaled(uint64_t Budget, double Scale) {
   double V = static_cast<double>(Budget) * Scale;
   return V < 1000 ? 1000 : static_cast<uint64_t>(V);
 }
 
+/// The flags every benchmark harness shares, parsed with support::ArgParse
+/// so benches get --help and unknown-flag rejection like the tools do.
+/// A harness with extra flags registers them on parser() before parse():
+///
+///   BenchArgs Args("bench_fig12_facile");
+///   Args.parser().onOff("guards", GuardsOn, "guarded replay");
+///   if (int Rc = Args.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+///     return Rc;
+class BenchArgs {
+public:
+  /// --scale multiplies every instruction budget (0.1 smoke-runs a table,
+  /// 10 approaches paper-length runs). --json / --out feed JsonSink.
+  explicit BenchArgs(const char *Tool) : P(Tool) {
+    P.f64("scale", Scale, "<f>",
+          "scale instruction budgets (default 1.0)");
+    P.flag("json", Json, "print machine-readable JSON result lines");
+    P.str("out", Out, "<file>",
+          "write JSON result lines to a file (implies --json)");
+  }
+  support::ArgParse &parser() { return P; }
+  /// ArgParse::KeepGoing to continue, else the process exit status.
+  int parse(int Argc, char **Argv) { return P.parse(Argc, Argv); }
+
+  double Scale = 1.0;
+  bool Json = false;
+  std::string Out;
+
+private:
+  support::ArgParse P;
+};
+
 /// Destination for the machine-readable result lines every harness can
-/// emit alongside its human-readable table. Construction parses argv:
-/// `--json` prints each line to stdout prefixed "JSON " (the historical
-/// format, grep-friendly in CI logs); `--out=<file>` implies --json but
-/// writes the raw lines to \p file instead (one JSON object per line).
+/// emit alongside its human-readable table: `--json` prints each line to
+/// stdout prefixed "JSON " (the historical format, grep-friendly in CI
+/// logs); `--out=<file>` implies --json but writes the raw lines to
+/// \p file instead (one JSON object per line).
 ///
 /// Each line is built with json::Writer: call begin(), fill the returned
 /// writer (field/rawField/objectField...), then commit(). When neither
@@ -94,9 +99,8 @@ inline uint64_t scaled(uint64_t Budget, double Scale) {
 /// pair unconditionally.
 class JsonSink {
 public:
-  JsonSink(int Argc, char **Argv)
-      : Path(parseArg(Argc, Argv, "--out=")),
-        Enabled(!Path.empty() || hasFlag(Argc, Argv, "--json")) {}
+  explicit JsonSink(const BenchArgs &Args)
+      : Path(Args.Out), Enabled(!Path.empty() || Args.Json) {}
 
   ~JsonSink() {
     if (Path.empty())

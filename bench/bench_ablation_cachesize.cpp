@@ -18,8 +18,11 @@ using namespace facile::bench;
 using namespace facile::sims;
 
 int main(int Argc, char **Argv) {
-  double Scale = parseScale(Argc, Argv);
-  JsonSink Sink(Argc, Argv);
+  BenchArgs Args("bench_ablation_cachesize");
+  if (int Rc = Args.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  double Scale = Args.Scale;
+  JsonSink Sink(Args);
   banner("Ablation — action-cache byte budget and eviction policy",
          "10x smaller cache costs little; gcc degrades when over budget",
          "speed and eviction counts vs. budget, clear-on-full vs. "

@@ -21,7 +21,10 @@ using namespace facile::bench;
 using namespace facile::sims;
 
 int main(int Argc, char **Argv) {
-  double Scale = parseScale(Argc, Argv);
+  BenchArgs Args("bench_ablation_flush");
+  if (int Rc = Args.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  double Scale = Args.Scale;
   banner("Ablation — rt-static flush and key-encoding overhead",
          "flushes add cache data (§6.3 item 3); FastSim compresses its key "
          "(<40 B vs. our uncompressed Facile keys)",

@@ -18,7 +18,10 @@ using namespace facile::bench;
 using namespace facile::sims;
 
 int main(int Argc, char **Argv) {
-  double Scale = parseScale(Argc, Argv);
+  BenchArgs Args("bench_ablation_recovery");
+  if (int Rc = Args.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  double Scale = Args.Scale;
   banner("Ablation — dynamic-result-test divergence and miss recovery",
          "misses force slow-path recovery (paper §4.3); recovery cost is a "
          "bottleneck (§6.3 item 2)",

@@ -18,7 +18,10 @@ using namespace facile;
 using namespace facile::bench;
 
 int main(int Argc, char **Argv) {
-  double Scale = parseScale(Argc, Argv);
+  BenchArgs Args("bench_fig11_fastsim");
+  if (int Rc = Args.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  double Scale = Args.Scale;
   banner("Figure 11 — FastSim (hand-coded) with/without memoization vs. "
          "SimpleScalar",
          "memo/no-memo 4.9-11.9x; no-memo/SimpleScalar 1.1-2.1x",

@@ -27,7 +27,10 @@ using namespace facile::bench;
 using namespace facile::sims;
 
 int main(int Argc, char **Argv) {
-  double Scale = parseScale(Argc, Argv);
+  BenchArgs Args("bench_table1_fastfwd_pct");
+  if (int Rc = Args.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  double Scale = Args.Scale;
   banner("Table 1 — percentage of instructions fast-forwarded",
          "99.689% (gcc) .. 99.999% (mgrid/applu/turb3d); all >= 99.6%",
          "hand-coded FastSim (the paper's subject) and compiled Facile OOO "

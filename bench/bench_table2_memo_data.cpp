@@ -23,7 +23,10 @@ using namespace facile::bench;
 using namespace facile::sims;
 
 int main(int Argc, char **Argv) {
-  double Scale = parseScale(Argc, Argv);
+  BenchArgs Args("bench_table2_memo_data");
+  if (int Rc = Args.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  double Scale = Args.Scale;
   banner("Table 2 — quantity of memoized data",
          "2.8 MB (compress) .. 889 MB (go); int codes >> fp codes",
          "action-cache MBytes after a fixed instruction budget (Facile OOO "

@@ -162,15 +162,19 @@ int runStoreMode(double Scale, JsonSink &Sink, size_t K) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  double Scale = parseScale(Argc, Argv);
-  JsonSink Sink(Argc, Argv);
-  if (hasFlag(Argc, Argv, "--store")) {
-    std::string SessArg = parseArg(Argc, Argv, "--sessions=");
-    size_t K = SessArg.empty() ? 8 : std::strtoull(SessArg.c_str(), nullptr, 10);
-    if (K == 0)
-      K = 1;
-    return runStoreMode(Scale, Sink, K);
-  }
+  BenchArgs Args("bench_warmstart");
+  bool StoreMode = false;
+  uint64_t Sessions = 8;
+  Args.parser().flag("store", StoreMode,
+                     "measure the shared cache-store path instead");
+  Args.parser().u64("sessions", Sessions, "<k>",
+                    "sessions sharing the store (default 8)", /*Min=*/1);
+  if (int Rc = Args.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  double Scale = Args.Scale;
+  JsonSink Sink(Args);
+  if (StoreMode)
+    return runStoreMode(Scale, Sink, static_cast<size_t>(Sessions));
   banner("Warm start — persistent action cache vs. cold start",
          "(beyond the paper: §4.2's cache persisted across processes)",
          "cold/warm Ksim-instr/s per benchmark, OOO simulator, and the "

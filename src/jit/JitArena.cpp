@@ -1,0 +1,46 @@
+//===- JitArena.cpp - W^X executable-memory arena --------------------------===//
+
+#include "src/jit/JitArena.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define FACILE_JIT_HAVE_MMAP 1
+#endif
+
+using namespace facile;
+using namespace facile::jit;
+
+JitArena::~JitArena() {
+#if FACILE_JIT_HAVE_MMAP
+  for (const Chunk &C : Chunks)
+    ::munmap(C.Base, C.Size);
+#endif
+}
+
+const uint8_t *JitArena::publish(const uint8_t *Code, size_t Size) {
+#if FACILE_JIT_HAVE_MMAP
+  if (Size == 0)
+    return nullptr;
+  static const size_t Page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  size_t Rounded = (Size + Page - 1) & ~(Page - 1);
+  void *Base = ::mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Base == MAP_FAILED)
+    return nullptr;
+  std::memcpy(Base, Code, Size);
+  if (::mprotect(Base, Rounded, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(Base, Rounded);
+    return nullptr;
+  }
+  Chunks.push_back({Base, Rounded});
+  Mapped += Rounded;
+  return static_cast<const uint8_t *>(Base);
+#else
+  (void)Code;
+  (void)Size;
+  return nullptr;
+#endif
+}

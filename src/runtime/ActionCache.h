@@ -379,6 +379,18 @@ public:
     PendingXor ^= static_cast<uint64_t>(V);
     notePeak();
   }
+  /// Bulk pushData: appends [V, V+N) in one insert and folds the whole
+  /// span into the pending seal xor. Equivalent to N pushData calls —
+  /// the pool grows monotonically, so one peak sample at the end sees
+  /// the same maximum. The JIT's block-capture flush is the hot caller.
+  void pushDataSpan(const int64_t *V, size_t N) {
+    DataPool.insert(DataPool.end(), V, V + N);
+    uint64_t X = 0;
+    for (size_t I = 0; I != N; ++I)
+      X ^= static_cast<uint64_t>(V[I]);
+    PendingXor ^= X;
+    notePeak();
+  }
   /// Global pool size: base words below, overlay words above. A node's
   /// span never straddles the boundary (overlay nodes allocate at the
   /// global end; base spans are validated against the base extent).
@@ -471,6 +483,11 @@ public:
   /// Invalidates all overlay verification marks. Call after mutating the
   /// node arena, seal array or data pool through any out-of-band channel.
   void noteExternalMutation() { ++Epoch; }
+
+  /// The current mutation epoch. Consumers that cache derived views of the
+  /// arenas (the JIT's compiled entry traces) record this at build time
+  /// and treat any change as wholesale invalidation.
+  uint64_t mutationEpoch() const { return Epoch; }
 
   /// True when node \p I already passed seal verification (this epoch and
   /// through the same link, for overlay nodes).

@@ -36,6 +36,8 @@
 
 #include "src/runtime/Simulation.h"
 
+#include "src/jit/JitCache.h"
+#include "src/jit/JitTrace.h"
 #include "src/telemetry/Profiler.h"
 
 #include <cassert>
@@ -70,9 +72,13 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
   uint32_t NodeIdx = Cache.entry(Entry).Head;
   uint64_t IncomingTag = Guarded ? ActionCache::headTag(Key) : 0;
   bool ExecutedAny = false;
+  bool AnyNative = false; ///< >=1 node ran as compiled code this step
   uint32_t Walked = 0;
   uint64_t ProfNodes = 0; ///< nodes walked this step (Profiled only)
   int64_t ArgBuf[16];
+  // Armed only by the Jit backend; hoisted so the per-node cost of the
+  // Interpret backend is one dead pointer test.
+  jit::JitSession *const Jit = JitCtx;
 
   // Routes a detected corruption: before any node executed the step can be
   // absorbed (re-recorded cold by the caller); afterwards the shared state
@@ -87,6 +93,63 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
 
   if (Guarded && NodeIdx == ActionNode::NoNode)
     return ReplayResult::CorruptCold;
+
+  // Trace dispatch: when the whole entry is compiled, the step is one
+  // native call. Valid only while the cache's mutation epoch matches the
+  // trace's compile epoch — any injected corruption bumps the epoch, so a
+  // trace never runs over state the guarded interpreter would have
+  // re-verified (compilation itself verified every seal it baked).
+  // Profiled steps stay interpreted so sampling still sees nodes.
+  if (!Profiled && Jit && Jit->Traces) {
+    if (jit::JitTraceCache::Trace *T =
+            Jit->Traces->find(Entry, Cache.mutationEpoch())) {
+      Jit->Frame.BaseData = BData;
+      int64_t R = T->Fn(&Jit->Frame, OData);
+      if (R < 0) {
+        if (R == jit::BailFetchOob)
+          raiseFault(FaultKind::DecodeError,
+                     "instruction fetch outside the text segment");
+        // BailExternFail: externCall already raised inside the thunk.
+        return ReplayResult::Faulted;
+      }
+      const jit::JitTraceCache::Exit &X = T->Exits[static_cast<size_t>(R)];
+      if (X.IsEnd) {
+        PendingEndNode = X.Node;
+        ++Jit->JitSteps;
+        ++Jit->TraceSteps;
+        return ReplayResult::Replayed;
+      }
+      // Side exit at Test node X.Node with outcome X.Value: that edge had
+      // no successor at compile time. Reconstruct the replayed prefix the
+      // interpreter would have built (the baked path ends with the exit
+      // node's pair).
+      ExecutedAny = true;
+      AnyNative = true;
+      Rp.Path.reserve(X.PathLen);
+      for (uint32_t Pi = 0; Pi != X.PathLen; ++Pi) {
+        const jit::JitTraceCache::PathItem &It = T->PathPool[X.PathOfs + Pi];
+        Rp.Path.push_back({It.Node, It.Value});
+      }
+      uint32_t Succ = Cache.testSuccessor(X.Node, static_cast<int>(X.Value));
+      if (Succ == ActionNode::NoNode) {
+        // Genuine miss: hand recovery the prefix; the recording that
+        // follows grows the entry past the compiled tree, so drop the
+        // trace and let it re-trip with the new branch included.
+        Rp.MissValue = X.Value;
+        ++S.Misses;
+        runSlow(Entry, &Rp);
+        Jit->Traces->invalidate(Entry);
+        return Fault ? ReplayResult::Faulted : ReplayResult::Recovered;
+      }
+      // Stale trace: the successor was recorded after compilation. Resume
+      // the interpreted walk mid-chain and queue a recompile.
+      Jit->Traces->invalidate(Entry);
+      if (Guarded)
+        IncomingTag = ActionCache::edgeTag(X.Node, static_cast<int>(X.Value));
+      NodeIdx = Succ;
+    }
+  }
+
   for (;;) {
     if (Guarded) {
       // Verify before executing: every field the execution below trusts is
@@ -143,6 +206,38 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
                          static_cast<uint64_t>(End - IP), N.DataLen);
       ++ProfNodes;
     }
+    // Template-JIT dispatch: hot actions run as native code. The
+    // structural precheck (the node's span is exactly the word count the
+    // code was compiled for) is what lets compiled code index Span with
+    // fixed displacements; a mismatch is a bailout to the interpreter
+    // below, never a divergence. Negative returns are bails for
+    // conditions that fault in the interpreter too (JitAbi.h), so a
+    // bailed node is never re-run.
+    bool Native = false;
+    if (Jit && IP != End) {
+      const uint32_t Action = static_cast<uint32_t>(N.ActionId);
+      if (jit::JitFn Fn = Jit->Cache->fn(Action, Guarded)) {
+        if (N.DataLen == Jit->Cache->words(Action)) {
+          int64_t R = Fn(&Jit->Frame, Span);
+          if (R < 0) {
+            if (R == jit::BailFetchOob)
+              raiseFault(FaultKind::DecodeError,
+                         "instruction fetch outside the text segment");
+            // BailExternFail: externCall already raised inside the thunk.
+            return ReplayResult::Faulted;
+          }
+          TestValue = R;
+          DataPos = N.DataLen;
+          Native = true;
+          AnyNative = true;
+        } else {
+          ++Jit->Bailouts;
+        }
+      } else {
+        Jit->Cache->noteVisit(Action, Jit->Threshold);
+      }
+    }
+    if (!Native)
     for (; IP != End; ++IP) {
       const XInst &I = *IP;
       auto readOperand = [&](uint32_t Slot, unsigned Pos) -> int64_t {
@@ -305,6 +400,8 @@ Simulation::ReplayResult Simulation::runFastImpl(EntryId Entry, KeyId Key) {
       PendingEndNode = NodeIdx;
       if (Profiled)
         Profiler->noteStep(ProfNodes, /*Replayed=*/true);
+      if (Jit && AnyNative)
+        ++Jit->JitSteps;
       return ReplayResult::Replayed;
     case ActionNode::Kind::Plain:
       Rp.Path.push_back({NodeIdx, 0});

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "src/runtime/ExecBackend.h"
 #include "src/runtime/Simulation.h"
 #include "src/telemetry/Metrics.h"
 
@@ -47,6 +48,9 @@ void Simulation::registerMetrics(telemetry::MetricsRegistry &R) const {
     Sink.flag("active", BypassActive);
     Sink.counter("activations", S.BypassActivations);
     Sink.counter("bypassed_steps", S.BypassedSteps);
+  });
+  R.add("jit", [this](telemetry::MetricSink &Sink) {
+    Backend->exportMetrics(Sink);
   });
   Cache.registerMetrics(R, "cache");
 }

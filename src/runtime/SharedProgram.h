@@ -32,7 +32,16 @@
 #include "src/isa/TargetImage.h"
 #include "src/runtime/ExecPlan.h"
 
+#include <memory>
+#include <mutex>
+
 namespace facile {
+
+namespace jit {
+class JitCache;
+struct JitRuntimeHooks;
+} // namespace jit
+
 namespace rt {
 
 /// One compiled Facile program bound to one target image, with the packed
@@ -42,10 +51,19 @@ namespace rt {
 class SharedProgram {
 public:
   SharedProgram(const CompiledProgram &Prog, isa::TargetImage Image);
+  ~SharedProgram(); ///< out-of-line: JitCache is forward-declared
 
   const CompiledProgram &program() const { return Prog; }
   const isa::TargetImage &image() const { return Image; }
   const ExecPlan &plan() const { return Plan; }
+
+  /// The process-shared JIT code cache for this plan, built lazily on the
+  /// first Jit-backend session. The one internally-synchronized exception
+  /// to "deeply immutable": the cache is monotonic (code is only ever
+  /// added, entry points flip null -> published once) and thread-safe, so
+  /// the concurrency contract above still holds — sessions on any thread
+  /// may trip compilations and run each other's published code.
+  jit::JitCache &jitCache(const jit::JitRuntimeHooks &Hooks) const;
 
   SharedProgram(const SharedProgram &) = delete;
   SharedProgram &operator=(const SharedProgram &) = delete;
@@ -54,6 +72,8 @@ private:
   const CompiledProgram &Prog;
   const isa::TargetImage Image;
   const ExecPlan Plan;
+  mutable std::mutex JitMu;
+  mutable std::unique_ptr<jit::JitCache> Jit;
 };
 
 } // namespace rt

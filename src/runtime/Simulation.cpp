@@ -10,6 +10,8 @@
 #include "src/runtime/Simulation.h"
 
 #include "src/isa/Isa.h"
+#include "src/jit/JitCache.h"
+#include "src/runtime/ExecBackend.h"
 #include "src/snapshot/Serializer.h"
 #include "src/telemetry/Profiler.h"
 #include "src/telemetry/Trace.h"
@@ -49,7 +51,16 @@ Simulation::Simulation(const CompiledProgram &Prog,
 Simulation::Simulation(const SharedProgram &Shared, Options Opts)
     : Prog(Shared.program()), Image(Shared.image()), Opts(Opts),
       Plan(&Shared.plan()), Cache(Opts.CacheBudgetBytes, Opts.Eviction) {
+  SharedProg = &Shared; // before initState: the backend factory reads it
   initState();
+}
+
+Simulation::~Simulation() = default;
+
+const char *Simulation::backendName() const { return Backend->name(); }
+
+uint64_t Simulation::jitCompiledActions() const {
+  return Backend->compiledActions();
 }
 
 ExecPlan &Simulation::mutablePlan() {
@@ -59,6 +70,10 @@ ExecPlan &Simulation::mutablePlan() {
     OwnedPlan = std::make_unique<ExecPlan>(*Plan);
     Plan = OwnedPlan.get();
   }
+  // Fires on the owned-plan path too: the caller may mutate the plan a
+  // backend compiled code from, whichever constructor built it.
+  if (Backend)
+    Backend->onPlanPrivatized();
   return *OwnedPlan;
 }
 
@@ -102,6 +117,8 @@ void Simulation::initState() {
   for (uint32_t G : Prog.InitGlobals)
     KeyWidth += 8 * (Prog.Globals[G].IsArray ? Prog.Globals[G].Size : 1);
   KeyBuf.reserve(KeyWidth);
+  // Last: the backend factory snapshots state pointers built above.
+  Backend = makeExecBackend(*this, Opts.Backend);
 }
 
 bool Simulation::registerExtern(const std::string &Name,
@@ -470,6 +487,9 @@ bool Simulation::deserializeState(snapshot::Reader &R) {
   BypassTrips = 0;
   WinSteps = WinNonFast = 0;
   WinEvictBase = Cache.stats().Clears + Cache.stats().Evictions;
+  // The move-assignments above relocated every dynamic-state vector; a
+  // backend holding raw data pointers must re-snapshot them.
+  Backend->onStateReplaced();
   return true;
 }
 
@@ -484,6 +504,7 @@ bool Simulation::deserializeCache(snapshot::Reader &R) {
   // deserialize() privatizes: the loaded image is owned, any base dropped.
   CacheBaseKeepalive.reset();
   PendingEndNode = ActionNode::NoNode;
+  Backend->onCacheRebuilt();
   return true;
 }
 
@@ -514,6 +535,7 @@ bool Simulation::attachCacheBase(const ActionCache::BaseArenas &B,
   }
   CacheBaseKeepalive = std::move(Keepalive);
   PendingEndNode = ActionNode::NoNode;
+  Backend->onCacheRebuilt();
   return true;
 }
 
@@ -523,6 +545,7 @@ void Simulation::detachCacheBase() {
   Cache.detachBase();
   CacheBaseKeepalive.reset();
   PendingEndNode = ActionNode::NoNode;
+  Backend->onCacheRebuilt();
 }
 
 void Simulation::evictCacheNow() {
@@ -534,6 +557,7 @@ void Simulation::evictCacheNow() {
   }
   Cache.evict();
   PendingEndNode = ActionNode::NoNode;
+  Backend->onCacheRebuilt();
 }
 
 //===----------------------------------------------------------------------===//
@@ -566,7 +590,7 @@ StepEngine Simulation::step() {
   }
   ++S.Steps;
   if (!Opts.Memoize) {
-    runSlow(NoId, nullptr);
+    Backend->record(NoId);
     return finishStep(StepEngine::Slow);
   }
 
@@ -574,7 +598,7 @@ StepEngine Simulation::step() {
   // the cache is thrashing and recording would only churn it further.
   if (BypassActive) {
     if (S.Steps < BypassUntil) {
-      runSlow(NoId, nullptr);
+      Backend->record(NoId);
       ++S.BypassedSteps;
       return finishStep(StepEngine::Slow);
     }
@@ -607,10 +631,10 @@ StepEngine Simulation::step() {
   StepEngine Engine = StepEngine::Faulted;
   if (Entry == NoId) {
     Entry = Cache.create(Key);
-    runSlow(Entry, nullptr);
+    Backend->record(Entry);
     Engine = StepEngine::Slow;
   } else {
-    switch (runFast(Entry, Key)) {
+    switch (Backend->replay(Entry, Key)) {
     case ReplayResult::Replayed:
       ++S.FastSteps;
       Engine = StepEngine::Fast;
@@ -625,7 +649,7 @@ StepEngine Simulation::step() {
       ++S.CorruptDropped;
       Cache.detachEntry(Entry);
       Entry = Cache.create(Key);
-      runSlow(Entry, nullptr);
+      Backend->record(Entry);
       Engine = StepEngine::Slow;
       break;
     case ReplayResult::Faulted:
@@ -642,6 +666,7 @@ StepEngine Simulation::step() {
     }
     Cache.evict();
     PendingEndNode = ActionNode::NoNode;
+    Backend->onCacheRebuilt();
   }
   if (Opts.AdaptiveBypass)
     noteBypassWindow(Engine);

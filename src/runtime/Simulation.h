@@ -49,7 +49,28 @@ class MetricSink;
 class MetricsRegistry;
 } // namespace telemetry
 
+namespace jit {
+class JitCache;
+struct JitSession;
+} // namespace jit
+
 namespace rt {
+
+class ExecBackend;
+
+/// Which execution backend a Simulation uses (ExecBackend.h). Like
+/// Options::Guards this is an execution strategy, not a semantic choice:
+/// both backends step bit-identically and it never enters compatKey().
+enum class BackendKind : uint8_t {
+  Auto,      ///< Jit where the template JIT is available, else Interpret
+  Interpret, ///< the template-specialized interpreter loops only
+  Jit,       ///< native code for hot actions, interpreter for the rest
+};
+
+const char *backendKindName(BackendKind K);
+/// Parses a backend spelling: "auto", "interpret", "jit" (plus the flag
+/// aliases "on" -> Jit and "off" -> Interpret). False on anything else.
+bool parseBackendKind(const std::string &Name, BackendKind &Out);
 
 /// Host-provided implementation of an `extern` function. Returning
 /// std::nullopt reports a host-side failure, which the runtime surfaces as
@@ -101,6 +122,18 @@ public:
     uint32_t BypassTripPct = 75;      ///< trip: non-fast % at or above this
     uint32_t BypassHealthyPct = 25;   ///< reset escalation at or below this
     uint64_t BypassCooldown = 4096;   ///< base bypassed steps per trip
+
+    /// Execution backend (ExecBackend.h). Auto resolves to Jit on hosts
+    /// where the template JIT runs (x86-64 with mmap; the FACILE_JIT
+    /// environment variable overrides Auto), else Interpret. An explicit
+    /// Jit request degrades to Interpret when unsupported — never an
+    /// error. Does not affect compatKey().
+    BackendKind Backend = BackendKind::Auto;
+    /// Interpreted replay visits of an action before the Jit backend
+    /// compiles it. When left at the default, the FACILE_JIT_THRESHOLD
+    /// environment variable overrides it (harness-wide experiments).
+    static constexpr uint32_t DefaultJitThreshold = 32;
+    uint32_t JitThreshold = DefaultJitThreshold;
   };
 
   struct Stats {
@@ -143,6 +176,20 @@ public:
   /// outlive the simulation. Any number of simulations — across threads —
   /// may share one SharedProgram; all mutable state stays private here.
   Simulation(const SharedProgram &Shared, Options Opts);
+
+  /// Out-of-line: members hold unique_ptrs to types forward-declared here
+  /// (ExecBackend, jit::JitCache).
+  ~Simulation();
+
+  /// The resolved backend's name — "interpret" or "jit" (Auto never
+  /// survives resolution). Servers echo this so clients learn what a
+  /// "backend":"auto" request actually got.
+  const char *backendName() const;
+
+  /// Actions the backend has compiled to native code (always 0 on the
+  /// interpreter): the programmatic "did the JIT engage" probe used by
+  /// benches and CI smoke checks.
+  uint64_t jitCompiledActions() const;
 
   /// Installs the handler for extern \p Name. Returns false (installing
   /// nothing) when the name was not declared extern in the program — the
@@ -250,8 +297,14 @@ public:
   /// outlive this simulation (RuntimeMetrics.cpp).
   void registerMetrics(telemetry::MetricsRegistry &R) const;
   /// Mutable internals for the fault injector (inject::FaultInjector) and
-  /// white-box tests; production code never writes through these.
-  ActionCache &mutableCache() { return Cache; }
+  /// white-box tests; production code never writes through these. Counts
+  /// as an out-of-band mutation: the cache's epoch is bumped so every
+  /// derived view (verification marks, compiled entry traces) re-verifies
+  /// against whatever the caller changed.
+  ActionCache &mutableCache() {
+    Cache.noteExternalMutation();
+    return Cache;
+  }
   /// When the plan is shared (SharedProgram constructor), the first call
   /// privatizes it with a copy-on-write clone, so mutations — a fault
   /// injector truncating streams — never reach sibling simulations.
@@ -313,6 +366,14 @@ public:
   bool cacheBaseAttached() const { return Cache.hasBase(); }
 
 private:
+  // The backends are the engines' dispatch strategy (ExecBackend.h) and
+  // share this class's private state outright.
+  friend class ExecBackend;
+  friend class InterpretBackend;
+  friend class JitBackend;
+  friend std::unique_ptr<ExecBackend> makeExecBackend(Simulation &Sim,
+                                                      BackendKind Kind);
+
   /// Recovery input: the replayed prefix of a cache entry up to (and
   /// including) the missing dynamic-result test. Built by the fast engine
   /// (FastEngine.cpp), consumed by the slow engine (SlowEngine.cpp).
@@ -372,6 +433,19 @@ private:
   std::unique_ptr<ExecPlan> OwnedPlan;
   const ExecPlan *Plan;
   TargetMemory Mem;
+
+  /// How memoized steps execute (ExecBackend.h). Built by initState()
+  /// from Opts.Backend; never null afterwards.
+  std::unique_ptr<ExecBackend> Backend;
+  /// Non-null for the SharedProgram constructor: where a Jit backend
+  /// finds the process-shared code cache for the shared plan.
+  const SharedProgram *SharedProg = nullptr;
+  /// Armed by the Jit backend, consulted per node by the replay loop;
+  /// null means replay never looks at the JIT (the Interpret backend's
+  /// only cost is this one pointer test per node).
+  jit::JitSession *JitCtx = nullptr;
+  /// The private code cache of owned-plan (or privatized) simulations.
+  std::unique_ptr<jit::JitCache> OwnedJitCache;
 
   // Dynamic state: shared between the two simulators (and with the host).
   std::vector<int64_t> DynSlots;

@@ -18,6 +18,8 @@
 
 #include "src/runtime/Simulation.h"
 
+#include "src/jit/JitCache.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -116,9 +118,49 @@ void Simulation::runSlow(EntryId Rec, const ReplayedStep *Recovery) {
       }
     }
 
-    // Execute the block body (everything but the terminator).
+    // Execute the block body (everything but the terminator). When the
+    // session's JIT is armed and the plan's cache has this body compiled
+    // for the current (guard, recording) shape, it runs natively: the
+    // recording variant captures every placeholder word to a scratch
+    // buffer that is flushed through the cache afterwards, so data-pool
+    // contents, seal accumulation and peak accounting stay bit-identical
+    // to the interpreter — including on a mid-body fault, where exactly
+    // the words pushed before the fault are flushed. Recovery stays
+    // interpreted (it replays statics only).
     const XInst *IP = P.blockBegin(BB);
     const XInst *Term = P.blockEnd(BB) - 1;
+    if (jit::JitSession *const Jit = JitCtx; Jit && !Recovering && IP != Term) {
+      jit::JitCache &JC = *Jit->Cache;
+      const bool Capturing = NodeIdx != ActionNode::NoNode;
+      jit::JitFn Fn = JC.blockFn(BB, Guards, Capturing);
+      if (!Fn) {
+        JC.noteBlockVisit(BB, Jit->Threshold);
+        Fn = JC.blockFn(BB, Guards, Capturing);
+      }
+      if (Fn) {
+        if (Capturing) {
+          uint32_t W = JC.blockCaptureWords(BB);
+          if (Jit->Capture.size() < W)
+            Jit->Capture.resize(W);
+          Jit->Frame.Capture = Jit->Capture.data();
+        }
+        int64_t R = Fn(&Jit->Frame, nullptr);
+        if (Capturing) {
+          const int64_t *Cap = Jit->Capture.data();
+          const size_t N = static_cast<size_t>(Jit->Frame.CaptureEnd - Cap);
+          Cache.pushDataSpan(Cap, N);
+          S.PlaceholderWords += N;
+        }
+        ++Jit->SlowBlockExecs;
+        if (R < 0) {
+          if (R == jit::BailFetchOob)
+            return fail(FaultKind::DecodeError,
+                        "instruction fetch outside the text segment");
+          return fail(FaultKind::ExternFailure, "extern call failed");
+        }
+        IP = Term; // body done natively; fall through to the terminator
+      }
+    }
     for (; IP != Term; ++IP) {
       const XInst &I = *IP;
       if (!I.Dynamic) {

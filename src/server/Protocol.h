@@ -65,6 +65,10 @@ inline constexpr const char *IdleTimeout = "idle-timeout";
 /// create with a "resume_token" that names no spilled session (expired,
 /// evicted, or lost to a daemon restart — re-create from scratch).
 inline constexpr const char *UnknownToken = "unknown-resume-token";
+/// create with a "backend" value that is not auto|interpret|jit (aliases
+/// on|off accepted). Distinct from bad-request so clients probing for JIT
+/// support get a stable signal.
+inline constexpr const char *BadBackend = "bad-backend";
 } // namespace ErrCode
 
 /// The protocol's nesting bound for incoming requests. Requests are flat

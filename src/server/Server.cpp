@@ -941,6 +941,18 @@ std::string FacileServer::Impl::verbCreate(const json::Value &Req,
                          "'options.eviction' must be clearall|segmented");
     }
   }
+  // Execution backend for memoized replay (default auto). Unknown values
+  // get their own stable code: a client probing for JIT support can tell
+  // "this daemon predates backends" (bad-request on the unknown field
+  // never happens — unknown fields are ignored) from "bad spelling".
+  if (const json::Value *V = Req.get("backend")) {
+    rt::BackendKind Kind2;
+    if (!V->isStr() || !rt::parseBackendKind(V->str(), Kind2))
+      return errorLine(Id, ErrCode::BadBackend,
+                       "'backend' must be auto|interpret|jit");
+    SimOpts.Backend = Kind2;
+  }
+
   inject::InjectSpec InjSpec;
   bool Injecting = false;
   if (const json::Value *V = Req.get("fault_inject")) {
@@ -1026,6 +1038,9 @@ std::string FacileServer::Impl::verbCreate(const json::Value &Req,
   W.field("session", S->Id);
   W.field("sim", std::string_view(simKindName(Kind)));
   W.field("workload", std::string_view(S->WorkloadName));
+  // The *resolved* backend ("interpret" or "jit", never "auto"): what the
+  // session actually runs after host-capability resolution.
+  W.field("backend", std::string_view(S->Sim->sim().backendName()));
   W.field("resume_token", std::string_view(S->ResumeToken));
   W.field("compat_key",
           strFormat("%016llx", static_cast<unsigned long long>(

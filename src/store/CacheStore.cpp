@@ -460,26 +460,41 @@ CacheStoreDir::lookup(uint64_t CompatKey, uint32_t NumActions,
                       std::string *Err) {
   if (Err)
     Err->clear();
-  uint64_t Gen = latestGeneration(CompatKey);
-  if (Gen == 0)
-    return nullptr; // clean miss: no store for this configuration yet
-  std::string Name = fileName(CompatKey, Gen);
+  // The generation readdir surfaces can be unlinked by a concurrent gc
+  // sweep before we open it (promote + sweep on another thread retires
+  // old generations). When the file is simply gone, rescan: either a
+  // newer generation exists or the key is a clean miss now. Bounded so a
+  // pathological promote/sweep storm cannot spin us forever.
+  for (int Attempt = 0; Attempt != 4; ++Attempt) {
+    uint64_t Gen = latestGeneration(CompatKey);
+    if (Gen == 0)
+      return nullptr; // clean miss: no store for this configuration yet
+    std::string Name = fileName(CompatKey, Gen);
+    std::string Path = Dir + "/" + Name;
 
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Maps.find(Name);
-  if (It != Maps.end())
-    if (std::shared_ptr<const StoreMap> M = It->second.lock())
-      return M;
-  std::string OpenErr;
-  std::shared_ptr<const StoreMap> M =
-      StoreMap::open(Dir + "/" + Name, CompatKey, NumActions, OpenErr);
-  if (!M) {
+    std::string OpenErr;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Maps.find(Name);
+      if (It != Maps.end())
+        if (std::shared_ptr<const StoreMap> M = It->second.lock())
+          return M;
+      std::shared_ptr<const StoreMap> M =
+          StoreMap::open(Path, CompatKey, NumActions, OpenErr);
+      if (M) {
+        Maps[Name] = M;
+        return M;
+      }
+    }
+    if (::access(Path.c_str(), F_OK) != 0 && errno == ENOENT)
+      continue; // swept between readdir and open — rescan
     if (Err)
       *Err = OpenErr;
     return nullptr;
   }
-  Maps[Name] = M;
-  return M;
+  if (Err)
+    *Err = "store generations for this key kept vanishing mid-lookup";
+  return nullptr;
 }
 
 bool CacheStoreDir::promote(const ActionCache::FlatImage &Img,
@@ -535,7 +550,12 @@ size_t CacheStoreDir::gc(size_t KeepPerKey, std::string *Err) {
       std::string Path = Dir + "/" + fileName(KV.first, Gens[I]);
       if (::unlink(Path.c_str()) == 0)
         ++Unlinked;
-      else if (Err && Err->empty())
+      else if (errno != ENOENT && Err && Err->empty())
+        // ENOENT means a concurrent sweep (the daemon's periodic gc and a
+        // client-driven store-gc can overlap) collected this generation
+        // between our readdir and the unlink — the file is gone, which is
+        // exactly the outcome we wanted, so it is not an error. Neither
+        // sweep counts it: Unlinked reports what *this* call removed.
         *Err = "cannot unlink '" + Path + "': " + std::strerror(errno);
     }
   }

@@ -22,6 +22,7 @@
 #include "src/facile/Compiler.h"
 #include "src/inject/FaultInjector.h"
 #include "src/isa/Assembler.h"
+#include "src/jit/JitEmitter.h"
 #include "src/runtime/Simulation.h"
 #include "src/sims/SimHarness.h"
 #include "src/support/Rng.h"
@@ -661,4 +662,138 @@ TEST(Bypass, DoesNotTripDuringWarmup) {
   EXPECT_EQ(Sim.stats().BypassActivations, 0u);
   EXPECT_EQ(Sim.stats().BypassedSteps, 0u);
   EXPECT_GT(Sim.stats().FastSteps, 900u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection with the template-JIT backend forced on
+//===----------------------------------------------------------------------===//
+
+// The cache-corruption campaign rerun with Backend=Jit at threshold 1, so
+// compiled actions, block bodies and entry traces are live when arenas are
+// flipped. The robustness contract does not weaken under native code: every
+// run still ends clean (bit-identical to the uninjected interpreter
+// reference), absorbed, or with a structured cache/plan fault — never a
+// crash, hang, or silent divergence. Guard pages and the seal sweep have to
+// catch corruption *before* compiled code replays it, and invalidation has
+// to drop any trace or block baked over a rebuilt arena.
+TEST(FaultCampaign, JitCacheCorruptionNeverDivergesSilently) {
+  if (!facile::jit::available())
+    GTEST_SKIP() << "no template-JIT backend on this host";
+  CompiledProgram P = compileOk(campaignSource());
+  isa::TargetImage Img = emptyImage();
+  const uint64_t Steps = 240;
+  ArchState Ref = referenceState(P, Img, {}, Steps);
+
+  Simulation::Options JitOpts;
+  JitOpts.Backend = BackendKind::Jit;
+  JitOpts.JitThreshold = 1;
+
+  uint64_t Clean = 0, Absorbed = 0, Faulted = 0, CompiledRuns = 0;
+  for (uint64_t Seed = 1; Seed <= 500; ++Seed) {
+    Simulation Sim(P, Img, JitOpts);
+    ASSERT_STREQ(Sim.backendName(), "jit");
+    inject::InjectSpec Spec;
+    Spec.Seed = Seed;
+    Spec.CachePpm = 60'000;
+    inject::FaultInjector Inj(Sim, Spec);
+    Inj.arm();
+
+    uint64_t Done = 0, Guard = 0;
+    while (Done < Steps && !Sim.faulted() && ++Guard <= Steps * 4) {
+      Done += Sim.run(std::min<uint64_t>(8, Steps - Done)).Steps;
+      Inj.inject();
+    }
+    ASSERT_LE(Guard, Steps * 4) << "seed " << Seed << ": hang";
+    if (Sim.jitCompiledActions() > 0)
+      ++CompiledRuns;
+
+    if (Sim.faulted()) {
+      ++Faulted;
+      FaultKind K = Sim.fault().Kind;
+      EXPECT_TRUE(K == FaultKind::CacheCorrupt || K == FaultKind::PlanCorrupt)
+          << "seed " << Seed << ": " << faultKindName(K);
+      uint64_t StepsAt = Sim.stats().Steps;
+      EXPECT_EQ(Sim.step(), StepEngine::Faulted);
+      EXPECT_EQ(Sim.stats().Steps, StepsAt);
+    } else {
+      EXPECT_TRUE(archState(Sim) == Ref)
+          << "seed " << Seed << ": silent divergence after "
+          << Inj.counters().total() << " injections";
+      if (Sim.stats().CorruptDropped != 0)
+        ++Absorbed;
+      else
+        ++Clean;
+    }
+  }
+  EXPECT_GT(Clean, 0u);
+  EXPECT_GT(Absorbed, 0u);
+  EXPECT_GT(Faulted, 0u);
+  // The campaign is only meaningful if native code was actually on the
+  // replay path in (nearly) every run.
+  EXPECT_GT(CompiledRuns, 450u);
+}
+
+// Memory flips under the JIT: corrupted *simulated* state changes what the
+// program computes, compiled traces included. Contract: termination with a
+// normal stop or a structured fault, never a crash or hang.
+TEST(FaultCampaign, JitMemoryFlipsTerminateCleanly) {
+  if (!facile::jit::available())
+    GTEST_SKIP() << "no template-JIT backend on this host";
+  CompiledProgram P = compileOk(campaignSource());
+  isa::TargetImage Img = emptyImage();
+  const uint64_t Steps = 240;
+
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    Simulation::Options Opts;
+    Opts.Backend = BackendKind::Jit;
+    Opts.JitThreshold = 1;
+    Opts.StepLimit = Steps * 2;
+    Simulation Sim(P, Img, Opts);
+    inject::InjectSpec Spec;
+    Spec.Seed = Seed;
+    Spec.MemPpm = 200'000;
+    inject::FaultInjector Inj(Sim, Spec);
+
+    uint64_t Done = 0, Guard = 0;
+    while (Done < Steps && !Sim.faulted() && !Sim.halted() &&
+           ++Guard <= Steps * 4) {
+      Done += Sim.run(std::min<uint64_t>(8, Steps - Done)).Steps;
+      Inj.inject();
+    }
+    ASSERT_LE(Guard, Steps * 4) << "seed " << Seed << ": hang";
+    if (Sim.faulted())
+      EXPECT_NE(Sim.fault().Kind, FaultKind::None) << "seed " << Seed;
+  }
+}
+
+// Plan truncation under the JIT: privatizing the plan (mutablePlan) disarms
+// the JIT session, and the shape check still frames the truncated plan
+// before anything executes against it.
+TEST(FaultCampaign, JitPlanTruncationFaultsStructurally) {
+  if (!facile::jit::available())
+    GTEST_SKIP() << "no template-JIT backend on this host";
+  CompiledProgram P = compileOk(campaignSource());
+  isa::TargetImage Img = emptyImage();
+
+  for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
+    Simulation::Options Opts;
+    Opts.Backend = BackendKind::Jit;
+    Opts.JitThreshold = 1;
+    Simulation Sim(P, Img, Opts);
+    Rng R(Seed);
+    uint64_t Warm = 1 + R.below(60);
+    EXPECT_EQ(Sim.run(Warm).Status, RunStatus::Limit);
+
+    ExecPlan &Plan = Sim.mutablePlan();
+    std::vector<XInst> &Stream = R.below(2) == 0 ? Plan.Code : Plan.Fast;
+    ASSERT_FALSE(Stream.empty());
+    Stream.resize(Stream.size() - 1 -
+                  R.below(std::min<size_t>(4, Stream.size())));
+
+    RunResult Res = Sim.run(10);
+    ASSERT_EQ(Res.Status, RunStatus::Faulted) << "seed " << Seed;
+    EXPECT_EQ(Res.Fault.Kind, FaultKind::PlanCorrupt);
+    EXPECT_EQ(Res.Steps, 0u);
+    EXPECT_EQ(Sim.step(), StepEngine::Faulted);
+  }
 }

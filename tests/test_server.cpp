@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "src/jit/JitEmitter.h"
 #include "src/server/Client.h"
 #include "src/server/Protocol.h"
 #include "src/server/Server.h"
@@ -223,6 +224,42 @@ TEST_F(ServerTest, BadCreateArgumentsAreRejected) {
   ASSERT_TRUE(Srv);
   EXPECT_EQ(Srv->get("active_sessions")->intOr(-1), 0);
   EXPECT_EQ(Srv->get("sessions_created")->intOr(-1), 0);
+}
+
+TEST_F(ServerTest, CreateBackendFieldResolvedAndEchoed) {
+  Client C = connect();
+  // Unknown or mistyped backends are rejected with the dedicated code and
+  // create nothing.
+  expectError(rpc(C, R"({"id":1,"verb":"create","sim":"functional",)"
+                     R"("workload":"compress","backend":"turbo"})"),
+              ErrCode::BadBackend);
+  expectError(rpc(C, R"({"id":2,"verb":"create","sim":"functional",)"
+                     R"("workload":"compress","backend":7})"),
+              ErrCode::BadBackend);
+
+  // Every successful create echoes the *resolved* backend — never "auto".
+  const char *JitName = jit::available() ? "jit" : "interpret";
+  struct Case {
+    const char *Req;
+    const char *Want;
+  };
+  const Case Cases[] = {
+      {R"("backend":"interpret")", "interpret"},
+      {R"("backend":"off")", "interpret"},
+      {R"("backend":"jit")", JitName}, // degrades, never errors
+      {R"("backend":"auto")", JitName},
+  };
+  int64_t Id = 10;
+  for (const Case &K : Cases) {
+    SCOPED_TRACE(K.Req);
+    json::Value R =
+        rpc(C, R"({"id":)" + std::to_string(Id++) +
+               R"(,"verb":"create","sim":"functional",)"
+               R"("workload":"compress","data_kwords":2,)" + K.Req + "}");
+    ASSERT_TRUE(isOk(R));
+    ASSERT_TRUE(R.get("backend") && R.get("backend")->isStr());
+    EXPECT_EQ(R.get("backend")->str(), K.Want);
+  }
 }
 
 TEST_F(ServerTest, TruncatedRequestIsDiscardedOnDisconnect) {

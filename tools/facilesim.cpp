@@ -21,6 +21,7 @@
 #include "src/inject/FaultInjector.h"
 #include "src/sims/SimHarness.h"
 #include "src/store/CacheStore.h"
+#include "src/support/ArgParse.h"
 #include "src/telemetry/Metrics.h"
 #include "src/telemetry/Profiler.h"
 #include "src/telemetry/Trace.h"
@@ -36,72 +37,6 @@
 
 using namespace facile;
 using namespace facile::sims;
-
-namespace {
-
-void usage(const char *Prog) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options]\n"
-      "  --sim=functional|inorder|ooo   simulator to run (default ooo)\n"
-      "  --workload=<name>              suite entry, e.g. gcc or 126.gcc\n"
-      "                                 (default compress)\n"
-      "  --instrs=<n>                   total retired-instruction target,\n"
-      "                                 including instructions restored from\n"
-      "                                 a checkpoint (default 1000000)\n"
-      "  --cache-budget-mb=<n>          action-cache byte budget (default 256)\n"
-      "  --eviction=clearall|segmented  eviction policy (default clearall)\n"
-      "  --no-memo                      disable memoization (slow path only)\n"
-      "  --save-checkpoint=<file>       write full state after the run\n"
-      "  --load-checkpoint=<file>       resume state before the run\n"
-      "  --save-cache=<file>            write the action cache after the run\n"
-      "  --load-cache=<file>            warm-start from a saved action cache\n"
-      "  --cache-store=<dir>            shared action-cache store: map the\n"
-      "                                 newest compatible generation as a\n"
-      "                                 read-only base, record new work to a\n"
-      "                                 private overlay (miss = cold start)\n"
-      "  --store-promote                after the run, write base+overlay as\n"
-      "                                 the next store generation (requires\n"
-      "                                 --cache-store)\n"
-      "  --store-gc[=<keep>]            maintenance mode: unlink all but the\n"
-      "                                 newest <keep> generations per compat\n"
-      "                                 key (default 1) and exit without\n"
-      "                                 simulating (requires --cache-store)\n"
-      "  --digest                       print the final memory digest as\n"
-      "                                 'facilesim: digest <16 hex>'\n"
-      "  --require-warm                 exit 1 unless a cache was loaded and\n"
-      "                                 fast replay actually ran\n"
-      "  --max-steps=<n>                step watchdog: fault (step-limit)\n"
-      "                                 after n simulation steps (default off)\n"
-      "  --mem-budget=<mb>              resident target-memory budget in MB;\n"
-      "                                 exceeding it faults (default off)\n"
-      "  --guards=on|off                guarded execution: bounds and seal\n"
-      "                                 checks on replay (default on)\n"
-      "  --fault-inject=<spec>          seeded corruption campaign, e.g.\n"
-      "                                 seed:42,mem:0.01,cache:0.05,\n"
-      "                                 extern:0.001,plan:0.0001\n"
-      "  --json                         print the stats JSON line\n"
-      "  --metrics=<file>               write the stats JSON to a file\n"
-      "  --trace=<file>                 write a Chrome trace-event JSON of\n"
-      "                                 the run (chrome://tracing, Perfetto)\n"
-      "  --trace-buffer=<n>             trace ring capacity in events\n"
-      "                                 (default 65536; oldest dropped)\n"
-      "  --top-actions=<n>              profile replay and print the n\n"
-      "                                 hottest actions (default off)\n"
-      "  --profile-period=<n>           sample every n-th memoized step\n"
-      "                                 (default 1 with --top-actions)\n"
-      "\n"
-      "exit status: 0 ok, 1 save/require-warm failure, 2 bad usage,\n"
-      "             3 structured simulation fault (see the diagnostic)\n",
-      Prog);
-}
-
-std::string argValue(const std::string &Arg, const char *Prefix) {
-  size_t N = std::strlen(Prefix);
-  return Arg.rfind(Prefix, 0) == 0 ? Arg.substr(N) : std::string();
-}
-
-} // namespace
 
 int main(int Argc, char **Argv) {
   std::string SimName = "ooo", WorkloadName = "compress";
@@ -119,104 +54,139 @@ int main(int Argc, char **Argv) {
   bool Injecting = false;
   inject::InjectSpec InjSpec;
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    std::string V;
-    if (!(V = argValue(Arg, "--sim=")).empty())
-      SimName = V;
-    else if (!(V = argValue(Arg, "--workload=")).empty())
-      WorkloadName = V;
-    else if (!(V = argValue(Arg, "--instrs=")).empty())
-      Instrs = std::strtoull(V.c_str(), nullptr, 10);
-    else if (!(V = argValue(Arg, "--cache-budget-mb=")).empty())
-      Opts.CacheBudgetBytes = std::strtoull(V.c_str(), nullptr, 10) << 20;
-    else if (!(V = argValue(Arg, "--eviction=")).empty()) {
-      if (V == "clearall")
-        Opts.Eviction = rt::EvictionPolicy::ClearAll;
-      else if (V == "segmented")
-        Opts.Eviction = rt::EvictionPolicy::Segmented;
-      else {
-        std::fprintf(stderr, "error: unknown eviction policy '%s'\n",
-                     V.c_str());
-        return 2;
-      }
-    } else if (!(V = argValue(Arg, "--save-checkpoint=")).empty())
-      SaveCkpt = V;
-    else if (!(V = argValue(Arg, "--load-checkpoint=")).empty())
-      LoadCkpt = V;
-    else if (!(V = argValue(Arg, "--save-cache=")).empty())
-      SaveCache = V;
-    else if (!(V = argValue(Arg, "--load-cache=")).empty())
-      LoadCache = V;
-    else if (!(V = argValue(Arg, "--cache-store=")).empty())
-      CacheStorePath = V;
-    else if (!(V = argValue(Arg, "--max-steps=")).empty())
-      Opts.StepLimit = std::strtoull(V.c_str(), nullptr, 10);
-    else if (!(V = argValue(Arg, "--mem-budget=")).empty())
-      Opts.MemPageBudget = static_cast<size_t>(
-          (std::strtoull(V.c_str(), nullptr, 10) << 20) /
-          TargetMemory::PageSize);
-    else if (!(V = argValue(Arg, "--guards=")).empty()) {
-      if (V == "on")
-        Opts.Guards = true;
-      else if (V == "off")
-        Opts.Guards = false;
-      else {
-        std::fprintf(stderr, "error: --guards takes on or off, not '%s'\n",
-                     V.c_str());
-        return 2;
-      }
-    } else if (!(V = argValue(Arg, "--fault-inject=")).empty()) {
-      std::string Err;
-      if (!inject::InjectSpec::parse(V, InjSpec, Err)) {
-        std::fprintf(stderr, "error: bad --fault-inject spec: %s\n",
-                     Err.c_str());
-        return 2;
-      }
-      Injecting = true;
-    } else if (!(V = argValue(Arg, "--trace=")).empty())
-      TraceFile = V;
-    else if (!(V = argValue(Arg, "--trace-buffer=")).empty())
-      TraceBuffer = std::strtoull(V.c_str(), nullptr, 10);
-    else if (!(V = argValue(Arg, "--metrics=")).empty())
-      MetricsFile = V;
-    else if (!(V = argValue(Arg, "--top-actions=")).empty())
-      TopActions = std::strtoull(V.c_str(), nullptr, 10);
-    else if (!(V = argValue(Arg, "--profile-period=")).empty()) {
-      ProfilePeriod = std::strtoull(V.c_str(), nullptr, 10);
-      if (ProfilePeriod == 0) {
-        std::fprintf(stderr, "error: --profile-period must be at least 1\n");
-        return 2;
-      }
-    } else if (Arg == "--no-memo")
-      Opts.Memoize = false;
-    else if (Arg == "--json")
-      Json = true;
-    else if (Arg == "--require-warm")
-      RequireWarm = true;
-    else if (Arg == "--store-promote")
-      StorePromote = true;
-    else if (Arg == "--store-gc")
-      StoreGc = true;
-    else if (!(V = argValue(Arg, "--store-gc=")).empty()) {
-      StoreGc = true;
-      StoreGcKeep = std::strtoull(V.c_str(), nullptr, 10);
-      if (StoreGcKeep == 0) {
-        std::fprintf(stderr, "error: --store-gc keep count must be >= 1\n");
-        return 2;
-      }
-    }
-    else if (Arg == "--digest")
-      PrintDigest = true;
-    else if (Arg == "--help" || Arg == "-h") {
-      usage(Argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
-      usage(Argv[0]);
-      return 2;
-    }
-  }
+  support::ArgParse P("facilesim");
+  P.choice("sim", SimName, {"functional", "inorder", "ooo"},
+           "simulator to run (default ooo)");
+  P.str("workload", WorkloadName, "<name>",
+        "suite entry, e.g. gcc or 126.gcc\n(default compress)");
+  P.u64("instrs", Instrs, "<n>",
+        "total retired-instruction target,\nincluding instructions restored "
+        "from\na checkpoint (default 1000000)");
+  P.custom("cache-budget-mb", "<n>",
+           "action-cache byte budget (default 256)",
+           [&Opts](const std::string &V, std::string &) {
+             Opts.CacheBudgetBytes = std::strtoull(V.c_str(), nullptr, 10)
+                                     << 20;
+             return true;
+           });
+  P.custom("eviction", "clearall|segmented",
+           "eviction policy (default clearall)",
+           [&Opts](const std::string &V, std::string &Err) {
+             if (V == "clearall")
+               Opts.Eviction = rt::EvictionPolicy::ClearAll;
+             else if (V == "segmented")
+               Opts.Eviction = rt::EvictionPolicy::Segmented;
+             else {
+               Err = "unknown eviction policy '" + V + "'";
+               return false;
+             }
+             return true;
+           });
+  bool NoMemo = false;
+  P.flag("no-memo", NoMemo, "disable memoization (slow path only)");
+  P.custom("jit", "on|off|auto",
+           "memoized-replay execution backend:\non asks for the template "
+           "JIT (degrades\nto the interpreter where unsupported),\noff "
+           "forces the interpreter, auto picks\nthe JIT when the host "
+           "supports it\n(default auto)",
+           [&Opts](const std::string &V, std::string &Err) {
+             if (V == "on")
+               Opts.Backend = rt::BackendKind::Jit;
+             else if (V == "off")
+               Opts.Backend = rt::BackendKind::Interpret;
+             else if (V == "auto")
+               Opts.Backend = rt::BackendKind::Auto;
+             else {
+               Err = "--jit takes on, off or auto, not '" + V + "'";
+               return false;
+             }
+             return true;
+           });
+  P.custom("jit-threshold", "<n>",
+           "replays before an action is compiled\n(default 32)",
+           [&Opts](const std::string &V, std::string &Err) {
+             char *End = nullptr;
+             uint64_t N = std::strtoull(V.c_str(), &End, 10);
+             if (V.empty() || End != V.c_str() + V.size() || N == 0 ||
+                 N > UINT32_MAX) {
+               Err = "--jit-threshold takes a positive count, not '" + V +
+                     "'";
+               return false;
+             }
+             Opts.JitThreshold = static_cast<uint32_t>(N);
+             return true;
+           });
+  P.str("save-checkpoint", SaveCkpt, "<file>",
+        "write full state after the run");
+  P.str("load-checkpoint", LoadCkpt, "<file>",
+        "resume state before the run");
+  P.str("save-cache", SaveCache, "<file>",
+        "write the action cache after the run");
+  P.str("load-cache", LoadCache, "<file>",
+        "warm-start from a saved action cache");
+  P.str("cache-store", CacheStorePath, "<dir>",
+        "shared action-cache store: map the\nnewest compatible generation as "
+        "a\nread-only base, record new work to a\nprivate overlay (miss = "
+        "cold start)");
+  P.flag("store-promote", StorePromote,
+         "after the run, write base+overlay as\nthe next store generation "
+         "(requires\n--cache-store)");
+  P.optU64("store-gc", StoreGc, StoreGcKeep, "<keep>",
+           "maintenance mode: unlink all but the\nnewest <keep> generations "
+           "per compat\nkey (default 1) and exit without\nsimulating "
+           "(requires --cache-store)",
+           /*Min=*/1);
+  P.flag("digest", PrintDigest,
+         "print the final memory digest as\n'facilesim: digest <16 hex>'");
+  P.flag("require-warm", RequireWarm,
+         "exit 1 unless a cache was loaded and\nfast replay actually ran");
+  P.u64("max-steps", Opts.StepLimit, "<n>",
+        "step watchdog: fault (step-limit)\nafter n simulation steps "
+        "(default off)");
+  P.custom("mem-budget", "<mb>",
+           "resident target-memory budget in MB;\nexceeding it faults "
+           "(default off)",
+           [&Opts](const std::string &V, std::string &) {
+             Opts.MemPageBudget = static_cast<size_t>(
+                 (std::strtoull(V.c_str(), nullptr, 10) << 20) /
+                 TargetMemory::PageSize);
+             return true;
+           });
+  P.onOff("guards", Opts.Guards,
+          "guarded execution: bounds and seal\nchecks on replay (default "
+          "on)");
+  P.custom("fault-inject", "<spec>",
+           "seeded corruption campaign, e.g.\nseed:42,mem:0.01,cache:0.05,\n"
+           "extern:0.001,plan:0.0001",
+           [&InjSpec, &Injecting](const std::string &V, std::string &Err) {
+             std::string E;
+             if (!inject::InjectSpec::parse(V, InjSpec, E)) {
+               Err = "bad --fault-inject spec: " + E;
+               return false;
+             }
+             Injecting = true;
+             return true;
+           });
+  P.flag("json", Json, "print the stats JSON line");
+  P.str("metrics", MetricsFile, "<file>", "write the stats JSON to a file");
+  P.str("trace", TraceFile, "<file>",
+        "write a Chrome trace-event JSON of\nthe run (chrome://tracing, "
+        "Perfetto)");
+  P.u64("trace-buffer", TraceBuffer, "<n>",
+        "trace ring capacity in events\n(default 65536; oldest dropped)");
+  P.u64("top-actions", TopActions, "<n>",
+        "profile replay and print the n\nhottest actions (default off)");
+  P.u64("profile-period", ProfilePeriod, "<n>",
+        "sample every n-th memoized step\n(default 1 with --top-actions)",
+        /*Min=*/1);
+  P.epilog("\nexit status: 0 ok, 1 save/require-warm failure, 2 bad usage,\n"
+           "             3 structured simulation fault (see the "
+           "diagnostic)\n");
+
+  if (int Rc = P.parse(Argc, Argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  if (NoMemo)
+    Opts.Memoize = false;
 
   if (StorePromote && CacheStorePath.empty()) {
     std::fprintf(stderr, "error: --store-promote requires --cache-store\n");
@@ -246,12 +216,8 @@ int main(int Argc, char **Argv) {
     Kind = SimKind::Functional;
   else if (SimName == "inorder")
     Kind = SimKind::InOrder;
-  else if (SimName == "ooo")
+  else
     Kind = SimKind::OutOfOrder;
-  else {
-    std::fprintf(stderr, "error: unknown simulator '%s'\n", SimName.c_str());
-    return 2;
-  }
 
   const workload::WorkloadSpec *Spec = workload::findSpec(WorkloadName);
   if (!Spec) {

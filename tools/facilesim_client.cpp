@@ -19,33 +19,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "src/server/Client.h"
+#include "src/support/ArgParse.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace facile;
 using namespace facile::server;
 
 namespace {
-
-void usage(const char *Prog) {
-  std::fprintf(stderr,
-               "usage: %s (--port=<n> | --unix=<path>) [options] <command>\n"
-               "options:\n"
-               "  --timeout-ms=<n>    per-call receive timeout (0 = block)\n"
-               "  --retries=<n>       attempts for retry-safe requests\n"
-               "                      (default 4; see Client::rpcRetry)\n"
-               "  --backoff-ms=<n>    base exponential backoff (default 20)\n"
-               "commands:\n"
-               "  ping                liveness round trip\n"
-               "  stats               print the daemon stats response\n"
-               "  raw '<json-line>'   send one raw request line\n"
-               "  selftest            full protocol conversation (no shutdown)\n"
-               "  shutdown            ask the daemon to stop\n",
-               Prog);
-}
 
 /// Sends \p Req through the retry policy, prints the response line,
 /// returns 0 when ok=true. Idempotency gating lives in Client::rpcRetry —
@@ -67,43 +52,48 @@ int oneShot(Client &C, const std::string &Req) {
 } // namespace
 
 int main(int argc, char **argv) {
-  uint16_t Port = 0;
+  uint64_t Port = 0;
   std::string UnixPath;
   RetryPolicy Policy;
-  int I = 1;
-  for (; I < argc && std::strncmp(argv[I], "--", 2) == 0; ++I) {
-    if (std::strncmp(argv[I], "--port=", 7) == 0) {
-      Port = static_cast<uint16_t>(std::atoi(argv[I] + 7));
-    } else if (std::strncmp(argv[I], "--unix=", 7) == 0) {
-      UnixPath = argv[I] + 7;
-    } else if (std::strncmp(argv[I], "--timeout-ms=", 13) == 0) {
-      Policy.TimeoutMs = std::strtoull(argv[I] + 13, nullptr, 10);
-    } else if (std::strncmp(argv[I], "--retries=", 10) == 0) {
-      Policy.MaxAttempts =
-          static_cast<unsigned>(std::strtoul(argv[I] + 10, nullptr, 10));
-      if (Policy.MaxAttempts == 0)
-        Policy.MaxAttempts = 1;
-    } else if (std::strncmp(argv[I], "--backoff-ms=", 13) == 0) {
-      Policy.BaseBackoffMs = std::strtoull(argv[I] + 13, nullptr, 10);
-    } else if (std::strcmp(argv[I], "--help") == 0) {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "facilesim_client: bad option '%s'\n", argv[I]);
-      return 2;
-    }
-  }
-  if (I >= argc || (Port == 0 && UnixPath.empty())) {
-    usage(argv[0]);
+  uint64_t Retries = 4;
+  std::vector<std::string> Cmdline;
+
+  support::ArgParse P("facilesim_client");
+  P.u64("port", Port, "<n>", "connect to TCP 127.0.0.1:<n>", /*Min=*/0,
+        /*Max=*/65535);
+  P.str("unix", UnixPath, "<path>", "connect to a Unix-domain socket");
+  P.u64("timeout-ms", Policy.TimeoutMs, "<n>",
+        "per-call receive timeout (0 = block)");
+  P.u64("retries", Retries, "<n>",
+        "attempts for retry-safe requests\n(default 4; see "
+        "Client::rpcRetry)");
+  P.u64("backoff-ms", Policy.BaseBackoffMs, "<n>",
+        "base exponential backoff (default 20)");
+  P.positionals(Cmdline, "<command> [args]",
+                "commands:\n"
+                "  ping                liveness round trip\n"
+                "  stats               print the daemon stats response\n"
+                "  raw '<json-line>'   send one raw request line\n"
+                "  selftest            full protocol conversation (no "
+                "shutdown)\n"
+                "  shutdown            ask the daemon to stop");
+  if (int Rc = P.parse(argc, argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  Policy.MaxAttempts =
+      Retries == 0 ? 1 : static_cast<unsigned>(std::min<uint64_t>(
+                             Retries, UINT32_MAX));
+  if (Cmdline.empty() || (Port == 0 && UnixPath.empty())) {
+    P.printUsage(stderr);
     return 2;
   }
-  std::string Cmd = argv[I++];
+  std::string Cmd = Cmdline[0];
 
   Client C;
   C.setRetryPolicy(Policy);
   std::string Err;
-  bool Connected = UnixPath.empty() ? C.connectTcp(Port, &Err)
-                                    : C.connectUnix(UnixPath, &Err);
+  bool Connected = UnixPath.empty()
+                       ? C.connectTcp(static_cast<uint16_t>(Port), &Err)
+                       : C.connectUnix(UnixPath, &Err);
   if (!Connected) {
     std::fprintf(stderr, "facilesim_client: %s\n", Err.c_str());
     return 3;
@@ -116,12 +106,12 @@ int main(int argc, char **argv) {
   if (Cmd == "shutdown")
     return oneShot(C, R"({"id":0,"verb":"shutdown"})");
   if (Cmd == "raw") {
-    if (I >= argc) {
+    if (Cmdline.size() < 2) {
       std::fprintf(stderr, "facilesim_client: raw needs a request line\n");
-      usage(argv[0]);
+      P.printUsage(stderr);
       return 2;
     }
-    return oneShot(C, argv[I]);
+    return oneShot(C, Cmdline[1]);
   }
   if (Cmd == "selftest") {
     if (!runProtocolSelftest(C, Err, /*SendShutdown=*/false)) {
@@ -134,6 +124,6 @@ int main(int argc, char **argv) {
   }
   std::fprintf(stderr, "facilesim_client: unknown command '%s'\n",
                Cmd.c_str());
-  usage(argv[0]);
+  P.printUsage(stderr);
   return 2;
 }

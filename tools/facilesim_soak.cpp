@@ -28,6 +28,7 @@
 #include "src/server/Client.h"
 #include "src/sims/SimHarness.h"
 #include "src/store/CacheStore.h"
+#include "src/support/ArgParse.h"
 #include "src/workload/Workloads.h"
 
 #include <atomic>
@@ -423,42 +424,29 @@ uint64_t overloadBurst(const std::string &Sock) {
   return Overloaded;
 }
 
-void usage(const char *Prog) {
-  std::fprintf(stderr,
-               "usage: %s [--daemon=<path>] [--threads=<k>] [--sessions=<n>]\n"
-               "          [--dir=<tmpdir>] [--watchdog-ms=<n>]\n",
-               Prog);
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
   Config Cfg;
-  for (int I = 1; I < argc; ++I) {
-    const char *A = argv[I];
-    if (std::strncmp(A, "--daemon=", 9) == 0)
-      Cfg.DaemonPath = A + 9;
-    else if (std::strncmp(A, "--threads=", 10) == 0)
-      Cfg.Threads = (unsigned)std::strtoul(A + 10, nullptr, 10);
-    else if (std::strncmp(A, "--sessions=", 11) == 0)
-      Cfg.SessionsPerThread = (unsigned)std::strtoul(A + 11, nullptr, 10);
-    else if (std::strncmp(A, "--dir=", 6) == 0)
-      Cfg.Dir = A + 6;
-    else if (std::strncmp(A, "--watchdog-ms=", 14) == 0)
-      Cfg.WatchdogMs = std::strtoull(A + 14, nullptr, 10);
-    else if (std::strcmp(A, "--help") == 0) {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "facilesim_soak: bad argument '%s'\n", A);
-      usage(argv[0]);
-      return 2;
-    }
-  }
-  if (Cfg.Threads < 1 || Cfg.SessionsPerThread < 1) {
-    std::fprintf(stderr, "facilesim_soak: need at least 1 thread/session\n");
-    return 2;
-  }
+  uint64_t NumThreads = Cfg.Threads, NumSessions = Cfg.SessionsPerThread;
+
+  support::ArgParse P("facilesim_soak");
+  P.str("daemon", Cfg.DaemonPath, "<path>",
+        "facilesimd binary (default: next to this one)");
+  P.u64("threads", NumThreads, "<k>", "client threads (default 8)",
+        /*Min=*/1);
+  P.u64("sessions", NumSessions, "<n>",
+        "sessions per thread (default 5)", /*Min=*/1);
+  P.str("dir", Cfg.Dir, "<tmpdir>",
+        "temp root for socket/store/logs (default: mkdtemp)");
+  P.u64("watchdog-ms", Cfg.WatchdogMs, "<n>",
+        "abort the harness after this long");
+  P.epilog("\nexit status: 0 all checks passed, 1 a check failed,\n"
+           "             2 watchdog fired or setup error\n");
+  if (int Rc = P.parse(argc, argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  Cfg.Threads = static_cast<unsigned>(NumThreads);
+  Cfg.SessionsPerThread = static_cast<unsigned>(NumSessions);
   if (Cfg.DaemonPath.empty()) {
     // Default: facilesimd next to this binary.
     std::vector<char> Self(argv[0], argv[0] + std::strlen(argv[0]) + 1);

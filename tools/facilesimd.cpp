@@ -25,6 +25,7 @@
 
 #include "src/server/Client.h"
 #include "src/server/Server.h"
+#include "src/support/ArgParse.h"
 
 #include <csignal>
 #include <cstdio>
@@ -36,46 +37,6 @@ using namespace facile;
 using namespace facile::server;
 
 namespace {
-
-void usage(const char *Prog) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options]\n"
-      "  --port=<n>           listen on TCP 127.0.0.1:<n> (0 = ephemeral;\n"
-      "                       the bound port is printed on stdout)\n"
-      "  --unix=<path>        listen on a Unix-domain socket instead\n"
-      "  --workers=<n>        verb-execution worker threads (default 4)\n"
-      "  --max-sessions=<n>   concurrent session cap (default 256)\n"
-      "  --max-steps-per-request=<n>  run/step bound per request\n"
-      "  --cache-store=<dir>  shared action-cache store: memoizing sessions\n"
-      "                       attach the newest compatible generation as a\n"
-      "                       read-only base (one mapping per store file,\n"
-      "                       shared by every session)\n"
-      "  --default-deadline-ms=<n>  default per-request deadline on step/run\n"
-      "                       (0 = none; requests may override)\n"
-      "  --max-queue=<n>      admission control: queued-request cap before\n"
-      "                       rejecting with overloaded (default 1024)\n"
-      "  --conn-idle-ms=<n>   close connections idle this long (0 = never;\n"
-      "                       default 300000)\n"
-      "  --session-ttl-ms=<n> spill sessions idle this long to a snapshot,\n"
-      "                       restorable via create+resume_token (0 = never)\n"
-      "  --drain-ms=<n>       SIGTERM drain deadline (default 5000)\n"
-      "  --store-gc-keep=<n>  periodically unlink all but the newest <n>\n"
-      "                       store generations per compat key (0 = off)\n"
-      "  --max-overlay-mb=<n> LRU bound on aggregate session overlay bytes\n"
-      "                       (0 = unbounded)\n"
-      "  --selftest           run the protocol self-test in-process, exit\n"
-      "\n"
-      "exit status: 0 ok, 1 selftest failure, 2 bad usage or socket owned\n"
-      "by a live daemon, 3 socket error\n",
-      Prog);
-}
-
-bool parseU64(const char *S, uint64_t &Out) {
-  char *End = nullptr;
-  Out = std::strtoull(S, &End, 10);
-  return End != S && *End == '\0';
-}
 
 FacileServer *SignalServer = nullptr;
 
@@ -121,67 +82,93 @@ int runSelftest() {
 int main(int argc, char **argv) {
   ServerOptions Opts;
   bool Selftest = false;
-  bool HaveEndpoint = false;
 
-  for (int I = 1; I < argc; ++I) {
-    const char *A = argv[I];
-    uint64_t N;
-    if (std::strncmp(A, "--port=", 7) == 0 && parseU64(A + 7, N) &&
-        N <= 65535) {
-      Opts.TcpPort = static_cast<uint16_t>(N);
-      HaveEndpoint = true;
-    } else if (std::strncmp(A, "--unix=", 7) == 0) {
-      Opts.UnixPath = A + 7;
-      HaveEndpoint = true;
-    } else if (std::strncmp(A, "--workers=", 10) == 0 && parseU64(A + 10, N) &&
-               N >= 1 && N <= 256) {
-      Opts.Workers = static_cast<unsigned>(N);
-    } else if (std::strncmp(A, "--max-sessions=", 15) == 0 &&
-               parseU64(A + 15, N) && N >= 1) {
-      Opts.MaxSessions = static_cast<unsigned>(N);
-    } else if (std::strncmp(A, "--max-steps-per-request=", 24) == 0 &&
-               parseU64(A + 24, N) && N >= 1) {
-      Opts.MaxStepsPerRequest = N;
-    } else if (std::strncmp(A, "--cache-store=", 14) == 0) {
-      Opts.CacheStorePath = A + 14;
-    } else if (std::strncmp(A, "--default-deadline-ms=", 22) == 0 &&
-               parseU64(A + 22, N)) {
-      Opts.DefaultDeadlineMs = N;
-    } else if (std::strncmp(A, "--max-queue=", 12) == 0 && parseU64(A + 12, N) &&
-               N >= 1) {
-      Opts.MaxQueueDepth = static_cast<uint32_t>(N);
-    } else if (std::strncmp(A, "--conn-idle-ms=", 15) == 0 &&
-               parseU64(A + 15, N)) {
-      Opts.ConnIdleTimeoutMs = N;
-    } else if (std::strncmp(A, "--session-ttl-ms=", 17) == 0 &&
-               parseU64(A + 17, N)) {
-      Opts.SessionIdleTtlMs = N;
-    } else if (std::strncmp(A, "--drain-ms=", 11) == 0 && parseU64(A + 11, N)) {
-      Opts.DrainDeadlineMs = N;
-    } else if (std::strncmp(A, "--store-gc-keep=", 16) == 0 &&
-               parseU64(A + 16, N)) {
-      Opts.StoreGcKeep = N;
-    } else if (std::strncmp(A, "--max-overlay-mb=", 17) == 0 &&
-               parseU64(A + 17, N)) {
-      Opts.MaxOverlayBytes = static_cast<size_t>(N) << 20;
-    } else if (std::strcmp(A, "--selftest") == 0) {
-      Selftest = true;
-    } else if (std::strcmp(A, "--help") == 0) {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "facilesimd: bad argument '%s'\n", A);
-      usage(argv[0]);
-      return 2;
-    }
-  }
+  uint64_t Port = 0, Workers = 4, MaxSessions = 256;
+  uint64_t MaxSteps = Opts.MaxStepsPerRequest, MaxQueue = 1024;
+  uint64_t MaxOverlayMb = 0;
+
+  support::ArgParse P("facilesimd");
+  P.u64("port", Port, "<n>",
+        "listen on TCP 127.0.0.1:<n> (0 = ephemeral;\nthe bound port is "
+        "printed on stdout)",
+        /*Min=*/0, /*Max=*/65535);
+  P.str("unix", Opts.UnixPath, "<path>",
+        "listen on a Unix-domain socket instead");
+  P.u64("workers", Workers, "<n>",
+        "verb-execution worker threads (default 4)", /*Min=*/1, /*Max=*/256);
+  P.u64("max-sessions", MaxSessions, "<n>",
+        "concurrent session cap (default 256)", /*Min=*/1);
+  P.u64("max-steps-per-request", MaxSteps, "<n>",
+        "run/step bound per request", /*Min=*/1);
+  P.str("cache-store", Opts.CacheStorePath, "<dir>",
+        "shared action-cache store: memoizing sessions\nattach the newest "
+        "compatible generation as a\nread-only base (one mapping per store "
+        "file,\nshared by every session)");
+  P.custom("jit", "on|off|auto",
+           "default execution backend for sessions\n(per-create 'backend' "
+           "overrides; default auto)",
+           [&Opts](const std::string &V, std::string &Err) {
+             rt::BackendKind K;
+             if (!rt::parseBackendKind(V, K)) {
+               Err = "--jit takes on, off or auto, not '" + V + "'";
+               return false;
+             }
+             Opts.DefaultSimOptions.Backend = K;
+             return true;
+           });
+  P.custom("jit-threshold", "<n>",
+           "replays before an action is compiled\n(default 32)",
+           [&Opts](const std::string &V, std::string &Err) {
+             char *End = nullptr;
+             uint64_t N = std::strtoull(V.c_str(), &End, 10);
+             if (V.empty() || End != V.c_str() + V.size() || N == 0 ||
+                 N > UINT32_MAX) {
+               Err = "--jit-threshold takes a positive count, not '" + V +
+                     "'";
+               return false;
+             }
+             Opts.DefaultSimOptions.JitThreshold = static_cast<uint32_t>(N);
+             return true;
+           });
+  P.u64("default-deadline-ms", Opts.DefaultDeadlineMs, "<n>",
+        "default per-request deadline on step/run\n(0 = none; requests may "
+        "override)");
+  P.u64("max-queue", MaxQueue, "<n>",
+        "admission control: queued-request cap before\nrejecting with "
+        "overloaded (default 1024)",
+        /*Min=*/1);
+  P.u64("conn-idle-ms", Opts.ConnIdleTimeoutMs, "<n>",
+        "close connections idle this long (0 = never;\ndefault 300000)");
+  P.u64("session-ttl-ms", Opts.SessionIdleTtlMs, "<n>",
+        "spill sessions idle this long to a snapshot,\nrestorable via "
+        "create+resume_token (0 = never)");
+  P.u64("drain-ms", Opts.DrainDeadlineMs, "<n>",
+        "SIGTERM drain deadline (default 5000)");
+  P.u64("store-gc-keep", Opts.StoreGcKeep, "<n>",
+        "periodically unlink all but the newest <n>\nstore generations per "
+        "compat key (0 = off)");
+  P.u64("max-overlay-mb", MaxOverlayMb, "<n>",
+        "LRU bound on aggregate session overlay bytes\n(0 = unbounded)");
+  P.flag("selftest", Selftest,
+         "run the protocol self-test in-process, exit");
+  P.epilog("\nexit status: 0 ok, 1 selftest failure, 2 bad usage or socket "
+           "owned\nby a live daemon, 3 socket error\n");
+
+  if (int Rc = P.parse(argc, argv); Rc != support::ArgParse::KeepGoing)
+    return Rc;
+  Opts.TcpPort = static_cast<uint16_t>(Port);
+  Opts.Workers = static_cast<unsigned>(Workers);
+  Opts.MaxSessions = static_cast<unsigned>(MaxSessions);
+  Opts.MaxStepsPerRequest = MaxSteps;
+  Opts.MaxQueueDepth = static_cast<uint32_t>(MaxQueue);
+  Opts.MaxOverlayBytes = static_cast<size_t>(MaxOverlayMb) << 20;
 
   if (Selftest)
     return runSelftest();
-  if (!HaveEndpoint) {
+  if (!P.seen("port") && Opts.UnixPath.empty()) {
     std::fprintf(stderr,
                  "facilesimd: need --port=<n>, --unix=<path> or --selftest\n");
-    usage(argv[0]);
+    P.printUsage(stderr);
     return 2;
   }
 
